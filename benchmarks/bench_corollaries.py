@@ -1,0 +1,51 @@
+"""T5-T8: the Section 6 corollaries, timed end to end."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_t5_median_reduction(benchmark, save_tables):
+    tables = run_once(benchmark, lambda: run_experiment("T5", epsilon=1 / 32, k=5))
+    save_tables("T5", tables)
+    (table,) = tables
+    branches = dict(zip(table.column("summary"), table.column("branch")))
+    assert branches["gk"] == "space"
+    failures = dict(zip(table.column("summary"), table.column("median failed")))
+    assert failures["capped (8)"] == "YES"
+
+
+def test_t6_estimating_rank(benchmark, save_tables):
+    tables = run_once(benchmark, lambda: run_experiment("T6", epsilon=1 / 32, k=5))
+    save_tables("T6", tables)
+    (table,) = tables
+    outcomes = dict(zip(table.column("summary"), table.column("failed")))
+    assert outcomes["gk"] == "no"
+    assert outcomes["capped (8)"] == "YES"
+
+
+def test_t7_randomized_derandomization(benchmark, save_tables):
+    tables = run_once(benchmark, lambda: run_experiment("T7", epsilon=1 / 32, k=5))
+    save_tables("T7", tables)
+    attack, curve = tables
+    # Undersized sketches lose on every seed; space grows with 1/delta.
+    by_sketch = {}
+    for sketch, verdict in zip(attack.column("sketch"), attack.column("defeated")):
+        by_sketch.setdefault(sketch, []).append(verdict)
+    assert set(by_sketch["kll k=8"]) == {"YES"}
+    sizes = [int(v) for v in curve.column("max |I|")]
+    assert sizes[0] < sizes[-1]
+
+
+def test_t8_biased_quantiles_phases(benchmark, save_tables):
+    tables = run_once(benchmark, lambda: run_experiment("T8", epsilon=1 / 32, k=5))
+    save_tables("T8", tables)
+    per_phase, totals = tables
+    retained = [int(v) for v in per_phase.column("biased: retained")]
+    # Retention grows with the phase index (Theta(i/eps) or more).
+    assert all(a <= b for a, b in zip(retained, retained[1:]))
+    biased_total, uniform_total, req_total = [
+        int(v) for v in totals.column("total retained")
+    ]
+    assert biased_total > uniform_total
+    assert req_total > uniform_total  # relative guarantees pin early phases

@@ -1,0 +1,24 @@
+"""F1 and F2: regenerate the paper's two figures and time the regeneration."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_f1_figure1_gap_computation(benchmark, save_tables):
+    tables = run_once(benchmark, lambda: run_experiment("F1"))
+    save_tables("F1", tables)
+    ranks, gaps = tables[0], tables[1]
+    assert ranks.column("rank w.r.t. pi") == ["1", "6", "11", "14"]
+    assert gaps.column("rank_rho(I'_rho[i+1]) - rank_pi(I'_pi[i])")[0] == "5"
+
+
+def test_f2_figure2_construction_trace(benchmark, save_tables):
+    tables = run_once(benchmark, lambda: run_experiment("F2"))
+    save_tables("F2", tables)
+    panels, refinements, final = tables[0], tables[1], tables[2]
+    assert panels.column("items sent") == ["12", "24", "36", "48"]
+    # Lemma 3.4 at every refinement point and at the end.
+    gaps = [int(v) for v in refinements.column("largest gap")]
+    bounds = [float(v) for v in refinements.column("2 eps N'")]
+    assert all(g <= b for g, b in zip(gaps, bounds))

@@ -1,0 +1,163 @@
+"""Microbenchmarks for the computational kernels under the experiments.
+
+These are conventional multi-round pytest-benchmark measurements: summary
+insertion throughput, query latency, the order-statistics container, and the
+adversarial construction itself at two depths.
+"""
+
+import pytest
+
+from repro.containers import SortedItemList
+from repro.core.adversary import build_adversarial_pair
+from repro.streams import Stream, random_stream
+from repro.summaries.biased import BiasedQuantileSummary
+from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy
+from repro.summaries.kll import KLL
+from repro.summaries.mrl import MRL
+from repro.summaries.qdigest import QDigest
+from repro.summaries.sampling import ReservoirSampling
+from repro.universe import Universe
+
+STREAM_LENGTH = 10_000
+EPSILON = 1 / 64
+
+
+@pytest.fixture(scope="module")
+def stream_items():
+    return random_stream(Universe(), STREAM_LENGTH, seed=13)
+
+
+SUMMARIES = {
+    "gk": lambda: GreenwaldKhanna(EPSILON),
+    "gk-greedy": lambda: GreenwaldKhannaGreedy(EPSILON),
+    "mrl": lambda: MRL(EPSILON, n_hint=STREAM_LENGTH),
+    "kll": lambda: KLL(EPSILON, seed=0),
+    "sampling": lambda: ReservoirSampling(EPSILON, seed=0),
+    "qdigest": lambda: QDigest(EPSILON, universe_bits=14),
+    "biased": lambda: BiasedQuantileSummary(EPSILON),
+    "sampled-gk": lambda: _sampled_gk(),
+    "turnstile": lambda: _turnstile(),
+}
+
+
+def _sampled_gk():
+    from repro.summaries.sampled import SampledGK
+
+    return SampledGK(EPSILON, n_hint=STREAM_LENGTH, seed=0)
+
+
+def _turnstile():
+    from repro.summaries.turnstile import TurnstileQuantiles
+
+    return TurnstileQuantiles(EPSILON, universe_bits=14, seed=0)
+
+
+@pytest.mark.parametrize("name", sorted(SUMMARIES))
+def test_process_throughput(benchmark, stream_items, name):
+    """Insert 10k random items (items/round reported via rounds)."""
+
+    def build():
+        summary = SUMMARIES[name]()
+        summary.process_all(stream_items)
+        return summary
+
+    summary = benchmark(build)
+    assert summary.n == STREAM_LENGTH
+
+
+@pytest.mark.parametrize("name", ["gk", "kll", "mrl"])
+def test_query_latency(benchmark, stream_items, name):
+    summary = SUMMARIES[name]()
+    summary.process_all(stream_items)
+    phis = [j / 100 for j in range(101)]
+
+    def query_sweep():
+        return [summary.query(phi) for phi in phis]
+
+    answers = benchmark(query_sweep)
+    assert len(answers) == 101
+
+
+def test_sorted_list_build(benchmark):
+    values = random_stream(Universe(), 20_000, seed=7)
+
+    def build():
+        container = SortedItemList()
+        for value in values:
+            container.add(value)
+        return container
+
+    container = benchmark(build)
+    assert len(container) == 20_000
+
+
+def test_stream_rank_oracle(benchmark):
+    universe = Universe()
+    stream = Stream()
+    items = random_stream(universe, 20_000, seed=8)
+    stream.extend(items)
+    probes = items[::97]
+
+    def ranks():
+        return [stream.rank(item) for item in probes]
+
+    result = benchmark(ranks)
+    assert len(result) == len(probes)
+
+
+@pytest.mark.parametrize("k", [4, 6])
+def test_adversary_construction_cost(benchmark, k):
+    """Full AdvStrategy against GK, validation on (as the experiments run it)."""
+
+    def build():
+        return build_adversarial_pair(GreenwaldKhanna, epsilon=1 / 32, k=k)
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert result.length == 32 * 2 * 2 ** (k - 1)
+
+
+def test_merge_gk_throughput(benchmark, stream_items):
+    from repro.summaries import merge_gk
+
+    half = STREAM_LENGTH // 2
+    left = GreenwaldKhanna(EPSILON)
+    right = GreenwaldKhanna(EPSILON)
+    left.process_all(stream_items[:half])
+    right.process_all(stream_items[half:])
+
+    merged = benchmark(lambda: merge_gk(left, right))
+    assert merged.n == STREAM_LENGTH
+
+
+def test_sliding_window_throughput(benchmark, stream_items):
+    from repro.summaries.sliding import SlidingWindowQuantiles
+
+    def build():
+        summary = SlidingWindowQuantiles(EPSILON * 4, window=2000, blocks=8)
+        summary.process_all(stream_items)
+        return summary
+
+    summary = benchmark(build)
+    assert summary.n == STREAM_LENGTH
+
+
+def test_multipass_median_cost(benchmark, stream_items):
+    from repro.multipass import multipass_median
+    from repro.universe import key_of
+
+    result = benchmark.pedantic(
+        lambda: multipass_median(lambda: iter(stream_items), memory_budget=256),
+        rounds=1,
+        iterations=1,
+    )
+    assert key_of(result.item) == (STREAM_LENGTH + 1) // 2
+
+
+def test_adversary_validation_overhead(benchmark):
+    def build():
+        return build_adversarial_pair(
+            GreenwaldKhanna, epsilon=1 / 32, k=5, validate=False
+        )
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert result.length == 1024

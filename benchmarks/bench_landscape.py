@@ -1,0 +1,31 @@
+"""T9 and T10: the bound landscape and the algorithm comparison."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_t9_bound_landscape(benchmark, save_tables):
+    tables = run_once(
+        benchmark, lambda: run_experiment("T9", epsilon=1 / 64, k_max=20)
+    )
+    save_tables("T9", tables)
+    table = tables[0]
+    theorem = [float(v) for v in table.column("Theorem 2.2")]
+    hung_ting = [float(v) for v in table.column("Hung-Ting")]
+    # The new bound grows with N; the old one is flat.
+    assert theorem[-1] > theorem[0]
+    assert len(set(hung_ting)) == 1
+
+
+def test_t10_summary_comparison(benchmark, save_tables):
+    tables = run_once(
+        benchmark,
+        lambda: run_experiment("T10", epsilon=1 / 32, length=4096, adversary_k=7),
+    )
+    save_tables("T10", tables)
+    assert len(tables) == 4  # random, sorted, zoomin, adversarial
+    for table in tables:
+        verdicts = dict(zip(table.column("summary"), table.column("within eps")))
+        for name in ("gk", "gk-greedy", "mrl", "kll"):
+            assert verdicts[name] == "yes", f"{name} out of tolerance in {table.title}"

@@ -1,0 +1,58 @@
+"""T1-T4: the main theorem's experiments, timed end to end.
+
+T1 (tightness sweep) is the paper's headline result regenerated; T2-T4 are
+Lemma 3.4, the per-node proof checks and the failing-quantile attack.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_t1_tightness_sweep(benchmark, save_tables):
+    tables = run_once(
+        benchmark, lambda: run_experiment("T1", epsilon=1 / 32, k_max=7)
+    )
+    save_tables("T1", tables)
+    table = tables[0]
+    lower = [float(v) for v in table.column("lower bound")]
+    measured = [int(v) for v in table.column("gk space")]
+    upper = [float(v.replace(",", "")) for v in table.column("upper bound")]
+    assert all(lo <= m <= up for lo, m, up in zip(lower, measured, upper))
+    # Linear-in-k growth: the last increments are positive and roughly flat.
+    deltas = [int(v) for v in table.column("gk delta")][2:]
+    assert all(delta > 0 for delta in deltas)
+
+
+def test_t2_lemma_34_gap_bound(benchmark, save_tables):
+    tables = run_once(benchmark, lambda: run_experiment("T2", epsilon=1 / 32, k=5))
+    save_tables("T2", tables)
+    (table,) = tables
+    for claims, verdict in zip(
+        table.column("claims correct"), table.column("within bound")
+    ):
+        if claims == "yes":
+            assert verdict == "yes"
+
+
+def test_t3_per_node_proof_checks(benchmark, save_tables):
+    tables = run_once(benchmark, lambda: run_experiment("T3", epsilon=1 / 32, k=6))
+    save_tables("T3", tables)
+    table, lemma53_table = tables
+    assert set(table.column("claim1 violations")) == {"0"}
+    assert set(table.column("space-gap violations")) == {"0"}
+    assert "NO" not in set(lemma53_table.column("within"))
+
+
+def test_t4_failing_quantile_attack(benchmark, save_tables):
+    tables = run_once(
+        benchmark,
+        lambda: run_experiment("T4", epsilon=1 / 32, k=5, budgets=(8, 16, 32, 64, 128)),
+    )
+    save_tables("T4", tables)
+    (table,) = tables
+    verdicts = dict(zip(table.column("summary"), table.column("defeated")))
+    assert verdicts["gk (control)"] == "no"
+    assert all(
+        verdict == "YES" for name, verdict in verdicts.items() if name.startswith("capped")
+    )

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every experiment benchmark times one full regeneration of its experiment's
+tables (rounds=1 — these are end-to-end harnesses, not microbenchmarks) and
+writes the rendered tables to ``benchmarks/results/<id>.txt`` so a benchmark
+run leaves the regenerated evidence behind.  Kernel benchmarks in
+``bench_kernels.py`` use ordinary multi-round timing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_tables():
+    """Persist rendered experiment tables under benchmarks/results/."""
+
+    def _save(experiment_id: str, tables) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        rendered = "\n\n".join(table.render() for table in tables)
+        (RESULTS_DIR / f"{experiment_id}.txt").write_text(rendered + "\n")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once (end-to-end experiment harnesses)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

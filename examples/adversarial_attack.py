@@ -1,0 +1,61 @@
+"""The paper's lower bound as an executable attack.
+
+Runs the adversarial construction of Cormode & Vesely (PODS 2020) against
+two live summaries:
+
+* Greenwald-Khanna, which survives by paying Theta((1/eps) log(eps N))
+  space — the tightness the paper proves; and
+* a budget-capped summary below that space bound, for which the adversary
+  extracts a *concrete failing quantile*: a query phi whose answer is off by
+  more than eps * N.
+
+Run:  python examples/adversarial_attack.py
+"""
+
+from repro import (
+    CappedSummary,
+    GreenwaldKhanna,
+    build_adversarial_pair,
+    check_claim1,
+    check_space_gap,
+    find_failing_quantile,
+    theorem22_lower_bound,
+)
+
+EPSILON = 1 / 32
+K = 6  # stream length N = (1/eps) * 2^k
+
+
+def attack(name: str, factory, **kwargs) -> None:
+    result = build_adversarial_pair(factory, epsilon=EPSILON, k=K, **kwargs)
+    gap = result.final_gap().gap
+    bound = 2 * EPSILON * result.length
+    print(f"--- {name} ---")
+    print(f"stream length N = {result.length}, items stored (peak) = "
+          f"{result.max_items_stored()}")
+    print(f"final gap = {gap} vs Lemma 3.4 ceiling 2 eps N = {bound:.0f}")
+    claim1 = check_claim1(result)
+    spacegap = check_space_gap(result)
+    print(f"Claim 1 holds at {sum(c.satisfied for c in claim1)}/{len(claim1)} "
+          f"internal nodes; space-gap inequality holds at "
+          f"{sum(c.satisfied for c in spacegap)}/{len(spacegap)} nodes")
+    witness = find_failing_quantile(result)
+    if witness is None:
+        print("attack outcome: SURVIVED (summary answered every quantile)\n")
+    else:
+        print(f"attack outcome: DEFEATED at phi = {float(witness.phi):.4f}")
+        print(f"  worst answer off by {float(max(witness.error_pi, witness.error_rho)):.1f} "
+              f"ranks; allowed: {float(witness.allowed_error):.1f}\n")
+
+
+def main() -> None:
+    n = round((1 / EPSILON) * 2**K)
+    print(f"adversary: eps = 1/{round(1/EPSILON)}, k = {K}, N = {n}")
+    print(f"Theorem 2.2 lower bound (explicit constant): "
+          f"{theorem22_lower_bound(EPSILON, n):.1f} items\n")
+    attack("Greenwald-Khanna", GreenwaldKhanna)
+    attack("capped summary, budget 32", CappedSummary, budget=32)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Distributed quantiles: summarise shards independently, merge centrally.
+
+The paper's introduction motivates quantile summaries with "balancing
+parallel computations": split a dataset into near-equal ranges by computing
+quantile boundaries — without any worker seeing the whole data.  This
+example shards a stream across 8 simulated workers, each running its own GK
+summary, serialises every worker's summary (as it would be shipped over the
+network), merges them on the coordinator, and uses the merged summary to cut
+the data into 8 balanced partitions.
+
+GK merging preserves the epsilon guarantee (absolute rank uncertainties add
+exactly), so the partition boundaries are as good as a single-pass summary's.
+
+Run:  python examples/distributed_merge.py
+"""
+
+import json
+
+from repro import GreenwaldKhanna, Universe, key_of
+from repro.analysis import equi_depth_histogram
+from repro.persistence import dump, load
+from repro.streams import random_stream
+from repro.summaries import merge_gk
+
+EPSILON = 1 / 100
+LENGTH = 40_000
+WORKERS = 8
+
+
+def main() -> None:
+    universe = Universe()
+    items = random_stream(universe, LENGTH, seed=21)
+    shards = [items[worker::WORKERS] for worker in range(WORKERS)]
+
+    # Each worker summarises its shard and ships a serialised payload.
+    payloads = []
+    for worker, shard in enumerate(shards):
+        summary = GreenwaldKhanna(EPSILON)
+        summary.process_all(shard)
+        wire = json.dumps(dump(summary))
+        payloads.append(wire)
+        print(f"worker {worker}: {len(shard)} items -> "
+              f"{len(summary.item_array())} stored, {len(wire)} bytes on the wire")
+
+    # The coordinator restores and merges pairwise.
+    summaries = [load(json.loads(wire)) for wire in payloads]
+    while len(summaries) > 1:
+        summaries = [
+            merge_gk(left, right)
+            for left, right in zip(summaries[::2], summaries[1::2])
+        ] + (summaries[len(summaries) - len(summaries) % 2 :])
+    merged = summaries[0]
+    print(f"\nmerged summary: n = {merged.n}, stores "
+          f"{len(merged.item_array())} items, eps = {merged.epsilon:g}")
+
+    # Partition the key space into 8 balanced ranges.
+    print(f"\nbalanced partition boundaries ({WORKERS} ranges):")
+    buckets = equi_depth_histogram(merged, WORKERS)
+    for bucket in buckets:
+        print(f"  range {bucket.index}: up to {key_of(bucket.upper)} "
+              f"(estimated {bucket.estimated_count}, ideal {LENGTH // WORKERS})")
+    worst = max(
+        abs(bucket.estimated_count - LENGTH // WORKERS) for bucket in buckets
+    )
+    print(f"\nworst bucket imbalance: {worst} items "
+          f"(guarantee: <= 2 eps N = {2 * EPSILON * LENGTH:.0f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Quickstart: track stream quantiles with a Greenwald-Khanna summary.
+
+Feeds 100,000 items in random order to a GK summary with eps = 0.01, then
+answers percentile queries from ~100x less memory than storing the stream,
+each within the guaranteed rank error eps * N = 1,000.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GreenwaldKhanna, Universe, key_of
+from repro.streams import Stream, random_stream
+
+
+def main() -> None:
+    universe = Universe()
+    epsilon = 0.01
+    items = random_stream(universe, 100_000, seed=42)
+
+    summary = GreenwaldKhanna(epsilon)
+    stream = Stream()  # ground-truth rank oracle, for checking only
+    for item in items:
+        summary.process(item)
+        stream.append(item)
+
+    n = summary.n
+    print(f"processed N = {n} items with eps = {epsilon}")
+    print(f"summary stores {len(summary.item_array())} items "
+          f"(peak {summary.max_item_count}); exact storage would be {n}")
+    print()
+    print(f"{'phi':>6}  {'answer':>8}  {'true rank':>9}  {'target':>7}  {'error':>6}")
+    for percent in (1, 5, 25, 50, 75, 95, 99):
+        phi = percent / 100
+        answer = summary.query(phi)
+        true_rank = stream.rank(answer)
+        target = round(phi * n)
+        error = abs(true_rank - target)
+        assert error <= epsilon * n + 1, "guarantee violated!"
+        print(f"{phi:>6.2f}  {str(key_of(answer)):>8}  {true_rank:>9}  "
+              f"{target:>7}  {error:>6}")
+    print()
+    print(f"all answers within eps * N = {epsilon * n:.0f} ranks of the target")
+
+
+if __name__ == "__main__":
+    main()

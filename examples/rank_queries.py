@@ -1,0 +1,79 @@
+"""Estimating ranks and CDFs: a streaming two-sample comparison.
+
+Quantile summaries immediately give approximate CDFs and rank queries
+(Section 1 of the paper lists these applications, including
+Kolmogorov-Smirnov tests).  This example streams two samples — one uniform,
+one slightly shifted — through GK summaries, then estimates the
+Kolmogorov-Smirnov statistic sup_x |F1(x) - F2(x)| from the summaries alone,
+comparing it against the exact statistic.
+
+The rank estimates come from ``estimate_rank``, whose error is at most
+eps * N each, so the KS estimate is within 2 * eps of the truth.
+
+Run:  python examples/rank_queries.py
+"""
+
+import random
+from fractions import Fraction
+
+from repro import GreenwaldKhanna, Universe
+from repro.containers import SortedItemList
+
+EPSILON = 0.01
+LENGTH = 30_000
+
+
+def exact_ks(sample_a, sample_b) -> float:
+    sorted_a = SortedItemList(sample_a)
+    sorted_b = SortedItemList(sample_b)
+    worst = 0.0
+    for probe in list(sample_a) + list(sample_b):
+        cdf_a = sorted_a.bisect_right(probe) / len(sample_a)
+        cdf_b = sorted_b.bisect_right(probe) / len(sample_b)
+        worst = max(worst, abs(cdf_a - cdf_b))
+    return worst
+
+
+def estimated_ks(summary_a, summary_b, probes) -> float:
+    worst = 0.0
+    for probe in probes:
+        cdf_a = summary_a.estimate_rank(probe) / summary_a.n
+        cdf_b = summary_b.estimate_rank(probe) / summary_b.n
+        worst = max(worst, abs(cdf_a - cdf_b))
+    return worst
+
+
+def main() -> None:
+    universe = Universe()
+    rng = random.Random(5)
+    # Sample A ~ Uniform(0, 1); sample B ~ Uniform(0.05, 1.05): true KS = 0.05.
+    sample_a = universe.items(
+        Fraction(rng.randrange(10**6), 10**6) for _ in range(LENGTH)
+    )
+    sample_b = universe.items(
+        Fraction(rng.randrange(10**6), 10**6) + Fraction(1, 20) for _ in range(LENGTH)
+    )
+
+    summary_a = GreenwaldKhanna(EPSILON)
+    summary_a.process_all(sample_a)
+    summary_b = GreenwaldKhanna(EPSILON)
+    summary_b.process_all(sample_b)
+
+    # Probe at the summaries' own stored items: the KS supremum over the
+    # union of stored points is within the rank-error budget of the truth.
+    probes = summary_a.item_array() + summary_b.item_array()
+    estimate = estimated_ks(summary_a, summary_b, probes)
+    exact = exact_ks(sample_a, sample_b)
+
+    print(f"two samples of N = {LENGTH}, summaries with eps = {EPSILON}")
+    print(f"summary A stores {len(summary_a.item_array())} items, "
+          f"summary B stores {len(summary_b.item_array())}")
+    print(f"estimated KS statistic: {estimate:.4f}")
+    print(f"exact KS statistic:     {exact:.4f}")
+    print(f"difference:             {abs(estimate - exact):.4f} "
+          f"(guarantee: <= 2 eps = {2 * EPSILON})")
+    assert abs(estimate - exact) <= 2 * EPSILON + 1e-9
+
+
+if __name__ == "__main__":
+    main()

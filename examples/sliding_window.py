@@ -1,0 +1,62 @@
+"""Sliding-window quantiles: latency percentiles over the last N requests.
+
+A monitoring agent wants p50/p95/p99 of the *most recent* 10,000 request
+latencies, not of everything since boot.  SlidingWindowQuantiles covers the
+window with mergeable GK blocks, drops expired blocks, and merges live ones
+at query time.
+
+The simulated workload shifts regime midway (a deploy makes everything 3x
+slower); the windowed percentiles track the new regime within one window,
+while a whole-stream summary smears the two regimes together.
+
+Run:  python examples/sliding_window.py
+"""
+
+import random
+from fractions import Fraction
+
+from repro import GreenwaldKhanna, Universe, key_of
+from repro.summaries import SlidingWindowQuantiles
+
+EPSILON = 0.02
+WINDOW = 10_000
+
+
+def latency_stream(universe: Universe, rng: random.Random, count: int, scale: int):
+    for index in range(count):
+        base = rng.lognormvariate(0, 0.4) * scale
+        # A unique fractional tiebreaker keeps items distinct.
+        yield universe.item(Fraction(round(base * 1000), 1000) + Fraction(index, 10**9))
+
+
+def main() -> None:
+    universe = Universe()
+    rng = random.Random(8)
+    windowed = SlidingWindowQuantiles(EPSILON, window=WINDOW, blocks=10)
+    whole_stream = GreenwaldKhanna(EPSILON)
+
+    # Phase 1: healthy service, ~10ms latencies.
+    for item in latency_stream(universe, rng, 30_000, scale=10):
+        windowed.process(item)
+        whole_stream.process(item)
+    # Phase 2: a bad deploy, ~30ms latencies.
+    for item in latency_stream(universe, rng, 15_000, scale=30):
+        windowed.process(item)
+        whole_stream.process(item)
+
+    print(f"processed 45,000 latencies; window = last {WINDOW}")
+    print(f"windowed summary stores {windowed._item_count()} items across "
+          f"{len(windowed._live)} blocks; whole-stream GK stores "
+          f"{len(whole_stream.item_array())}\n")
+    print(f"{'percentile':>10}  {'windowed (ms)':>14}  {'whole stream (ms)':>18}")
+    for percent in (50, 95, 99):
+        phi = percent / 100
+        recent = float(key_of(windowed.query(phi)))
+        overall = float(key_of(whole_stream.query(phi)))
+        print(f"p{percent:<9}  {recent:>14.1f}  {overall:>18.1f}")
+    print("\nthe windowed p50 sits near the post-deploy 30ms regime; the "
+          "whole-stream p50 still reports the stale mixture")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Closed-form bound curves, accuracy measurement and table rendering."""
+
+from repro.analysis.bounds import (
+    biased_lower_bound,
+    biased_upper_bound_zhang_wang,
+    gk_upper_bound,
+    hung_ting_lower_bound,
+    kll_upper_bound,
+    mrl_upper_bound,
+    qdigest_upper_bound,
+    theorem22_lower_bound,
+    trivial_lower_bound,
+)
+from repro.analysis.accuracy import max_rank_error, quantile_error_profile
+from repro.analysis.applications import (
+    HistogramBucket,
+    approximate_cdf,
+    equi_depth_histogram,
+    ks_statistic,
+)
+from repro.analysis.charts import AsciiChart
+from repro.analysis.tables import Table
+
+__all__ = [
+    "AsciiChart",
+    "HistogramBucket",
+    "Table",
+    "approximate_cdf",
+    "equi_depth_histogram",
+    "ks_statistic",
+    "biased_lower_bound",
+    "biased_upper_bound_zhang_wang",
+    "gk_upper_bound",
+    "hung_ting_lower_bound",
+    "kll_upper_bound",
+    "max_rank_error",
+    "mrl_upper_bound",
+    "qdigest_upper_bound",
+    "quantile_error_profile",
+    "theorem22_lower_bound",
+    "trivial_lower_bound",
+]

@@ -1,0 +1,80 @@
+"""Measuring a summary's observed rank error against ground truth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.containers.sortedlist import SortedItemList
+from repro.model.summary import QuantileSummary
+from repro.universe.item import Item
+
+
+@dataclass(frozen=True)
+class ErrorProfile:
+    """Observed rank errors of a summary over a grid of quantile queries.
+
+    Errors are absolute rank differences |rank(answer) - phi * n|; the
+    normalized versions divide by n, making them directly comparable with
+    the epsilon guarantee.
+    """
+
+    n: int
+    queries: int
+    max_error: Fraction
+    mean_error: Fraction
+
+    @property
+    def max_error_normalized(self) -> float:
+        return float(self.max_error / self.n) if self.n else 0.0
+
+    @property
+    def mean_error_normalized(self) -> float:
+        return float(self.mean_error / self.n) if self.n else 0.0
+
+
+def quantile_error_profile(
+    summary: QuantileSummary,
+    items: list[Item],
+    grid: int | None = None,
+) -> ErrorProfile:
+    """Query the summary over a quantile grid and compare with true ranks.
+
+    ``items`` must be exactly the stream the summary processed.  ``grid``
+    defaults to ``ceil(2 / epsilon)`` queries, enough to hit every bucket the
+    guarantee distinguishes.
+    """
+    n = len(items)
+    if n == 0:
+        raise ValueError("cannot profile an empty stream")
+    if grid is None:
+        grid = max(8, round(2 / summary.epsilon))
+    ordered = SortedItemList(items)
+    total_error = Fraction(0)
+    worst = Fraction(0)
+    for j in range(grid + 1):
+        phi = Fraction(j, grid)
+        answer = summary.query(float(phi))
+        # Rank of the answer: midpoint of its tied range, robust to repeats.
+        low = ordered.bisect_left(answer) + 1
+        high = ordered.bisect_right(answer)
+        rank = Fraction(low + high, 2)
+        target = phi * n
+        # Clamp the target into the achievable range [1, n] so phi=0 does
+        # not spuriously penalise summaries returning the minimum.
+        target = min(max(target, Fraction(1)), Fraction(n))
+        error = abs(rank - target)
+        total_error += error
+        if error > worst:
+            worst = error
+    return ErrorProfile(
+        n=n,
+        queries=grid + 1,
+        max_error=worst,
+        mean_error=total_error / (grid + 1),
+    )
+
+
+def max_rank_error(summary: QuantileSummary, items: list[Item], grid: int | None = None) -> float:
+    """Normalized worst-case rank error over the query grid."""
+    return quantile_error_profile(summary, items, grid).max_error_normalized

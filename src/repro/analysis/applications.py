@@ -1,0 +1,83 @@
+"""Applications of quantile summaries listed in the paper's introduction.
+
+Section 1 of the paper motivates quantile summaries through the problems
+they immediately solve: "estimating the cumulative distribution function;
+answering rank queries; constructing equi-depth histograms ...; performing
+Kolmogorov-Smirnov statistical tests [12]; and balancing parallel
+computations [19]".  This module implements those applications on top of
+any :class:`~repro.model.QuantileSummary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.summary import QuantileSummary
+from repro.universe.item import Item
+
+
+@dataclass(frozen=True)
+class HistogramBucket:
+    """One bucket of an equi-depth histogram.
+
+    ``upper`` is the stored item closing the bucket; ``estimated_count`` is
+    derived from the summary's rank estimates, so each bucket's true count is
+    within ``2 eps n`` of ``n / buckets``.
+    """
+
+    index: int
+    upper: Item
+    estimated_count: int
+
+
+def equi_depth_histogram(summary: QuantileSummary, buckets: int) -> list[HistogramBucket]:
+    """Split the summarised stream into ``buckets`` near-equal-count ranges.
+
+    Bucket ``i`` (1-based) is closed by the ``i / buckets`` quantile of the
+    summary.  With an eps-approximate summary, every bucket's population is
+    ``n / buckets`` up to ``2 eps n`` — the equi-depth guarantee the paper's
+    introduction refers to.
+    """
+    if buckets < 1:
+        raise ValueError(f"buckets must be positive, got {buckets}")
+    if summary.n == 0:
+        raise ValueError("cannot build a histogram over an empty summary")
+    result = []
+    previous_rank = 0
+    for index in range(1, buckets + 1):
+        upper = summary.query(index / buckets)
+        rank = summary.estimate_rank(upper)
+        result.append(
+            HistogramBucket(
+                index=index,
+                upper=upper,
+                estimated_count=max(0, rank - previous_rank),
+            )
+        )
+        previous_rank = rank
+    return result
+
+
+def approximate_cdf(summary: QuantileSummary, probe: Item) -> float:
+    """F(probe) = P[X <= probe], estimated within eps."""
+    if summary.n == 0:
+        raise ValueError("cannot evaluate the CDF of an empty summary")
+    return summary.estimate_rank(probe) / summary.n
+
+
+def ks_statistic(first: QuantileSummary, second: QuantileSummary) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic, estimated within eps_1 + eps_2.
+
+    Evaluates ``sup |F1 - F2|`` over the union of the two summaries' stored
+    items, which suffices: both empirical CDFs are constant between stored
+    points up to their rank-error budgets.
+    """
+    if first.n == 0 or second.n == 0:
+        raise ValueError("both summaries must be non-empty")
+    probes = first.item_array() + second.item_array()
+    worst = 0.0
+    for probe in probes:
+        difference = abs(approximate_cdf(first, probe) - approximate_cdf(second, probe))
+        if difference > worst:
+            worst = difference
+    return worst

@@ -1,0 +1,82 @@
+"""Closed-form space bounds from the paper and the works it cites.
+
+All functions return item counts (words storing one item each, the paper's
+space measure).  Lower bounds carry the paper's explicit constants where the
+paper gives them (Theorem 2.2 via Lemma 5.2); bounds quoted asymptotically
+in the literature use representative constants, flagged per function — the
+experiments compare *shapes*, not constants.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _log2_clamped(value: float) -> float:
+    """log2 clamped below at 1 so curves stay monotone for tiny arguments."""
+    return math.log2(max(2.0, value))
+
+
+def trivial_lower_bound(epsilon: float) -> float:
+    """The offline bound of Section 1: any summary stores >= 1/(2 eps) items."""
+    return 1 / (2 * epsilon)
+
+
+def theorem22_lower_bound(epsilon: float, n: int) -> float:
+    """Theorem 2.2 with the paper's explicit constant.
+
+    From Section 5.2: S_k >= c * (log2(2 eps N) + 1) / (4 eps) with
+    c = 1/8 - 2 eps.  Positive content requires eps < 1/16.
+    """
+    c = 1 / 8 - 2 * epsilon
+    if c <= 0:
+        return 0.0
+    return c * (_log2_clamped(2 * epsilon * n) + 1) / (4 * epsilon)
+
+
+def hung_ting_lower_bound(epsilon: float) -> float:
+    """The prior Omega((1/eps) log(1/eps)) bound of Hung and Ting [10].
+
+    Stated asymptotically in [10]; the constant 1/4 here is representative.
+    Note the bound does not grow with N — the gap the paper closes.
+    """
+    return max(trivial_lower_bound(epsilon), (1 / (4 * epsilon)) * _log2_clamped(1 / epsilon))
+
+
+def gk_upper_bound(epsilon: float, n: int) -> float:
+    """Greenwald-Khanna's O((1/eps) log(eps N)) upper bound [6].
+
+    The analysis in [6] gives at most (11 / (2 eps)) * log2(2 eps N) tuples.
+    """
+    return (11 / (2 * epsilon)) * _log2_clamped(2 * epsilon * n)
+
+
+def mrl_upper_bound(epsilon: float, n: int) -> float:
+    """Manku et al.'s O((1/eps) log^2(eps N)) bound [14] (constant 1/2)."""
+    return (1 / (2 * epsilon)) * _log2_clamped(epsilon * n) ** 2
+
+
+def kll_upper_bound(epsilon: float, delta: float) -> float:
+    """KLL's O((1/eps) log log(1/delta)) bound [11] (constant 1)."""
+    inner = _log2_clamped(1 / delta)
+    return (1 / epsilon) * _log2_clamped(inner)
+
+
+def qdigest_upper_bound(epsilon: float, universe_bits: int) -> float:
+    """q-digest's O((1/eps) log |U|) bound [18]: (1/eps) * log2 |U| nodes."""
+    return universe_bits / epsilon
+
+
+def biased_lower_bound(epsilon: float, n: int) -> float:
+    """Theorem 6.5: Omega((1/eps) log^2(eps N)) for biased quantiles.
+
+    The theorem's constant is inherited from Lemma 5.2 summed over phases;
+    c/8 per phase-pair is representative.
+    """
+    c = max(1 / 64, 1 / 8 - 2 * epsilon)
+    return (c / 2) * _log2_clamped(epsilon * n) ** 2 / epsilon
+
+
+def biased_upper_bound_zhang_wang(epsilon: float, n: int) -> float:
+    """Zhang-Wang's O((1/eps) log^3(eps N)) upper bound [21] (constant 1/2)."""
+    return (1 / (2 * epsilon)) * _log2_clamped(epsilon * n) ** 3

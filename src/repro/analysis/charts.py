@@ -1,0 +1,116 @@
+"""Plain-text line charts for experiment output.
+
+The experiment harness runs in terminals and CI logs, so curves (T1's
+space-vs-k, T9's bound landscape) are rendered as ASCII charts rather than
+image files.  One chart holds several named series sampled at shared x
+positions; y values are scaled into a fixed-height grid, with a marker per
+series.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_MARKERS = "*o+x#@%&"
+
+
+class AsciiChart:
+    """A multi-series line chart rendered with characters.
+
+    Parameters
+    ----------
+    title:
+        Heading printed above the chart.
+    height:
+        Number of text rows for the y axis (default 12).
+    log_y:
+        Scale y logarithmically (base 2) — the natural scale for the
+        space-vs-N curves, which are lines in log-x.
+    """
+
+    def __init__(self, title: str, height: int = 12, log_y: bool = False) -> None:
+        if height < 3:
+            raise ValueError(f"height must be at least 3, got {height}")
+        self.title = title
+        self.height = height
+        self.log_y = log_y
+        self._x_labels: list[str] = []
+        self._series: list[tuple[str, list[float]]] = []
+
+    def set_x(self, labels: Sequence[object]) -> None:
+        """Define the shared x positions by their printed labels."""
+        self._x_labels = [str(label) for label in labels]
+
+    def add_series(self, name: str, values: Sequence[float]) -> None:
+        """Add one named series; length must match the x labels."""
+        if not self._x_labels:
+            raise ValueError("call set_x before adding series")
+        if len(values) != len(self._x_labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(self._x_labels)} x positions"
+            )
+        if len(self._series) >= len(_MARKERS):
+            raise ValueError(f"at most {len(_MARKERS)} series supported")
+        self._series.append((name, [float(v) for v in values]))
+
+    def _scale(self, value: float) -> float:
+        if not self.log_y:
+            return value
+        import math
+
+        return math.log2(max(value, 1e-12))
+
+    def render(self) -> str:
+        """The chart as text: title, grid with markers, x labels, legend."""
+        if not self._series:
+            raise ValueError("no series to render")
+        scaled = [
+            (name, [self._scale(v) for v in values]) for name, values in self._series
+        ]
+        lo = min(v for _, values in scaled for v in values)
+        hi = max(v for _, values in scaled for v in values)
+        span = hi - lo or 1.0
+        columns = len(self._x_labels)
+        column_width = max(max(len(label) for label in self._x_labels) + 1, 4)
+        grid = [[" "] * (columns * column_width) for _ in range(self.height)]
+        for index, (name, values) in enumerate(scaled):
+            marker = _MARKERS[index]
+            for column, value in enumerate(values):
+                row = self.height - 1 - round((value - lo) / span * (self.height - 1))
+                position = column * column_width + column_width // 2
+                if grid[row][position] == " ":
+                    grid[row][position] = marker
+                else:
+                    grid[row][position] = "!"  # collision of two series
+        axis_labels = self._axis_labels(lo, hi)
+        lines = [self.title]
+        for row_index, row in enumerate(grid):
+            lines.append(f"{axis_labels[row_index]:>10} |" + "".join(row))
+        lines.append(" " * 10 + " +" + "-" * (columns * column_width))
+        x_line = " " * 12
+        for label in self._x_labels:
+            x_line += label.ljust(column_width)
+        lines.append(x_line)
+        legend = "   ".join(
+            f"{_MARKERS[index]} = {name}" for index, (name, _) in enumerate(scaled)
+        )
+        lines.append(" " * 12 + legend + ("   (! = overlap)" if columns else ""))
+        return "\n".join(lines)
+
+    def _axis_labels(self, lo: float, hi: float) -> list[str]:
+        labels = [""] * self.height
+        for row in (0, self.height // 2, self.height - 1):
+            fraction = (self.height - 1 - row) / (self.height - 1)
+            value = lo + fraction * (hi - lo)
+            if self.log_y:
+                value = 2.0**value
+            labels[row] = f"{value:,.0f}" if abs(value) >= 10 else f"{value:.2f}"
+        return labels
+
+    def to_markdown(self) -> str:
+        """The chart as a fenced code block (same renderable protocol as Table)."""
+        return f"**{self.title}**\n\n```\n{self.render()}\n```"
+
+    def __repr__(self) -> str:
+        return f"AsciiChart({self.title!r}, series={len(self._series)})"

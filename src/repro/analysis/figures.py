@@ -1,0 +1,106 @@
+"""Rendering streams on an ASCII real line — the paper's figure style.
+
+Figures 1 and 2 of the paper draw each stream on a real line: a short
+vertical segment for an item the summary still stores, a cross for an item
+it has forgotten, and brackets for the adversary's current intervals.  This
+module reproduces that drawing in text, so experiment F2 can show actual
+panels rather than only tables.
+
+Items are positioned by *rank*, not by key value: the construction nests
+intervals exponentially fast, so value-proportional placement would collapse
+everything into one column after two refinements.  Rank placement is also
+what the figures effectively depict (equally spaced items).
+"""
+
+from __future__ import annotations
+
+from repro.streams.stream import Stream
+from repro.universe.interval import OpenInterval
+from repro.universe.item import Item
+
+STORED_MARK = "|"
+FORGOTTEN_MARK = "x"
+INTERVAL_OPEN = "("
+INTERVAL_CLOSE = ")"
+
+
+def render_stream_line(
+    stream: Stream,
+    item_array: list[Item],
+    interval: OpenInterval | None = None,
+    width: int | None = None,
+    label: str = "",
+) -> str:
+    """One stream as a line of marks, ordered by rank.
+
+    ``|`` marks an item the summary stores, ``x`` one it has forgotten;
+    when ``interval`` is given, ``(`` and ``)`` bracket the region between
+    its endpoints (drawn at the boundary items' own positions).
+    """
+    items = stream.sorted_items()
+    if not items:
+        return f"{label}<empty stream>"
+    count = len(items)
+    width = width if width is not None else max(2 * count, 16)
+    columns = [" "] * width
+    stored = set(item_array)
+
+    def column_of(rank: int) -> int:
+        # rank is 1-based; spread ranks evenly across the width.
+        return min(width - 1, round((rank - 1) * (width - 1) / max(1, count - 1)))
+
+    for rank, item in enumerate(items, start=1):
+        mark = STORED_MARK if item in stored else FORGOTTEN_MARK
+        columns[column_of(rank)] = mark
+
+    if interval is not None:
+        if interval.lo_is_item:
+            position = column_of(stream.rank(interval.lo))  # type: ignore[arg-type]
+            columns[min(width - 1, position + 1)] = INTERVAL_OPEN
+        if interval.hi_is_item:
+            position = column_of(stream.rank(interval.hi))  # type: ignore[arg-type]
+            columns[max(0, position - 1)] = INTERVAL_CLOSE
+
+    return f"{label}{''.join(columns)}"
+
+
+def render_pair_panel(
+    pair,
+    interval_pi: OpenInterval | None = None,
+    interval_rho: OpenInterval | None = None,
+    width: int = 96,
+    title: str = "",
+) -> str:
+    """Both streams of a :class:`~repro.core.SummaryPair`, Figure 2 style."""
+    array_pi, array_rho = pair.item_arrays()
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        render_stream_line(
+            pair.stream_pi, array_pi, interval_pi, width=width, label="  pi : "
+        )
+    )
+    lines.append(
+        render_stream_line(
+            pair.stream_rho, array_rho, interval_rho, width=width, label="  rho: "
+        )
+    )
+    return "\n".join(lines)
+
+
+class FigurePanel:
+    """A pre-rendered text panel with the Table/Chart renderable protocol."""
+
+    def __init__(self, title: str, body: str) -> None:
+        self.title = title
+        self.body = body
+
+    def render(self) -> str:
+        return f"{self.title}\n{self.body}"
+
+    def to_markdown(self) -> str:
+        return f"**{self.title}**\n\n```\n{self.body}\n```"
+
+    def __repr__(self) -> str:
+        return f"FigurePanel({self.title!r})"

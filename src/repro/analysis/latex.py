@@ -1,0 +1,62 @@
+"""Rendering experiment tables as LaTeX — for write-ups of the reproduction.
+
+A reproduction repository feeds papers and reports; ``to_latex`` turns any
+:class:`~repro.analysis.Table` into a ``booktabs``-style tabular that can be
+pasted into a document, with column alignment inferred from the data
+(numbers right-aligned, text left-aligned) and the usual special characters
+escaped.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+
+_ESCAPES = {
+    "&": r"\&",
+    "%": r"\%",
+    "$": r"\$",
+    "#": r"\#",
+    "_": r"\_",
+    "{": r"\{",
+    "}": r"\}",
+    "~": r"\textasciitilde{}",
+    "^": r"\textasciicircum{}",
+    "\\": r"\textbackslash{}",
+}
+
+
+def _escape(text: str) -> str:
+    return "".join(_ESCAPES.get(char, char) for char in text)
+
+
+def _looks_numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace("%", "").strip()
+    if not stripped or stripped == "-":
+        return True  # don't force a column to 'l' for placeholder dashes
+    try:
+        float(stripped)
+        return True
+    except ValueError:
+        return False
+
+
+def to_latex(table: Table, caption: str | None = None, label: str | None = None) -> str:
+    """Render ``table`` as a LaTeX ``table`` + ``tabular`` environment."""
+    alignments = []
+    for index in range(len(table.columns)):
+        column = [row[index] for row in table.rows]
+        alignments.append("r" if column and all(_looks_numeric(c) for c in column) else "l")
+    lines = [r"\begin{table}[ht]", r"\centering"]
+    lines.append(r"\begin{tabular}{" + "".join(alignments) + "}")
+    lines.append(r"\toprule")
+    lines.append(" & ".join(_escape(header) for header in table.columns) + r" \\")
+    lines.append(r"\midrule")
+    for row in table.rows:
+        lines.append(" & ".join(_escape(cell) for cell in row) + r" \\")
+    lines.append(r"\bottomrule")
+    lines.append(r"\end{tabular}")
+    lines.append(r"\caption{" + _escape(caption if caption is not None else table.title) + "}")
+    if label is not None:
+        lines.append(r"\label{" + label + "}")
+    lines.append(r"\end{table}")
+    return "\n".join(lines)

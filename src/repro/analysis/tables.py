@@ -1,0 +1,76 @@
+"""Minimal ASCII table rendering for experiment output.
+
+Every experiment produces one or more :class:`Table` objects; benchmarks and
+the ``python -m repro.experiments`` CLI render them with :meth:`Table.render`.
+Keeping rendering in one place makes EXPERIMENTS.md regenerable verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+class Table:
+    """A titled table with named columns and aligned ASCII rendering."""
+
+    def __init__(self, title: str, columns: Iterable[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        if not self.columns:
+            raise ValueError("a table needs at least one column")
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row; the number of values must match the columns."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([_format_cell(value) for value in values])
+
+    def render(self) -> str:
+        """The table as aligned ASCII text, title first."""
+        widths = [len(header) for header in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        header = "  ".join(
+            header.ljust(widths[index]) for index, header in enumerate(self.columns)
+        )
+        rule = "-" * len(header)
+        lines = [self.title, rule, header, rule]
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[index]) for index, cell in enumerate(row))
+            )
+        lines.append(rule)
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """The table as GitHub-flavoured markdown."""
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list[str]:
+        """All rendered cells of one column (for tests and assertions)."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def __repr__(self) -> str:
+        return f"Table({self.title!r}, rows={len(self.rows)})"

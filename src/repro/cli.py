@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+``summaries``
+    List the registered quantile-summary algorithms.
+``quantiles``
+    Stream numbers (stdin or a file, one per line) through a summary and
+    print requested quantiles, optionally with an equi-depth histogram.
+``attack``
+    Run the paper's adversarial construction against a summary and report
+    the outcome: space paid, final gap vs the Lemma 3.4 ceiling, and the
+    failing-quantile witness if one exists.
+
+The experiment harness has its own entry point:
+``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+from typing import Iterable, TextIO
+
+from repro.analysis.applications import equi_depth_histogram
+from repro.model.registry import available_summaries, create_summary
+from repro.universe.item import key_of
+from repro.universe.universe import Universe
+from repro.verify import verify_summary
+
+
+def _parse_values(lines: Iterable[str]) -> list[Fraction]:
+    values = []
+    for line_number, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        try:
+            values.append(Fraction(text))
+        except ValueError:
+            raise SystemExit(
+                f"line {line_number}: {text!r} is not a number"
+            ) from None
+    return values
+
+
+def _cmd_summaries(args: argparse.Namespace, out: TextIO) -> int:
+    print("registered quantile summaries:", file=out)
+    for name in available_summaries():
+        print(f"  {name}", file=out)
+    return 0
+
+
+def _cmd_quantiles(args: argparse.Namespace, out: TextIO) -> int:
+    if args.input is not None:
+        with open(args.input) as handle:
+            values = _parse_values(handle)
+    else:
+        values = _parse_values(sys.stdin)
+    if not values:
+        raise SystemExit("no input values")
+
+    universe = Universe()
+    kwargs = {}
+    if args.summary == "mrl":
+        kwargs["n_hint"] = len(values)
+    summary = create_summary(args.summary, args.epsilon, **kwargs)
+    summary.process_all(universe.items(values))
+
+    print(
+        f"n = {summary.n}, summary = {args.summary}, eps = {args.epsilon}, "
+        f"stored = {len(summary.item_array())} items (peak {summary.max_item_count})",
+        file=out,
+    )
+    for phi in args.phi:
+        answer = summary.query(phi)
+        print(f"phi = {phi:g}: {key_of(answer)}", file=out)
+    if args.histogram:
+        print(f"\nequi-depth histogram, {args.histogram} buckets:", file=out)
+        for bucket in equi_depth_histogram(summary, args.histogram):
+            print(
+                f"  bucket {bucket.index}: up to {key_of(bucket.upper)} "
+                f"(~{bucket.estimated_count} items)",
+                file=out,
+            )
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace, out: TextIO) -> int:
+    kwargs = {}
+    if args.budget is not None:
+        kwargs["budget"] = args.budget
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+
+    def factory(epsilon: float):
+        return create_summary(args.summary, epsilon, **kwargs)
+
+    report = verify_summary(factory, epsilon=args.epsilon, k=args.k)
+    # The factory hides the registry name from the report; restore it.
+    text = report.render().replace(
+        f"adversary vs {report.summary_name}:", f"adversary vs {args.summary}:", 1
+    )
+    print(text, file=out)
+    return 0 if report.survived else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Quantile summaries and the PODS'20 lower bound, executable.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("summaries", help="list registered algorithms")
+
+    quantiles = subparsers.add_parser(
+        "quantiles", help="summarise numbers and answer quantile queries"
+    )
+    quantiles.add_argument("--summary", default="gk", choices=available_summaries())
+    quantiles.add_argument("--epsilon", type=float, default=0.01)
+    quantiles.add_argument(
+        "--phi",
+        type=float,
+        nargs="+",
+        default=[0.25, 0.5, 0.75, 0.99],
+        help="quantiles to report",
+    )
+    quantiles.add_argument("--input", help="file of numbers (default: stdin)")
+    quantiles.add_argument(
+        "--histogram", type=int, default=0, help="also print an equi-depth histogram"
+    )
+
+    attack = subparsers.add_parser(
+        "attack", help="run the paper's adversary against a summary"
+    )
+    attack.add_argument("--summary", default="gk", choices=available_summaries())
+    attack.add_argument("--epsilon", type=float, default=1 / 32)
+    attack.add_argument("--k", type=int, default=6, help="recursion depth")
+    attack.add_argument("--budget", type=int, help="budget for capped summaries")
+    attack.add_argument("--seed", type=int, help="seed for randomized summaries")
+    return parser
+
+
+def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "summaries": _cmd_summaries,
+        "quantiles": _cmd_quantiles,
+        "attack": _cmd_attack,
+    }
+    return handlers[args.command](args, out)

@@ -1,0 +1,5 @@
+"""Container substrates used by streams, oracles and summaries."""
+
+from repro.containers.sortedlist import SortedItemList
+
+__all__ = ["SortedItemList"]

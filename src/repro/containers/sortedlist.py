@@ -1,0 +1,158 @@
+"""A chunked sorted list with order-statistics queries.
+
+The adversary needs rank queries (``how many stream items are < x``) against
+a set that grows by appends in arbitrary order.  A flat ``list`` +
+``bisect.insort`` degrades to O(n) per insert; this chunked structure keeps
+inserts and rank queries at O(sqrt(n))-ish cost, which is plenty for streams
+of a few million items, while staying dependency-free and easy to verify.
+
+The container is generic: it works for any mutually comparable values, in
+particular :class:`~repro.universe.Item` (whose comparisons are counted) and
+plain numbers (used by tests as a reference).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Iterable, Iterator
+
+_DEFAULT_LOAD = 512
+
+
+class SortedItemList:
+    """A sorted multiset of comparable values with positional access.
+
+    Duplicates are allowed (plain streams may repeat values even though the
+    adversarial streams never do).  All positions are 0-based.
+    """
+
+    def __init__(self, values: Iterable[Any] = (), load: int = _DEFAULT_LOAD) -> None:
+        if load < 4:
+            raise ValueError(f"load must be at least 4, got {load}")
+        self._load = load
+        self._chunks: list[list[Any]] = []
+        self._maxes: list[Any] = []
+        self._size = 0
+        initial = sorted(values)
+        for start in range(0, len(initial), load):
+            chunk = initial[start : start + load]
+            self._chunks.append(chunk)
+            self._maxes.append(chunk[-1])
+            self._size += len(chunk)
+
+    # -- mutation --------------------------------------------------------------
+
+    def add(self, value: Any) -> None:
+        """Insert ``value``, keeping the list sorted (duplicates allowed)."""
+        if not self._chunks:
+            self._chunks.append([value])
+            self._maxes.append(value)
+            self._size = 1
+            return
+        pos = bisect_left(self._maxes, value)
+        if pos == len(self._chunks):
+            pos -= 1
+        chunk = self._chunks[pos]
+        insort(chunk, value)
+        self._maxes[pos] = chunk[-1]
+        self._size += 1
+        if len(chunk) > 2 * self._load:
+            self._split(pos)
+
+    def _split(self, pos: int) -> None:
+        chunk = self._chunks[pos]
+        half = len(chunk) // 2
+        left, right = chunk[:half], chunk[half:]
+        self._chunks[pos : pos + 1] = [left, right]
+        self._maxes[pos : pos + 1] = [left[-1], right[-1]]
+
+    def remove(self, value: Any) -> None:
+        """Remove one occurrence of ``value``; raise ``ValueError`` if absent."""
+        pos, idx = self._locate(value)
+        if pos is None:
+            raise ValueError(f"{value!r} not in sorted list")
+        chunk = self._chunks[pos]
+        del chunk[idx]
+        self._size -= 1
+        if chunk:
+            self._maxes[pos] = chunk[-1]
+        else:
+            del self._chunks[pos]
+            del self._maxes[pos]
+
+    def _locate(self, value: Any) -> tuple[int | None, int]:
+        """Find (chunk index, offset) of the leftmost occurrence of ``value``."""
+        if not self._chunks:
+            return None, 0
+        pos = bisect_left(self._maxes, value)
+        if pos == len(self._chunks):
+            return None, 0
+        chunk = self._chunks[pos]
+        idx = bisect_left(chunk, value)
+        if idx < len(chunk) and chunk[idx] == value:
+            return pos, idx
+        return None, 0
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Any]:
+        for chunk in self._chunks:
+            yield from chunk
+
+    def __contains__(self, value: Any) -> bool:
+        pos, _ = self._locate(value)
+        return pos is not None
+
+    def __getitem__(self, index: int) -> Any:
+        if index < 0:
+            index += self._size
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range for size {self._size}")
+        for chunk in self._chunks:
+            if index < len(chunk):
+                return chunk[index]
+            index -= len(chunk)
+        raise AssertionError("unreachable: size bookkeeping is broken")
+
+    def bisect_left(self, value: Any) -> int:
+        """Number of stored values strictly less than ``value``."""
+        count = 0
+        if not self._chunks:
+            return 0
+        pos = bisect_left(self._maxes, value)
+        if pos == len(self._chunks):
+            return self._size
+        for chunk in self._chunks[:pos]:
+            count += len(chunk)
+        return count + bisect_left(self._chunks[pos], value)
+
+    def bisect_right(self, value: Any) -> int:
+        """Number of stored values less than or equal to ``value``."""
+        count = 0
+        if not self._chunks:
+            return 0
+        pos = bisect_right(self._maxes, value)
+        if pos == len(self._chunks):
+            return self._size
+        for chunk in self._chunks[:pos]:
+            count += len(chunk)
+        return count + bisect_right(self._chunks[pos], value)
+
+    def count_less(self, value: Any) -> int:
+        """Alias of :meth:`bisect_left`, named for rank computations."""
+        return self.bisect_left(value)
+
+    def index(self, value: Any) -> int:
+        """0-based position of the leftmost occurrence of ``value``."""
+        position = self.bisect_left(value)
+        if position < self._size and self[position] == value:
+            return position
+        raise ValueError(f"{value!r} not in sorted list")
+
+    def __repr__(self) -> str:
+        preview = list(self)[:8]
+        suffix = ", ..." if self._size > 8 else ""
+        return f"SortedItemList({preview}{suffix}, size={self._size})"

@@ -1,0 +1,55 @@
+"""The paper's contribution: the adversarial lower-bound construction.
+
+* :class:`SummaryPair` — two live copies of the summary under attack, fed the
+  indistinguishable streams pi and rho (Section 3).
+* :mod:`repro.core.gap` — restricted item arrays and the gap (Definitions
+  3.3 and 5.1, Lemma 3.4).
+* :func:`refine_intervals` — Pseudocode 1 (RefineIntervals).
+* :func:`build_adversarial_pair` / :func:`adv_strategy` — Pseudocode 2
+  (AdvStrategy), recording a full recursion-tree trace.
+* :mod:`repro.core.spacegap` — Claim 1 and the space-gap inequality
+  (Lemma 5.2), checked at every node of the recursion tree.
+* :mod:`repro.core.attacks` — failing-quantile extraction (Lemma 3.4's
+  proof, executed).
+* :mod:`repro.core.median`, :mod:`repro.core.rank_attack`,
+  :mod:`repro.core.biased_attack`, :mod:`repro.core.randomized` — the
+  Section 6 corollaries (Theorems 6.1, 6.2, 6.4, 6.5).
+"""
+
+from repro.core.pair import SummaryPair
+from repro.core.gap import (
+    full_stream_gap,
+    gap_in_intervals,
+    restricted_item_array,
+    restricted_ranks,
+)
+from repro.core.refine import RefineRecord, refine_intervals
+from repro.core.adversary import AdversaryResult, NodeTrace, adv_strategy, build_adversarial_pair
+from repro.core.spacegap import (
+    check_claim1,
+    check_space_gap,
+    space_gap_constant,
+    space_gap_rhs,
+)
+from repro.core.attacks import FailureWitness, find_failing_quantile, verify_gap_bound
+
+__all__ = [
+    "AdversaryResult",
+    "FailureWitness",
+    "NodeTrace",
+    "RefineRecord",
+    "SummaryPair",
+    "adv_strategy",
+    "build_adversarial_pair",
+    "check_claim1",
+    "check_space_gap",
+    "find_failing_quantile",
+    "full_stream_gap",
+    "gap_in_intervals",
+    "refine_intervals",
+    "restricted_item_array",
+    "restricted_ranks",
+    "space_gap_constant",
+    "space_gap_rhs",
+    "verify_gap_bound",
+]

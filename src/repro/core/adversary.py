@@ -1,0 +1,235 @@
+"""AdvStrategy — Pseudocode 2: the recursive adversarial construction.
+
+The recursion tree has 2^(k-1) leaves; each leaf appends ``2/eps`` fresh,
+increasing items into the current intervals of both streams, and each
+internal node refines the intervals into the extreme regions of the largest
+gap before running its right subtree (Section 4).  The construction yields
+two indistinguishable streams of length N_k = (1/eps) * 2^k on which any
+deterministic comparison-based summary must either store
+Omega((1/eps) * k) items or leave a gap larger than 2 eps N_k — i.e. fail
+some quantile query (Theorem 2.2).
+
+Unlike the paper, which reasons about an abstract D, this module *executes*
+the construction against two live summary instances and records a
+:class:`NodeTrace` for every node of the recursion tree, so each quantity in
+the proof (g, g', g'', S_k) is measured rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.core.gap import GapResult, full_stream_gap, gap_in_intervals
+from repro.core.pair import SummaryPair
+from repro.core.refine import RefineRecord, refine_intervals
+from repro.errors import AdversaryError
+from repro.model.summary import QuantileSummary
+from repro.universe.interval import OpenInterval
+from repro.universe.universe import Universe
+
+
+@dataclass
+class NodeTrace:
+    """Measurements for one recursion-tree node (one AdvStrategy execution).
+
+    Attributes mirror Section 5's notation: ``gap`` is g for this execution,
+    ``gap_left``/``gap_right`` are g' and g'', and ``space`` is
+    S_k = |I^(l_pi, r_pi)_{pi''}| under the monotone space accounting
+    (items from the interval *ever* stored).  ``space_current`` is the same
+    restriction applied to the item array at node completion, without the
+    monotone convention.
+    """
+
+    level: int
+    appended: int
+    interval_pi: OpenInterval
+    interval_rho: OpenInterval
+    gap: int
+    space: int
+    space_current: int
+    refine: RefineRecord | None = None
+    left: "NodeTrace | None" = None
+    right: "NodeTrace | None" = None
+
+    @property
+    def gap_left(self) -> int | None:
+        """g': the gap introduced by the first recursive call."""
+        return self.left.gap if self.left is not None else None
+
+    @property
+    def gap_right(self) -> int | None:
+        """g'': the gap introduced by the second recursive call."""
+        return self.right.gap if self.right is not None else None
+
+    def walk(self) -> Iterator["NodeTrace"]:
+        """All nodes of the subtree, parents before children."""
+        yield self
+        if self.left is not None:
+            yield from self.left.walk()
+        if self.right is not None:
+            yield from self.right.walk()
+
+
+@dataclass
+class AdversaryResult:
+    """Everything produced by one full adversarial construction."""
+
+    pair: SummaryPair
+    root: NodeTrace
+    epsilon: float
+    k: int
+    leaf_size: int
+
+    @property
+    def length(self) -> int:
+        """N_k, the length of each constructed stream."""
+        return self.pair.length
+
+    def final_gap(self) -> GapResult:
+        """gap(pi, rho) over the full streams (Definition 3.3)."""
+        return full_stream_gap(self.pair)
+
+    def max_items_stored(self) -> int:
+        """Peak |I| over time — the space the lower bound talks about."""
+        return self.pair.max_items_stored()
+
+    def nodes(self) -> list[NodeTrace]:
+        """All recursion-tree nodes, root first."""
+        return list(self.root.walk())
+
+
+def adv_strategy(
+    pair: SummaryPair,
+    k: int,
+    interval_pi: OpenInterval,
+    interval_rho: OpenInterval,
+    leaf_size: int,
+    validate: bool = True,
+    on_leaf: Callable[[SummaryPair, int], None] | None = None,
+    refine_policy: str = "largest",
+) -> NodeTrace:
+    """Pseudocode 2, executed against the live pair.  Returns the node trace.
+
+    Parameters
+    ----------
+    pair:
+        The two summaries and streams built so far.
+    k:
+        Recursion level; the node appends ``leaf_size * 2**(k-1)`` items.
+    interval_pi, interval_rho:
+        Current open intervals for the two streams (assumptions (i)-(iii) of
+        Pseudocode 2 must hold; ``validate`` checks what is checkable).
+    leaf_size:
+        Items appended per leaf — ``2/eps`` in the paper.
+    validate:
+        Check indistinguishability after every node and Observation 1 after
+        every refinement.  Costs a constant factor; disable for big sweeps.
+    on_leaf:
+        Optional callback invoked after each leaf with (pair, leaf_index) —
+        used by the figure-2 experiment to snapshot intermediate states.
+    """
+    if k < 1:
+        raise AdversaryError(f"recursion level must be >= 1, got {k}")
+    if leaf_size < 2:
+        raise AdversaryError(f"leaf_size must be >= 2, got {leaf_size}")
+
+    if validate:
+        if pair.stream_pi.count_in(interval_pi) != 0:
+            raise AdversaryError("input assumption (ii) violated for pi")
+        if pair.stream_rho.count_in(interval_rho) != 0:
+            raise AdversaryError("input assumption (ii) violated for rho")
+
+    if k == 1:
+        _execute_leaf(pair, interval_pi, interval_rho, leaf_size)
+        if on_leaf is not None:
+            on_leaf(pair, _count_leaves_so_far(pair, leaf_size))
+        refine_record = None
+        left = right = None
+    else:
+        left = adv_strategy(
+            pair, k - 1, interval_pi, interval_rho, leaf_size, validate, on_leaf,
+            refine_policy,
+        )
+        refine_record = refine_intervals(
+            pair, interval_pi, interval_rho, validate, policy=refine_policy
+        )
+        right = adv_strategy(
+            pair,
+            k - 1,
+            refine_record.new_interval_pi,
+            refine_record.new_interval_rho,
+            leaf_size,
+            validate,
+            on_leaf,
+            refine_policy,
+        )
+
+    if validate:
+        pair.check_indistinguishable()
+
+    gap_result = gap_in_intervals(pair, interval_pi, interval_rho)
+    space = pair.ever_stored_in(interval_pi, "pi")
+    space_current = len(
+        [item for item in pair.summary_pi.item_array() if interval_pi.contains(item)]
+    ) + int(interval_pi.lo_is_item) + int(interval_pi.hi_is_item)
+    return NodeTrace(
+        level=k,
+        appended=leaf_size * (1 << (k - 1)),
+        interval_pi=interval_pi,
+        interval_rho=interval_rho,
+        gap=gap_result.gap,
+        space=space,
+        space_current=space_current,
+        refine=refine_record,
+        left=left,
+        right=right,
+    )
+
+
+def _execute_leaf(
+    pair: SummaryPair,
+    interval_pi: OpenInterval,
+    interval_rho: OpenInterval,
+    leaf_size: int,
+) -> None:
+    """Lines 2-3 of Pseudocode 2: append ``leaf_size`` increasing items."""
+    items_pi = pair.universe.ordered_items(leaf_size, interval_pi)
+    items_rho = pair.universe.ordered_items(leaf_size, interval_rho)
+    for item_pi, item_rho in zip(items_pi, items_rho):
+        pair.feed(item_pi, item_rho)
+
+
+def _count_leaves_so_far(pair: SummaryPair, leaf_size: int) -> int:
+    return pair.length // leaf_size
+
+
+def build_adversarial_pair(
+    summary_factory: Callable[..., QuantileSummary],
+    epsilon: float,
+    k: int,
+    leaf_size: int | None = None,
+    validate: bool = True,
+    universe: Universe | None = None,
+    on_leaf: Callable[[SummaryPair, int], None] | None = None,
+    refine_policy: str = "largest",
+    **factory_kwargs,
+) -> AdversaryResult:
+    """Run the full construction: AdvStrategy(k, {}, {}, (-inf,inf), (-inf,inf)).
+
+    ``summary_factory`` is called as ``summary_factory(epsilon,
+    **factory_kwargs)`` to create each of the two summary instances, so any
+    class from :mod:`repro.summaries` (or a registry factory) works directly.
+    ``leaf_size`` defaults to the paper's ``2/eps`` (rounded up to an even
+    integer, minimum 2).
+    """
+    if k < 1:
+        raise AdversaryError(f"k must be >= 1, got {k}")
+    if leaf_size is None:
+        leaf_size = max(2, round(2 / epsilon))
+    pair = SummaryPair(lambda: summary_factory(epsilon, **factory_kwargs), universe)
+    unbounded = OpenInterval.unbounded()
+    root = adv_strategy(
+        pair, k, unbounded, unbounded, leaf_size, validate, on_leaf, refine_policy
+    )
+    return AdversaryResult(pair=pair, root=root, epsilon=epsilon, k=k, leaf_size=leaf_size)

@@ -1,0 +1,118 @@
+"""Extracting concrete failure witnesses — Lemma 3.4's proof, executed.
+
+Lemma 3.4 proves that a gap above ``2 eps N`` dooms the summary: some
+quantile query phi in the middle of the gap cannot be answered within
+``eps N`` on at least one of the two streams.  This module turns the proof
+into a procedure: given an adversary run whose final gap exceeds the bound,
+it computes that phi, queries both live summaries, measures the true rank
+errors of their answers, and returns the failing stream with its error — a
+tangible witness that the summary is not an eps-approximate summary.
+
+Conversely, :func:`verify_gap_bound` asserts Lemma 3.4's contrapositive on
+summaries that claim correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.adversary import AdversaryResult
+from repro.universe.item import Item
+
+
+@dataclass(frozen=True)
+class FailureWitness:
+    """A quantile query on which the summary provably failed.
+
+    ``error_pi`` / ``error_rho`` are ``|rank(answer) - phi * N|`` w.r.t. each
+    stream; the witness is valid when at least one exceeds ``eps * N``.
+    """
+
+    phi: Fraction
+    target_rank: Fraction
+    answer_pi: Item
+    answer_rho: Item
+    rank_pi: int
+    rank_rho: int
+    error_pi: Fraction
+    error_rho: Fraction
+    allowed_error: Fraction
+
+    @property
+    def failed(self) -> bool:
+        """Whether at least one stream's answer is out of tolerance."""
+        return self.error_pi > self.allowed_error or self.error_rho > self.allowed_error
+
+    @property
+    def failing_stream(self) -> str:
+        """Which stream exhibits the failure ('pi', 'rho' or 'both')."""
+        fail_pi = self.error_pi > self.allowed_error
+        fail_rho = self.error_rho > self.allowed_error
+        if fail_pi and fail_rho:
+            return "both"
+        if fail_pi:
+            return "pi"
+        if fail_rho:
+            return "rho"
+        return "none"
+
+
+def probe_quantile(result: AdversaryResult, phi: Fraction) -> FailureWitness:
+    """Query both summaries at ``phi`` and measure the true rank errors."""
+    length = result.length
+    answer_pi = result.pair.summary_pi.query(float(phi))
+    answer_rho = result.pair.summary_rho.query(float(phi))
+    rank_pi = result.pair.stream_pi.rank(answer_pi)
+    rank_rho = result.pair.stream_rho.rank(answer_rho)
+    target = phi * length
+    eps = Fraction(result.epsilon)
+    return FailureWitness(
+        phi=phi,
+        target_rank=target,
+        answer_pi=answer_pi,
+        answer_rho=answer_rho,
+        rank_pi=rank_pi,
+        rank_rho=rank_rho,
+        error_pi=abs(Fraction(rank_pi) - target),
+        error_rho=abs(Fraction(rank_rho) - target),
+        allowed_error=eps * length,
+    )
+
+
+def find_failing_quantile(result: AdversaryResult) -> FailureWitness | None:
+    """Lemma 3.4's proof as a procedure.
+
+    If the final gap exceeds ``2 eps N``, place phi in the middle of the gap
+    — ``phi * N = (rank_rho(I_rho[i+1]) + rank_pi(I_pi[i])) / 2`` — and
+    return the measured (and necessarily failing) witness.  Returns ``None``
+    when the gap respects the bound, i.e. the summary survived the attack.
+    """
+    gap_result = result.final_gap()
+    length = result.length
+    if gap_result.gap <= 2 * result.epsilon * length:
+        return None
+    index = gap_result.index  # 1-based
+    rank_pi_low = gap_result.ranks_pi[index - 1]
+    rank_rho_high = gap_result.ranks_rho[index]
+    phi = Fraction(rank_rho_high + rank_pi_low, 2 * length)
+    phi = min(Fraction(1), max(Fraction(0), phi))
+    witness = probe_quantile(result, phi)
+    if not witness.failed:
+        raise AssertionError(
+            "gap exceeds 2 eps N yet the mid-gap query succeeded on both "
+            "streams — Lemma 3.4 contradicted; the summary is likely not "
+            "comparison-based or not deterministic"
+        )
+    return witness
+
+
+def verify_gap_bound(result: AdversaryResult) -> None:
+    """Assert Lemma 3.4 for a summary that claims eps-correctness."""
+    gap_result = result.final_gap()
+    bound = 2 * result.epsilon * result.length
+    if gap_result.gap > bound:
+        raise AssertionError(
+            f"gap {gap_result.gap} exceeds 2 eps N = {bound}: the summary "
+            "failed the adversary (Lemma 3.4)"
+        )

@@ -1,0 +1,132 @@
+"""Theorem 6.5: the phased construction for biased (relative-error) quantiles.
+
+Biased quantile summaries must answer rank-k queries within ``eps * k``, so
+low ranks are expensive to forget.  The paper stacks k phases of the
+Section 4 construction: phase i runs AdvStrategy(i) inside
+``(max(stream), +inf)`` — entirely above everything appended before — and
+the relative-error guarantee pins the items of phase i forever, since all
+later items are larger.  Each phase forces Omega(i / eps) stored items, so
+the total is Omega(k^2 / eps) on a stream of length O((1/eps) 2^k), i.e.
+Omega((1/eps) log^2(eps N)).
+
+Executably: we run the phases against a live summary and record, per phase,
+the number of phase items retained at the very end of the whole stream, the
+phase gap, and the relative-error ceiling the gap must respect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.adversary import adv_strategy
+from repro.core.gap import gap_in_intervals
+from repro.core.pair import SummaryPair
+from repro.errors import AdversaryError
+from repro.model.summary import QuantileSummary
+from repro.universe.interval import OpenInterval
+from repro.universe.item import POS_INFINITY
+
+
+@dataclass(frozen=True)
+class PhaseTrace:
+    """Measurements for one phase of the Theorem 6.5 construction."""
+
+    phase: int
+    appended: int
+    length_after: int
+    gap: int
+    stored_at_phase_end: int
+    stored_at_stream_end: int
+
+
+@dataclass(frozen=True)
+class BiasedAttackResult:
+    """Full outcome of the phased construction."""
+
+    pair: SummaryPair
+    phases: list[PhaseTrace]
+    epsilon: float
+    k: int
+
+    @property
+    def length(self) -> int:
+        return self.pair.length
+
+    def total_stored_at_end(self) -> int:
+        """Sum over phases of items retained when the stream ends."""
+        return sum(phase.stored_at_stream_end for phase in self.phases)
+
+    def max_items_stored(self) -> int:
+        return self.pair.max_items_stored()
+
+
+def biased_attack(
+    summary_factory: Callable[..., QuantileSummary],
+    epsilon: float,
+    k: int,
+    leaf_size: int | None = None,
+    validate: bool = True,
+    **factory_kwargs,
+) -> BiasedAttackResult:
+    """Run the k-phase construction of Theorem 6.5 against a live summary."""
+    if k < 1:
+        raise AdversaryError(f"k must be >= 1, got {k}")
+    if leaf_size is None:
+        leaf_size = max(2, round(2 / epsilon))
+    pair = SummaryPair(lambda: summary_factory(epsilon, **factory_kwargs))
+    phase_intervals: list[tuple[OpenInterval, OpenInterval]] = []
+    traces: list[PhaseTrace] = []
+
+    for phase in range(1, k + 1):
+        if pair.length == 0:
+            interval_pi = OpenInterval.unbounded()
+            interval_rho = OpenInterval.unbounded()
+        else:
+            interval_pi = OpenInterval(pair.stream_pi.max_item, POS_INFINITY)
+            interval_rho = OpenInterval(pair.stream_rho.max_item, POS_INFINITY)
+        node = adv_strategy(
+            pair, phase, interval_pi, interval_rho, leaf_size, validate=validate
+        )
+        phase_intervals.append((interval_pi, interval_rho))
+        traces.append(
+            PhaseTrace(
+                phase=phase,
+                appended=node.appended,
+                length_after=pair.length,
+                gap=node.gap,
+                stored_at_phase_end=node.space,
+                stored_at_stream_end=0,  # filled in below
+            )
+        )
+
+    # Re-measure retention per phase now that the whole stream has arrived:
+    # the relative-error guarantee should have forced the summary to keep
+    # its phase-i items even while processing later phases.
+    final_traces = []
+    for trace, (interval_pi, interval_rho) in zip(traces, phase_intervals):
+        # The phase interval for earlier phases is (old max, +inf), which now
+        # also contains all later phases' items; restrict to the phase span.
+        retained = _stored_in_phase_span(pair, trace, traces)
+        gap_now = gap_in_intervals(pair, interval_pi, interval_rho).gap
+        final_traces.append(
+            PhaseTrace(
+                phase=trace.phase,
+                appended=trace.appended,
+                length_after=trace.length_after,
+                gap=max(trace.gap, gap_now) if trace.phase == k else trace.gap,
+                stored_at_phase_end=trace.stored_at_phase_end,
+                stored_at_stream_end=retained,
+            )
+        )
+    return BiasedAttackResult(pair=pair, phases=final_traces, epsilon=epsilon, k=k)
+
+
+def _stored_in_phase_span(
+    pair: SummaryPair, trace: PhaseTrace, traces: list[PhaseTrace]
+) -> int:
+    """Items currently stored whose stream arrival fell within the phase."""
+    start = trace.length_after - trace.appended  # 0-based arrival index
+    stop = trace.length_after
+    phase_items = set(pair.stream_pi.items_in_order_of_arrival[start:stop])
+    return sum(1 for item in pair.summary_pi.item_array() if item in phase_items)

@@ -1,0 +1,131 @@
+"""Restricted item arrays, ranks, and the gap (Definitions 3.3 and 5.1).
+
+The *gap* between indistinguishable streams pi and rho is the largest rank
+difference between the (i+1)-st stored item w.r.t. one stream and the i-th
+stored item w.r.t. the other.  When it exceeds ``2 eps N`` the summary
+cannot answer some quantile query (Lemma 3.4); keeping it as large as
+possible is the adversary's entire objective.
+
+Inside the recursion the gap is computed on item arrays *restricted* to the
+current intervals and on ranks w.r.t. the substreams inside those intervals
+(Definition 5.1).  The restricted array I^(l, r) is enclosed by the interval
+boundaries l and r, matching Figure 1 of the paper (where the boundary items
+participate in the rank sequence 1, 6, 11, 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pair import SummaryPair
+from repro.streams.stream import Stream
+from repro.universe.interval import OpenInterval
+from repro.universe.item import Item
+
+
+def restricted_item_array(
+    item_array: list[Item], interval: OpenInterval
+) -> list[Item]:
+    """I^(l, r): items of ``item_array`` inside ``interval``, enclosed by l, r.
+
+    Finite interval boundaries are prepended/appended even when the summary
+    has discarded them (the paper notes r_pi stays in the restricted array
+    "even though it was discarded from the whole item array").  Infinite
+    sentinels are not items and are omitted, so for the unbounded interval
+    the restricted array is the full item array.
+    """
+    inside = [item for item in item_array if interval.contains(item)]
+    enclosed: list[Item] = []
+    if interval.lo_is_item:
+        enclosed.append(interval.lo)  # type: ignore[arg-type]
+    enclosed.extend(inside)
+    if interval.hi_is_item:
+        enclosed.append(interval.hi)  # type: ignore[arg-type]
+    return enclosed
+
+
+def restricted_ranks(
+    stream: Stream, interval: OpenInterval, entries: list[Item]
+) -> list[int]:
+    """Rank of each restricted-array entry w.r.t. the substream in ``interval``.
+
+    Uses the Figure 1 convention: the lower boundary has rank 1, stream items
+    inside the interval have ranks 2.., and the upper boundary closes the
+    sequence.  For the unbounded interval these are the ordinary stream ranks.
+    """
+    return [stream.rank_in(interval, entry) for entry in entries]
+
+
+@dataclass(frozen=True)
+class GapResult:
+    """The largest gap and where it was found.
+
+    ``index`` is the 1-based position i of Definition 3.3/5.1: the gap is
+    between the i-th entry of the pi-side restricted array and the (i+1)-st
+    entry of the rho-side restricted array.  ``item_pi`` and ``item_rho`` are
+    those two entries.
+    """
+
+    gap: int
+    index: int
+    item_pi: Item
+    item_rho: Item
+    ranks_pi: tuple[int, ...]
+    ranks_rho: tuple[int, ...]
+
+
+def gap_in_intervals(
+    pair: SummaryPair,
+    interval_pi: OpenInterval,
+    interval_rho: OpenInterval,
+) -> GapResult:
+    """Definition 5.1: the largest gap within the given intervals.
+
+    Computes ``max_i  rank_rho(I'_rho[i+1]) - rank_pi(I'_pi[i])`` over the
+    restricted arrays, together with the symmetric orientation
+    (Definition 3.3 takes the max of both; the construction keeps pi's ranks
+    no larger than rho's, so the first orientation dominates, but computing
+    both keeps the function faithful for arbitrary pairs).
+    """
+    array_pi, array_rho = pair.item_arrays()
+    restricted_pi = restricted_item_array(array_pi, interval_pi)
+    restricted_rho = restricted_item_array(array_rho, interval_rho)
+    if len(restricted_pi) != len(restricted_rho):
+        raise ValueError(
+            "restricted item arrays differ in size "
+            f"({len(restricted_pi)} vs {len(restricted_rho)}); are the "
+            "streams indistinguishable?"
+        )
+    if len(restricted_pi) < 2:
+        raise ValueError("restricted item arrays need at least two entries")
+    ranks_pi = restricted_ranks(pair.stream_pi, interval_pi, restricted_pi)
+    ranks_rho = restricted_ranks(pair.stream_rho, interval_rho, restricted_rho)
+    best_gap = None
+    best_index = 1
+    for i in range(len(restricted_pi) - 1):
+        forward = ranks_rho[i + 1] - ranks_pi[i]
+        backward = ranks_pi[i + 1] - ranks_rho[i]
+        gap = max(forward, backward)
+        if best_gap is None or gap > best_gap:
+            best_gap = gap
+            best_index = i + 1  # 1-based, as in the paper
+    assert best_gap is not None
+    return GapResult(
+        gap=best_gap,
+        index=best_index,
+        item_pi=restricted_pi[best_index - 1],
+        item_rho=restricted_rho[best_index],
+        ranks_pi=tuple(ranks_pi),
+        ranks_rho=tuple(ranks_rho),
+    )
+
+
+def full_stream_gap(pair: SummaryPair) -> GapResult:
+    """Definition 3.3: gap(pi, rho) over the whole streams."""
+    unbounded = OpenInterval.unbounded()
+    return gap_in_intervals(pair, unbounded, unbounded)
+
+
+def gap_bound(epsilon: float, length: int) -> float:
+    """Lemma 3.4's ceiling: a correct summary keeps gap(pi, rho) <= 2 eps N."""
+    return 2 * epsilon * length

@@ -1,0 +1,132 @@
+"""Theorem 6.1: finding an approximate median is as hard as all quantiles.
+
+The reduction: run the adversarial construction; if the final gap g exceeds
+``4 eps N`` there is a quantile phi' with no 2 eps-approximate answer stored.
+Appending ``(1 - 2 phi') N`` items below everything (or ``(2 phi' - 1) N``
+items above everything, for phi' >= 1/2) slides that uncovered region onto
+the median of the extended stream, so the summary cannot return an
+eps-approximate median.  If instead g <= 4 eps N, the space-gap machinery
+forces Omega((1/eps) log(eps N)) storage.
+
+This module executes both branches against a live summary and reports which
+one fired, with measured evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.adversary import AdversaryResult
+from repro.universe.interval import OpenInterval
+from repro.universe.item import NEG_INFINITY, POS_INFINITY
+
+
+@dataclass(frozen=True)
+class MedianAttackResult:
+    """Outcome of the Theorem 6.1 reduction.
+
+    ``outcome`` is ``"space"`` when the gap stayed small (so the summary paid
+    the space bound: see ``items_stored``) or ``"median-failure"`` when the
+    extended stream exposed a failing median query.
+    """
+
+    outcome: str
+    original_length: int
+    appended: int
+    final_length: int
+    gap: int
+    items_stored: int
+    phi_uncovered: Fraction | None = None
+    median_error_pi: Fraction | None = None
+    median_error_rho: Fraction | None = None
+    allowed_error: Fraction | None = None
+
+    @property
+    def failed_median(self) -> bool:
+        """True when at least one stream's median answer is out of tolerance."""
+        if self.median_error_pi is None or self.allowed_error is None:
+            return False
+        return (
+            self.median_error_pi > self.allowed_error
+            or self.median_error_rho > self.allowed_error
+        )
+
+
+def median_attack(result: AdversaryResult) -> MedianAttackResult:
+    """Run the Theorem 6.1 reduction on a completed adversary run."""
+    return quantile_attack(result, Fraction(1, 2))
+
+
+def quantile_attack(result: AdversaryResult, phi_target: Fraction) -> MedianAttackResult:
+    """Theorem 6.1's reduction aimed at an arbitrary target quantile.
+
+    The paper notes the median argument "can be done similarly for any other
+    phi-quantile as long as eps << phi << 1 - eps": append items below or
+    above everything until the uncovered quantile phi' sits at ``phi_target``
+    of the extended stream, then query ``phi_target`` on both runs.
+
+    Solving the padding count: appending M items *below* moves phi' to
+    ``(phi' N + M) / (N + M)`` — monotonically up towards 1; appending above
+    moves it down towards ``phi' N / (N + M)``.  So phi' < phi_target needs
+    below-padding with ``M = N (phi_target - phi') / (1 - phi_target)``, and
+    phi' > phi_target needs above-padding with
+    ``M = N (phi' - phi_target) / phi_target``.
+    """
+    if not 0 < phi_target < 1:
+        raise ValueError(f"phi_target must be in (0, 1), got {phi_target}")
+    gap_result = result.final_gap()
+    length = result.length
+    epsilon = Fraction(result.epsilon)
+
+    if gap_result.gap <= 4 * epsilon * length:
+        # Small gap: the space branch of the proof — record the storage paid.
+        return MedianAttackResult(
+            outcome="space",
+            original_length=length,
+            appended=0,
+            final_length=length,
+            gap=gap_result.gap,
+            items_stored=result.max_items_stored(),
+        )
+
+    # Large gap: some phi' has no 2 eps-approximate stored answer.  The
+    # uncovered quantile sits at the middle of the largest gap.
+    index = gap_result.index
+    mid_rank = Fraction(
+        gap_result.ranks_rho[index] + gap_result.ranks_pi[index - 1], 2
+    )
+    phi_uncovered = mid_rank / length
+
+    pair = result.pair
+    if phi_uncovered < phi_target:
+        appended = int(length * (phi_target - phi_uncovered) / (1 - phi_target))
+        below_pi = OpenInterval(NEG_INFINITY, pair.stream_pi.min_item)
+        below_rho = OpenInterval(NEG_INFINITY, pair.stream_rho.min_item)
+        items_pi = pair.universe.ordered_items(max(1, appended), below_pi)
+        items_rho = pair.universe.ordered_items(max(1, appended), below_rho)
+    else:
+        appended = int(length * (phi_uncovered - phi_target) / phi_target)
+        above_pi = OpenInterval(pair.stream_pi.max_item, POS_INFINITY)
+        above_rho = OpenInterval(pair.stream_rho.max_item, POS_INFINITY)
+        items_pi = pair.universe.ordered_items(max(1, appended), above_pi)
+        items_rho = pair.universe.ordered_items(max(1, appended), above_rho)
+    for item_pi, item_rho in zip(items_pi, items_rho):
+        pair.feed(item_pi, item_rho)
+
+    final_length = pair.length
+    answer_pi = pair.summary_pi.query(float(phi_target))
+    answer_rho = pair.summary_rho.query(float(phi_target))
+    target = phi_target * final_length
+    return MedianAttackResult(
+        outcome="median-failure" if phi_target == Fraction(1, 2) else "quantile-failure",
+        original_length=length,
+        appended=len(items_pi),
+        final_length=final_length,
+        gap=gap_result.gap,
+        items_stored=result.max_items_stored(),
+        phi_uncovered=phi_uncovered,
+        median_error_pi=abs(Fraction(pair.stream_pi.rank(answer_pi)) - target),
+        median_error_rho=abs(Fraction(pair.stream_rho.rank(answer_rho)) - target),
+        allowed_error=Fraction(result.epsilon) * final_length,
+    )

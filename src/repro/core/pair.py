@@ -1,0 +1,129 @@
+"""Two live copies of the summary under attack, fed streams pi and rho.
+
+The proof runs one abstract summary D over two streams; executably, we run
+two instances of the same deterministic algorithm, one per stream, and
+*verify* rather than assume that the streams stay indistinguishable
+(Definition 3.2): equivalent memory states (Definition 3.1) and stored items
+occupying identical stream positions.
+
+The pair also maintains the "ever stored" sets that implement the paper's
+space accounting convention — |I| is assumed never to decrease, so the space
+charged for an interval is the number of items from that interval that were
+*ever* held in the item array (Section 2, "otherwise, we would need to take
+the maximum size of |I| during the computation").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import IndistinguishabilityViolation
+from repro.model.summary import QuantileSummary
+from repro.streams.stream import Stream
+from repro.universe.interval import OpenInterval
+from repro.universe.item import Item
+from repro.universe.universe import Universe
+
+SummaryFactory = Callable[[], QuantileSummary]
+
+
+class SummaryPair:
+    """Summaries D_pi and D_rho with their streams and bookkeeping."""
+
+    def __init__(self, summary_factory: SummaryFactory, universe: Universe | None = None) -> None:
+        self.universe = universe if universe is not None else Universe()
+        self.summary_pi = summary_factory()
+        self.summary_rho = summary_factory()
+        self.stream_pi = Stream()
+        self.stream_rho = Stream()
+        # Arrival position (1-based) per item, per stream.
+        self._position_pi: dict[Item, int] = {}
+        self._position_rho: dict[Item, int] = {}
+        # Items ever held in each summary's item array.
+        self._ever_stored_pi: set[Item] = set()
+        self._ever_stored_rho: set[Item] = set()
+        self._current_pi: set[Item] = set()
+        self._current_rho: set[Item] = set()
+
+    # -- feeding ---------------------------------------------------------------
+
+    def feed(self, item_pi: Item, item_rho: Item) -> None:
+        """Append one item to each stream and process it in its summary."""
+        self.stream_pi.append(item_pi)
+        self.stream_rho.append(item_rho)
+        self._position_pi[item_pi] = len(self.stream_pi)
+        self._position_rho[item_rho] = len(self.stream_rho)
+        self.summary_pi.process(item_pi)
+        self.summary_rho.process(item_rho)
+        self._track_storage()
+
+    def _track_storage(self) -> None:
+        new_pi = set(self.summary_pi.item_array())
+        new_rho = set(self.summary_rho.item_array())
+        self._ever_stored_pi |= new_pi - self._current_pi
+        self._ever_stored_rho |= new_rho - self._current_rho
+        self._current_pi = new_pi
+        self._current_rho = new_rho
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """Common length of the two streams."""
+        return len(self.stream_pi)
+
+    def item_arrays(self) -> tuple[list[Item], list[Item]]:
+        """Current item arrays (I_pi, I_rho)."""
+        return self.summary_pi.item_array(), self.summary_rho.item_array()
+
+    def ever_stored_in(self, interval: OpenInterval, stream: str = "pi") -> int:
+        """Items from ``interval`` ever held in the item array (monotone |I|).
+
+        This is the executable version of the paper's S(k, ...) accounting:
+        the count of interval items that were stored at any point, plus the
+        enclosing finite boundary items of the restricted array I^(l, r).
+        """
+        ever = self._ever_stored_pi if stream == "pi" else self._ever_stored_rho
+        inside = sum(1 for item in ever if interval.contains(item))
+        boundaries = int(interval.lo_is_item) + int(interval.hi_is_item)
+        return inside + boundaries
+
+    def max_items_stored(self) -> int:
+        """Peak |I| over time, maximised over the two runs."""
+        return max(self.summary_pi.max_item_count, self.summary_rho.max_item_count)
+
+    # -- indistinguishability (Definition 3.2) ---------------------------------------
+
+    def check_indistinguishable(self) -> None:
+        """Verify Definition 3.2; raise on any divergence.
+
+        (1) Equivalent memory states: equal |I| and equal general-memory
+        fingerprints.  (2) Matching positions: the i-th stored item of each
+        run arrived at the same stream position.
+        """
+        array_pi, array_rho = self.item_arrays()
+        if len(array_pi) != len(array_rho):
+            raise IndistinguishabilityViolation(
+                f"item arrays differ in size: {len(array_pi)} vs {len(array_rho)}"
+            )
+        if self.summary_pi.fingerprint() != self.summary_rho.fingerprint():
+            raise IndistinguishabilityViolation(
+                "general-memory fingerprints differ between the two runs"
+            )
+        for index, (item_pi, item_rho) in enumerate(zip(array_pi, array_rho)):
+            pos_pi = self._position_pi.get(item_pi)
+            pos_rho = self._position_rho.get(item_rho)
+            if pos_pi is None or pos_rho is None:
+                raise IndistinguishabilityViolation(
+                    f"stored item at index {index} never appeared in its stream"
+                )
+            if pos_pi != pos_rho:
+                raise IndistinguishabilityViolation(
+                    f"stored items at index {index} arrived at different "
+                    f"stream positions ({pos_pi} vs {pos_rho})"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"SummaryPair(summary={self.summary_pi.name!r}, length={self.length})"
+        )

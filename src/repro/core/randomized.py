@@ -1,0 +1,117 @@
+"""Theorem 6.4: the randomized lower bound via derandomization.
+
+The paper's reduction: a randomized comparison-based summary with failure
+probability below ``1/N!`` succeeds on *every* permutation simultaneously
+with positive probability (union bound), so some fixing of its random bits
+yields a deterministic comparison-based summary — to which Theorem 2.2
+applies.  "Fixing the random bits" is, executably, seeding the RNG.
+
+Two experiments fall out:
+
+* :func:`attack_seeded_summary` — run the deterministic adversary against a
+  seeded randomized summary (KLL, reservoir sampling).  An undersized sketch
+  yields a concrete failing quantile, exactly as for deterministic
+  summaries; this is Theorem 6.4's reduction in motion.
+* :func:`kll_space_curve` — measure KLL's space as delta shrinks, exhibiting
+  the O((1/eps) log log(1/delta)) shape that Theorem 6.4 proves optimal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.adversary import AdversaryResult, build_adversarial_pair
+from repro.core.attacks import FailureWitness, find_failing_quantile
+from repro.streams.generators import random_stream
+from repro.summaries.kll import KLL, kll_k_for
+from repro.universe.universe import Universe
+
+
+@dataclass(frozen=True)
+class SeededAttackOutcome:
+    """Adversary vs a seed-fixed randomized summary."""
+
+    seed: int
+    gap: int
+    gap_bound: float
+    max_items_stored: int
+    witness: FailureWitness | None
+
+    @property
+    def defeated(self) -> bool:
+        return self.witness is not None
+
+
+def attack_seeded_summary(
+    summary_factory,
+    epsilon: float,
+    k: int,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    summary_kwargs: dict | None = None,
+) -> list[SeededAttackOutcome]:
+    """Run the adversary against one summary instance per seed.
+
+    Each seed induces a *different* deterministic summary, so the adversary
+    adapts its streams to each; the outcomes report, per seed, the final gap
+    and the failing quantile if one exists.  ``summary_kwargs`` are forwarded
+    to the factory (e.g. ``{"k": 8}`` to undersize a KLL sketch; note the
+    sketch's ``k`` is unrelated to the adversary's recursion depth ``k``).
+    """
+    outcomes = []
+    kwargs = dict(summary_kwargs or {})
+    for seed in seeds:
+
+        def factory(eps: float, _seed: int = seed) -> object:
+            return summary_factory(eps, seed=_seed, **kwargs)
+
+        result: AdversaryResult = build_adversarial_pair(factory, epsilon=epsilon, k=k)
+        outcomes.append(
+            SeededAttackOutcome(
+                seed=seed,
+                gap=result.final_gap().gap,
+                gap_bound=2 * epsilon * result.length,
+                max_items_stored=result.max_items_stored(),
+                witness=find_failing_quantile(result),
+            )
+        )
+    return outcomes
+
+
+@dataclass(frozen=True)
+class SpaceCurvePoint:
+    """One point of the KLL space-vs-delta curve."""
+
+    delta: float
+    k_parameter: int
+    max_items_stored: int
+    theory_scale: float  # (1/eps) * log log (1/delta)
+
+
+def kll_space_curve(
+    epsilon: float,
+    deltas: tuple[float, ...],
+    stream_length: int = 20_000,
+    seed: int = 0,
+) -> list[SpaceCurvePoint]:
+    """Measure seeded-KLL space across failure probabilities.
+
+    Theorem 6.4 (with [11]) pins randomized comparison-based summaries at
+    Theta((1/eps) log log(1/delta)) for delta < 1/N!; the measured curve
+    should track ``theory_scale`` up to a constant.
+    """
+    points = []
+    for delta in deltas:
+        universe = Universe()
+        sketch = KLL(epsilon, k=kll_k_for(epsilon, delta), seed=seed)
+        sketch.process_all(random_stream(universe, stream_length, seed=seed))
+        theory = (1 / epsilon) * math.log2(max(2.0, math.log2(1 / delta)))
+        points.append(
+            SpaceCurvePoint(
+                delta=delta,
+                k_parameter=sketch.k,
+                max_items_stored=sketch.max_item_count,
+                theory_scale=theory,
+            )
+        )
+    return points

@@ -1,0 +1,91 @@
+"""Theorem 6.2: the lower bound transfers to Estimating Rank.
+
+The reduction: after the adversarial construction, draw two fresh probe
+items — ``q_pi`` just above the gap's left anchor in pi's order, ``q_rho``
+just below the right anchor in rho's order (both exist by continuity).  A
+comparison-based rank estimator sees identical comparison outcomes for the
+two probes against the two (indistinguishable) memory states, so it must
+return the *same* estimate r for both; but the probes' true ranks differ by
+more than ``2 eps N``, so r is off by more than ``eps N`` for at least one.
+
+Executably: we call ``estimate_rank`` on both live summaries, verify the
+estimates agree (they must, for a deterministic comparison-based summary),
+and measure both errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.adversary import AdversaryResult
+from repro.errors import IndistinguishabilityViolation
+from repro.universe.interval import OpenInterval
+from repro.universe.item import Item
+
+
+@dataclass(frozen=True)
+class RankAttackResult:
+    """Outcome of the Theorem 6.2 probe.
+
+    When ``gap > 2 eps N + 2`` at least one of ``error_pi``/``error_rho``
+    must exceed ``eps N`` (the theorem); when the summary is correct, both
+    stay within it.
+    """
+
+    gap: int
+    probe_pi: Item
+    probe_rho: Item
+    estimate: int
+    true_rank_pi: int
+    true_rank_rho: int
+    allowed_error: float
+
+    @property
+    def error_pi(self) -> int:
+        return abs(self.estimate - self.true_rank_pi)
+
+    @property
+    def error_rho(self) -> int:
+        return abs(self.estimate - self.true_rank_rho)
+
+    @property
+    def failed(self) -> bool:
+        """True when the single shared estimate misses on some stream."""
+        return self.error_pi > self.allowed_error or self.error_rho > self.allowed_error
+
+
+def rank_attack(result: AdversaryResult) -> RankAttackResult:
+    """Probe both summaries across the largest gap and measure rank errors."""
+    gap_result = result.final_gap()
+    pair = result.pair
+    index = gap_result.index
+
+    anchor_pi = gap_result.item_pi
+    anchor_rho = gap_result.item_rho
+    # q_pi in (I_pi[i], next(pi, I_pi[i])): true rank = rank(I_pi[i]) + ... just above.
+    probe_interval_pi = OpenInterval(anchor_pi, pair.stream_pi.next_item(anchor_pi))
+    probe_interval_rho = OpenInterval(pair.stream_rho.prev_item(anchor_rho), anchor_rho)
+    probe_pi = pair.universe.between(probe_interval_pi)
+    probe_rho = pair.universe.between(probe_interval_rho)
+
+    estimate_pi = pair.summary_pi.estimate_rank(probe_pi)
+    estimate_rho = pair.summary_rho.estimate_rank(probe_rho)
+    if estimate_pi != estimate_rho:
+        raise IndistinguishabilityViolation(
+            "rank estimates differ across indistinguishable streams "
+            f"({estimate_pi} vs {estimate_rho}); the summary is not a "
+            "deterministic comparison-based rank estimator"
+        )
+
+    # True ranks: number of stream items <= probe.
+    true_rank_pi = pair.stream_pi.count_at_most(probe_pi)
+    true_rank_rho = pair.stream_rho.count_at_most(probe_rho)
+    return RankAttackResult(
+        gap=gap_result.gap,
+        probe_pi=probe_pi,
+        probe_rho=probe_rho,
+        estimate=estimate_pi,
+        true_rank_pi=true_rank_pi,
+        true_rank_rho=true_rank_rho,
+        allowed_error=result.epsilon * result.length,
+    )

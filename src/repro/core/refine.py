@@ -1,0 +1,151 @@
+"""RefineIntervals — Pseudocode 1 of the paper.
+
+Given the indistinguishable streams built so far and the current intervals,
+find the position of the largest gap inside the intervals and return new,
+smaller intervals in the *extreme regions* of that gap:
+
+* the new interval for pi hugs the gap's left edge — between the stored item
+  ``I'_pi[i]`` and its successor in stream pi;
+* the new interval for rho hugs the right edge — between the predecessor of
+  ``I'_rho[i+1]`` in stream rho and that stored item.
+
+Items later drawn from these intervals land just above rank(I'_pi[i]) in pi
+but just below rank(I'_rho[i+1]) in rho, so the rank uncertainty accumulated
+so far (the gap) is inherited by everything the recursion appends next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.gap import restricted_item_array, restricted_ranks
+from repro.core.pair import SummaryPair
+from repro.universe.interval import OpenInterval
+from repro.universe.item import Item
+
+
+@dataclass(frozen=True)
+class RefineRecord:
+    """What RefineIntervals saw and decided (for traces and figures)."""
+
+    gap: int
+    index: int
+    restricted_pi: tuple[Item, ...]
+    restricted_rho: tuple[Item, ...]
+    ranks_pi: tuple[int, ...]
+    ranks_rho: tuple[int, ...]
+    new_interval_pi: OpenInterval
+    new_interval_rho: OpenInterval
+
+
+#: Alternative gap-selection policies for the ablation experiment A2.  The
+#: paper's construction uses "largest"; the others deliberately weaken it to
+#: show the choice is load-bearing.
+REFINE_POLICIES = ("largest", "smallest", "first", "middle")
+
+
+def refine_intervals(
+    pair: SummaryPair,
+    interval_pi: OpenInterval,
+    interval_rho: OpenInterval,
+    validate: bool = True,
+    policy: str = "largest",
+) -> RefineRecord:
+    """Pseudocode 1: locate the largest gap and refine both intervals.
+
+    Requires the pair's streams to be indistinguishable and the intervals to
+    contain only items appended since the intervals were created (the
+    AdvStrategy recursion maintains both).  Ties in the argmax break towards
+    the smallest index ("ties can be broken arbitrarily", Section 4.3 — but
+    a deterministic rule keeps runs reproducible).
+
+    ``policy`` selects which gap the refinement zooms into; anything other
+    than the default "largest" departs from the paper and exists only for
+    the A2 ablation (how much of the lower bound the argmax buys).
+    """
+    array_pi, array_rho = pair.item_arrays()
+    restricted_pi = restricted_item_array(array_pi, interval_pi)
+    restricted_rho = restricted_item_array(array_rho, interval_rho)
+    if len(restricted_pi) != len(restricted_rho):
+        raise ValueError(
+            "restricted item arrays differ in size; streams are not "
+            "indistinguishable"
+        )
+    if len(restricted_pi) < 2:
+        raise ValueError("cannot refine: fewer than two restricted entries")
+    ranks_pi = restricted_ranks(pair.stream_pi, interval_pi, restricted_pi)
+    ranks_rho = restricted_ranks(pair.stream_rho, interval_rho, restricted_rho)
+
+    # Line 2: i <- argmax_i rank_rho(I'_rho[i+1]) - rank_pi(I'_pi[i]).
+    gaps = [
+        ranks_rho[i + 1] - ranks_pi[i] for i in range(len(restricted_pi) - 1)
+    ]
+    if policy == "largest":
+        best_gap = max(gaps)
+        best_index = gaps.index(best_gap) + 1
+    elif policy == "smallest":
+        best_index = gaps.index(min(gaps)) + 1
+    elif policy == "first":
+        best_index = 1
+    elif policy == "middle":
+        best_index = (len(gaps) + 1) // 2
+    else:
+        raise ValueError(f"unknown refine policy {policy!r}; use one of {REFINE_POLICIES}")
+    best_gap = gaps[best_index - 1]
+
+    # Lines 3-4: extreme regions of the gap.  next/prev are w.r.t. the full
+    # streams, so the new intervals contain no existing stream items.
+    anchor_pi = restricted_pi[best_index - 1]
+    anchor_rho = restricted_rho[best_index]
+    new_interval_pi = OpenInterval(anchor_pi, pair.stream_pi.next_item(anchor_pi))
+    new_interval_rho = OpenInterval(pair.stream_rho.prev_item(anchor_rho), anchor_rho)
+
+    if validate:
+        _validate_observation_1(pair, new_interval_pi, new_interval_rho)
+
+    return RefineRecord(
+        gap=best_gap,
+        index=best_index,
+        restricted_pi=tuple(restricted_pi),
+        restricted_rho=tuple(restricted_rho),
+        ranks_pi=tuple(ranks_pi),
+        ranks_rho=tuple(ranks_rho),
+        new_interval_pi=new_interval_pi,
+        new_interval_rho=new_interval_rho,
+    )
+
+
+def _validate_observation_1(
+    pair: SummaryPair,
+    new_interval_pi: OpenInterval,
+    new_interval_rho: OpenInterval,
+) -> None:
+    """Observation 1: the refined intervals are empty and rank-aligned.
+
+    (i) neither stream has an item inside its new interval; (ii) a fresh item
+    from each interval would be compared against the same positions of the
+    two item arrays (checked with probe items drawn from the intervals —
+    the probes are never appended to the streams).
+    """
+    if pair.stream_pi.count_in(new_interval_pi) != 0:
+        raise AssertionError("Observation 1(i) violated: pi items inside new interval")
+    if pair.stream_rho.count_in(new_interval_rho) != 0:
+        raise AssertionError("Observation 1(i) violated: rho items inside new interval")
+    probe_pi = pair.universe.between(new_interval_pi)
+    probe_rho = pair.universe.between(new_interval_rho)
+    array_pi, array_rho = pair.item_arrays()
+    first_pi = _first_index_at_least(array_pi, probe_pi)
+    first_rho = _first_index_at_least(array_rho, probe_rho)
+    if first_pi != first_rho:
+        raise AssertionError(
+            "Observation 1(ii) violated: probes align with different item-array "
+            f"positions ({first_pi} vs {first_rho})"
+        )
+
+
+def _first_index_at_least(array: list[Item], probe: Item) -> int | None:
+    """min{i : probe <= array[i]}, 1-based; None for the empty set."""
+    for index, stored in enumerate(array):
+        if probe <= stored:
+            return index + 1
+    return None

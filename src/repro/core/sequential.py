@@ -1,0 +1,114 @@
+"""A sequential zooming adversary — the Hung-Ting-style baseline of §1.1.
+
+The paper contrasts its *recursive* construction with the prior lower bound
+of Hung and Ting [10], whose construction "is inherently sequential as it
+works in m iterations and appends O(m) items in each iteration", producing
+indistinguishable streams of length Theta((1/eps log 1/eps)^2) — after which
+it cannot keep growing the uncertainty relative to the stream length.
+
+This module implements the sequential idea in its cleanest form so the two
+strategies can be measured side by side (experiment A6): every round appends
+one batch of fresh items into the current intervals and then zooms both
+intervals into the extreme regions of the largest gap, exactly like
+AdvStrategy's refinement — but with *no recursive doubling*: the recursion
+tree degenerates to a right spine whose left children are all single leaves.
+
+Gap accounting mirrors Claim 1: each round's refinement preserves the
+uncertainty accumulated so far and adds the gap found inside the current
+batch, so the total gap grows by roughly ``batch / space`` per round while
+the stream grows by ``batch`` — linear in the number of rounds, versus the
+recursive construction's gap of Theta(eps N) at *every* length N.  That
+difference is precisely why the paper's bound reaches Omega((1/eps) log eps N)
+while the sequential approach stalls at Omega((1/eps) log(1/eps)).
+
+This is a faithful implementation of the sequential *strategy shape*; the
+full Hung-Ting machinery (branching into many candidate streams per
+iteration) is not reproduced — see DESIGN.md's substitution notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.adversary import _execute_leaf
+from repro.core.gap import GapResult, full_stream_gap
+from repro.core.pair import SummaryPair
+from repro.core.refine import refine_intervals
+from repro.errors import AdversaryError
+from repro.model.summary import QuantileSummary
+from repro.universe.interval import OpenInterval
+
+
+@dataclass(frozen=True)
+class RoundTrace:
+    """Measurements for one append-and-zoom round."""
+
+    round_index: int
+    length_after: int
+    gap_in_interval: int
+    full_gap: int
+
+
+@dataclass
+class SequentialResult:
+    """Outcome of a full sequential-adversary run."""
+
+    pair: SummaryPair
+    rounds: list[RoundTrace]
+    epsilon: float
+    batch: int
+
+    @property
+    def length(self) -> int:
+        return self.pair.length
+
+    def final_gap(self) -> GapResult:
+        """gap(pi, rho) over the full streams (Definition 3.3)."""
+        return full_stream_gap(self.pair)
+
+    def max_items_stored(self) -> int:
+        return self.pair.max_items_stored()
+
+
+def sequential_adversary(
+    summary_factory: Callable[..., QuantileSummary],
+    epsilon: float,
+    rounds: int,
+    batch: int | None = None,
+    validate: bool = True,
+    **factory_kwargs,
+) -> SequentialResult:
+    """Run ``rounds`` append-and-zoom iterations against a live summary.
+
+    ``batch`` defaults to the paper's leaf size ``2 / eps``.  The produced
+    streams have length ``rounds * batch`` and are indistinguishable (checked
+    when ``validate`` is set, like the recursive adversary).
+    """
+    if rounds < 1:
+        raise AdversaryError(f"rounds must be >= 1, got {rounds}")
+    if batch is None:
+        batch = max(2, round(2 / epsilon))
+    if batch < 2:
+        raise AdversaryError(f"batch must be >= 2, got {batch}")
+
+    pair = SummaryPair(lambda: summary_factory(epsilon, **factory_kwargs))
+    interval_pi = OpenInterval.unbounded()
+    interval_rho = OpenInterval.unbounded()
+    traces: list[RoundTrace] = []
+    for round_index in range(1, rounds + 1):
+        _execute_leaf(pair, interval_pi, interval_rho, batch)
+        if validate:
+            pair.check_indistinguishable()
+        record = refine_intervals(pair, interval_pi, interval_rho, validate)
+        interval_pi = record.new_interval_pi
+        interval_rho = record.new_interval_rho
+        traces.append(
+            RoundTrace(
+                round_index=round_index,
+                length_after=pair.length,
+                gap_in_interval=record.gap,
+                full_gap=full_stream_gap(pair).gap,
+            )
+        )
+    return SequentialResult(pair=pair, rounds=traces, epsilon=epsilon, batch=batch)

@@ -1,0 +1,164 @@
+"""The space-gap inequality (Lemma 5.2) and Claim 1, checked on real traces.
+
+Lemma 5.2: for every execution of AdvStrategy at level k with gap g and
+restricted space S_k,
+
+    S_k >= c * (log2(g) + 1) * (N_k / g - 1 / (4 eps)),   c = 1/8 - 2 eps.
+
+The paper proves this for *any* deterministic comparison-based summary — no
+correctness assumption — so it must hold at every node of every adversary
+run, including runs against deliberately lossy summaries.  Combined with
+Lemma 3.4 (a *correct* summary keeps g <= 2 eps N) it yields Theorem 2.2:
+
+    S_k >= c * (log2(2 eps N_k) + 1) / (4 eps) = Omega((1/eps) log(eps N)).
+
+Claim 1 is the recursion's engine: g >= g' + g'' - 1, i.e. uncertainty
+accumulated by the two halves adds up (minus one for the shared boundary).
+
+These checks are the heart of the reproduction: the paper's central
+inequality evaluated on measured data, at every node of the recursion tree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.adversary import AdversaryResult, NodeTrace
+
+
+def space_gap_constant(epsilon: float) -> float:
+    """c = 1/8 - 2 eps; positive only for eps < 1/16 (Theorem 2.2's range)."""
+    return 1 / 8 - 2 * epsilon
+
+
+def space_gap_rhs(epsilon: float, appended: int, gap: int) -> float:
+    """Right-hand side of inequality (2) for a node that appended N_k items."""
+    if gap < 1:
+        raise ValueError(f"gap must be >= 1, got {gap}")
+    c = space_gap_constant(epsilon)
+    return c * (math.log2(gap) + 1) * (appended / gap - 1 / (4 * epsilon))
+
+
+@dataclass(frozen=True)
+class NodeCheck:
+    """Result of checking one recursion-tree node."""
+
+    node: NodeTrace
+    satisfied: bool
+    lhs: float
+    rhs: float
+
+    def __repr__(self) -> str:
+        status = "ok" if self.satisfied else "VIOLATED"
+        return (
+            f"NodeCheck(level={self.node.level}, lhs={self.lhs}, "
+            f"rhs={self.rhs:.3f}, {status})"
+        )
+
+
+def check_space_gap(result: AdversaryResult) -> list[NodeCheck]:
+    """Evaluate Lemma 5.2 at every node; returns one check per node.
+
+    The left-hand side is the node's S_k under the paper's monotone space
+    accounting (items from the node's interval ever stored, plus the
+    enclosing boundaries).
+    """
+    checks = []
+    for node in result.root.walk():
+        rhs = space_gap_rhs(result.epsilon, node.appended, node.gap)
+        checks.append(
+            NodeCheck(node=node, satisfied=node.space >= rhs, lhs=node.space, rhs=rhs)
+        )
+    return checks
+
+
+def space_gap_violations(result: AdversaryResult) -> list[NodeCheck]:
+    """The failed checks only (expected empty for every summary)."""
+    return [check for check in check_space_gap(result) if not check.satisfied]
+
+
+@dataclass(frozen=True)
+class Claim1Check:
+    """g >= g' + g'' - 1 at one internal node."""
+
+    node: NodeTrace
+    satisfied: bool
+    gap: int
+    gap_left: int
+    gap_right: int
+
+
+def check_claim1(result: AdversaryResult) -> list[Claim1Check]:
+    """Evaluate Claim 1 at every internal node of the recursion tree."""
+    checks = []
+    for node in result.root.walk():
+        if node.left is None or node.right is None:
+            continue
+        gap_left = node.left.gap
+        gap_right = node.right.gap
+        satisfied = node.gap >= gap_left + gap_right - 1
+        checks.append(
+            Claim1Check(
+                node=node,
+                satisfied=satisfied,
+                gap=node.gap,
+                gap_left=gap_left,
+                gap_right=gap_right,
+            )
+        )
+    return checks
+
+
+def claim1_violations(result: AdversaryResult) -> list[Claim1Check]:
+    """The failed Claim 1 checks (expected empty)."""
+    return [check for check in check_claim1(result) if not check.satisfied]
+
+
+@dataclass(frozen=True)
+class Lemma53Check:
+    """Lemma 5.3 at one internal node where its hypotheses hold."""
+
+    node: NodeTrace
+    satisfied: bool
+    gap: int
+    gap_right: int
+    bound: float
+
+
+def check_lemma53(result: AdversaryResult) -> list[Lemma53Check]:
+    """Evaluate Lemma 5.3 wherever its hypotheses hold.
+
+    Lemma 5.3: if g > 2^7 and inequality (4) fails — i.e. the first
+    recursive call's space-gap RHS does not already dominate the node's —
+    then g'' < (g / 2) * (log2 g + 4) / (log2 g + 1).  Nodes with small gaps
+    or where (4) holds are outside the lemma's hypotheses and are skipped,
+    so the returned list covers exactly the Case-2 nodes of the proof.
+    """
+    checks = []
+    epsilon = result.epsilon
+    for node in result.root.walk():
+        if node.left is None or node.right is None:
+            continue
+        if node.gap <= 2**7:
+            continue
+        lhs_of_4 = space_gap_rhs(epsilon, node.left.appended, node.left.gap)
+        rhs_of_4 = space_gap_rhs(epsilon, node.appended, node.gap)
+        if lhs_of_4 >= rhs_of_4:
+            continue  # inequality (4) holds: Case 1, lemma not invoked
+        bound = (node.gap / 2) * (math.log2(node.gap) + 4) / (math.log2(node.gap) + 1)
+        checks.append(
+            Lemma53Check(
+                node=node,
+                satisfied=node.right.gap < bound,
+                gap=node.gap,
+                gap_right=node.right.gap,
+                bound=bound,
+            )
+        )
+    return checks
+
+
+def lemma53_violations(result: AdversaryResult) -> list[Lemma53Check]:
+    """The failed Lemma 5.3 checks (expected empty)."""
+    return [check for check in check_lemma53(result) if not check.satisfied]

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+being able to distinguish model violations from plain usage errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ForbiddenItemOperation(ReproError, TypeError):
+    """An operation other than comparison/equality was attempted on an item.
+
+    The comparison-based model (Definition 2.1(i) of the paper) allows a
+    summary to compare two items or test them for equality, and nothing else.
+    :class:`repro.universe.Item` raises this error whenever arithmetic,
+    hashing into values, or any other value-extracting operation is attempted,
+    which turns the model restriction into a runtime guarantee.
+    """
+
+
+class ModelViolation(ReproError):
+    """A summary broke a rule of the comparison-based model (Definition 2.1).
+
+    Raised by the compliance monitor, e.g. when a summary stores an item that
+    never appeared in the stream, or re-adds an item after discarding it
+    without the item reappearing.
+    """
+
+
+class IndistinguishabilityViolation(ReproError):
+    """Two streams the adversary requires to be indistinguishable diverged.
+
+    For a *deterministic comparison-based* summary this cannot happen (Lemma
+    4.2); seeing this error means the summary under test is either randomized
+    without a fixed seed, not comparison-based, or not deterministic.
+    """
+
+
+class EmptySummaryError(ReproError):
+    """A quantile or rank query was issued against an empty summary."""
+
+
+class InvalidQuantileError(ReproError, ValueError):
+    """A quantile query was issued with phi outside the closed range [0, 1]."""
+
+
+class UniverseExhaustedError(ReproError):
+    """No fresh item could be drawn from the requested open interval.
+
+    The paper assumes a continuous universe, so with exact rational items this
+    can only happen if the interval is empty (lo >= hi).
+    """
+
+
+class AdversaryError(ReproError):
+    """The adversarial construction was invoked with invalid parameters."""

@@ -1,0 +1,11 @@
+"""One runnable experiment per figure and validated claim of the paper.
+
+Each ``exp_*`` module exposes ``run(**params) -> list[Table]`` plus a
+``SPEC`` describing what it reproduces.  The registry maps experiment ids
+(F1, F2, T1..T10) to their modules; ``python -m repro.experiments`` runs any
+subset and prints the tables that EXPERIMENTS.md records.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]

@@ -1,0 +1,90 @@
+"""CLI: regenerate the paper's figures/claims as tables.
+
+Usage::
+
+    python -m repro.experiments            # list experiments
+    python -m repro.experiments all        # run everything
+    python -m repro.experiments F2 T1 T4   # run a subset
+    python -m repro.experiments all --markdown results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.latex import to_latex
+from repro.analysis.tables import Table
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def _list_experiments() -> None:
+    print("Available experiments (see DESIGN.md for the full index):\n")
+    for spec in EXPERIMENTS.values():
+        print(f"  {spec.id:<4} {spec.paper_ref:<24} {spec.title}")
+    print("\nRun with: python -m repro.experiments <id> [<id> ...] | all")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and validated claims.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        help="experiment ids (F1, F2, T1..T10) or 'all'; empty lists them",
+    )
+    parser.add_argument(
+        "--markdown",
+        metavar="PATH",
+        help="additionally write the tables as markdown to PATH",
+    )
+    parser.add_argument(
+        "--latex",
+        metavar="PATH",
+        help="additionally write the tables as LaTeX (booktabs) to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.ids:
+        _list_experiments()
+        return 0
+
+    if len(args.ids) == 1 and args.ids[0].lower() == "all":
+        ids = list(EXPERIMENTS)
+    else:
+        ids = [identifier.upper() for identifier in args.ids]
+
+    markdown_chunks: list[str] = []
+    latex_chunks: list[str] = []
+    for experiment_id in ids:
+        spec = get_experiment(experiment_id)
+        print(f"== {spec.id}: {spec.title} ({spec.paper_ref}) ==\n")
+        started = time.perf_counter()
+        tables = spec.runner()()
+        elapsed = time.perf_counter() - started
+        for table in tables:
+            print(table.render())
+            print()
+            markdown_chunks.append(table.to_markdown())
+            markdown_chunks.append("")
+            if args.latex and isinstance(table, Table):
+                latex_chunks.append(to_latex(table))
+                latex_chunks.append("")
+        print(f"[{spec.id} completed in {elapsed:.1f}s]\n")
+
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write("\n".join(markdown_chunks))
+        print(f"markdown written to {args.markdown}")
+    if args.latex:
+        with open(args.latex, "w") as handle:
+            handle.write("\n".join(latex_chunks))
+        print(f"latex written to {args.latex}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""A3 — ablation: recursion depth vs leaf size at fixed stream length.
+
+The construction spends its items in 2^(k-1) leaves of 2/eps items each.
+Holding N fixed, this ablation trades leaf size against recursion depth:
+more, smaller leaves mean more refinements (more opportunities to compound
+uncertainty) but fewer items per leaf to force storage.  Measured against a
+capped summary: the paper's balance point — leaf size 2/eps — is near the
+depth that maximises the achieved gap, and very shallow recursions (huge
+leaves, few refinements) are clearly weaker.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.core.adversary import build_adversarial_pair
+from repro.summaries.capped import CappedSummary
+
+SPEC = "Ablation: depth/leaf-size trade-off at fixed N"
+
+
+def run(
+    epsilon: float = 1 / 32,
+    total_log2: int = 11,  # N = 2^11 = 2048
+    budget: int = 24,
+) -> list[Table]:
+    n = 2**total_log2
+    paper_leaf = max(2, round(2 / epsilon))
+    table = Table(
+        f"A3. Gap vs recursion depth at fixed N = {n} (capped budget {budget})",
+        ["leaf size", "depth k", "refinements", "final gap", "2 eps N", "gap / bound"],
+    )
+    # Enumerate (leaf_size, k) with leaf_size * 2^(k-1) = N.
+    for k in range(2, total_log2):
+        leaf_size = n >> (k - 1)
+        if leaf_size < 4:
+            continue
+        result = build_adversarial_pair(
+            CappedSummary, epsilon=epsilon, k=k, leaf_size=leaf_size, budget=budget
+        )
+        gap = result.final_gap().gap
+        bound = 2 * epsilon * n
+        marker = " (paper)" if leaf_size == paper_leaf else ""
+        table.add_row(
+            f"{leaf_size}{marker}",
+            k,
+            2 ** (k - 1) - 1,
+            gap,
+            round(bound),
+            round(gap / bound, 2),
+        )
+    return [table]

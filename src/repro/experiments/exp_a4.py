@@ -1,0 +1,59 @@
+"""A4 — ablation: GK's compress period (space vs work trade-off).
+
+GK compresses every floor(1/(2 eps)) insertions.  This ablation sweeps the
+period and measures peak space, final space and comparison count on a
+random stream.  Expected shape: compressing more often does not shrink the
+summary much below the canonical setting (the invariant is the binding
+constraint), while compressing much less often inflates the peak item count
+— the transient the paper's space measure (max |I| over time) charges for.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.streams.generators import random_stream
+from repro.summaries.gk import GreenwaldKhanna
+from repro.universe.counter import ComparisonCounter
+from repro.universe.universe import Universe
+
+SPEC = "Ablation: GK compress period vs peak space and comparisons"
+
+
+def run(
+    epsilon: float = 1 / 32,
+    length: int = 8192,
+    multipliers: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 8.0, 32.0),
+) -> list[Table]:
+    canonical = max(1, round(1 / (2 * epsilon)))
+    table = Table(
+        f"A4. GK compress-period sweep (eps = 1/{round(1/epsilon)}, N = {length})",
+        [
+            "period",
+            "multiplier",
+            "peak |I|",
+            "final |I|",
+            "comparisons",
+            "max error / N",
+        ],
+    )
+    from repro.analysis.accuracy import quantile_error_profile
+
+    for multiplier in multipliers:
+        period = max(1, round(canonical * multiplier))
+        counter = ComparisonCounter()
+        universe = Universe(counter=counter)
+        items = random_stream(universe, length, seed=17)
+        summary = GreenwaldKhanna(epsilon, compress_period=period)
+        summary.process_all(items)
+        comparisons = counter.total
+        profile = quantile_error_profile(summary, items)
+        label = f"{period}" + (" (paper)" if multiplier == 1.0 else "")
+        table.add_row(
+            label,
+            multiplier,
+            summary.max_item_count,
+            len(summary.item_array()),
+            comparisons,
+            round(profile.max_error_normalized, 4),
+        )
+    return [table]

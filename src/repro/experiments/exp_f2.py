@@ -1,0 +1,108 @@
+"""F2 — Figure 2: a full trace of the construction with k=3, eps=1/6, N=48.
+
+The paper's example sends 12 items per leaf (2/eps with eps = 1/6) through
+four leaves, refining intervals at the three internal nodes.  The figure's D
+is an unspecified summary; we run the construction against live
+Greenwald-Khanna instances at the same eps and report, after every leaf,
+exactly what the figure's panels (a)-(d) show: how many items arrived, how
+many the summary retains, the ranks of the retained items w.r.t. each
+stream, and — at each internal node — the largest gap and its bound
+2 eps N' (the figure: gaps of 4, 8, 12 after panels a, b, c).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import FigurePanel, render_pair_panel
+from repro.analysis.tables import Table
+from repro.core.adversary import build_adversarial_pair
+from repro.core.pair import SummaryPair
+from repro.summaries.gk import GreenwaldKhanna
+
+SPEC = "Figure 2 (a-d): panels after 12, 24, 36, 48 items; gap <= 2 eps N'"
+
+
+def run(epsilon: float = 1 / 6, k: int = 3) -> list:
+    snapshots: list[dict] = []
+    drawings: list[str] = []
+
+    def snapshot(pair: SummaryPair, leaf_index: int) -> None:
+        array_pi, array_rho = pair.item_arrays()
+        snapshots.append(
+            {
+                "leaf": leaf_index,
+                "length": pair.length,
+                "stored": len(array_pi),
+                "ranks_pi": [pair.stream_pi.rank(item) for item in array_pi],
+                "ranks_rho": [pair.stream_rho.rank(item) for item in array_rho],
+            }
+        )
+        panel_label = chr(ord("a") + leaf_index - 1)
+        drawings.append(
+            render_pair_panel(
+                pair,
+                title=f"panel ({panel_label}) — {pair.length} items "
+                f"(| stored, x forgotten, by rank):",
+            )
+        )
+
+    result = build_adversarial_pair(
+        GreenwaldKhanna, epsilon=epsilon, k=k, on_leaf=snapshot
+    )
+
+    panels = Table(
+        "F2a. Construction trace: one row per leaf (figure panels a-d)",
+        ["panel", "items sent", "|I|", "ranks of stored items w.r.t. pi",
+         "ranks w.r.t. rho"],
+    )
+    for label, snap in zip("abcd", snapshots):
+        panels.add_row(
+            label,
+            snap["length"],
+            snap["stored"],
+            " ".join(str(rank) for rank in snap["ranks_pi"]),
+            " ".join(str(rank) for rank in snap["ranks_rho"]),
+        )
+
+    refinements = Table(
+        "F2b. Interval refinements at internal nodes (gap vs 2 eps N')",
+        ["node level", "items so far", "largest gap", "2 eps N'", "gap index i"],
+    )
+    # Internal nodes refine after their left subtree: traverse the recursion
+    # tree and report each RefineIntervals decision in execution order.
+    records = []
+
+    def collect(node, length_guess):
+        if node.refine is None:
+            return
+        # Left subtree appended half this node's items before the refine ran.
+        collect(node.left, length_guess - node.appended // 2)
+        records.append((node.level, length_guess - node.appended // 2, node.refine))
+        collect(node.right, length_guess)
+
+    collect(result.root, result.length)
+    records.sort(key=lambda record: record[1])
+    for level, length_at_refine, refine in records:
+        refinements.add_row(
+            level,
+            length_at_refine,
+            refine.gap,
+            round(2 * epsilon * length_at_refine, 1),
+            refine.index,
+        )
+
+    final = Table(
+        "F2c. Final state (figure panel d)",
+        ["stream length N", "final gap", "2 eps N", "max |I| over time"],
+    )
+    gap = result.final_gap()
+    final.add_row(
+        result.length,
+        gap.gap,
+        round(2 * epsilon * result.length, 1),
+        result.max_items_stored(),
+    )
+    figure = FigurePanel(
+        "F2d. The panels drawn in the paper's figure style",
+        "\n\n".join(drawings),
+    )
+    return [panels, refinements, final, figure]

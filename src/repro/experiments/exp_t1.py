@@ -1,0 +1,82 @@
+"""T1 — Theorem 2.2 tightness: measured GK space between the two bounds.
+
+The headline of the paper: Greenwald-Khanna's O((1/eps) log(eps N)) is
+optimal.  We run the adversary against live GK (band-based and greedy) for
+growing recursion depth k (so N = (1/eps) 2^k) and report the measured peak
+item-array size next to
+
+* the paper's explicit lower bound c (log2(2 eps N) + 1) / (4 eps),
+* GK's analysed upper bound (11 / (2 eps)) log2(2 eps N).
+
+Expected shape: measured space grows *linearly in k* and sits between the
+curves — i.e. Theta((1/eps) log(eps N)), the tightness the paper proves.
+The per-k increments expose the linear growth directly.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import gk_upper_bound, theorem22_lower_bound
+from repro.analysis.charts import AsciiChart
+from repro.analysis.tables import Table
+from repro.core.adversary import build_adversarial_pair
+from repro.core.attacks import verify_gap_bound
+from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy
+
+SPEC = "Theorem 2.2: GK space on adversarial streams is Theta((1/eps) log(eps N))"
+
+
+def run(epsilon: float = 1 / 32, k_max: int = 7, validate: bool = True) -> list:
+    table = Table(
+        f"T1. Adversarial-stream space of GK variants (eps = 1/{round(1/epsilon)})",
+        [
+            "k",
+            "N",
+            "lower bound",
+            "gk space",
+            "gk delta",
+            "gk-greedy space",
+            "greedy delta",
+            "upper bound",
+            "gap/2epsN",
+        ],
+    )
+    previous = {"gk": 0, "greedy": 0}
+    ks, measured, lower_curve, upper_curve = [], [], [], []
+    for k in range(1, k_max + 1):
+        gk_result = build_adversarial_pair(
+            GreenwaldKhanna, epsilon=epsilon, k=k, validate=validate
+        )
+        greedy_result = build_adversarial_pair(
+            GreenwaldKhannaGreedy, epsilon=epsilon, k=k, validate=validate
+        )
+        verify_gap_bound(gk_result)
+        verify_gap_bound(greedy_result)
+        n = gk_result.length
+        gk_space = gk_result.max_items_stored()
+        greedy_space = greedy_result.max_items_stored()
+        table.add_row(
+            k,
+            n,
+            round(theorem22_lower_bound(epsilon, n), 1),
+            gk_space,
+            gk_space - previous["gk"],
+            greedy_space,
+            greedy_space - previous["greedy"],
+            round(gk_upper_bound(epsilon, n)),
+            round(gk_result.final_gap().gap / (2 * epsilon * n), 2),
+        )
+        previous = {"gk": gk_space, "greedy": greedy_space}
+        ks.append(k)
+        measured.append(gk_space)
+        lower_curve.append(max(1.0, theorem22_lower_bound(epsilon, n)))
+        upper_curve.append(gk_upper_bound(epsilon, n))
+    chart = AsciiChart(
+        "T1 (chart). GK measured space between the bounds, log-y "
+        "(linear slope in k = log2(eps N) = tightness)",
+        log_y=True,
+    )
+    chart.set_x([f"k={k}" for k in ks])
+    chart.add_series("gk upper bound", upper_curve)
+    chart.add_series("gk measured", measured)
+    chart.add_series("thm 2.2 lower", lower_curve)
+    return [table, chart]

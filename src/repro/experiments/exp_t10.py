@@ -1,0 +1,120 @@
+"""T10 — algorithm comparison across stream orders (Luo et al. style).
+
+The paper's Section 1.2 frames its result against the experimental
+literature comparing quantile summaries [13].  This experiment reproduces
+that comparison with our own implementations: every summary processes the
+same streams in four arrival orders — random, sorted, zoomin, and the
+paper's adversarial order (built against live GK) — and we report peak item
+storage, worst observed rank error (normalized, to compare against eps),
+and comparisons performed.
+
+Expected shape: all correct summaries respect eps on all orders; GK's space
+is the smallest among deterministic summaries and grows on the adversarial
+order; q-digest's node count is flat in N (it escapes the lower bound by
+leaving the comparison-based model); sampling needs far more space than KLL
+for the same guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.accuracy import quantile_error_profile
+from repro.analysis.tables import Table
+from repro.streams.generators import (
+    adversarial_order_stream,
+    random_stream,
+    sorted_stream,
+    zoomin_stream,
+)
+from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy
+from repro.summaries.kll import KLL
+from repro.summaries.mrl import MRL
+from repro.summaries.qdigest import QDigest
+from repro.summaries.sampled import SampledGK
+from repro.summaries.sampling import ReservoirSampling
+from repro.summaries.turnstile import TurnstileQuantiles
+from repro.universe.counter import ComparisonCounter
+from repro.universe.item import Item, key_of
+from repro.universe.universe import Universe
+
+SPEC = "Summary comparison: space / accuracy / comparisons across stream orders"
+
+
+def _streams(epsilon: float, length: int, adversary_k: int) -> dict[str, list[Item]]:
+    universe = Universe()
+    streams = {
+        "random": random_stream(universe, length, seed=7),
+        "sorted": sorted_stream(universe, length),
+        "zoomin": zoomin_stream(universe, length),
+    }
+    adversarial = adversarial_order_stream(GreenwaldKhanna, epsilon, adversary_k)
+    streams["adversarial"] = adversarial
+    return streams
+
+
+def _summary_factories(epsilon: float, length: int):
+    universe_bits = max(4, math.ceil(math.log2(length + 2)))
+    return [
+        ("gk", lambda: GreenwaldKhanna(epsilon)),
+        ("gk-greedy", lambda: GreenwaldKhannaGreedy(epsilon)),
+        ("mrl", lambda: MRL(epsilon, n_hint=length)),
+        ("kll", lambda: KLL(epsilon, seed=0)),
+        ("sampled-gk", lambda: SampledGK(epsilon, n_hint=length, seed=0)),
+        ("sampling", lambda: ReservoirSampling(epsilon, seed=0)),
+        ("qdigest", lambda: QDigest(epsilon, universe_bits=universe_bits)),
+        (
+            "turnstile",
+            lambda: TurnstileQuantiles(epsilon, universe_bits=universe_bits, seed=0),
+        ),
+    ]
+
+
+def run(epsilon: float = 1 / 32, length: int = 4096, adversary_k: int = 7) -> list[Table]:
+    streams = _streams(epsilon, length, adversary_k)
+    tables = []
+    for order, items in streams.items():
+        table = Table(
+            f"T10. Stream order: {order} (eps = 1/{round(1/epsilon)}, N = {len(items)})",
+            [
+                "summary",
+                "max |I|",
+                "space detail",
+                "max error / N",
+                "within eps",
+                "comparisons",
+            ],
+        )
+        for name, factory in _summary_factories(epsilon, len(items)):
+            counter = ComparisonCounter()
+            run_items = _attach_counter(items, counter)
+            summary = factory()
+            if name in ("qdigest", "turnstile") and any(
+                key_of(item).denominator != 1 or key_of(item) < 0 for item in run_items
+            ):
+                table.add_row(name, "-", "non-integer stream", "-", "-", "-")
+                continue
+            summary.process_all(run_items)
+            processing_comparisons = counter.total
+            profile = quantile_error_profile(summary, run_items)
+            if isinstance(summary, QDigest):
+                space_detail = f"{summary.node_count()} nodes"
+            elif isinstance(summary, TurnstileQuantiles):
+                space_detail = f"{summary.memory_counters()} counters"
+            else:
+                space_detail = ""
+            table.add_row(
+                name,
+                summary.max_item_count,
+                space_detail,
+                round(profile.max_error_normalized, 4),
+                "yes" if profile.max_error_normalized <= epsilon + 1e-9 else "NO",
+                processing_comparisons,
+            )
+        tables.append(table)
+    return tables
+
+
+def _attach_counter(items: list[Item], counter: ComparisonCounter) -> list[Item]:
+    """Clone items with a fresh comparison counter attached."""
+    return [Item(key_of(item), counter=counter, label=item.label) for item in items]

@@ -1,0 +1,53 @@
+"""T2 — Lemma 3.4: every correct summary keeps gap(pi, rho) <= 2 eps N.
+
+The lemma is the bridge between uncertainty and failure: a gap above
+2 eps N implies some unanswerable quantile.  We run the adversary against
+each summary that claims eps-correctness and report the final gap against
+the bound; the expected shape is zero violations for correct summaries, and
+a large excess for the deliberately undersized ones shown for contrast.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.core.adversary import build_adversarial_pair
+from repro.summaries.capped import CappedSummary
+from repro.summaries.exact import ExactSummary
+from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy
+from repro.summaries.kll import KLL
+from repro.summaries.mrl import MRL
+
+SPEC = "Lemma 3.4: gap(pi, rho) <= 2 eps N for every correct summary"
+
+
+def run(epsilon: float = 1 / 32, k: int = 5) -> list[Table]:
+    n = round((1 / epsilon) * 2**k)
+    contenders = [
+        ("gk", lambda eps: GreenwaldKhanna(eps), True),
+        ("gk-greedy", lambda eps: GreenwaldKhannaGreedy(eps), True),
+        ("mrl", lambda eps: MRL(eps, n_hint=n), True),
+        ("exact", lambda eps: ExactSummary(eps), True),
+        # Seeded KLL sized for delta = 1e-6: correct with overwhelming
+        # probability, so it should also respect the bound here.
+        ("kll (delta=1e-6, seed 0)", lambda eps: KLL(eps, seed=0, delta=1e-6), True),
+        # Contrast: summaries below the space bound must blow the gap.
+        ("capped (budget 16)", lambda eps: CappedSummary(eps, budget=16), False),
+        ("kll (k=8, seed 0)", lambda eps: KLL(eps, k=8, seed=0), False),
+    ]
+    table = Table(
+        f"T2. Final gap vs 2 eps N (eps = 1/{round(1/epsilon)}, k = {k}, N = {n})",
+        ["summary", "claims correct", "max |I|", "gap", "2 eps N", "within bound"],
+    )
+    for name, factory, claims_correct in contenders:
+        result = build_adversarial_pair(factory, epsilon=epsilon, k=k)
+        gap = result.final_gap().gap
+        bound = 2 * epsilon * result.length
+        table.add_row(
+            name,
+            "yes" if claims_correct else "no",
+            result.max_items_stored(),
+            gap,
+            round(bound),
+            "yes" if gap <= bound else "NO",
+        )
+    return [table]

@@ -1,0 +1,88 @@
+"""T3 — Claim 1 and the space-gap inequality (Lemma 5.2) at every node.
+
+Lemma 5.2 holds for *any* deterministic comparison-based summary — correct
+or not — so we verify it (and Claim 1: g >= g' + g'' - 1) at every node of
+the recursion tree for a spectrum of summaries, from exact down to a
+budget-8 capped summary.  Lemma 5.3 — the Case-2 bound
+g'' < (g/2)(log2 g + 4)/(log2 g + 1) — is checked at every node where its
+hypotheses hold (g > 2^7 and inequality (4) failing); those nodes mostly
+occur for *correct* summaries at depth, where gaps sit in (2^7, 4 eps N).
+Expected shape: zero violations everywhere; the "min slack" column shows by
+how much the weakest node clears the space-gap bound.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.core.adversary import build_adversarial_pair
+from repro.core.spacegap import check_claim1, check_lemma53, check_space_gap
+from repro.summaries.capped import CappedSummary
+from repro.summaries.exact import ExactSummary
+from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy
+from repro.summaries.kll import KLL
+
+SPEC = "Claim 1 and Lemma 5.2 verified at every recursion-tree node"
+
+
+def run(epsilon: float = 1 / 32, k: int = 6) -> list[Table]:
+    contenders = [
+        ("gk", lambda eps: GreenwaldKhanna(eps)),
+        ("gk-greedy", lambda eps: GreenwaldKhannaGreedy(eps)),
+        ("exact", lambda eps: ExactSummary(eps)),
+        ("capped (budget 32)", lambda eps: CappedSummary(eps, budget=32)),
+        ("capped (budget 8)", lambda eps: CappedSummary(eps, budget=8)),
+        ("kll (k=8, seed 0)", lambda eps: KLL(eps, k=8, seed=0)),
+    ]
+    table = Table(
+        f"T3. Per-node proof checks (eps = 1/{round(1/epsilon)}, k = {k}, "
+        f"{2**k - 1} nodes per run)",
+        [
+            "summary",
+            "nodes",
+            "claim1 violations",
+            "space-gap violations",
+            "lemma 5.3 (applicable/violations)",
+            "min space-gap slack",
+            "root gap",
+            "root S_k",
+        ],
+    )
+    for name, factory in contenders:
+        result = build_adversarial_pair(factory, epsilon=epsilon, k=k)
+        claim1 = check_claim1(result)
+        spacegap = check_space_gap(result)
+        lemma53 = check_lemma53(result)
+        min_slack = min(check.lhs - check.rhs for check in spacegap)
+        table.add_row(
+            name,
+            len(spacegap),
+            sum(1 for check in claim1 if not check.satisfied),
+            sum(1 for check in spacegap if not check.satisfied),
+            f"{len(lemma53)}/{sum(1 for c in lemma53 if not c.satisfied)}",
+            round(min_slack, 1),
+            result.root.gap,
+            result.root.space,
+        )
+
+    # Lemma 5.3's Case-2 regime needs gaps in (2^7, 4 eps N): run GK deep
+    # enough that its (correct, <= 2 eps N) gaps cross 2^7.
+    deep_k = max(k, 8)
+    deep = build_adversarial_pair(
+        GreenwaldKhanna, epsilon=epsilon, k=deep_k, validate=False
+    )
+    lemma53_table = Table(
+        f"T3b. Lemma 5.3 at its Case-2 nodes (gk, k = {deep_k}): "
+        "g'' < (g/2)(log2 g + 4)/(log2 g + 1)",
+        ["node level", "g", "g''", "bound", "within"],
+    )
+    for check in check_lemma53(deep):
+        lemma53_table.add_row(
+            check.node.level,
+            check.gap,
+            check.gap_right,
+            round(check.bound, 1),
+            "yes" if check.satisfied else "NO",
+        )
+    if not lemma53_table.rows:
+        lemma53_table.add_row("-", "-", "-", "-", "no applicable nodes")
+    return [table, lemma53_table]

@@ -1,0 +1,82 @@
+"""T4 — the lower bound as an attack: small summaries fail concretely.
+
+Theorem 2.2 says any comparison-based summary storing o((1/eps) log(eps N))
+items fails some quantile query on the adversarial stream.  Here the
+statement is made concrete: for each budget below the bound, the adversary's
+run produces a quantile phi whose answer is off by more than eps N on one of
+the two streams (Lemma 3.4's proof, executed by
+:func:`repro.core.attacks.find_failing_quantile`).  GK is included as the
+control: with Theta((1/eps) log(eps N)) items it always survives.
+
+Expected shape: every capped budget — even budgets *above* GK's measured
+footprint, since the cap's merge rule is not gap-aware — yields a witness
+whose error exceeds the allowance, while GK yields none.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.core.adversary import build_adversarial_pair
+from repro.core.attacks import find_failing_quantile
+from repro.summaries.capped import CappedSummary
+from repro.summaries.gk import GreenwaldKhanna
+
+SPEC = "Theorem 2.2 as an attack: failing quantiles for undersized summaries"
+
+
+def run(
+    epsilon: float = 1 / 32,
+    k: int = 5,
+    budgets: tuple[int, ...] = (8, 16, 32, 64, 128),
+) -> list[Table]:
+    table = Table(
+        f"T4. Failing-quantile witnesses (eps = 1/{round(1/epsilon)}, k = {k})",
+        [
+            "summary",
+            "max |I|",
+            "gap",
+            "2 eps N",
+            "witness phi",
+            "worst rank error",
+            "allowed",
+            "defeated",
+        ],
+    )
+    for budget in budgets:
+        result = build_adversarial_pair(
+            CappedSummary, epsilon=epsilon, k=k, budget=budget
+        )
+        witness = find_failing_quantile(result)
+        gap = result.final_gap().gap
+        bound = round(2 * epsilon * result.length)
+        if witness is None:
+            table.add_row(
+                f"capped ({budget})", result.max_items_stored(), gap, bound,
+                "-", "-", "-", "no",
+            )
+        else:
+            table.add_row(
+                f"capped ({budget})",
+                result.max_items_stored(),
+                gap,
+                bound,
+                f"{float(witness.phi):.4f}",
+                float(max(witness.error_pi, witness.error_rho)),
+                float(witness.allowed_error),
+                "YES",
+            )
+    control = build_adversarial_pair(GreenwaldKhanna, epsilon=epsilon, k=k)
+    control_witness = find_failing_quantile(control)
+    table.add_row(
+        "gk (control)",
+        control.max_items_stored(),
+        control.final_gap().gap,
+        round(2 * epsilon * control.length),
+        "-" if control_witness is None else f"{float(control_witness.phi):.4f}",
+        "-" if control_witness is None else float(
+            max(control_witness.error_pi, control_witness.error_rho)
+        ),
+        "-",
+        "no" if control_witness is None else "YES",
+    )
+    return [table]

@@ -1,0 +1,68 @@
+"""T5 — Theorem 6.1: finding an approximate median needs the same space.
+
+The reduction appends items below (or above) everything so the uncovered
+quantile region created by the adversary slides onto the median of the
+extended stream.  For each summary we report which proof branch fired:
+
+* correct summaries (GK) land in the *space* branch — the gap stays small
+  and the storage pays Omega((1/eps) log(eps N));
+* undersized summaries land in the *median-failure* branch — after the
+  append, querying phi = 1/2 returns an item whose true rank is off by more
+  than eps N' on at least one stream.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.core.adversary import build_adversarial_pair
+from repro.core.median import median_attack
+from repro.summaries.capped import CappedSummary
+from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy
+
+SPEC = "Theorem 6.1: eps-approximate median is as hard as all quantiles"
+
+
+def run(
+    epsilon: float = 1 / 32,
+    k: int = 5,
+    budgets: tuple[int, ...] = (8, 16, 48),
+) -> list[Table]:
+    contenders = [
+        ("gk", lambda eps: GreenwaldKhanna(eps)),
+        ("gk-greedy", lambda eps: GreenwaldKhannaGreedy(eps)),
+    ] + [
+        (f"capped ({budget})", _capped_factory(budget)) for budget in budgets
+    ]
+    table = Table(
+        f"T5. Median reduction outcomes (eps = 1/{round(1/epsilon)}, k = {k})",
+        [
+            "summary",
+            "branch",
+            "gap",
+            "appended",
+            "final N",
+            "median error pi",
+            "median error rho",
+            "allowed",
+            "median failed",
+        ],
+    )
+    for name, factory in contenders:
+        result = build_adversarial_pair(factory, epsilon=epsilon, k=k)
+        outcome = median_attack(result)
+        table.add_row(
+            name,
+            outcome.outcome,
+            outcome.gap,
+            outcome.appended,
+            outcome.final_length,
+            "-" if outcome.median_error_pi is None else float(outcome.median_error_pi),
+            "-" if outcome.median_error_rho is None else float(outcome.median_error_rho),
+            "-" if outcome.allowed_error is None else float(outcome.allowed_error),
+            "YES" if outcome.failed_median else "no",
+        )
+    return [table]
+
+
+def _capped_factory(budget: int):
+    return lambda eps: CappedSummary(eps, budget=budget)

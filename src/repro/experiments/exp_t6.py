@@ -1,0 +1,67 @@
+"""T6 — Theorem 6.2: the lower bound transfers to Estimating Rank.
+
+After the adversary finishes, two fresh probe items are drawn in the extreme
+regions of the largest gap.  A comparison-based rank estimator necessarily
+returns the *same* estimate for both (the probes compare identically against
+the two indistinguishable memory states), but their true ranks differ by the
+gap; with gap > 2 eps N + 2 the shared estimate must miss by more than
+eps N on one stream.
+
+Expected shape: GK's estimates stay within eps N on both streams (its gap is
+small); every capped summary is caught with one impossible shared estimate.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.core.adversary import build_adversarial_pair
+from repro.core.rank_attack import rank_attack
+from repro.summaries.capped import CappedSummary
+from repro.summaries.gk import GreenwaldKhanna
+
+SPEC = "Theorem 6.2: Estimating Rank needs Omega((1/eps) log(eps N)) items"
+
+
+def run(
+    epsilon: float = 1 / 32,
+    k: int = 5,
+    budgets: tuple[int, ...] = (8, 16, 48),
+) -> list[Table]:
+    contenders = [("gk", lambda eps: GreenwaldKhanna(eps))] + [
+        (f"capped ({budget})", _capped_factory(budget)) for budget in budgets
+    ]
+    table = Table(
+        f"T6. Rank-estimation probes across the gap (eps = 1/{round(1/epsilon)}, k = {k})",
+        [
+            "summary",
+            "gap",
+            "2 eps N + 2",
+            "shared estimate",
+            "true rank (pi)",
+            "true rank (rho)",
+            "error pi",
+            "error rho",
+            "allowed",
+            "failed",
+        ],
+    )
+    for name, factory in contenders:
+        result = build_adversarial_pair(factory, epsilon=epsilon, k=k)
+        outcome = rank_attack(result)
+        table.add_row(
+            name,
+            outcome.gap,
+            round(2 * epsilon * result.length + 2),
+            outcome.estimate,
+            outcome.true_rank_pi,
+            outcome.true_rank_rho,
+            outcome.error_pi,
+            outcome.error_rho,
+            round(outcome.allowed_error),
+            "YES" if outcome.failed else "no",
+        )
+    return [table]
+
+
+def _capped_factory(budget: int):
+    return lambda eps: CappedSummary(eps, budget=budget)

@@ -1,0 +1,76 @@
+"""T7 — Theorem 6.4: randomized summaries via derandomization.
+
+Two tables:
+
+(a) *The reduction, executed.*  Theorem 6.4 derandomizes: with failure
+    probability below 1/N! some fixing of the random bits succeeds on all
+    streams, and that fixing is a deterministic comparison-based summary
+    subject to Theorem 2.2.  Fixing bits is seeding: we run the adversary
+    against seeded KLL at several sketch sizes.  Undersized sketches yield
+    concrete failing quantiles for every seed; generously sized ones
+    survive — exactly the deterministic phenomenology, seed by seed.
+
+(b) *The optimal curve.*  KLL's space should scale like
+    (1/eps) log log(1/delta), the bound Theorem 6.4 proves optimal for
+    exponentially small delta.  We size KLL for shrinking delta and compare
+    measured space with the theory scale; the ratio column should stay
+    roughly flat.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.core.randomized import attack_seeded_summary, kll_space_curve
+from repro.summaries.kll import KLL
+
+SPEC = "Theorem 6.4: derandomized KLL under attack; space vs log log(1/delta)"
+
+
+_DEFAULT_SKETCHES: tuple[tuple[str, dict], ...] = (
+    ("kll k=8", {"k": 8}),
+    ("kll k=24", {"k": 24}),
+    ("kll delta=1e-2", {"delta": 1e-2}),
+    ("kll delta=1e-6", {"delta": 1e-6}),
+)
+
+
+def run(
+    epsilon: float = 1 / 32,
+    k: int = 5,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    sketches: tuple[tuple[str, dict], ...] = _DEFAULT_SKETCHES,
+    deltas: tuple[float, ...] = (1e-2, 1e-4, 1e-8, 1e-16, 1e-32),
+    stream_length: int = 20_000,
+) -> list[Table]:
+    attack_table = Table(
+        f"T7a. Adversary vs seeded KLL (eps = 1/{round(1/epsilon)}, k = {k})",
+        ["sketch", "seed", "max |I|", "gap", "2 eps N", "defeated"],
+    )
+    for label, kwargs in sketches:
+        outcomes = attack_seeded_summary(
+            KLL, epsilon=epsilon, k=k, seeds=seeds, summary_kwargs=kwargs
+        )
+        for outcome in outcomes:
+            attack_table.add_row(
+                label,
+                outcome.seed,
+                outcome.max_items_stored,
+                outcome.gap,
+                round(outcome.gap_bound),
+                "YES" if outcome.defeated else "no",
+            )
+
+    curve_table = Table(
+        "T7b. KLL space vs failure probability "
+        f"(eps = 1/{round(1/epsilon)}, N = {stream_length})",
+        ["delta", "k parameter", "max |I|", "(1/eps) loglog(1/delta)", "ratio"],
+    )
+    for point in kll_space_curve(epsilon, deltas, stream_length=stream_length):
+        curve_table.add_row(
+            f"{point.delta:.0e}",
+            point.k_parameter,
+            point.max_items_stored,
+            round(point.theory_scale, 1),
+            round(point.max_items_stored / point.theory_scale, 2),
+        )
+    return [attack_table, curve_table]

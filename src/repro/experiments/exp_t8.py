@@ -1,0 +1,86 @@
+"""T8 — Theorem 6.5: biased quantiles need Omega((1/eps) log^2(eps N)).
+
+The phased construction stacks AdvStrategy(i) for i = 1..k, each phase
+entirely above the previous items, so the relative-error guarantee pins
+every phase's items forever.  For a correct biased summary we expect
+
+* per-phase retention growing roughly linearly in the phase index i
+  (Theta(i / eps) items still held when the stream ends), and
+* total storage growing quadratically in k — the log^2(eps N) shape.
+
+A *uniform*-error summary (GK) run on the same streams is shown as
+contrast: it may forget early phases as N grows, so its per-phase retention
+stays flat or shrinks — the separation between the two guarantees.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import biased_lower_bound
+from repro.analysis.tables import Table
+from repro.core.biased_attack import biased_attack
+from repro.summaries.biased import BiasedQuantileSummary
+from repro.summaries.gk import GreenwaldKhanna
+from repro.summaries.req import RelativeErrorSketch
+
+SPEC = "Theorem 6.5: phased construction forces (1/eps) k^2 for biased quantiles"
+
+
+def run(epsilon: float = 1 / 32, k: int = 5) -> list[Table]:
+    biased_result = biased_attack(BiasedQuantileSummary, epsilon=epsilon, k=k)
+    uniform_result = biased_attack(GreenwaldKhanna, epsilon=epsilon, k=k)
+    # The randomized follow-up (REQ lineage, seeded): Section 6.4's open
+    # question concerns exactly how much randomization can save here.
+    req_result = biased_attack(
+        lambda eps: RelativeErrorSketch(eps, seed=0), epsilon=epsilon, k=k
+    )
+
+    per_phase = Table(
+        f"T8a. Per-phase retention at stream end (eps = 1/{round(1/epsilon)}, k = {k})",
+        [
+            "phase i",
+            "N_i appended",
+            "phase gap",
+            "biased: retained",
+            "biased: retained/i",
+            "gk (uniform): retained",
+            "req (randomized): retained",
+        ],
+    )
+    for biased_phase, uniform_phase, req_phase in zip(
+        biased_result.phases, uniform_result.phases, req_result.phases
+    ):
+        per_phase.add_row(
+            biased_phase.phase,
+            biased_phase.appended,
+            biased_phase.gap,
+            biased_phase.stored_at_stream_end,
+            round(biased_phase.stored_at_stream_end / biased_phase.phase, 1),
+            uniform_phase.stored_at_stream_end,
+            req_phase.stored_at_stream_end,
+        )
+
+    totals = Table(
+        "T8b. Totals vs the Theorem 6.5 lower-bound shape",
+        [
+            "summary",
+            "stream length N",
+            "total retained",
+            "max |I| over time",
+            "(1/eps) log^2(eps N) scale",
+        ],
+    )
+    n = biased_result.length
+    scale = round(biased_lower_bound(epsilon, n), 1)
+    totals.add_row(
+        "biased", n, biased_result.total_stored_at_end(),
+        biased_result.max_items_stored(), scale,
+    )
+    totals.add_row(
+        "gk (uniform)", n, uniform_result.total_stored_at_end(),
+        uniform_result.max_items_stored(), scale,
+    )
+    totals.add_row(
+        "req (randomized)", n, req_result.total_stored_at_end(),
+        req_result.max_items_stored(), scale,
+    )
+    return [per_phase, totals]

@@ -1,0 +1,63 @@
+"""T9 — the bound landscape the paper reshapes (Sections 1 and 1.1).
+
+Before this paper the best lower bound was Hung-Ting's
+Omega((1/eps) log(1/eps)) — *independent of N*.  Theorem 2.2 replaces it
+with Omega((1/eps) log(eps N)), matching GK's upper bound.  This table
+sweeps N at fixed eps and prints all the curves; the expected shape is the
+crossover the paper describes: for N up to about (1/eps)^2 the two lower
+bounds agree, and beyond it the new bound keeps growing with the upper
+bound while Hung-Ting's stays flat.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import (
+    gk_upper_bound,
+    hung_ting_lower_bound,
+    mrl_upper_bound,
+    theorem22_lower_bound,
+    trivial_lower_bound,
+)
+from repro.analysis.charts import AsciiChart
+from repro.analysis.tables import Table
+
+SPEC = "Bound curves vs N: the log(eps N) factor the paper makes unavoidable"
+
+
+def run(epsilon: float = 1 / 64, k_max: int = 20) -> list:
+    table = Table(
+        f"T9. Space bounds vs stream length (eps = 1/{round(1/epsilon)}, items)",
+        [
+            "N",
+            "trivial 1/(2eps)",
+            "Hung-Ting",
+            "Theorem 2.2",
+            "GK upper",
+            "MRL upper",
+        ],
+    )
+    ns, hung_ting, theorem22, gk_upper = [], [], [], []
+    for k in range(2, k_max + 1, 2):
+        n = round((1 / epsilon) * 2**k)
+        ns.append(n)
+        hung_ting.append(hung_ting_lower_bound(epsilon))
+        theorem22.append(theorem22_lower_bound(epsilon, n))
+        gk_upper.append(gk_upper_bound(epsilon, n))
+        table.add_row(
+            n,
+            round(trivial_lower_bound(epsilon)),
+            round(hung_ting[-1]),
+            round(theorem22[-1], 1),
+            round(gk_upper[-1]),
+            round(mrl_upper_bound(epsilon, n)),
+        )
+    chart = AsciiChart(
+        "T9 (chart). Lower bounds vs N, log-y: Theorem 2.2 grows with the "
+        "upper bound; Hung-Ting stays flat",
+        log_y=True,
+    )
+    chart.set_x([f"2^{k}" for k in range(2, k_max + 1, 2)])
+    chart.add_series("gk upper", gk_upper)
+    chart.add_series("hung-ting", hung_ting)
+    chart.add_series("theorem 2.2", theorem22)
+    return [table, chart]

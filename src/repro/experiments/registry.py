@@ -1,0 +1,164 @@
+"""Registry of experiments, keyed by the ids used in DESIGN.md/EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.tables import Table
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Static description of one experiment."""
+
+    id: str
+    title: str
+    paper_ref: str
+    module: str
+
+    def runner(self) -> Callable[..., list[Table]]:
+        """Import the experiment module and return its ``run`` callable."""
+        return importlib.import_module(self.module).run
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.id: spec
+    for spec in [
+        ExperimentSpec(
+            "F1",
+            "Largest-gap computation in restricted item arrays",
+            "Figure 1",
+            "repro.experiments.exp_f1",
+        ),
+        ExperimentSpec(
+            "F2",
+            "Adversarial construction trace (k=3, eps=1/6, N=48)",
+            "Figure 2",
+            "repro.experiments.exp_f2",
+        ),
+        ExperimentSpec(
+            "T1",
+            "Tightness: GK space on adversarial streams vs both bounds",
+            "Theorem 2.2",
+            "repro.experiments.exp_t1",
+        ),
+        ExperimentSpec(
+            "T2",
+            "Correct summaries keep gap(pi, rho) <= 2 eps N",
+            "Lemma 3.4",
+            "repro.experiments.exp_t2",
+        ),
+        ExperimentSpec(
+            "T3",
+            "Claim 1 and the space-gap inequality at every recursion node",
+            "Claim 1, Lemma 5.2",
+            "repro.experiments.exp_t3",
+        ),
+        ExperimentSpec(
+            "T4",
+            "Budget-capped summaries: failing-quantile witnesses",
+            "Lemma 3.4 proof / Theorem 2.2",
+            "repro.experiments.exp_t4",
+        ),
+        ExperimentSpec(
+            "T5",
+            "Approximate median needs the same space",
+            "Theorem 6.1",
+            "repro.experiments.exp_t5",
+        ),
+        ExperimentSpec(
+            "T6",
+            "Estimating Rank lower bound",
+            "Theorem 6.2",
+            "repro.experiments.exp_t6",
+        ),
+        ExperimentSpec(
+            "T7",
+            "Randomized summaries: derandomized KLL under attack + space curve",
+            "Theorem 6.4",
+            "repro.experiments.exp_t7",
+        ),
+        ExperimentSpec(
+            "T8",
+            "Biased quantiles: phased construction, Omega((1/eps) log^2(eps N))",
+            "Theorem 6.5",
+            "repro.experiments.exp_t8",
+        ),
+        ExperimentSpec(
+            "T9",
+            "Bound landscape: Hung-Ting vs Theorem 2.2 vs GK upper bound",
+            "Sections 1, 1.1",
+            "repro.experiments.exp_t9",
+        ),
+        ExperimentSpec(
+            "T10",
+            "Algorithm comparison across stream orders (Luo et al. style)",
+            "Section 1.2 context",
+            "repro.experiments.exp_t10",
+        ),
+        ExperimentSpec(
+            "A1",
+            "Ablation: shuffling the adversarial items destroys the attack",
+            "Section 1.2 (random-order models)",
+            "repro.experiments.exp_a1",
+        ),
+        ExperimentSpec(
+            "A2",
+            "Ablation: refinement policy (argmax gap vs weaker choices)",
+            "Pseudocode 1, line 2",
+            "repro.experiments.exp_a2",
+        ),
+        ExperimentSpec(
+            "A3",
+            "Ablation: recursion depth vs leaf size at fixed N",
+            "Section 4.4",
+            "repro.experiments.exp_a3",
+        ),
+        ExperimentSpec(
+            "A4",
+            "Ablation: GK compress period vs peak space",
+            "Section 2 (space = max |I| over time)",
+            "repro.experiments.exp_a4",
+        ),
+        ExperimentSpec(
+            "A5",
+            "Application: shard-and-merge vs single-pass summaries",
+            "Section 1 (balancing parallel computations)",
+            "repro.experiments.exp_a5",
+        ),
+        ExperimentSpec(
+            "A6",
+            "Recursive construction vs sequential (Hung-Ting-style) zooming",
+            "Section 1.1",
+            "repro.experiments.exp_a6",
+        ),
+        ExperimentSpec(
+            "A7",
+            "Universe obliviousness: identical traces over rationals and strings",
+            "Section 2 (universe example)",
+            "repro.experiments.exp_a7",
+        ),
+        ExperimentSpec(
+            "A8",
+            "Munro-Paterson trade-off: exact selection passes vs memory",
+            "Section 1 (opening discussion, [17])",
+            "repro.experiments.exp_a8",
+        ),
+    ]
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up an experiment by id (case-insensitive)."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return EXPERIMENTS[key]
+
+
+def run_experiment(experiment_id: str, **params) -> list[Table]:
+    """Run one experiment and return its tables."""
+    return get_experiment(experiment_id).runner()(**params)

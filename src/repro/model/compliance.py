@@ -1,0 +1,109 @@
+"""Runtime verification of the comparison-based model (Definition 2.1).
+
+:class:`ComplianceMonitor` wraps any :class:`~repro.model.QuantileSummary`
+and checks, after every processed item and every query, the structural rules
+of the model:
+
+(ii)  the item array stores only items that occurred in the stream, sorted
+      non-decreasingly, and a discarded item never silently returns unless it
+      appeared in the stream again;
+(iv)  quantile queries return stored items.
+
+Rule (i) — "no operations on items other than comparisons and equality
+tests" — is enforced by :class:`~repro.universe.Item` itself, which raises
+:class:`~repro.errors.ForbiddenItemOperation` on anything else.  The monitor
+is infrastructure, so it may inspect item keys via
+:func:`~repro.universe.key_of`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import ModelViolation
+from repro.model.summary import QuantileSummary
+from repro.universe.item import Item, key_of
+
+
+class ComplianceMonitor(QuantileSummary):
+    """A transparent wrapper that validates model compliance at runtime.
+
+    The monitor is itself a :class:`QuantileSummary`, so it can be dropped in
+    anywhere the wrapped summary is used — including under the adversary.
+    """
+
+    def __init__(self, inner: QuantileSummary) -> None:
+        super().__init__(inner.epsilon)
+        self.inner = inner
+        self.name = f"monitored[{inner.name}]"
+        self.is_comparison_based = inner.is_comparison_based
+        self.is_deterministic = inner.is_deterministic
+        self.violations: list[str] = []
+        # Keys seen in the stream, with arrival position (1-based), most
+        # recent occurrence last.
+        self._last_seen: dict[Fraction, int] = {}
+        # Keys present in the item array after the previous check.
+        self._stored_keys: set[Fraction] = set()
+        # Key -> stream position at which it was dropped from the item array.
+        self._dropped_at: dict[Fraction, int] = {}
+
+    # -- QuantileSummary plumbing ----------------------------------------------
+
+    def _insert(self, item: Item) -> None:
+        self._last_seen[key_of(item)] = self._n + 1
+        self.inner.process(item)
+        self._check_item_array()
+
+    def _query(self, phi: float) -> Item:
+        result = self.inner.query(phi)
+        stored = {key_of(stored_item) for stored_item in self.inner.item_array()}
+        if key_of(result) not in stored:
+            self._record(
+                f"query({phi}) returned an item not present in the item array"
+            )
+        return result
+
+    def estimate_rank(self, item: Item) -> int:
+        return self.inner.estimate_rank(item)
+
+    def item_array(self) -> list[Item]:
+        return self.inner.item_array()
+
+    def fingerprint(self) -> tuple:
+        return self.inner.fingerprint()
+
+    # -- checks ------------------------------------------------------------------
+
+    def _record(self, message: str) -> None:
+        self.violations.append(message)
+        raise ModelViolation(message)
+
+    def _check_item_array(self) -> None:
+        array = self.inner.item_array()
+        keys = [key_of(item) for item in array]
+        for previous, current in zip(keys, keys[1:]):
+            if previous > current:
+                self._record("item array is not sorted non-decreasingly")
+        position = self._n + 1  # the item just processed has this position
+        new_keys = set(keys)
+        for key in new_keys:
+            if key not in self._last_seen:
+                self._record("item array contains an item never seen in the stream")
+            dropped = self._dropped_at.get(key)
+            if (
+                key not in self._stored_keys
+                and dropped is not None
+                and self._last_seen[key] <= dropped
+            ):
+                self._record(
+                    "a discarded item returned to the item array without "
+                    "reappearing in the stream"
+                )
+        for key in self._stored_keys - new_keys:
+            self._dropped_at[key] = position
+        self._stored_keys = new_keys
+
+    @property
+    def is_compliant(self) -> bool:
+        """True while no violation has been observed."""
+        return not self.violations

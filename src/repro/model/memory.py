@@ -1,0 +1,44 @@
+"""Memory states and their equivalence (Definition 3.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.summary import QuantileSummary
+from repro.universe.item import Item
+
+
+@dataclass(frozen=True)
+class MemoryState:
+    """A snapshot (I, G) of a summary's memory.
+
+    ``items`` is the item array I (sorted stream items); ``fingerprint`` is
+    the item-free digest of the general memory G.
+    """
+
+    items: tuple[Item, ...]
+    fingerprint: tuple
+
+    @classmethod
+    def capture(cls, summary: QuantileSummary) -> "MemoryState":
+        """Snapshot the current memory state of ``summary``."""
+        return cls(items=tuple(summary.item_array()), fingerprint=summary.fingerprint())
+
+    @property
+    def item_count(self) -> int:
+        """|I| — the only space measure the lower bound charges for."""
+        return len(self.items)
+
+
+def equivalent(first: MemoryState, second: MemoryState) -> bool:
+    """Definition 3.1: equal |I| and equal general memory G.
+
+    The stored items themselves are *not* compared — equivalence is equality
+    up to an order-preserving renaming of items, which is exactly what makes
+    two differently-valued streams indistinguishable to a comparison-based
+    algorithm.
+    """
+    return (
+        first.item_count == second.item_count
+        and first.fingerprint == second.fingerprint
+    )

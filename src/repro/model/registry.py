@@ -1,0 +1,39 @@
+"""A name -> factory registry of quantile summaries.
+
+Experiments and benchmarks refer to algorithms by short names (``"gk"``,
+``"kll"``, ...).  Summary modules register themselves at import time via
+:func:`register_summary`; :func:`create_summary` instantiates by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.model.summary import QuantileSummary
+
+SummaryFactory = Callable[..., QuantileSummary]
+
+_REGISTRY: dict[str, SummaryFactory] = {}
+
+
+def register_summary(name: str, factory: SummaryFactory) -> None:
+    """Register ``factory`` under ``name``; re-registration must be identical."""
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not factory:
+        raise ValueError(f"summary name {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def create_summary(name: str, epsilon: float, **kwargs) -> QuantileSummary:
+    """Instantiate the summary registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(f"unknown summary {name!r}; known: {known}") from None
+    return factory(epsilon, **kwargs)
+
+
+def available_summaries() -> list[str]:
+    """Sorted list of registered summary names."""
+    return sorted(_REGISTRY)

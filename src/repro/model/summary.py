@@ -1,0 +1,139 @@
+"""Abstract interface for quantile summaries in the comparison-based model."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from fractions import Fraction
+from typing import Any
+
+from repro.errors import EmptySummaryError, InvalidQuantileError
+from repro.universe.item import Item
+
+
+def exact_fraction(value: float | Fraction) -> Fraction:
+    """Snap a float to the simple rational its caller almost surely meant.
+
+    ``Fraction(0.1)`` is the exact binary expansion of the float, not 1/10;
+    threshold arithmetic done with it drifts off the intended guarantee by
+    one rank at inconvenient moments.  Snapping through ``limit_denominator``
+    recovers the intended rational for every humanly-entered epsilon or phi
+    while leaving genuine high-precision fractions untouched.
+    """
+    if isinstance(value, Fraction):
+        return value
+    return Fraction(value).limit_denominator(10**9)
+
+
+class QuantileSummary(ABC):
+    """A streaming epsilon-approximate quantile summary (Definition 2.1).
+
+    Subclasses process a stream one item at a time and answer quantile
+    queries.  The interface additionally exposes the two halves of the
+    model's memory: :meth:`item_array` (the item array ``I``) and
+    :meth:`fingerprint` (an item-free digest of the general memory ``G``),
+    which the adversary uses to check indistinguishability (Definition 3.2).
+
+    Class attributes
+    ----------------
+    name:
+        Short identifier used in tables and the registry.
+    is_comparison_based:
+        Whether the algorithm fits Definition 2.1.  The lower bound applies
+        only to summaries with this flag set (q-digest, for example, is not
+        comparison-based and escapes the bound).
+    is_deterministic:
+        Whether processing is deterministic.  Randomized summaries become
+        deterministic — and hence attackable by the adversary — once their
+        seed is fixed, which is exactly the reduction behind Theorem 6.4.
+    """
+
+    name: str = "abstract"
+    is_comparison_based: bool = True
+    is_deterministic: bool = True
+
+    def __init__(self, epsilon: float) -> None:
+        if not 0 < epsilon < 1:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+        self._n = 0
+        self._max_item_count = 0
+
+    # -- stream processing -----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of stream items processed so far."""
+        return self._n
+
+    @property
+    def max_item_count(self) -> int:
+        """Largest item-array size observed so far.
+
+        The model assumes ``|I|`` never decreases; real algorithms do shrink
+        their arrays, so the paper's space measure is the maximum over time.
+        """
+        return self._max_item_count
+
+    def process(self, item: Item) -> None:
+        """Insert one stream item."""
+        self._insert(item)
+        self._n += 1
+        size = self._item_count()
+        if size > self._max_item_count:
+            self._max_item_count = size
+
+    def process_all(self, items: Any) -> None:
+        """Insert every item of an iterable, in order."""
+        for item in items:
+            self.process(item)
+
+    @abstractmethod
+    def _insert(self, item: Item) -> None:
+        """Algorithm-specific insertion of a single item."""
+
+    # -- queries ---------------------------------------------------------------
+
+    def query(self, phi: float) -> Item:
+        """Return a stored item whose rank is within ``epsilon * n`` of ``phi * n``."""
+        if not 0 <= phi <= 1:
+            raise InvalidQuantileError(f"phi must be in [0, 1], got {phi}")
+        if self._n == 0:
+            raise EmptySummaryError("cannot query an empty summary")
+        return self._query(phi)
+
+    @abstractmethod
+    def _query(self, phi: float) -> Item:
+        """Algorithm-specific quantile query for validated ``phi``."""
+
+    def estimate_rank(self, item: Item) -> int:
+        """Estimate the number of stream items ``<= item`` (Estimating Rank).
+
+        Optional: only summaries that track rank bounds implement it.
+        """
+        raise NotImplementedError(f"{self.name} does not support rank estimation")
+
+    # -- the model's memory ----------------------------------------------------
+
+    @abstractmethod
+    def item_array(self) -> list[Item]:
+        """The item array ``I``: stored stream items, sorted non-decreasingly."""
+
+    def _item_count(self) -> int:
+        """Current ``|I|``; override if cheaper than building the array."""
+        return len(self.item_array())
+
+    @abstractmethod
+    def fingerprint(self) -> tuple:
+        """An item-free, hashable digest of the general memory ``G``.
+
+        Two runs of the same deterministic comparison-based algorithm on
+        indistinguishable streams must produce equal fingerprints.  Stored
+        items must be represented positionally (by their index in ``I`` or
+        their position in the stream), never by value.
+        """
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(epsilon={self.epsilon}, n={self._n}, "
+            f"stored={self._item_count()})"
+        )

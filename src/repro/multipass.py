@@ -1,0 +1,205 @@
+"""Multi-pass exact selection with bounded memory (Munro-Paterson lineage).
+
+The paper opens with Munro and Paterson [17]: finding the *exact* median in
+one pass needs Omega(N) memory, but p passes over re-readable data suffice
+with N^(1/p) polylog space.  This module implements the classic
+filter-and-narrow scheme on top of the library's own summaries:
+
+* a *summarise* scan streams the candidates (the items inside the current
+  interval), counts them, and either stores them exactly (few enough) or
+  builds a GK summary of them;
+* a *verify* scan counts exactly how many candidates fall below the two
+  bracketing items the summary proposes, so the interval update and the
+  rank bookkeeping are exact — the summary only ever proposes, never decides.
+
+With a memory budget of m items the candidate count shrinks by a factor
+Theta(m) per iteration (the summary's eps is ~1/m), so the total number of
+scans is O(log N / log m): two-ish passes for m ~ sqrt(N), matching [17]'s
+trade-off.  Exactness is unconditional.
+
+This rounds out the paper's opening storyline: approximate quantiles in one
+pass (the rest of the library), exact ones in a few passes — and Theorem 2.2
+says the one-pass approximation cost is unavoidable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.errors import ReproError
+from repro.summaries.gk import GreenwaldKhanna
+from repro.universe.item import Item
+
+ItemSource = Callable[[], Iterable[Item]]
+
+
+class SelectionError(ReproError, ValueError):
+    """Invalid rank/budget, an unstable source, or failure to converge."""
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of a multi-pass selection.
+
+    ``passes`` counts every full scan of the source, including the initial
+    counting scan and the verify scans.
+    """
+
+    item: Item
+    rank: int
+    passes: int
+    peak_memory: int
+
+
+@dataclass
+class _Interval:
+    """Current candidate interval (lo, hi], with exact rank bookkeeping."""
+
+    lo: Item | None = None  # candidates are > lo ...
+    hi: Item | None = None  # ... and <= hi
+    rank_below: int = 0  # exact number of stream items <= lo
+
+    def admits(self, item: Item) -> bool:
+        if self.lo is not None and not self.lo < item:
+            return False
+        if self.hi is not None and not item <= self.hi:
+            return False
+        return True
+
+
+def multipass_select(
+    source: ItemSource,
+    rank: int,
+    memory_budget: int = 1024,
+    max_scans: int = 64,
+) -> SelectionResult:
+    """Return the exact item of 1-based ``rank`` using repeated scans.
+
+    ``source`` is a zero-argument callable returning a fresh iterable of the
+    same items on every call (a list, a re-readable file, a generator
+    factory) — the multi-pass model's "the data can be replayed".
+    """
+    if memory_budget < 16:
+        raise SelectionError(f"memory_budget must be >= 16, got {memory_budget}")
+    total = sum(1 for _ in source())
+    scans = 1
+    if not 1 <= rank <= total:
+        raise SelectionError(f"rank {rank} outside 1..{total}")
+
+    interval = _Interval()
+    peak_memory = 0
+    epsilon = max(4 / memory_budget, 1e-9)
+
+    while scans < max_scans:
+        needed = rank - interval.rank_below  # target rank among candidates
+        # --- summarise scan -------------------------------------------------
+        scans += 1
+        buffer: list[Item] | None = []
+        summary = GreenwaldKhanna(epsilon)
+        count = 0
+        for item in source():
+            if not interval.admits(item):
+                continue
+            count += 1
+            summary.process(item)
+            if buffer is not None:
+                buffer.append(item)
+                if len(buffer) > memory_budget:
+                    buffer = None  # too many to hold exactly this round
+        peak_memory = max(peak_memory, summary.max_item_count)
+        if count < needed:
+            raise SelectionError("source changed between scans")
+        if buffer is not None:
+            peak_memory = max(peak_memory, len(buffer))
+            buffer.sort()
+            return SelectionResult(
+                item=buffer[needed - 1],
+                rank=rank,
+                passes=scans,
+                peak_memory=peak_memory,
+            )
+
+        # --- propose a narrower bracket ------------------------------------
+        # Probes: the summary's answers around the target quantile, their
+        # stored neighbours, and the candidate extremes.  The verify scan
+        # then measures each probe exactly, so a wrong proposal costs a scan,
+        # never correctness.
+        array = summary.item_array()
+        phi = needed / count
+        margin = 2 * epsilon
+        probes: list[Item] = [array[0], array[-1], summary.query(phi)]
+        if phi - margin > 0:
+            probes.append(summary.query(phi - margin))
+        if phi + margin < 1:
+            probes.append(summary.query(phi + margin))
+        pivot_index = _index_of(array, summary.query(phi))
+        if pivot_index > 0:
+            probes.append(array[pivot_index - 1])
+        if pivot_index + 1 < len(array):
+            probes.append(array[pivot_index + 1])
+        probes = _distinct_sorted(probes)
+
+        # --- verify scan: exact candidate count at most each probe ----------
+        scans += 1
+        at_most = [0] * len(probes)
+        for item in source():
+            if not interval.admits(item):
+                continue
+            for position, probe in enumerate(probes):
+                if item <= probe:
+                    at_most[position] += 1
+
+        # All candidates equal to the minimum up to the target rank: done.
+        if at_most[0] >= needed:
+            return SelectionResult(
+                item=probes[0], rank=rank, passes=scans, peak_memory=peak_memory
+            )
+        # New lo: the largest probe still strictly below the target rank.
+        best_lo = max(
+            (position for position in range(len(probes)) if at_most[position] < needed),
+            key=lambda position: at_most[position],
+        )
+        # New hi: the smallest probe already covering the target rank.
+        best_hi = min(
+            (position for position in range(len(probes)) if at_most[position] >= needed),
+            key=lambda position: at_most[position],
+        )
+        new_count = at_most[best_hi] - at_most[best_lo]
+        if new_count >= count:
+            # Unreachable for a stable source (the probes include the
+            # candidate minimum, which always shaves something off).
+            raise SelectionError("bracketing failed to make progress")
+        interval.rank_below += at_most[best_lo]
+        interval.lo = probes[best_lo]
+        interval.hi = probes[best_hi]
+
+    raise SelectionError(f"did not converge within {max_scans} scans")
+
+
+def _index_of(array: list[Item], item: Item) -> int:
+    for position, stored in enumerate(array):
+        if stored == item:
+            return position
+    return 0
+
+
+def _distinct_sorted(probes: list[Item]) -> list[Item]:
+    ordered = sorted(probes)
+    distinct = [ordered[0]]
+    for probe in ordered[1:]:
+        if probe != distinct[-1]:
+            distinct.append(probe)
+    return distinct
+
+
+def multipass_median(
+    source: ItemSource, memory_budget: int = 1024, max_scans: int = 64
+) -> SelectionResult:
+    """The exact lower median via :func:`multipass_select`."""
+    total = sum(1 for _ in source())
+    if total == 0:
+        raise SelectionError("empty source")
+    return multipass_select(
+        source, (total + 1) // 2, memory_budget=memory_budget, max_scans=max_scans
+    )

@@ -1,0 +1,283 @@
+"""Saving and restoring quantile summaries.
+
+A summary that cannot outlive its process is of limited use in a pipeline:
+checkpointing, shipping per-shard summaries to a coordinator for merging
+(:mod:`repro.summaries.merging`), and caching all need a stable encoding.
+This module provides one: :func:`dump` turns a supported summary into a
+JSON-compatible dict, :func:`load` reconstructs it.
+
+Item keys are exact rationals; they are encoded as ``"numerator/denominator"``
+strings so round-trips are lossless.  Restored items are fresh
+:class:`~repro.universe.Item` objects (optionally attached to a counter via
+the ``universe`` argument); object identity is not preserved, values are.
+
+Supported: GreenwaldKhanna, GreenwaldKhannaGreedy, KLL, RelativeErrorSketch,
+MRL, CappedSummary, BiasedQuantileSummary, ExactSummary.  Randomized
+sketches (KLL, REQ) restore their *structure*; the RNG is re-seeded from the
+stored seed and then fast-forwarded by the recorded number of draws, so a
+restored sketch continues exactly like the original.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any
+
+from repro.errors import ReproError
+from repro.summaries.biased import BiasedQuantileSummary
+from repro.summaries.capped import CappedSummary
+from repro.summaries.exact import ExactSummary
+from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy
+from repro.summaries.kll import KLL
+from repro.summaries.mrl import MRL
+from repro.summaries.req import RelativeErrorSketch
+from repro.universe.item import Item, key_of
+from repro.universe.universe import Universe
+
+FORMAT_VERSION = 1
+
+
+class PersistenceError(ReproError):
+    """The payload is malformed or for an unsupported summary type."""
+
+
+def _encode_key(item: Item) -> str:
+    key = key_of(item)
+    if not isinstance(key, Fraction):
+        raise PersistenceError(
+            "only rational-keyed items are serialisable; items from the "
+            "lexicographic universe are not supported"
+        )
+    return f"{key.numerator}/{key.denominator}"
+
+
+def _decode_key(text: str) -> Fraction:
+    try:
+        numerator, denominator = text.split("/")
+        return Fraction(int(numerator), int(denominator))
+    except (ValueError, ZeroDivisionError) as error:
+        raise PersistenceError(f"bad item key {text!r}") from None
+
+
+def dump(summary: Any) -> dict:
+    """Encode a supported summary as a JSON-compatible dict."""
+    encoder = _ENCODERS.get(type(summary))
+    if encoder is None:
+        raise PersistenceError(
+            f"cannot serialise {type(summary).__name__}; supported: "
+            + ", ".join(sorted(cls.__name__ for cls in _ENCODERS))
+        )
+    payload = encoder(summary)
+    payload["format"] = FORMAT_VERSION
+    payload["type"] = type(summary).__name__
+    payload["epsilon"] = str(Fraction(summary.epsilon).limit_denominator(10**9))
+    payload["n"] = summary.n
+    payload["max_item_count"] = summary.max_item_count
+    return payload
+
+
+def load(payload: dict, universe: Universe | None = None) -> Any:
+    """Reconstruct a summary from a :func:`dump` payload."""
+    if payload.get("format") != FORMAT_VERSION:
+        raise PersistenceError(f"unsupported format {payload.get('format')!r}")
+    type_name = payload.get("type")
+    decoder = _DECODERS.get(type_name)
+    if decoder is None:
+        raise PersistenceError(f"unknown summary type {type_name!r}")
+    universe = universe if universe is not None else Universe()
+    summary = decoder(payload, universe)
+    summary._n = int(payload["n"])
+    summary._max_item_count = int(payload["max_item_count"])
+    return summary
+
+
+def _epsilon_of(payload: dict) -> Fraction:
+    return Fraction(payload["epsilon"])
+
+
+# -- GK family ------------------------------------------------------------------
+
+
+def _encode_gk(summary) -> dict:
+    return {
+        "tuples": [
+            [_encode_key(entry.value), entry.g, entry.delta]
+            for entry in summary._tuples
+        ],
+        "since_compress": summary._since_compress,
+        "compress_period": summary._compress_period,
+    }
+
+
+def _decode_gk_into(summary, payload: dict, universe: Universe) -> None:
+    from repro.summaries.gk import _Tuple
+
+    summary._tuples = [
+        _Tuple(universe.item(_decode_key(key)), int(g), int(delta))
+        for key, g, delta in payload["tuples"]
+    ]
+    summary._since_compress = int(payload["since_compress"])
+    summary._compress_period = int(payload["compress_period"])
+
+
+def _decode_gk(payload: dict, universe: Universe):
+    summary = GreenwaldKhanna(_epsilon_of(payload))
+    _decode_gk_into(summary, payload, universe)
+    return summary
+
+
+def _decode_gk_greedy(payload: dict, universe: Universe):
+    summary = GreenwaldKhannaGreedy(_epsilon_of(payload))
+    _decode_gk_into(summary, payload, universe)
+    return summary
+
+
+def _decode_biased(payload: dict, universe: Universe):
+    summary = BiasedQuantileSummary(_epsilon_of(payload))
+    from repro.summaries.biased import _Tuple
+
+    summary._tuples = [
+        _Tuple(universe.item(_decode_key(key)), int(g), int(delta))
+        for key, g, delta in payload["tuples"]
+    ]
+    summary._since_compress = int(payload["since_compress"])
+    summary._compress_period = int(payload["compress_period"])
+    return summary
+
+
+# -- KLL ---------------------------------------------------------------------------
+
+
+def _encode_kll(summary: KLL) -> dict:
+    return {
+        "k": summary.k,
+        "seed": summary.seed,
+        "rng_state": _rng_draws(summary),
+        "compactors": [
+            [_encode_key(item) for item in compactor]
+            for compactor in summary._compactors
+        ],
+    }
+
+
+def _rng_draws(summary: KLL) -> int:
+    return getattr(summary, "_rng_draws", 0)
+
+
+def _decode_kll(payload: dict, universe: Universe) -> KLL:
+    summary = KLL(_epsilon_of(payload), k=int(payload["k"]), seed=payload["seed"])
+    summary._compactors = [
+        [universe.item(_decode_key(key)) for key in compactor]
+        for compactor in payload["compactors"]
+    ]
+    for _ in range(int(payload["rng_state"])):
+        summary._rng.randrange(2)
+    summary._rng_draws = int(payload["rng_state"])
+    return summary
+
+
+def _encode_req(summary: RelativeErrorSketch) -> dict:
+    return {
+        "k": summary.k,
+        "seed": summary.seed,
+        "rng_state": summary._rng_draws,
+        "levels": [
+            [_encode_key(item) for item in buffer] for buffer in summary._levels
+        ],
+    }
+
+
+def _decode_req(payload: dict, universe: Universe) -> RelativeErrorSketch:
+    summary = RelativeErrorSketch(
+        _epsilon_of(payload), k=int(payload["k"]), seed=payload["seed"]
+    )
+    summary._levels = [
+        [universe.item(_decode_key(key)) for key in buffer]
+        for buffer in payload["levels"]
+    ]
+    for _ in range(int(payload["rng_state"])):
+        summary._rng.randrange(2)
+    summary._rng_draws = int(payload["rng_state"])
+    return summary
+
+
+# -- MRL --------------------------------------------------------------------------
+
+
+def _encode_mrl(summary: MRL) -> dict:
+    return {
+        "n_hint": summary.n_hint,
+        "m": summary._m,
+        "offsets": list(summary._offsets),
+        "buffers": [
+            [_encode_key(item) for item in buffer] for buffer in summary._buffers
+        ],
+    }
+
+
+def _decode_mrl(payload: dict, universe: Universe) -> MRL:
+    summary = MRL(_epsilon_of(payload), n_hint=int(payload["n_hint"]))
+    summary._m = int(payload["m"])
+    summary._offsets = [int(offset) for offset in payload["offsets"]]
+    summary._buffers = [
+        [universe.item(_decode_key(key)) for key in buffer]
+        for buffer in payload["buffers"]
+    ]
+    return summary
+
+
+# -- capped / exact ------------------------------------------------------------------
+
+
+def _encode_capped(summary: CappedSummary) -> dict:
+    return {
+        "budget": summary.budget,
+        "entries": [
+            [_encode_key(entry.value), entry.g] for entry in summary._entries
+        ],
+    }
+
+
+def _decode_capped(payload: dict, universe: Universe) -> CappedSummary:
+    from repro.summaries.capped import _Entry
+
+    summary = CappedSummary(_epsilon_of(payload), budget=int(payload["budget"]))
+    summary._entries = [
+        _Entry(universe.item(_decode_key(key)), int(g))
+        for key, g in payload["entries"]
+    ]
+    return summary
+
+
+def _encode_exact(summary: ExactSummary) -> dict:
+    return {"items": [_encode_key(item) for item in summary.item_array()]}
+
+
+def _decode_exact(payload: dict, universe: Universe) -> ExactSummary:
+    summary = ExactSummary()
+    for key in payload["items"]:
+        summary._items.add(universe.item(_decode_key(key)))
+    return summary
+
+
+_ENCODERS = {
+    GreenwaldKhanna: _encode_gk,
+    GreenwaldKhannaGreedy: _encode_gk,
+    BiasedQuantileSummary: _encode_gk,
+    KLL: _encode_kll,
+    RelativeErrorSketch: _encode_req,
+    MRL: _encode_mrl,
+    CappedSummary: _encode_capped,
+    ExactSummary: _encode_exact,
+}
+
+_DECODERS = {
+    "GreenwaldKhanna": _decode_gk,
+    "GreenwaldKhannaGreedy": _decode_gk_greedy,
+    "BiasedQuantileSummary": _decode_biased,
+    "KLL": _decode_kll,
+    "RelativeErrorSketch": _decode_req,
+    "MRL": _decode_mrl,
+    "CappedSummary": _decode_capped,
+    "ExactSummary": _decode_exact,
+}

@@ -1,0 +1,5 @@
+"""Frequency-sketch substrates for the turnstile model (related-work context)."""
+
+from repro.sketches.countmin import CountMinSketch
+
+__all__ = ["CountMinSketch"]

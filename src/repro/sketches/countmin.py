@@ -1,0 +1,100 @@
+"""A Count-Min sketch — the frequency substrate for turnstile quantiles.
+
+The paper's related work (Section 1.2, discussing Luo et al. [13]) notes
+that quantile algorithms for *turnstile* streams — where items may depart —
+"inherently rely on the bounded size of the universe".  The standard such
+algorithm (Cormode-Muthukrishnan) composes a dyadic decomposition of the
+universe with a frequency sketch per level; this module provides the sketch.
+
+Count-Min: ``depth`` rows of ``width`` counters, one pairwise-independent
+hash per row; an update adds to one counter per row, a point query returns
+the minimum over rows.  Estimates never undercount (for non-negative
+frequency vectors) and overcount by at most ``2 n / width`` with probability
+``1 - 2^-depth`` per query.  Hashes are seeded, so behaviour is reproducible.
+
+Pure Python, no numpy: widths here are small enough that lists of ints win
+on simplicity.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+class CountMinSketch:
+    """Count-Min sketch over integer keys, supporting negative updates.
+
+    Parameters
+    ----------
+    width:
+        Counters per row; estimation error is ~ ``2 * total / width``.
+    depth:
+        Number of rows; failure probability per query is ``2^-depth``.
+    seed:
+        Seed for the row hash functions.
+    """
+
+    def __init__(self, width: int, depth: int = 5, seed: int = 0) -> None:
+        if width < 2:
+            raise ValueError(f"width must be at least 2, got {width}")
+        if depth < 1:
+            raise ValueError(f"depth must be at least 1, got {depth}")
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        rng = random.Random(seed)
+        self._hash_a = [rng.randrange(1, _MERSENNE_PRIME) for _ in range(depth)]
+        self._hash_b = [rng.randrange(0, _MERSENNE_PRIME) for _ in range(depth)]
+        self._rows = [[0] * width for _ in range(depth)]
+        self._total = 0
+
+    @classmethod
+    def for_guarantee(
+        cls, epsilon: float, delta: float = 0.01, seed: int = 0
+    ) -> "CountMinSketch":
+        """Sketch sized for additive error ``epsilon * total`` w.p. 1 - delta."""
+        if not 0 < epsilon < 1:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        if not 0 < delta < 1:
+            raise ValueError(f"delta must be in (0, 1), got {delta}")
+        width = math.ceil(math.e / epsilon)
+        depth = math.ceil(math.log(1 / delta))
+        return cls(width=width, depth=max(1, depth), seed=seed)
+
+    def _bucket(self, row: int, key: int) -> int:
+        return ((self._hash_a[row] * key + self._hash_b[row]) % _MERSENNE_PRIME) % self.width
+
+    # -- updates -----------------------------------------------------------------
+
+    def update(self, key: int, delta: int = 1) -> None:
+        """Add ``delta`` (possibly negative) to ``key``'s frequency."""
+        for row in range(self.depth):
+            self._rows[row][self._bucket(row, key)] += delta
+        self._total += delta
+
+    @property
+    def total(self) -> int:
+        """Sum of all updates (the stream's current cardinality)."""
+        return self._total
+
+    # -- queries -----------------------------------------------------------------
+
+    def estimate(self, key: int) -> int:
+        """Estimated frequency of ``key`` (never negative)."""
+        best = min(
+            self._rows[row][self._bucket(row, key)] for row in range(self.depth)
+        )
+        return max(0, best)
+
+    def memory_counters(self) -> int:
+        """Number of counters held — the sketch's space measure."""
+        return self.width * self.depth
+
+    def __repr__(self) -> str:
+        return (
+            f"CountMinSketch(width={self.width}, depth={self.depth}, "
+            f"total={self._total})"
+        )

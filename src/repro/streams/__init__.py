@@ -1,0 +1,21 @@
+"""Streams, rank oracles and workload generators."""
+
+from repro.streams.stream import Stream
+from repro.streams.generators import (
+    adversarial_order_stream,
+    interleaved_stream,
+    random_stream,
+    sorted_stream,
+    reversed_stream,
+    zoomin_stream,
+)
+
+__all__ = [
+    "Stream",
+    "adversarial_order_stream",
+    "interleaved_stream",
+    "random_stream",
+    "reversed_stream",
+    "sorted_stream",
+    "zoomin_stream",
+]

@@ -1,0 +1,90 @@
+"""Workload generators for non-adversarial experiments.
+
+These produce item sequences in the arrival orders commonly used to evaluate
+quantile summaries experimentally (cf. Luo et al., cited as [13] in the
+paper): uniformly shuffled, sorted, reverse-sorted, and the "zoomin" order
+that alternates between the extremes while converging to the middle.  The
+truly adversarial order is produced by :mod:`repro.core.adversary` and is
+re-exported here as :func:`adversarial_order_stream` for convenience.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.universe.item import Item
+from repro.universe.universe import Universe
+
+
+def sorted_stream(universe: Universe, length: int) -> list[Item]:
+    """Items 1..length arriving in increasing order."""
+    return universe.items(range(1, length + 1))
+
+
+def reversed_stream(universe: Universe, length: int) -> list[Item]:
+    """Items 1..length arriving in decreasing order."""
+    return universe.items(range(length, 0, -1))
+
+
+def random_stream(universe: Universe, length: int, seed: int = 0) -> list[Item]:
+    """Items 1..length arriving in a uniformly random order."""
+    values = list(range(1, length + 1))
+    random.Random(seed).shuffle(values)
+    return universe.items(values)
+
+
+def interleaved_stream(universe: Universe, length: int, runs: int = 2) -> list[Item]:
+    """``runs`` sorted runs interleaved round-robin: 1, h+1, 2, h+2, ...
+
+    Sorted-run interleavings are the classic merge workload; summaries see
+    alternating regions of the value space at every step.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be positive, got {runs}")
+    chunk = (length + runs - 1) // runs
+    sequences = [
+        list(range(index * chunk + 1, min((index + 1) * chunk, length) + 1))
+        for index in range(runs)
+    ]
+    values = []
+    for position in range(chunk):
+        for sequence in sequences:
+            if position < len(sequence):
+                values.append(sequence[position])
+    return universe.items(values)
+
+
+def zoomin_stream(universe: Universe, length: int) -> list[Item]:
+    """Alternating extremes converging inwards: 1, n, 2, n-1, ...
+
+    This order repeatedly widens the occupied range around every prefix
+    median, which is a classically hard (though not worst-case) pattern for
+    deterministic summaries.
+    """
+    values = []
+    lo, hi = 1, length
+    while lo <= hi:
+        values.append(lo)
+        lo += 1
+        if lo <= hi:
+            values.append(hi)
+            hi -= 1
+    return universe.items(values)
+
+
+def adversarial_order_stream(
+    summary_factory,
+    epsilon: float,
+    k: int,
+) -> list[Item]:
+    """The worst-case order: the paper's adversary run against a live summary.
+
+    Builds the indistinguishable pair (pi, rho) of Section 4 against a fresh
+    summary created by ``summary_factory`` and returns stream pi's arrival
+    order.  Imported lazily to keep :mod:`repro.streams` free of a dependency
+    cycle on :mod:`repro.core`.
+    """
+    from repro.core.adversary import build_adversarial_pair
+
+    result = build_adversarial_pair(summary_factory, epsilon=epsilon, k=k)
+    return result.pair.stream_pi.items_in_order_of_arrival

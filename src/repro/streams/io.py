@@ -1,0 +1,74 @@
+"""Saving and loading streams as plain text.
+
+Reproducibility plumbing: an adversarial stream found to break a summary is
+worth keeping.  The format is one item per line — exact rationals as
+``numerator/denominator`` (or a bare integer), string keys prefixed with
+``s:`` — plus ``#`` comments, so files are diffable and hand-editable.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ReproError
+from repro.universe.item import Item, key_of
+from repro.universe.universe import Universe
+
+
+class StreamFormatError(ReproError, ValueError):
+    """A stream file contains a line that cannot be parsed."""
+
+
+def save_items(path: str | Path, items: Iterable[Item], header: str | None = None) -> int:
+    """Write items in arrival order; returns the number written."""
+    count = 0
+    with open(path, "w") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for item in items:
+            key = key_of(item)
+            if isinstance(key, str):
+                handle.write(f"s:{key}\n")
+            elif isinstance(key, Fraction):
+                if key.denominator == 1:
+                    handle.write(f"{key.numerator}\n")
+                else:
+                    handle.write(f"{key.numerator}/{key.denominator}\n")
+            else:
+                raise StreamFormatError(f"unsupported key type {type(key).__name__}")
+            count += 1
+    return count
+
+
+def load_items(path: str | Path, universe: Universe | None = None) -> list[Item]:
+    """Read items in file order; rational lines become fresh Items.
+
+    A file of string keys (``s:`` lines) requires no universe argument —
+    fresh items are created directly; mixing the two key kinds in one file
+    is rejected, since they are not mutually comparable.
+    """
+    universe = universe if universe is not None else Universe()
+    items: list[Item] = []
+    kinds: set[str] = set()
+    with open(path) as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            text = raw.strip()
+            if not text or text.startswith("#"):
+                continue
+            if text.startswith("s:"):
+                kinds.add("string")
+                items.append(Item(text[2:]))
+                continue
+            kinds.add("rational")
+            try:
+                items.append(universe.item(Fraction(text)))
+            except (ValueError, ZeroDivisionError):
+                raise StreamFormatError(
+                    f"{path}:{line_number}: cannot parse {text!r}"
+                ) from None
+    if len(kinds) > 1:
+        raise StreamFormatError(f"{path}: mixes string and rational keys")
+    return items

@@ -1,0 +1,147 @@
+"""A recorded stream with exact rank, next and prev oracles.
+
+The adversary reasons about ``rank_sigma(a)`` — the 1-based position of item
+``a`` in the sorted order of stream ``sigma`` — and about ``next(sigma, a)`` /
+``prev(sigma, a)``, the stream items adjacent to ``a`` in that order
+(Section 4.2 of the paper).  :class:`Stream` records every appended item in
+arrival order and maintains a sorted index so those oracles are exact.
+
+The oracles live on the *environment* side of the model: the summary under
+test never sees them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.containers.sortedlist import SortedItemList
+from repro.universe.interval import OpenInterval
+from repro.universe.item import Bound, Item
+
+
+class Stream:
+    """An append-only stream of items with order-statistics oracles.
+
+    The adversarial construction guarantees all items within one stream are
+    distinct; :meth:`append` enforces this when ``require_distinct`` is set
+    (the default), since ranks are only well-defined for distinct items.
+    """
+
+    def __init__(self, require_distinct: bool = True) -> None:
+        self._log: list[Item] = []
+        self._sorted = SortedItemList()
+        self._require_distinct = require_distinct
+        self._seen: set[Item] | None = set() if require_distinct else None
+
+    # -- building ----------------------------------------------------------------
+
+    def append(self, item: Item) -> None:
+        """Append one item to the stream."""
+        if self._seen is not None:
+            if item in self._seen:
+                raise ValueError(f"duplicate item appended to stream: {item!r}")
+            self._seen.add(item)
+        self._log.append(item)
+        self._sorted.add(item)
+
+    def extend(self, items: Iterable[Item]) -> None:
+        """Append every item of ``items``, in order."""
+        for item in items:
+            self.append(item)
+
+    # -- basic accessors -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._log)
+
+    def __getitem__(self, position: int) -> Item:
+        """Item at 0-based arrival position."""
+        return self._log[position]
+
+    @property
+    def items_in_order_of_arrival(self) -> list[Item]:
+        """A copy of the arrival log."""
+        return list(self._log)
+
+    def sorted_items(self) -> list[Item]:
+        """All stream items in non-decreasing order."""
+        return list(self._sorted)
+
+    @property
+    def min_item(self) -> Item:
+        """Smallest item appended so far."""
+        return self._sorted[0]
+
+    @property
+    def max_item(self) -> Item:
+        """Largest item appended so far."""
+        return self._sorted[-1]
+
+    # -- rank oracles ---------------------------------------------------------------
+
+    def rank(self, item: Item) -> int:
+        """1-based rank of ``item`` in the sorted order of the stream.
+
+        For distinct items this equals one plus the number of strictly
+        smaller stream items, matching the paper's definition.
+        """
+        return self._sorted.count_less(item) + 1
+
+    def count_less(self, bound: Bound) -> int:
+        """Number of stream items strictly below ``bound`` (item or sentinel)."""
+        return self._sorted.bisect_left(bound)
+
+    def count_at_most(self, bound: Bound) -> int:
+        """Number of stream items less than or equal to ``bound``."""
+        return self._sorted.bisect_right(bound)
+
+    def item_at_rank(self, rank: int) -> Item:
+        """The item of 1-based rank ``rank``."""
+        if not 1 <= rank <= len(self._log):
+            raise IndexError(f"rank {rank} out of range 1..{len(self._log)}")
+        return self._sorted[rank - 1]
+
+    def next_item(self, item: Item) -> Item:
+        """``next(sigma, a)``: the smallest stream item strictly above ``item``."""
+        position = self._sorted.bisect_right(item)
+        if position >= len(self._sorted):
+            raise ValueError(f"{item!r} has no successor in the stream")
+        return self._sorted[position]
+
+    def prev_item(self, item: Item) -> Item:
+        """``prev(sigma, a)``: the largest stream item strictly below ``item``."""
+        position = self._sorted.bisect_left(item)
+        if position == 0:
+            raise ValueError(f"{item!r} has no predecessor in the stream")
+        return self._sorted[position - 1]
+
+    # -- interval oracles -------------------------------------------------------------
+
+    def count_in(self, interval: OpenInterval) -> int:
+        """Number of stream items strictly inside ``interval``."""
+        return self.count_less(interval.hi) - self.count_at_most(interval.lo)
+
+    def items_in(self, interval: OpenInterval) -> list[Item]:
+        """Stream items strictly inside ``interval``, sorted."""
+        start = self.count_at_most(interval.lo)
+        stop = self.count_less(interval.hi)
+        return [self._sorted[position] for position in range(start, stop)]
+
+    def rank_in(self, interval: OpenInterval, item: Item) -> int:
+        """Rank among the substream of items inside ``interval`` (1-based).
+
+        The interval's finite boundary items are counted as members of the
+        restricted order, matching the rank convention of Figure 1 (where the
+        boundary l has rank 1 and r has the largest rank).
+        """
+        below_in_interval = max(
+            0, self.count_less(item) - self.count_at_most(interval.lo)
+        )
+        boundary_offset = 1 if (interval.lo_is_item and interval.lo < item) else 0
+        return below_in_interval + boundary_offset + 1
+
+    def __repr__(self) -> str:
+        return f"Stream(length={len(self._log)})"

@@ -1,0 +1,56 @@
+"""Quantile-summary algorithms, each implemented from scratch.
+
+Comparison-based (the lower bound of the paper applies):
+
+* :class:`GreenwaldKhanna` — the O((1/eps) log(eps N)) summary whose
+  optimality the paper proves (band-based compress).
+* :class:`GreenwaldKhannaGreedy` — the simplified greedy-merge variant whose
+  worst-case space is the open problem of the paper's Section 6.
+* :class:`MRL` — Manku-Rajagopalan-Lindsay multi-buffer summary.
+* :class:`KLL` — Karnin-Lang-Liberty randomized sketch (deterministic once
+  seeded, which is the reduction behind Theorem 6.4).
+* :class:`ReservoirSampling` — uniform-sample baseline.
+* :class:`ExactSummary` — stores everything; the correctness oracle.
+* :class:`OfflineOptimal` — the ceil(1/(2 eps)) offline summary of Section 1.
+* :class:`CappedSummary` — a budget-capped summary family that the lower
+  bound dooms; used to extract failing-quantile witnesses.
+* :class:`BiasedQuantileSummary` — relative-error (biased) quantiles,
+  GK-style rank-adaptive threshold (Cormode et al. [3]).
+
+Not comparison-based (escapes the lower bound; included for contrast):
+
+* :class:`QDigest` — Shrivastava et al.'s bounded-universe summary.
+"""
+
+from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy
+from repro.summaries.merging import merge_gk
+from repro.summaries.mrl import MRL
+from repro.summaries.kll import KLL
+from repro.summaries.sampling import ReservoirSampling
+from repro.summaries.exact import ExactSummary
+from repro.summaries.offline import OfflineOptimal
+from repro.summaries.capped import CappedSummary
+from repro.summaries.biased import BiasedQuantileSummary
+from repro.summaries.qdigest import QDigest
+from repro.summaries.sliding import SlidingWindowQuantiles
+from repro.summaries.req import RelativeErrorSketch
+from repro.summaries.sampled import SampledGK
+from repro.summaries.turnstile import TurnstileQuantiles
+
+__all__ = [
+    "BiasedQuantileSummary",
+    "CappedSummary",
+    "ExactSummary",
+    "GreenwaldKhanna",
+    "GreenwaldKhannaGreedy",
+    "KLL",
+    "MRL",
+    "OfflineOptimal",
+    "QDigest",
+    "RelativeErrorSketch",
+    "ReservoirSampling",
+    "SampledGK",
+    "SlidingWindowQuantiles",
+    "TurnstileQuantiles",
+    "merge_gk",
+]

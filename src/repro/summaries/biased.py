@@ -1,0 +1,146 @@
+"""A biased-quantile (relative-error) summary.
+
+Reference: Cormode, Korn, Muthukrishnan, Srivastava, "Effective computation
+of biased quantiles over data streams", ICDE 2005 — reference [3] of the
+paper, which Section 6.4 improves the lower bound for.
+
+Biased quantiles strengthen the guarantee from the uniform ``eps N`` to the
+*relative* ``eps * phi * N``: when asked for the k-th smallest item the
+summary may return the k'-th for k' in [(1 - eps) k, (1 + eps) k].  Low
+ranks must therefore be tracked almost exactly.
+
+The implementation follows the GK-style tuple design of [3]: tuples
+``(v_i, g_i, Delta_i)`` as in :mod:`repro.summaries.gk`, but the invariant is
+rank-adaptive — ``g_i + Delta_i <= max(1, floor(2 eps rmin(i)))`` — so the
+allowed uncertainty scales with the rank.  Space is O((1/eps) log^3(eps N))
+in the worst case per Zhang-Wang [21]; Theorem 6.5 of the paper shows
+Omega((1/eps) log^2(eps N)) is necessary, and experiment T8 measures where
+this implementation actually lands on the phased adversarial streams.
+
+Deterministic and comparison-based.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.errors import EmptySummaryError
+from repro.model.registry import register_summary
+from repro.model.summary import QuantileSummary, exact_fraction
+from repro.universe.item import Item
+
+
+class _Tuple:
+    __slots__ = ("value", "g", "delta")
+
+    def __init__(self, value: Item, g: int, delta: int) -> None:
+        self.value = value
+        self.g = g
+        self.delta = delta
+
+
+class BiasedQuantileSummary(QuantileSummary):
+    """Relative-error quantile summary with rank-adaptive compression.
+
+    Internally the rank-adaptive threshold runs at ``eps / 2``: an inserted
+    tuple inherits its successor's uncertainty (the exact GK insertion rule),
+    which references the successor's slightly larger rank allowance, so the
+    raw invariant only yields roughly ``(1 + 2 eps) eps r`` query error.
+    Halving the internal epsilon absorbs that slack — a constant-factor space
+    cost — and makes the *user-facing* eps * k guarantee hold strictly.
+    """
+
+    name = "biased"
+
+    def __init__(self, epsilon: float) -> None:
+        super().__init__(float(epsilon))
+        self._eps = exact_fraction(epsilon)
+        self._eps_internal = self._eps / 2
+        self._tuples: list[_Tuple] = []
+        self._since_compress = 0
+        self._compress_period = max(1, int(1 / (2 * self._eps_internal)))
+
+    def _allowed(self, rmin: int) -> int:
+        """Internal threshold at lower-rank ``rmin``: max(1, floor(eps rmin))."""
+        return max(1, int(2 * self._eps_internal * rmin))
+
+    def _insert(self, item: Item) -> None:
+        position = bisect_right(self._tuples, item, key=lambda t: t.value)
+        if position == 0 or position == len(self._tuples):
+            delta = 0
+        else:
+            successor = self._tuples[position]
+            # Exact GK insertion: rank(item) <= rmax(successor), so the new
+            # tuple's uncertainty is the successor's minus its own g = 1.
+            delta = max(0, successor.g + successor.delta - 1)
+        self._tuples.insert(position, _Tuple(item, 1, delta))
+        self._since_compress += 1
+        if self._since_compress >= self._compress_period:
+            self._compress()
+            self._since_compress = 0
+
+    def _compress(self) -> None:
+        if len(self._tuples) < 3:
+            return
+        # rmin values before any merging; merging t_i into t_{i+1} leaves the
+        # rmin of every surviving tuple unchanged, so one pass suffices.
+        rmin = [0] * len(self._tuples)
+        cumulative = 0
+        for i, entry in enumerate(self._tuples):
+            cumulative += entry.g
+            rmin[i] = cumulative
+        i = len(self._tuples) - 2
+        while i >= 1:
+            entry = self._tuples[i]
+            successor = self._tuples[i + 1]
+            if entry.g + successor.g + successor.delta <= self._allowed(rmin[i + 1]):
+                successor.g += entry.g
+                del self._tuples[i]
+                del rmin[i]
+            i -= 1
+
+    def _query(self, phi: float) -> Item:
+        if not self._tuples:
+            raise EmptySummaryError("no items stored")
+        target = max(1, min(self._n, int(exact_fraction(phi) * self._n)))
+        allowed = max(1, self._eps * target)
+        rmin = 0
+        best_item = self._tuples[0].value
+        best_excess = None
+        for entry in self._tuples:
+            rmin += entry.g
+            rmax = rmin + entry.delta
+            excess = max(target - rmin, rmax - target)
+            if best_excess is None or excess < best_excess:
+                best_excess = excess
+                best_item = entry.value
+            if target - rmin <= allowed and rmax - target <= allowed:
+                return entry.value
+        return best_item
+
+    def estimate_rank(self, item: Item) -> int:
+        if self._n == 0:
+            raise EmptySummaryError("cannot estimate rank on an empty summary")
+        rmin = 0
+        for entry in self._tuples:
+            if item < entry.value:
+                lower = rmin
+                upper = rmin + entry.g + entry.delta - 1
+                return max(0, (lower + upper) // 2)
+            rmin += entry.g
+            if item == entry.value:
+                return (2 * rmin + entry.delta) // 2
+        return self._n
+
+    def item_array(self) -> list[Item]:
+        return [entry.value for entry in self._tuples]
+
+    def _item_count(self) -> int:
+        return len(self._tuples)
+
+    def fingerprint(self) -> tuple:
+        state = tuple((entry.g, entry.delta) for entry in self._tuples)
+        return (self.name, self._n, self._since_compress, state)
+
+
+register_summary("biased", BiasedQuantileSummary)

@@ -1,0 +1,110 @@
+"""A budget-capped comparison-based summary — the family the lower bound dooms.
+
+``CappedSummary(budget)`` stores at most ``budget`` items, no matter how long
+the stream grows.  It tries hard to be accurate: every stored item carries a
+weight ``g`` (the number of discarded stream items it represents, exactly as
+in GK's rank bookkeeping), and when the budget is exceeded it merges the
+adjacent pair with the smallest combined weight, keeping coverage as close to
+equi-spaced as a streaming algorithm can.
+
+Theorem 2.2 says *no* strategy under this budget can be an eps-approximate
+summary once ``budget = o((1/eps) log(eps N))``.  Experiment T4 runs the
+adversary against capped summaries and extracts, for each, a concrete failing
+quantile phi whose answer is off by more than ``eps N`` — the lower bound as
+an executable attack rather than an asymptotic statement.
+
+Deterministic and comparison-based (ties in the merge rule break leftmost).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+
+from repro.errors import EmptySummaryError
+from repro.model.registry import register_summary
+from repro.model.summary import QuantileSummary, exact_fraction
+from repro.universe.item import Item
+
+
+class _Entry:
+    """A stored item covering ``g`` stream items up to and including itself."""
+
+    __slots__ = ("value", "g")
+
+    def __init__(self, value: Item, g: int) -> None:
+        self.value = value
+        self.g = g
+
+
+class CappedSummary(QuantileSummary):
+    """Best-effort quantile summary with a hard item budget."""
+
+    name = "capped"
+
+    def __init__(self, epsilon: float, budget: int = 16) -> None:
+        super().__init__(float(epsilon))
+        if budget < 3:
+            raise ValueError(f"budget must be at least 3, got {budget}")
+        self.budget = budget
+        self._entries: list[_Entry] = []
+
+    def _insert(self, item: Item) -> None:
+        position = bisect_right(self._entries, item, key=lambda entry: entry.value)
+        self._entries.insert(position, _Entry(item, 1))
+        if len(self._entries) > self.budget:
+            self._evict()
+
+    def _evict(self) -> None:
+        """Merge the adjacent pair with the smallest combined weight.
+
+        Merging entry ``i`` into ``i+1`` discards ``value_i`` and adds its
+        weight; the first (minimum) and last (maximum) entries are always
+        retained, as the model permits us to assume (Section 2).
+        """
+        best_index = 1
+        best_weight = None
+        for i in range(1, len(self._entries) - 1):
+            weight = self._entries[i].g + self._entries[i + 1].g
+            if best_weight is None or weight < best_weight:
+                best_weight = weight
+                best_index = i
+        successor = self._entries[best_index + 1]
+        successor.g += self._entries[best_index].g
+        del self._entries[best_index]
+
+    def _query(self, phi: float) -> Item:
+        if not self._entries:
+            raise EmptySummaryError("no items stored")
+        target = max(1, min(self._n, math.ceil(exact_fraction(phi) * self._n)))
+        cumulative = 0
+        best_item = self._entries[0].value
+        best_distance = None
+        for entry in self._entries:
+            cumulative += entry.g
+            distance = abs(cumulative - target)
+            if best_distance is None or distance < best_distance:
+                best_distance = distance
+                best_item = entry.value
+        return best_item
+
+    def estimate_rank(self, item: Item) -> int:
+        cumulative = 0
+        for entry in self._entries:
+            if entry.value <= item:
+                cumulative += entry.g
+            else:
+                break
+        return cumulative
+
+    def item_array(self) -> list[Item]:
+        return [entry.value for entry in self._entries]
+
+    def _item_count(self) -> int:
+        return len(self._entries)
+
+    def fingerprint(self) -> tuple:
+        return (self.name, self._n, self.budget, tuple(entry.g for entry in self._entries))
+
+
+register_summary("capped", CappedSummary)

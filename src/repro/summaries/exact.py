@@ -1,0 +1,62 @@
+"""The exact, store-everything summary.
+
+Space Theta(N), error zero.  It is the correctness oracle for tests and the
+degenerate endpoint of the space/accuracy trade-off in T10.  Trivially
+comparison-based and deterministic, so the adversary applies — and simply
+confirms that with all items stored the gap never exceeds 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.containers.sortedlist import SortedItemList
+from repro.errors import EmptySummaryError
+from repro.model.registry import register_summary
+from repro.model.summary import QuantileSummary, exact_fraction
+from repro.universe.item import Item
+
+
+class ExactSummary(QuantileSummary):
+    """Stores the whole stream; answers all queries exactly."""
+
+    name = "exact"
+
+    def __init__(self, epsilon: float = 0.5) -> None:
+        # epsilon is irrelevant to an exact summary but kept for interface
+        # uniformity; any value in (0, 1) is accepted.
+        super().__init__(float(epsilon))
+        self._items = SortedItemList()
+
+    def _insert(self, item: Item) -> None:
+        self._items.add(item)
+
+    def merge(self, other: "ExactSummary") -> None:
+        """Absorb another exact summary (trivially mergeable)."""
+        if not isinstance(other, ExactSummary):
+            raise TypeError(f"cannot merge ExactSummary with {type(other).__name__}")
+        for item in other.item_array():
+            self._items.add(item)
+        self._n += other.n
+        self._max_item_count = max(self._max_item_count, len(self._items))
+
+    def _query(self, phi: float) -> Item:
+        if not len(self._items):
+            raise EmptySummaryError("no items stored")
+        target = max(1, min(self._n, math.ceil(exact_fraction(phi) * self._n)))
+        return self._items[target - 1]
+
+    def estimate_rank(self, item: Item) -> int:
+        return self._items.bisect_right(item)
+
+    def item_array(self) -> list[Item]:
+        return list(self._items)
+
+    def _item_count(self) -> int:
+        return len(self._items)
+
+    def fingerprint(self) -> tuple:
+        return (self.name, self._n)
+
+
+register_summary("exact", ExactSummary)

@@ -1,0 +1,242 @@
+"""The Greenwald-Khanna epsilon-approximate quantile summary.
+
+Reference: M. Greenwald and S. Khanna, "Space-efficient online computation of
+quantile summaries", SIGMOD 2001 — reference [6] of the paper, whose
+O((1/eps) * log(eps N)) space bound the paper proves optimal.
+
+The summary is a sorted sequence of tuples ``t_i = (v_i, g_i, Delta_i)``
+where ``v_i`` is a stored stream item,
+
+* ``rmin(i) = g_1 + ... + g_i`` is a lower bound on ``rank(v_i)``, and
+* ``rmax(i) = rmin(i) + Delta_i`` is an upper bound on ``rank(v_i)``.
+
+The core invariant is ``g_i + Delta_i <= floor(2 eps n)`` for every tuple,
+which makes every quantile query answerable within ``eps n``.  Two compress
+strategies are implemented:
+
+* :class:`GreenwaldKhanna` — the *band-based* compress analysed in [6]: a
+  tuple may only be merged into its successor when its Delta-band is no
+  larger, and it carries its whole subtree of descendants with it.  This is
+  the variant with the proven O((1/eps) log(eps N)) bound.
+* :class:`GreenwaldKhannaGreedy` — the simplified variant already suggested
+  in [6] and measured by Luo et al. [13]: merge adjacent tuples whenever the
+  invariant permits, no bands.  Whether its worst-case space matches the
+  band-based bound is the open problem discussed in Section 6 of the paper.
+
+Both are deterministic and comparison-based, so the paper's adversary
+applies to them; experiment T1 runs it against both.
+
+All threshold arithmetic uses exact rationals so the epsilon guarantee holds
+with no floating-point slack.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from fractions import Fraction
+
+from repro.errors import EmptySummaryError
+from repro.model.registry import register_summary
+from repro.model.summary import QuantileSummary, exact_fraction
+from repro.universe.item import Item
+
+
+class _Tuple:
+    """One (v, g, Delta) tuple of the GK summary."""
+
+    __slots__ = ("value", "g", "delta")
+
+    def __init__(self, value: Item, g: int, delta: int) -> None:
+        self.value = value
+        self.g = g
+        self.delta = delta
+
+    def __repr__(self) -> str:
+        return f"({self.value!r}, g={self.g}, delta={self.delta})"
+
+
+def _band(delta: int, p: int) -> int:
+    """The band of ``delta`` against threshold ``p = floor(2 eps n)``.
+
+    Band 0 holds ``delta == p``; band ``alpha >= 1`` holds deltas in
+    ``(p - 2^alpha - (p mod 2^alpha), p - 2^(alpha-1) - (p mod 2^(alpha-1))]``
+    (Definition in [6], Section 2.2).  Larger bands contain tuples that have
+    survived longer and therefore count wider ranges of the stream.
+
+    Deltas above ``p`` cannot arise in pure streaming, but merged summaries
+    (:func:`~repro.summaries.merging.merge_gk`) may carry a delta one or two
+    above the floor-rounded threshold at tiny n; such tuples land in band 0
+    (never merged away), which is the conservative, sound choice.
+    """
+    if delta >= p:
+        return 0
+    alpha = 1
+    while True:
+        lower = p - (1 << alpha) - (p % (1 << alpha))
+        upper = p - (1 << (alpha - 1)) - (p % (1 << (alpha - 1)))
+        if lower < delta <= upper:
+            return alpha
+        alpha += 1
+        if (1 << alpha) > 2 * p + 2:
+            # delta < p - 2^alpha is impossible now; everything below the
+            # smallest band boundary belongs to the largest band.
+            return alpha
+
+
+class _GKBase(QuantileSummary):
+    """Shared machinery of the two GK variants."""
+
+    def __init__(
+        self, epsilon: float | Fraction, compress_period: int | None = None
+    ) -> None:
+        super().__init__(float(epsilon))
+        self._eps = exact_fraction(epsilon)
+        self._tuples: list[_Tuple] = []
+        self._since_compress = 0
+        # Compress every floor(1/(2 eps)) insertions, as in [6].  The A4
+        # ablation overrides the period to measure the space/time trade-off;
+        # correctness is unaffected (compress never breaks the invariant).
+        if compress_period is not None and compress_period < 1:
+            raise ValueError(f"compress_period must be >= 1, got {compress_period}")
+        self._compress_period = (
+            compress_period
+            if compress_period is not None
+            else max(1, int(1 / (2 * self._eps)))
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _threshold(self) -> int:
+        """floor(2 eps n), the allowed uncertainty per tuple."""
+        return int(2 * self._eps * self._n)
+
+    def _insert(self, item: Item) -> None:
+        position = bisect_right(self._tuples, item, key=lambda t: t.value)
+        if position == 0 or position == len(self._tuples):
+            # New minimum or maximum: its rank is known exactly.
+            delta = 0
+        else:
+            delta = max(0, self._threshold() - 1)
+        self._tuples.insert(position, _Tuple(item, 1, delta))
+        self._since_compress += 1
+        if self._since_compress >= self._compress_period:
+            self._compress()
+            self._since_compress = 0
+
+    def _compress(self) -> None:
+        raise NotImplementedError
+
+    # -- queries -----------------------------------------------------------------
+
+    def _query(self, phi: float) -> Item:
+        target = max(1, min(self._n, int(exact_fraction(phi) * self._n)))
+        allowed = self._eps * self._n
+        rmin = 0
+        best_item: Item | None = None
+        best_excess = None
+        for entry in self._tuples:
+            rmin += entry.g
+            rmax = rmin + entry.delta
+            excess = max(target - rmin, rmax - target)
+            if best_excess is None or excess < best_excess:
+                best_excess = excess
+                best_item = entry.value
+            if target - rmin <= allowed and rmax - target <= allowed:
+                return entry.value
+        # The invariant guarantees the loop above returns; fall back to the
+        # closest tuple for robustness (e.g. n == 1 edge cases).
+        if best_item is None:
+            raise EmptySummaryError("no tuples stored")
+        return best_item
+
+    def estimate_rank(self, item: Item) -> int:
+        """Midpoint rank estimate for ``item``; error at most ``eps n``."""
+        if self._n == 0:
+            raise EmptySummaryError("cannot estimate rank on an empty summary")
+        rmin = 0
+        # Walk tuples from the left; item lies between two adjacent tuples.
+        for entry in self._tuples:
+            if item < entry.value:
+                # rank(item) lies in [rmin, rmin + g + delta - 1]; return the
+                # midpoint, whose error is at most (g + delta)/2 <= eps n.
+                lower = rmin
+                upper = rmin + entry.g + entry.delta - 1
+                return max(0, (lower + upper) // 2)
+            rmin += entry.g
+            if item == entry.value:
+                return (2 * rmin + entry.delta) // 2
+        return self._n
+
+    # -- the model's memory ---------------------------------------------------------
+
+    def item_array(self) -> list[Item]:
+        return [entry.value for entry in self._tuples]
+
+    def _item_count(self) -> int:
+        return len(self._tuples)
+
+    def fingerprint(self) -> tuple:
+        state = tuple((entry.g, entry.delta) for entry in self._tuples)
+        return (self.name, self._n, self._since_compress, state)
+
+
+class GreenwaldKhanna(_GKBase):
+    """GK with the band-based compress of [6] (the analysed variant)."""
+
+    name = "gk"
+
+    def _compress(self) -> None:
+        threshold = self._threshold()
+        if threshold < 1 or len(self._tuples) < 3:
+            return
+        bands = [_band(entry.delta, threshold) for entry in self._tuples]
+        # Scan right to left; tuple 0 (the minimum) and the last tuple (the
+        # maximum) are never deleted.
+        i = len(self._tuples) - 2
+        while i >= 1:
+            if bands[i] <= bands[i + 1]:
+                # Gather t_i's descendants: the maximal run of tuples
+                # immediately left of i with strictly smaller bands.
+                start = i
+                g_total = self._tuples[i].g
+                while start - 1 >= 1 and bands[start - 1] < bands[i]:
+                    start -= 1
+                    g_total += self._tuples[start].g
+                successor = self._tuples[i + 1]
+                if g_total + successor.g + successor.delta < threshold:
+                    successor.g += g_total
+                    del self._tuples[start : i + 1]
+                    del bands[start : i + 1]
+                    i = start - 1
+                    continue
+            i -= 1
+
+
+class GreenwaldKhannaGreedy(_GKBase):
+    """GK with the simplified greedy merge (no bands).
+
+    Merges ``t_i`` into ``t_{i+1}`` whenever
+    ``g_i + g_{i+1} + Delta_{i+1} < floor(2 eps n)``, scanning right to left.
+    Section 6 of the paper poses whether this variant is also
+    O((1/eps) log(eps N)); experiment T1 measures it on the adversarial
+    streams.
+    """
+
+    name = "gk-greedy"
+
+    def _compress(self) -> None:
+        threshold = self._threshold()
+        if threshold < 1 or len(self._tuples) < 3:
+            return
+        i = len(self._tuples) - 2
+        while i >= 1:
+            entry = self._tuples[i]
+            successor = self._tuples[i + 1]
+            if entry.g + successor.g + successor.delta < threshold:
+                successor.g += entry.g
+                del self._tuples[i]
+            i -= 1
+
+
+register_summary("gk", GreenwaldKhanna)
+register_summary("gk-greedy", GreenwaldKhannaGreedy)

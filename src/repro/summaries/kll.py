@@ -1,0 +1,189 @@
+"""The Karnin-Lang-Liberty (KLL) randomized quantile sketch.
+
+Reference: Karnin, Lang, Liberty, "Optimal quantile approximation in
+streams", FOCS 2016 — reference [11] of the paper.  KLL is the randomized
+comparison-based summary whose O((1/eps) * log log(1/delta)) space the
+paper's Theorem 6.4 proves optimal for exponentially small delta.
+
+Structure: a stack of *compactors*.  Level ``h`` stores items of weight
+``2^h``; when level ``h`` overflows its capacity it sorts itself and promotes
+either the odd- or even-indexed half (chosen by a fair coin) to level
+``h + 1``.  Capacities shrink geometrically from the top: the top few levels
+have capacity ``k`` and lower levels ``k * c^depth`` (c = 2/3), so total
+space is O(k) plus the logarithmic tail — the classic KLL layout.
+
+Randomness is drawn from ``random.Random(seed)``.  With the seed fixed the
+sketch is a *deterministic* comparison-based summary, which is precisely the
+derandomization step in the paper's Theorem 6.4 reduction; experiment T7
+exploits that to run the deterministic adversary against seeded KLL.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import EmptySummaryError
+from repro.model.registry import register_summary
+from repro.model.summary import QuantileSummary, exact_fraction
+from repro.universe.item import Item
+
+_CAPACITY_DECAY = 2.0 / 3.0
+_MINIMUM_CAPACITY = 2
+
+
+def kll_k_for(epsilon: float, delta: float) -> int:
+    """Compactor capacity ``k`` giving error ``eps n`` with probability 1 - delta.
+
+    From the KLL analysis the failure probability behaves like
+    ``exp(-Omega(k^2 eps^2))`` for the top compactor, so
+    ``k = ceil(sqrt(ln(1/delta)) / eps)`` (with a small constant) suffices.
+    """
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return max(_MINIMUM_CAPACITY, math.ceil(math.sqrt(math.log(1 / delta)) / epsilon))
+
+
+class KLL(QuantileSummary):
+    """KLL sketch with seedable randomness.
+
+    Parameters
+    ----------
+    epsilon:
+        Target rank-error fraction.
+    k:
+        Top-compactor capacity.  Defaults to :func:`kll_k_for` with
+        ``delta = 0.01``.
+    seed:
+        Seed for the compaction coin flips.  Fixing it makes the sketch
+        deterministic (Theorem 6.4's reduction).
+    """
+
+    name = "kll"
+    is_deterministic = False  # with a fixed seed it effectively is; see T7
+
+    def __init__(
+        self,
+        epsilon: float,
+        k: int | None = None,
+        seed: int | None = 0,
+        delta: float = 0.01,
+    ) -> None:
+        super().__init__(float(epsilon))
+        self.k = k if k is not None else kll_k_for(float(epsilon), delta)
+        if self.k < _MINIMUM_CAPACITY:
+            raise ValueError(f"k must be at least {_MINIMUM_CAPACITY}, got {self.k}")
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._rng_draws = 0  # counts coin flips, for lossless persistence
+        self._compactors: list[list[Item]] = [[]]
+
+    # -- capacities ---------------------------------------------------------------
+
+    def _capacity(self, level: int) -> int:
+        """Capacity of ``level``: ``k`` at the top, decaying by 2/3 downward."""
+        depth = len(self._compactors) - 1 - level
+        return max(_MINIMUM_CAPACITY, math.ceil(self.k * (_CAPACITY_DECAY**depth)))
+
+    # -- processing ----------------------------------------------------------------
+
+    def _insert(self, item: Item) -> None:
+        self._compactors[0].append(item)
+        level = 0
+        while len(self._compactors[level]) >= self._capacity(level):
+            self._compact(level)
+            level += 1
+            if level == len(self._compactors):
+                break
+
+    def _compact(self, level: int) -> None:
+        compactor = self._compactors[level]
+        compactor.sort()
+        leftover: list[Item] = []
+        if len(compactor) % 2 == 1:
+            # Keep one item behind so the compacted region has even length
+            # and total stored weight is conserved exactly.
+            leftover.append(compactor.pop(0))
+        offset = self._rng.randrange(2)
+        self._rng_draws += 1
+        promoted = compactor[offset::2]
+        compactor.clear()
+        compactor.extend(leftover)
+        if level + 1 == len(self._compactors):
+            self._compactors.append([])
+        self._compactors[level + 1].extend(promoted)
+
+    # -- merging (fully mergeable, Agarwal et al. [2] lineage) -----------------------
+
+    def merge(self, other: "KLL") -> None:
+        """Absorb ``other`` into this sketch (level-wise compactor merge).
+
+        The textbook KLL merge: concatenate compactors level by level, then
+        re-compact any level over capacity, bottom up.  The result summarises
+        the concatenation of both streams with the same asymptotic guarantee
+        (error analysis as in [11]); ``other`` is left intact.
+        """
+        if not isinstance(other, KLL):
+            raise TypeError(f"cannot merge KLL with {type(other).__name__}")
+        while len(self._compactors) < len(other._compactors):
+            self._compactors.append([])
+        for level, compactor in enumerate(other._compactors):
+            self._compactors[level].extend(compactor)
+        self._n += other.n
+        level = 0
+        while level < len(self._compactors):
+            if len(self._compactors[level]) >= self._capacity(level):
+                self._compact(level)
+            level += 1
+        self._max_item_count = max(self._max_item_count, self._item_count())
+
+    # -- queries ----------------------------------------------------------------------
+
+    def _weighted_items(self) -> list[tuple[Item, int]]:
+        pairs = [
+            (item, 1 << level)
+            for level, compactor in enumerate(self._compactors)
+            for item in compactor
+        ]
+        pairs.sort(key=lambda pair: pair[0])
+        return pairs
+
+    def _query(self, phi: float) -> Item:
+        pairs = self._weighted_items()
+        if not pairs:
+            raise EmptySummaryError("no items stored")
+        total_weight = sum(weight for _, weight in pairs)
+        # Weights need not sum exactly to n mid-compaction cascade; scale the
+        # target rank into the stored-weight domain.
+        target = max(1, min(total_weight, math.ceil(exact_fraction(phi) * total_weight)))
+        cumulative = 0
+        for item, weight in pairs:
+            cumulative += weight
+            if cumulative >= target:
+                return item
+        return pairs[-1][0]
+
+    def estimate_rank(self, item: Item) -> int:
+        if self._n == 0:
+            raise EmptySummaryError("cannot estimate rank on an empty summary")
+        pairs = self._weighted_items()
+        total_weight = sum(weight for _, weight in pairs)
+        stored_rank = sum(weight for stored, weight in pairs if stored <= item)
+        if total_weight == 0:
+            return 0
+        return round(stored_rank * self._n / total_weight)
+
+    # -- the model's memory --------------------------------------------------------------
+
+    def item_array(self) -> list[Item]:
+        return [item for item, _ in self._weighted_items()]
+
+    def _item_count(self) -> int:
+        return sum(len(compactor) for compactor in self._compactors)
+
+    def fingerprint(self) -> tuple:
+        sizes = tuple(len(compactor) for compactor in self._compactors)
+        return (self.name, self._n, self.k, self.seed, sizes)
+
+
+register_summary("kll", KLL)

@@ -1,0 +1,113 @@
+"""Merging quantile summaries (the "mergeable summaries" of [2]).
+
+The paper's introduction motivates quantile summaries with distributed and
+parallel workloads ("balancing parallel computations" [19]), and its related
+work leans on Agarwal et al., *Mergeable summaries* (TODS 2013) — reference
+[2] — for the randomized lineage.  This module implements merging for the
+library's summaries:
+
+* :func:`merge_gk` — one-way merge of two GK-style tuple summaries.  The
+  merged rank bounds add exactly across the inputs, so the merged tuple
+  uncertainty is at most ``2 eps_1 n_1 + 2 eps_2 n_2 <= 2 max(eps) (n_1+n_2)``
+  — the merged summary answers queries at ``max(eps_1, eps_2)``.  What GK is
+  *not* known to preserve under merging is the space bound ("one-way
+  mergeability" in [2]): the result may store more than a single-stream GK
+  would, and repeated merge-then-stream cycles void the band analysis.
+* :meth:`KLL.merge <repro.summaries.kll.KLL.merge>` and
+  :meth:`MRL.merge <repro.summaries.mrl.MRL.merge>` — level-wise compactor /
+  buffer merging, the textbook fully-mergeable constructions (implemented in
+  their own modules; re-exported here).
+
+All merges are comparison-based: they only compare stored items.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy, _GKBase, _Tuple
+from repro.universe.item import Item
+
+
+def _rank_bounds(summary: _GKBase) -> list[tuple[Item, int, int]]:
+    """(value, rmin, rmax) per stored tuple."""
+    bounds = []
+    rmin = 0
+    for entry in summary._tuples:
+        rmin += entry.g
+        bounds.append((entry.value, rmin, rmin + entry.delta))
+    return bounds
+
+
+def _merged_bounds(
+    own: list[tuple[Item, int, int]],
+    other: list[tuple[Item, int, int]],
+    other_total: int,
+) -> list[tuple[Item, int, int]]:
+    """Rank bounds of ``own`` entries w.r.t. the union of both streams.
+
+    For an entry with value v: its merged rmin adds the rmin of the largest
+    ``other`` entry <= v (0 if none); its merged rmax adds the rmax of the
+    smallest ``other`` entry >= v minus one (or the full other stream length
+    when v exceeds everything there).
+    """
+    merged = []
+    j = 0  # index of the first other-entry with value >= current value
+    for value, rmin, rmax in own:
+        while j < len(other) and other[j][0] < value:
+            j += 1
+        rmin_other = other[j - 1][1] if j > 0 else 0
+        if j < len(other):
+            rmax_other = other[j][2] - 1
+        else:
+            rmax_other = other_total
+        merged.append((value, rmin + rmin_other, rmax + rmax_other))
+    return merged
+
+
+def merge_gk(first: _GKBase, second: _GKBase) -> _GKBase:
+    """Merge two GK summaries into a new one over the concatenated stream.
+
+    The result answers quantile queries over the union of the two input
+    streams with rank error at most ``max(eps_1, eps_2) * (n_1 + n_2)``:
+    merged rank bounds are exact sums of the inputs' bounds, so absolute
+    uncertainties add and the *relative* guarantee is the larger input's.
+    Both inputs are left intact.  The returned summary is of the same
+    variant as ``first`` (band-based or greedy) and can keep processing new
+    stream items at that epsilon — though the O((1/eps) log(eps N)) *space*
+    analysis does not survive merging (one-way mergeability, [2]).
+    """
+    if not isinstance(second, _GKBase):
+        raise TypeError(f"cannot merge GK with {type(second).__name__}")
+    combined_eps = max(Fraction(first._eps), Fraction(second._eps))
+    merged = type(first)(combined_eps)
+
+    bounds_first = _rank_bounds(first)
+    bounds_second = _rank_bounds(second)
+    entries = _merged_bounds(bounds_first, bounds_second, second.n)
+    entries += _merged_bounds(bounds_second, bounds_first, first.n)
+    entries.sort(key=lambda entry: (entry[0], entry[1]))
+
+    tuples: list[_Tuple] = []
+    previous_rmin = 0
+    for value, rmin, rmax in entries:
+        g = rmin - previous_rmin
+        if g <= 0:
+            # Two entries resolved to the same lower rank (duplicate values
+            # across inputs); keep the one already present, fold this one in.
+            if tuples:
+                tuples[-1].delta = max(tuples[-1].delta, rmax - previous_rmin)
+                continue
+            g = 1
+        tuples.append(_Tuple(value, g, max(0, rmax - rmin)))
+        previous_rmin = rmin
+    merged._tuples = tuples
+    merged._n = first.n + second.n
+    merged._max_item_count = max(
+        len(tuples), first.max_item_count, second.max_item_count
+    )
+    merged._compress()
+    return merged
+
+
+__all__ = ["merge_gk", "GreenwaldKhanna", "GreenwaldKhannaGreedy"]

@@ -1,0 +1,155 @@
+"""A Manku-Rajagopalan-Lindsay style multilevel buffer summary.
+
+Reference: Manku, Rajagopalan, Lindsay, "Approximate medians and other
+quantiles in one pass and with limited memory", SIGMOD 1998 — reference [14]
+of the paper, with the collapse idea going back to Munro-Paterson [17].
+
+The summary keeps one buffer per weight level.  The base buffer holds items
+of weight 1; when a buffer reaches capacity ``2m`` it *collapses*: the buffer
+is sorted and every other item is promoted to the next level with doubled
+weight.  Alternating between promoting odd- and even-indexed items keeps the
+collapse unbiased, and each collapse at weight ``w`` adds at most ``w/2``
+rank error.  With ``L = ceil(log2(eps N)) + O(1)`` levels and ``m`` chosen as
+``ceil(L / (2 eps))`` the total error stays below ``eps N`` while the space
+is O((1/eps) * log^2(eps N)) — exactly the bound the paper credits to [14].
+
+Like the original, the algorithm needs advance knowledge of (an upper bound
+on) the stream length ``N`` to size its buffers; ``n_hint`` plays that role
+and processing more than ``n_hint`` items voids the epsilon guarantee (the
+summary keeps running and the observed error degrades gracefully).
+
+Deterministic and comparison-based: the adversary applies.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+
+from repro.errors import EmptySummaryError
+from repro.model.registry import register_summary
+from repro.model.summary import QuantileSummary, exact_fraction
+from repro.universe.item import Item
+
+
+def mrl_buffer_size(epsilon: float, n_hint: int) -> int:
+    """The per-level buffer half-capacity ``m`` for a target guarantee.
+
+    Each of the ``L`` levels contributes at most ``n / (4m)`` rank error
+    (see module docstring), so ``m = ceil(L / (2 eps))`` keeps the total
+    under ``eps n / 2``, leaving slack for the final query rounding.
+    """
+    if n_hint < 1:
+        raise ValueError(f"n_hint must be positive, got {n_hint}")
+    levels = max(1, math.ceil(math.log2(max(2.0, epsilon * n_hint))) + 2)
+    return math.ceil(levels / (2 * epsilon))
+
+
+class MRL(QuantileSummary):
+    """Multilevel deterministic buffer-collapse summary (MRL98 lineage)."""
+
+    name = "mrl"
+
+    def __init__(self, epsilon: float, n_hint: int = 1_000_000) -> None:
+        super().__init__(float(epsilon))
+        self.n_hint = n_hint
+        self._m = mrl_buffer_size(float(epsilon), n_hint)
+        # _buffers[level] holds items of weight 2**level, kept sorted.
+        self._buffers: list[list[Item]] = [[]]
+        # Per-level parity flag: which half to promote on the next collapse.
+        self._offsets: list[int] = [0]
+
+    # -- processing --------------------------------------------------------------
+
+    def _insert(self, item: Item) -> None:
+        insort(self._buffers[0], item)
+        level = 0
+        while len(self._buffers[level]) >= 2 * self._m:
+            self._collapse(level)
+            level += 1
+
+    def _collapse(self, level: int) -> None:
+        """Promote every other item of ``level`` to ``level + 1``."""
+        buffer = self._buffers[level]
+        offset = self._offsets[level]
+        promoted = buffer[offset::2]
+        self._offsets[level] ^= 1
+        buffer.clear()
+        if level + 1 == len(self._buffers):
+            self._buffers.append([])
+            self._offsets.append(0)
+        target = self._buffers[level + 1]
+        for item in promoted:
+            insort(target, item)
+
+    # -- merging ------------------------------------------------------------------
+
+    def merge(self, other: "MRL") -> None:
+        """Absorb ``other`` into this summary (level-wise buffer merge).
+
+        Buffers of equal weight are concatenated, then any buffer over its
+        2m capacity collapses as usual.  Collapse error adds per level just
+        as in single-stream processing, so the combined guarantee matches a
+        single summary sized for the combined length (provided ``n_hint``
+        covers it).  ``other`` is left intact.
+        """
+        if not isinstance(other, MRL):
+            raise TypeError(f"cannot merge MRL with {type(other).__name__}")
+        while len(self._buffers) < len(other._buffers):
+            self._buffers.append([])
+            self._offsets.append(0)
+        for level, buffer in enumerate(other._buffers):
+            target = self._buffers[level]
+            for item in buffer:
+                insort(target, item)
+        self._n += other.n
+        level = 0
+        while level < len(self._buffers):
+            while len(self._buffers[level]) >= 2 * self._m:
+                self._collapse(level)
+            level += 1
+        self._max_item_count = max(self._max_item_count, self._item_count())
+
+    # -- queries -----------------------------------------------------------------
+
+    def _weighted_items(self) -> list[tuple[Item, int]]:
+        """All stored items with their weights, sorted by item."""
+        pairs = [
+            (item, 1 << level)
+            for level, buffer in enumerate(self._buffers)
+            for item in buffer
+        ]
+        pairs.sort(key=lambda pair: pair[0])
+        return pairs
+
+    def _query(self, phi: float) -> Item:
+        pairs = self._weighted_items()
+        if not pairs:
+            raise EmptySummaryError("no items stored")
+        target = max(1, min(self._n, int(exact_fraction(phi) * self._n)))
+        cumulative = 0
+        for item, weight in pairs:
+            cumulative += weight
+            if cumulative >= target:
+                return item
+        return pairs[-1][0]
+
+    def estimate_rank(self, item: Item) -> int:
+        if self._n == 0:
+            raise EmptySummaryError("cannot estimate rank on an empty summary")
+        return sum(weight for stored, weight in self._weighted_items() if stored <= item)
+
+    # -- the model's memory ---------------------------------------------------------
+
+    def item_array(self) -> list[Item]:
+        return [item for item, _ in self._weighted_items()]
+
+    def _item_count(self) -> int:
+        return sum(len(buffer) for buffer in self._buffers)
+
+    def fingerprint(self) -> tuple:
+        sizes = tuple(len(buffer) for buffer in self._buffers)
+        return (self.name, self._n, self._m, sizes, tuple(self._offsets))
+
+
+register_summary("mrl", MRL)

@@ -1,0 +1,117 @@
+"""The offline-optimal ceil(1/(2 eps)) summary.
+
+Section 1 of the paper: offline, with random access to the whole data set,
+an eps-approximate quantile summary needs only ceil(1/(2 eps)) items — store
+the eps-quantile, the 3 eps-quantile, the 5 eps-quantile, and so on — and
+this is optimal, since a summary leaving a 2 eps-wide quantile interval
+uncovered must fail some query.
+
+This class is *not* a streaming algorithm: it buffers the stream and selects
+the stored items only when :meth:`finalize` runs (a query finalizes
+implicitly).  Its purpose is to anchor the space axis of the experiments:
+Theorem 2.2 is exactly the statement that no *streaming* comparison-based
+summary can get anywhere near this offline footprint.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import EmptySummaryError
+from repro.model.registry import register_summary
+from repro.model.summary import QuantileSummary, exact_fraction
+from repro.universe.item import Item
+
+
+class OfflineOptimal(QuantileSummary):
+    """Offline summary storing the odd multiples of the eps-quantile."""
+
+    name = "offline"
+
+    def __init__(self, epsilon: float) -> None:
+        super().__init__(float(epsilon))
+        self._eps = exact_fraction(epsilon)
+        self._buffer: list[Item] | None = []
+        self._selected: list[Item] = []
+        # (rank of selected item) per stored item, fixed at finalize time.
+        self._selected_ranks: list[int] = []
+
+    def _insert(self, item: Item) -> None:
+        if self._buffer is None:
+            raise RuntimeError("OfflineOptimal cannot process items after finalize()")
+        self._buffer.append(item)
+
+    def finalize(self) -> None:
+        """Select the stored quantiles and drop the buffer."""
+        if self._buffer is None:
+            return
+        ordered = sorted(self._buffer)
+        self._buffer = None
+        total = len(ordered)
+        if total == 0:
+            return
+        count = math.ceil(1 / (2 * self._eps))
+        for j in range(count):
+            # The (2j+1) * eps quantile, clamped to the data range.
+            target = max(1, min(total, math.ceil((2 * j + 1) * self._eps * total)))
+            if self._selected_ranks and self._selected_ranks[-1] == target:
+                continue
+            self._selected.append(ordered[target - 1])
+            self._selected_ranks.append(target)
+
+    @property
+    def is_finalized(self) -> bool:
+        """True once the buffer has been discarded."""
+        return self._buffer is None
+
+    def _query(self, phi: float) -> Item:
+        self.finalize()
+        if not self._selected:
+            raise EmptySummaryError("no items stored")
+        target = max(1, min(self._n, math.ceil(exact_fraction(phi) * self._n)))
+        best_item = self._selected[0]
+        best_distance = abs(self._selected_ranks[0] - target)
+        for item, rank in zip(self._selected, self._selected_ranks):
+            distance = abs(rank - target)
+            if distance < best_distance:
+                best_distance = distance
+                best_item = item
+        return best_item
+
+    def estimate_rank(self, item: Item) -> int:
+        self.finalize()
+        if self._n == 0:
+            raise EmptySummaryError("cannot estimate rank on an empty summary")
+        # rank(item) lies between the ranks of the neighbouring stored
+        # quantiles; the midpoint's error is at most half their spacing.
+        lower = 0
+        upper = self._n
+        for stored, stored_rank in zip(self._selected, self._selected_ranks):
+            if stored <= item:
+                lower = stored_rank
+            else:
+                upper = stored_rank - 1
+                break
+        return (lower + upper) // 2
+
+    def item_array(self) -> list[Item]:
+        if self._buffer is not None:
+            return sorted(self._buffer)
+        return list(self._selected)
+
+    def _item_count(self) -> int:
+        # The offline summary's advertised footprint is its final size; the
+        # transient buffer is the "random access to the whole data set" the
+        # paper grants the offline setting.
+        return len(self._selected) if self._buffer is None else len(self._buffer)
+
+    def summary_size(self) -> int:
+        """Size of the finalized summary (finalizes if needed)."""
+        self.finalize()
+        return len(self._selected)
+
+    def fingerprint(self) -> tuple:
+        return (self.name, self._n, self.is_finalized, tuple(self._selected_ranks))
+
+
+register_summary("offline", OfflineOptimal)

@@ -1,0 +1,199 @@
+"""The q-digest summary of Shrivastava et al. — the non-comparison contrast.
+
+Reference: Shrivastava, Buragohain, Agrawal, Suri, "Medians and beyond: new
+aggregation techniques for sensor networks", SenSys 2004 — reference [18] of
+the paper.
+
+q-digest requires a *known bounded universe* U = [0, 2^L): it maintains
+counts on the nodes of the implicit binary tree over U and compresses small
+counts into parents.  Space is O((1/eps) * log |U|) — independent of N — and
+quantile queries may return values that never appeared in the stream.
+
+Both properties violate the comparison-based model (Definition 2.1), which
+is exactly why the paper's lower bound does not apply to it (Section 2).  It
+is included as the contrast point: experiment T10 shows it beating the
+comparison-based space bound on long streams over a small universe, and a
+compliance test shows the :class:`~repro.model.ComplianceMonitor` rejecting
+it.
+
+Items fed to q-digest must carry *integer* keys in [0, 2^L); the class reads
+them via :func:`~repro.universe.key_of` — a deliberate, documented model
+violation.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from repro.errors import EmptySummaryError
+from repro.model.registry import register_summary
+from repro.model.summary import QuantileSummary, exact_fraction
+from repro.universe.item import Item, key_of
+from repro.universe.universe import Universe
+
+
+class QDigest(QuantileSummary):
+    """q-digest over the universe [0, 2**universe_bits).
+
+    Nodes are identified heap-style: the root is 1, node ``v`` has children
+    ``2v`` and ``2v + 1``; leaves sit at depth ``universe_bits`` and leaf for
+    value ``x`` is ``2**universe_bits + x``.
+    """
+
+    name = "qdigest"
+    is_comparison_based = False
+
+    def __init__(
+        self,
+        epsilon: float,
+        universe_bits: int = 16,
+        universe: Universe | None = None,
+    ) -> None:
+        super().__init__(float(epsilon))
+        if universe_bits < 1:
+            raise ValueError(f"universe_bits must be positive, got {universe_bits}")
+        self.universe_bits = universe_bits
+        self._universe = universe if universe is not None else Universe()
+        # Compression factor sigma: node counts below floor(n / sigma) get
+        # merged upward; sigma = log2|U| / eps gives eps n total error.
+        self._sigma = max(1.0, universe_bits / float(epsilon))
+        self._counts: dict[int, int] = {}
+        self._since_compress = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _leaf(self, value: int) -> int:
+        if not 0 <= value < (1 << self.universe_bits):
+            raise ValueError(
+                f"value {value} outside universe [0, 2^{self.universe_bits})"
+            )
+        return (1 << self.universe_bits) + value
+
+    def _node_range(self, node: int) -> tuple[int, int]:
+        """Closed value range [lo, hi] covered by ``node``."""
+        depth = node.bit_length() - 1
+        span_bits = self.universe_bits - depth
+        offset = node - (1 << depth)
+        lo = offset << span_bits
+        hi = lo + (1 << span_bits) - 1
+        return lo, hi
+
+    def _threshold(self) -> int:
+        return int(self._n / self._sigma)
+
+    # -- processing --------------------------------------------------------------
+
+    def _insert(self, item: Item) -> None:
+        key = key_of(item)
+        if not isinstance(key, Fraction) or key.denominator != 1:
+            raise ValueError("q-digest requires integer-valued items")
+        leaf = self._leaf(int(key))
+        self._counts[leaf] = self._counts.get(leaf, 0) + 1
+        self._since_compress += 1
+        if self._since_compress >= max(1, int(self._sigma)):
+            self.compress()
+            self._since_compress = 0
+
+    def delete(self, item: Item) -> None:
+        """Remove one occurrence of ``item`` (turnstile model).
+
+        The paper's related work notes that "any algorithm for turnstile
+        streams inherently relies on the bounded size of the universe" —
+        q-digest is exactly such an algorithm: a deletion decrements the
+        count of the deepest node covering the value.  If compression has
+        already folded the leaf into an ancestor, the ancestor's count is
+        decremented, which preserves the digest's error guarantee (the
+        deleted item was inside that node's range).
+        """
+        key = key_of(item)
+        if not isinstance(key, Fraction) or key.denominator != 1:
+            raise ValueError("q-digest requires integer-valued items")
+        node = self._leaf(int(key))
+        while node >= 1:
+            if self._counts.get(node, 0) > 0:
+                self._counts[node] -= 1
+                if self._counts[node] == 0:
+                    del self._counts[node]
+                self._n -= 1
+                return
+            node >>= 1
+        raise ValueError("cannot delete from an empty or inconsistent digest")
+
+    def compress(self) -> None:
+        """Merge low-count sibling groups into their parents (one sweep)."""
+        threshold = self._threshold()
+        if threshold <= 1:
+            return
+        # Bottom-up over depths; iterate over a snapshot of current nodes.
+        for depth in range(self.universe_bits, 0, -1):
+            lo_node = 1 << depth
+            hi_node = 1 << (depth + 1)
+            nodes = [v for v in self._counts if lo_node <= v < hi_node]
+            for node in nodes:
+                count = self._counts.get(node, 0)
+                if count == 0:
+                    continue
+                sibling = node ^ 1
+                parent = node >> 1
+                group = (
+                    count
+                    + self._counts.get(sibling, 0)
+                    + self._counts.get(parent, 0)
+                )
+                if group < threshold:
+                    self._counts[parent] = group
+                    self._counts.pop(node, None)
+                    self._counts.pop(sibling, None)
+
+    # -- queries -----------------------------------------------------------------
+
+    def _query(self, phi: float) -> Item:
+        if not self._counts:
+            raise EmptySummaryError("no items stored")
+        target = max(1, min(self._n, math.ceil(exact_fraction(phi) * self._n)))
+        # Order nodes by (hi of range, depth descending): the canonical
+        # q-digest post-order, which visits more specific nodes first.
+        entries = sorted(
+            self._counts.items(),
+            key=lambda pair: (self._node_range(pair[0])[1], pair[0].bit_length()),
+        )
+        cumulative = 0
+        for node, count in entries:
+            cumulative += count
+            if cumulative >= target:
+                _, hi = self._node_range(node)
+                # May return a value that never occurred in the stream — the
+                # documented non-comparison-based behaviour.
+                return self._universe.item(hi)
+        node, _ = entries[-1]
+        return self._universe.item(self._node_range(node)[1])
+
+    def estimate_rank(self, item: Item) -> int:
+        key = key_of(item)
+        value = int(key)
+        rank = 0
+        for node, count in self._counts.items():
+            _, hi = self._node_range(node)
+            if hi <= value:
+                rank += count
+        return rank
+
+    # -- the model's memory ----------------------------------------------------------
+
+    def item_array(self) -> list[Item]:
+        """q-digest stores counts, not items; the item array is empty."""
+        return []
+
+    def node_count(self) -> int:
+        """Number of tree nodes with nonzero count — q-digest's space measure."""
+        return len(self._counts)
+
+    def _item_count(self) -> int:
+        return 0
+
+    def fingerprint(self) -> tuple:
+        return (self.name, self._n, tuple(sorted(self._counts.items())))
+
+
+register_summary("qdigest", QDigest)

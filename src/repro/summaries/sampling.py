@@ -1,0 +1,82 @@
+"""Reservoir-sampling quantile summary.
+
+The simplest randomized baseline: keep a uniform sample of ``m`` items
+(Vitter's reservoir algorithm) and answer quantile queries from the sample.
+Standard concentration gives rank error O(n * sqrt(log(1/delta) / m)), so
+``m = O(log(1/delta) / eps^2)`` suffices for an ``eps n`` guarantee — far
+more than KLL needs, which is why it only serves as a baseline in T10.
+
+Seedable, hence deterministic once seeded, like :class:`~repro.summaries.KLL`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import EmptySummaryError
+from repro.model.registry import register_summary
+from repro.model.summary import QuantileSummary, exact_fraction
+from repro.universe.item import Item
+
+
+def reservoir_size_for(epsilon: float, delta: float = 0.01) -> int:
+    """Sample size giving rank error ``eps n`` with probability ``1 - delta``."""
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return max(1, math.ceil(2 * math.log(2 / delta) / (epsilon * epsilon)))
+
+
+class ReservoirSampling(QuantileSummary):
+    """Uniform reservoir sample answering quantile and rank queries."""
+
+    name = "sampling"
+    is_deterministic = False
+
+    def __init__(
+        self,
+        epsilon: float,
+        m: int | None = None,
+        seed: int | None = 0,
+        delta: float = 0.01,
+    ) -> None:
+        super().__init__(float(epsilon))
+        self.m = m if m is not None else reservoir_size_for(float(epsilon), delta)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._reservoir: list[Item] = []
+
+    def _insert(self, item: Item) -> None:
+        if len(self._reservoir) < self.m:
+            self._reservoir.append(item)
+            return
+        slot = self._rng.randrange(self._n + 1)
+        if slot < self.m:
+            self._reservoir[slot] = item
+
+    def _query(self, phi: float) -> Item:
+        if not self._reservoir:
+            raise EmptySummaryError("no items stored")
+        ordered = sorted(self._reservoir)
+        target = max(1, min(len(ordered), math.ceil(exact_fraction(phi) * len(ordered))))
+        return ordered[target - 1]
+
+    def estimate_rank(self, item: Item) -> int:
+        if self._n == 0:
+            raise EmptySummaryError("cannot estimate rank on an empty summary")
+        if not self._reservoir:
+            return 0
+        below = sum(1 for stored in self._reservoir if stored <= item)
+        return round(below * self._n / len(self._reservoir))
+
+    def item_array(self) -> list[Item]:
+        return sorted(self._reservoir)
+
+    def _item_count(self) -> int:
+        return len(self._reservoir)
+
+    def fingerprint(self) -> tuple:
+        return (self.name, self._n, self.m, self.seed, len(self._reservoir))
+
+
+register_summary("sampling", ReservoirSampling)

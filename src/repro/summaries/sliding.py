@@ -1,0 +1,136 @@
+"""Sliding-window quantiles on top of mergeable GK blocks.
+
+The paper's related work (Section 1.2, via the Greenwald-Khanna survey [7])
+mentions the sliding-window model: answer quantile queries over the most
+recent ``window`` items only.  This module implements the classic
+block-decomposition approach:
+
+* the window is covered by at most ``blocks`` consecutive *blocks*, each
+  summarised by its own GK summary at a reduced epsilon;
+* when a block fills, a new one starts; blocks that slide fully out of the
+  window are dropped;
+* a query merges the live blocks with :func:`~repro.summaries.merge_gk` and
+  queries the merged summary.
+
+Error analysis: GK merging preserves the max of the input epsilons (see
+:func:`~repro.summaries.merge_gk`), so each block runs at ``eps / 2``; the
+oldest block may straddle the window boundary, contributing up to
+``window / blocks`` extra rank uncertainty.  The overall guarantee is
+therefore ``(eps + 1 / blocks) * window`` rank error, which the tests
+measure; increase ``blocks`` to push it towards ``eps * window``.
+
+This is deliberately a *model extension*, not part of the paper's lower
+bound (which is for the full-stream model); it exists because a library a
+practitioner would adopt needs it, and because it exercises the merge
+machinery end to end.
+"""
+
+from __future__ import annotations
+
+
+from repro.errors import EmptySummaryError
+from repro.model.registry import register_summary
+from repro.model.summary import QuantileSummary, exact_fraction
+from repro.summaries.gk import GreenwaldKhanna
+from repro.summaries.merging import merge_gk
+from repro.universe.item import Item
+
+
+class SlidingWindowQuantiles(QuantileSummary):
+    """Approximate quantiles over the last ``window`` stream items.
+
+    Parameters
+    ----------
+    epsilon:
+        Target rank-error fraction *of the window*.
+    window:
+        Number of most-recent items queries refer to.
+    blocks:
+        Number of blocks covering the window (default 8).  The effective
+        guarantee is ``(epsilon + 1/blocks) * window`` rank error; increase
+        ``blocks`` to tighten it at the cost of per-item work.
+    """
+
+    name = "sliding-gk"
+
+    def __init__(self, epsilon: float, window: int = 10_000, blocks: int = 8) -> None:
+        super().__init__(float(epsilon))
+        if window < 1:
+            raise ValueError(f"window must be positive, got {window}")
+        if blocks < 2:
+            raise ValueError(f"blocks must be at least 2, got {blocks}")
+        self.window = window
+        self.blocks = blocks
+        self._block_size = max(1, window // blocks)
+        self._block_eps = exact_fraction(epsilon) / 2
+        # (start position, summary) per live block; positions are 0-based.
+        self._live: list[tuple[int, GreenwaldKhanna]] = []
+
+    # -- processing --------------------------------------------------------------
+
+    def _insert(self, item: Item) -> None:
+        position = self._n  # 0-based arrival index of this item
+        if not self._live or position % self._block_size == 0:
+            self._live.append((position, GreenwaldKhanna(self._block_eps)))
+        self._live[-1][1].process(item)
+        # Drop blocks that ended before the window's left edge.
+        window_start = position + 1 - self.window
+        self._live = [
+            (start, summary)
+            for start, summary in self._live
+            if start + summary.n > window_start
+        ]
+
+    @property
+    def effective_epsilon(self) -> float:
+        """The guarantee actually provided: epsilon + 1/blocks."""
+        return self.epsilon + 1 / self.blocks
+
+    def window_size(self) -> int:
+        """Number of items currently inside the window."""
+        return min(self._n, self.window)
+
+    # -- queries -----------------------------------------------------------------
+
+    def _merged(self) -> GreenwaldKhanna:
+        if not self._live:
+            raise EmptySummaryError("no items stored")
+        merged = self._live[0][1]
+        for _, block in self._live[1:]:
+            merged = merge_gk(merged, block)
+        return merged
+
+    def _query(self, phi: float) -> Item:
+        # The merged summary covers slightly more than the window (the
+        # oldest block may straddle the boundary); query it directly — the
+        # straddle is accounted for in effective_epsilon.
+        return self._merged().query(phi)
+
+    def estimate_rank(self, item: Item) -> int:
+        if self._n == 0:
+            raise EmptySummaryError("cannot estimate rank on an empty summary")
+        merged = self._merged()
+        overshoot = merged.n - self.window_size()
+        return max(0, merged.estimate_rank(item) - overshoot)
+
+    # -- the model's memory --------------------------------------------------------
+
+    def item_array(self) -> list[Item]:
+        items = [item for _, block in self._live for item in block.item_array()]
+        items.sort()
+        return items
+
+    def _item_count(self) -> int:
+        return sum(len(block.item_array()) for _, block in self._live)
+
+    def fingerprint(self) -> tuple:
+        return (
+            self.name,
+            self._n,
+            self.window,
+            self.blocks,
+            tuple((start, block.fingerprint()) for start, block in self._live),
+        )
+
+
+register_summary("sliding-gk", SlidingWindowQuantiles)

@@ -1,0 +1,153 @@
+"""Turnstile quantiles: dyadic decomposition over Count-Min sketches.
+
+The paper's related work (Section 1.2): quantile tracking is possible even
+when items *depart* (the turnstile model), but "any algorithm for turnstile
+streams inherently relies on the bounded size of the universe".  This is
+that algorithm (Cormode-Muthukrishnan's dyadic construction, the one Luo et
+al. [13] evaluate): one frequency sketch per dyadic level of the universe
+[0, 2^L); a rank query sums O(L) sketch estimates along a canonical dyadic
+cover, and a quantile query binary-searches the universe using rank queries.
+
+Properties worth contrasting with the paper's model:
+
+* **Not comparison-based** — it hashes item *values*, requires the bounded
+  universe, and returns values that may never have appeared.  Like q-digest
+  it therefore escapes Theorem 2.2 (space is O((1/eps) log^2 |U|)-ish,
+  independent of N).
+* **Randomized** — estimates hold with probability 1 - delta per query.
+* **Fully turnstile** — :meth:`delete` is exact bookkeeping, not a heuristic.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from repro.errors import EmptySummaryError
+from repro.model.registry import register_summary
+from repro.model.summary import QuantileSummary
+from repro.sketches.countmin import CountMinSketch
+from repro.universe.item import Item, key_of
+from repro.universe.universe import Universe
+
+
+class TurnstileQuantiles(QuantileSummary):
+    """Dyadic Count-Min quantiles over the universe [0, 2**universe_bits)."""
+
+    name = "turnstile"
+    is_comparison_based = False
+    is_deterministic = False  # hash-seeded; fixed seed makes runs reproducible
+
+    def __init__(
+        self,
+        epsilon: float,
+        universe_bits: int = 16,
+        delta: float = 0.01,
+        seed: int = 0,
+        universe: Universe | None = None,
+    ) -> None:
+        super().__init__(float(epsilon))
+        if universe_bits < 1:
+            raise ValueError(f"universe_bits must be positive, got {universe_bits}")
+        self.universe_bits = universe_bits
+        self._universe = universe if universe is not None else Universe()
+        # Each level absorbs eps / L of the rank-error budget.
+        per_level_eps = float(epsilon) / universe_bits
+        self._levels = [
+            CountMinSketch.for_guarantee(per_level_eps, delta, seed=seed + level)
+            for level in range(universe_bits + 1)
+        ]
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _value_of(self, item: Item) -> int:
+        key = key_of(item)
+        if not isinstance(key, Fraction) or key.denominator != 1:
+            raise ValueError("turnstile quantiles require integer-valued items")
+        value = int(key)
+        if not 0 <= value < (1 << self.universe_bits):
+            raise ValueError(
+                f"value {value} outside universe [0, 2^{self.universe_bits})"
+            )
+        return value
+
+    def _update(self, value: int, delta: int) -> None:
+        # Level 0 holds single values; level l holds blocks of size 2^l.
+        for level, sketch in enumerate(self._levels):
+            sketch.update(value >> level, delta)
+
+    # -- stream operations ---------------------------------------------------------
+
+    def _insert(self, item: Item) -> None:
+        self._update(self._value_of(item), +1)
+
+    def delete(self, item: Item) -> None:
+        """Remove one occurrence of ``item`` (exact turnstile bookkeeping)."""
+        if self._n == 0:
+            raise ValueError("cannot delete from an empty summary")
+        self._update(self._value_of(item), -1)
+        self._n -= 1
+
+    # -- rank machinery ----------------------------------------------------------------
+
+    def rank_of_value(self, value: int) -> int:
+        """Estimated number of stream items <= ``value``.
+
+        Sums the canonical dyadic cover of [0, value]: walk levels from the
+        top; whenever the current block's left half is fully below the
+        target, add its estimate and descend right.
+        """
+        if value < 0:
+            return 0
+        value = min(value, (1 << self.universe_bits) - 1)
+        rank = 0
+        # Positions [0, value] decompose into at most one block per level.
+        remaining = value + 1  # count of universe slots to cover
+        start = 0
+        for level in range(self.universe_bits, -1, -1):
+            block = 1 << level
+            if remaining >= block:
+                rank += self._levels[level].estimate(start >> level)
+                start += block
+                remaining -= block
+        return min(rank, self._n)
+
+    def estimate_rank(self, item: Item) -> int:
+        if self._n == 0:
+            raise EmptySummaryError("cannot estimate rank on an empty summary")
+        return self.rank_of_value(self._value_of(item))
+
+    def _query(self, phi: float) -> Item:
+        target = max(1, min(self._n, math.ceil(Fraction(phi) * self._n)))
+        lo, hi = 0, (1 << self.universe_bits) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.rank_of_value(mid) >= target:
+                hi = mid
+            else:
+                lo = mid + 1
+        return self._universe.item(lo)
+
+    # -- the model's memory -----------------------------------------------------------
+
+    def item_array(self) -> list[Item]:
+        """Sketches store counters, not items; the item array is empty."""
+        return []
+
+    def _item_count(self) -> int:
+        return 0
+
+    def memory_counters(self) -> int:
+        """Total counters across all dyadic levels — the space measure."""
+        return sum(sketch.memory_counters() for sketch in self._levels)
+
+    def fingerprint(self) -> tuple:
+        return (
+            self.name,
+            self._n,
+            self.universe_bits,
+            tuple(sketch.total for sketch in self._levels),
+        )
+
+
+register_summary("turnstile", TurnstileQuantiles)

@@ -1,0 +1,35 @@
+"""The totally ordered, continuous universe substrate.
+
+The paper assumes items are drawn from an unbounded, continuous, totally
+ordered universe about which the algorithm knows nothing: the only permitted
+operations are comparisons and equality tests (Definition 2.1(i)).  This
+package makes that assumption executable:
+
+* :class:`Item` wraps an exact rational key and supports *only* comparisons
+  and equality; every other operation raises
+  :class:`~repro.errors.ForbiddenItemOperation`.
+* :class:`Universe` draws fresh items, including strictly inside any open
+  interval (the continuity assumption the adversary relies on).
+* :class:`OpenInterval` models the intervals (l, r) maintained by the
+  adversarial construction, with ``NEG_INFINITY``/``POS_INFINITY`` sentinels
+  for the initial unbounded interval.
+* :class:`ComparisonCounter` instruments how many comparisons a summary makes.
+"""
+
+from repro.universe.counter import ComparisonCounter
+from repro.universe.item import NEG_INFINITY, POS_INFINITY, Item, key_of
+from repro.universe.interval import OpenInterval
+from repro.universe.lexicographic import LexicographicUniverse, string_between
+from repro.universe.universe import Universe
+
+__all__ = [
+    "ComparisonCounter",
+    "Item",
+    "LexicographicUniverse",
+    "NEG_INFINITY",
+    "POS_INFINITY",
+    "OpenInterval",
+    "Universe",
+    "string_between",
+    "key_of",
+]

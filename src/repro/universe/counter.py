@@ -1,0 +1,49 @@
+"""Instrumentation for the comparison-based model.
+
+Every :class:`~repro.universe.Item` may carry a reference to a
+:class:`ComparisonCounter`.  Each comparison or equality test between two
+items increments the counter, which lets tests and benchmarks measure the
+comparison cost of a summary and lets the compliance monitor confirm that a
+summary interacts with items at all.
+"""
+
+from __future__ import annotations
+
+
+class ComparisonCounter:
+    """Counts comparisons and equality tests performed on items.
+
+    The counter distinguishes order comparisons (``<``, ``<=``, ``>``, ``>=``)
+    from equality tests (``==``, ``!=``) because Definition 2.1 lists them as
+    the two distinct permitted operations.
+    """
+
+    __slots__ = ("comparisons", "equality_tests")
+
+    def __init__(self) -> None:
+        self.comparisons = 0
+        self.equality_tests = 0
+
+    @property
+    def total(self) -> int:
+        """Total number of item operations observed."""
+        return self.comparisons + self.equality_tests
+
+    def record_comparison(self) -> None:
+        """Record one order comparison between two items."""
+        self.comparisons += 1
+
+    def record_equality_test(self) -> None:
+        """Record one equality test between two items."""
+        self.equality_tests += 1
+
+    def reset(self) -> None:
+        """Reset both counts to zero."""
+        self.comparisons = 0
+        self.equality_tests = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ComparisonCounter(comparisons={self.comparisons}, "
+            f"equality_tests={self.equality_tests})"
+        )

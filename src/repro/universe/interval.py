@@ -1,0 +1,57 @@
+"""Open intervals over the item universe.
+
+The adversarial construction maintains one open interval per stream
+(Pseudocode 1 and 2 of the paper).  Endpoints are either items or the
+``NEG_INFINITY``/``POS_INFINITY`` sentinels; the interval never contains its
+endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.universe.item import NEG_INFINITY, POS_INFINITY, Bound, Item, _Infinity
+
+
+@dataclass(frozen=True)
+class OpenInterval:
+    """An open interval (lo, hi) of the universe.
+
+    ``lo`` and ``hi`` may be :class:`~repro.universe.Item` instances or the
+    infinite sentinels.  The interval must be non-empty in the continuous
+    universe, i.e. ``lo < hi``.
+    """
+
+    lo: Bound
+    hi: Bound
+
+    def __post_init__(self) -> None:
+        if not self.lo < self.hi:
+            raise ValueError(f"empty open interval: ({self.lo!r}, {self.hi!r})")
+
+    @classmethod
+    def unbounded(cls) -> "OpenInterval":
+        """The whole universe, (-inf, +inf) — the adversary's initial interval."""
+        return cls(NEG_INFINITY, POS_INFINITY)
+
+    @property
+    def lo_is_item(self) -> bool:
+        """True when the lower endpoint is a stream item (not a sentinel)."""
+        return isinstance(self.lo, Item)
+
+    @property
+    def hi_is_item(self) -> bool:
+        """True when the upper endpoint is a stream item (not a sentinel)."""
+        return isinstance(self.hi, Item)
+
+    @property
+    def is_unbounded(self) -> bool:
+        """True when both endpoints are infinite sentinels."""
+        return isinstance(self.lo, _Infinity) and isinstance(self.hi, _Infinity)
+
+    def contains(self, item: Item) -> bool:
+        """Whether ``item`` lies strictly inside the interval."""
+        return self.lo < item and item < self.hi
+
+    def __repr__(self) -> str:
+        return f"OpenInterval({self.lo!r}, {self.hi!r})"

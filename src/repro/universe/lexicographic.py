@@ -1,0 +1,148 @@
+"""The paper's example universe: strings under lexicographic order.
+
+Section 2: "An example of such a universe is a large enough set of long
+incompressible strings, ordered lexicographically (where the continuous
+assumption may be achieved by making the strings even longer)."
+
+:class:`LexicographicUniverse` realises that example.  Items carry lowercase
+string keys; drawing a fresh item strictly inside an open interval extends
+strings just enough to fit — the fractional-indexing construction.  Because
+the whole library (items, streams, summaries, the adversary) only ever
+*compares* items, the adversarial construction runs over this universe
+unchanged, and experiment A7 verifies it produces the **same trace** as over
+exact rationals — the model's universe-obliviousness, demonstrated.
+
+Strings are kept in a canonical form that never ends in ``'a'`` (the
+smallest digit), which makes the string-to-real-number reading injective and
+the midpoint construction total.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UniverseExhaustedError
+from repro.universe.counter import ComparisonCounter
+from repro.universe.interval import OpenInterval
+from repro.universe.item import Item, key_of
+from repro.universe.item import _Infinity
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+_INDEX = {char: position for position, char in enumerate(_ALPHABET)}
+_BASE = len(_ALPHABET)
+
+
+def _validate(text: str) -> str:
+    if not text:
+        raise ValueError("the empty string is the interval boundary, not a key")
+    for char in text:
+        if char not in _INDEX:
+            raise ValueError(f"keys use only {_ALPHABET!r}; got {text!r}")
+    if text[-1] == _ALPHABET[0]:
+        raise ValueError(
+            f"canonical keys may not end with {_ALPHABET[0]!r}; got {text!r}"
+        )
+    return text
+
+
+def string_between(low: str, high: str | None) -> str:
+    """A canonical string strictly between ``low`` and ``high``.
+
+    ``low`` may be the empty string (the bottom of the universe) and ``high``
+    may be ``None`` (the top).  Reading strings as base-26 reals in [0, 1)
+    — ``'a'`` = digit 0 — this is the classic fractional-indexing midpoint:
+    share the common prefix, then either split a digit gap or descend one
+    level.  The result never ends in ``'a'``, so it is a valid canonical key.
+    """
+    if high is not None and not low < high:
+        raise UniverseExhaustedError(f"empty string interval ({low!r}, {high!r})")
+    prefix = []
+    position = 0
+    while True:
+        low_digit = _INDEX[low[position]] if position < len(low) else 0
+        high_digit = (
+            _INDEX[high[position]]
+            if high is not None and position < len(high)
+            else _BASE
+        )
+        if high_digit - low_digit > 1:
+            # Room at this level: take the middle digit (never digit 0,
+            # since the midpoint of a gap of >= 2 is >= 1).
+            middle = (low_digit + high_digit) // 2
+            return "".join(prefix) + _ALPHABET[middle]
+        if high_digit - low_digit == 1:
+            # Adjacent digits: keep low's digit and continue between
+            # low's remainder and the top of that sub-block.
+            prefix.append(_ALPHABET[low_digit])
+            high = None
+            position += 1
+            continue
+        # Equal digits: extend the common prefix.
+        prefix.append(_ALPHABET[low_digit])
+        position += 1
+
+
+class LexicographicUniverse:
+    """A universe of lowercase strings under lexicographic order.
+
+    Implements the same drawing interface as
+    :class:`~repro.universe.Universe` (``item`` / ``between`` /
+    ``ordered_items``), so it can be passed anywhere a universe is expected —
+    in particular to :func:`repro.core.build_adversarial_pair`.
+    """
+
+    def __init__(self, counter: ComparisonCounter | None = None) -> None:
+        self.counter = counter
+        self._created = 0
+
+    @property
+    def items_created(self) -> int:
+        return self._created
+
+    def item(self, value: str, label: str | None = None) -> Item:
+        """Create an item at an explicit canonical string key."""
+        self._created += 1
+        return Item(_validate(value), counter=self.counter, label=label)
+
+    def items(self, values) -> list[Item]:
+        """Create one item per string, in the given order."""
+        return [self.item(value) for value in values]
+
+    def _bounds_as_strings(self, interval: OpenInterval) -> tuple[str, str | None]:
+        lo, hi = interval.lo, interval.hi
+        low = "" if isinstance(lo, _Infinity) else str(key_of(lo))
+        high = None if isinstance(hi, _Infinity) else str(key_of(hi))
+        return low, high
+
+    def between(self, interval: OpenInterval, label: str | None = None) -> Item:
+        """Draw one fresh item strictly inside ``interval``."""
+        low, high = self._bounds_as_strings(interval)
+        return self.item(string_between(low, high), label=label)
+
+    def ordered_items(
+        self,
+        count: int,
+        interval: OpenInterval,
+        label_prefix: str | None = None,
+    ) -> list[Item]:
+        """Draw ``count`` strictly increasing fresh items inside ``interval``.
+
+        Balanced bisection: the midpoint splits the interval, each half
+        yields half the items, so key lengths grow only logarithmically in
+        ``count`` per recursion level of the adversary.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        low, high = self._bounds_as_strings(interval)
+        keys = self._subdivide(low, high, count)
+        items = []
+        for position, key in enumerate(keys, start=1):
+            label = f"{label_prefix}{position}" if label_prefix is not None else None
+            items.append(self.item(key, label=label))
+        return items
+
+    def _subdivide(self, low: str, high: str | None, count: int) -> list[str]:
+        if count == 0:
+            return []
+        middle = string_between(low, high)
+        left = self._subdivide(low, middle, (count - 1) // 2)
+        right = self._subdivide(middle, high, count - 1 - (count - 1) // 2)
+        return left + [middle] + right

@@ -1,0 +1,101 @@
+"""Drawing fresh items from the continuous universe.
+
+The lower-bound proof relies on the universe being *continuous*: any
+non-empty open interval contains unboundedly many items (Section 2 of the
+paper).  With exact rational keys this holds by construction — the midpoint
+of any non-empty open rational interval is a fresh rational strictly inside
+it — so the adversary can always refine its intervals, no matter how deep the
+recursion goes.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+from repro.errors import UniverseExhaustedError
+from repro.universe.counter import ComparisonCounter
+from repro.universe.interval import OpenInterval
+from repro.universe.item import Item, key_of
+from repro.universe.item import _Infinity
+
+
+class Universe:
+    """A factory for items of the totally ordered continuous universe.
+
+    Parameters
+    ----------
+    counter:
+        Optional shared :class:`ComparisonCounter` attached to every item the
+        universe creates, so all comparisons on those items are counted.
+    """
+
+    def __init__(self, counter: ComparisonCounter | None = None) -> None:
+        self.counter = counter
+        self._created = 0
+
+    @property
+    def items_created(self) -> int:
+        """Number of items this universe has handed out."""
+        return self._created
+
+    def item(self, value: int | Fraction, label: str | None = None) -> Item:
+        """Create an item at an explicit rational position ``value``."""
+        self._created += 1
+        return Item(Fraction(value), counter=self.counter, label=label)
+
+    def items(self, values: Iterable[int | Fraction]) -> list[Item]:
+        """Create one item per value, in the given order."""
+        return [self.item(value) for value in values]
+
+    def _bounds_as_fractions(self, interval: OpenInterval) -> tuple[Fraction, Fraction]:
+        """Map an interval to concrete rational endpoints.
+
+        Infinite sentinels are replaced by finite anchors one unit beyond the
+        other endpoint (or by (0, 1) when both ends are infinite).  Only the
+        *openness* of the interval matters to the construction, so any
+        concrete anchoring preserves its behaviour.
+        """
+        lo, hi = interval.lo, interval.hi
+        if isinstance(lo, _Infinity) and isinstance(hi, _Infinity):
+            return Fraction(0), Fraction(1)
+        if isinstance(lo, _Infinity):
+            hi_key = key_of(hi)  # type: ignore[arg-type]
+            return hi_key - 1, hi_key
+        if isinstance(hi, _Infinity):
+            lo_key = key_of(lo)
+            return lo_key, lo_key + 1
+        return key_of(lo), key_of(hi)
+
+    def between(self, interval: OpenInterval, label: str | None = None) -> Item:
+        """Draw one fresh item strictly inside ``interval``."""
+        lo, hi = self._bounds_as_fractions(interval)
+        if not lo < hi:
+            raise UniverseExhaustedError(f"cannot draw inside {interval!r}")
+        return self.item((lo + hi) / 2, label=label)
+
+    def ordered_items(
+        self,
+        count: int,
+        interval: OpenInterval,
+        label_prefix: str | None = None,
+    ) -> list[Item]:
+        """Draw ``count`` fresh, strictly increasing items inside ``interval``.
+
+        The items are equally spaced, which keeps rational denominators small
+        (they grow by a factor of ``count + 1`` per recursion level) and makes
+        figures legible.  The adversary only needs *some* increasing sequence
+        inside the interval (Pseudocode 2, lines 2-3), so the spacing is free
+        to choose.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        lo, hi = self._bounds_as_fractions(interval)
+        if not lo < hi:
+            raise UniverseExhaustedError(f"cannot draw inside {interval!r}")
+        step = (hi - lo) / (count + 1)
+        items = []
+        for j in range(1, count + 1):
+            label = f"{label_prefix}{j}" if label_prefix is not None else None
+            items.append(self.item(lo + j * step, label=label))
+        return items

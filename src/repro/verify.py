@@ -1,0 +1,106 @@
+"""One-call verification: run every proof check against a summary.
+
+``verify_summary`` packages the whole reproduction pipeline — the adversary,
+indistinguishability, Claim 1, the space-gap inequality, Lemma 3.4 and the
+failing-quantile extraction — into a single structured report.  The CLI's
+``attack`` command and several tests are thin layers over it; downstream
+users can certify their *own* `QuantileSummary` implementations with one
+call:
+
+    from repro.verify import verify_summary
+    report = verify_summary(MySummary, epsilon=1/32, k=6)
+    print(report.render())
+    assert report.survived or report.witness is not None
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.adversary import AdversaryResult, build_adversarial_pair
+from repro.core.attacks import FailureWitness, find_failing_quantile
+from repro.core.spacegap import claim1_violations, space_gap_violations
+from repro.model.summary import QuantileSummary
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Everything the proof machinery measured about one summary."""
+
+    summary_name: str
+    epsilon: float
+    k: int
+    length: int
+    max_items_stored: int
+    final_gap: int
+    gap_bound: float
+    claim1_violations: int
+    space_gap_violations: int
+    witness: FailureWitness | None
+
+    @property
+    def survived(self) -> bool:
+        """Whether the summary answered every quantile within eps N."""
+        return self.witness is None
+
+    @property
+    def proof_checks_hold(self) -> bool:
+        """Claim 1 and Lemma 5.2 must hold for *any* comparison-based summary."""
+        return self.claim1_violations == 0 and self.space_gap_violations == 0
+
+    def render(self) -> str:
+        lines = [
+            f"adversary vs {self.summary_name}: eps = {self.epsilon:g}, "
+            f"k = {self.k}, N = {self.length}",
+            f"space paid (peak |I|): {self.max_items_stored} items",
+            f"final gap: {self.final_gap} vs 2 eps N = {self.gap_bound:.0f}",
+            f"proof checks: {self.claim1_violations} Claim 1 violations, "
+            f"{self.space_gap_violations} space-gap violations",
+        ]
+        if self.witness is None:
+            lines.append("outcome: SURVIVED — every quantile answered within eps N")
+        else:
+            worst = float(max(self.witness.error_pi, self.witness.error_rho))
+            lines.append(
+                f"outcome: DEFEATED — phi = {float(self.witness.phi):.4f} "
+                f"answered {worst:.1f} ranks off "
+                f"(allowed {float(self.witness.allowed_error):.1f})"
+            )
+        return "\n".join(lines)
+
+
+def verify_summary(
+    summary_factory: Callable[..., QuantileSummary],
+    epsilon: float,
+    k: int,
+    **factory_kwargs,
+) -> VerificationReport:
+    """Run the full adversarial pipeline and collect a report.
+
+    Raises :class:`~repro.errors.IndistinguishabilityViolation` (from the
+    run itself) if the summary is not a deterministic comparison-based
+    algorithm — which is itself a verification outcome: the paper's model
+    does not cover it.
+    """
+    result: AdversaryResult = build_adversarial_pair(
+        summary_factory, epsilon=epsilon, k=k, **factory_kwargs
+    )
+    return report_from_result(result)
+
+
+def report_from_result(result: AdversaryResult) -> VerificationReport:
+    """Build a report from an already-completed adversary run."""
+    gap = result.final_gap().gap
+    return VerificationReport(
+        summary_name=result.pair.summary_pi.name,
+        epsilon=result.epsilon,
+        k=result.k,
+        length=result.length,
+        max_items_stored=result.max_items_stored(),
+        final_gap=gap,
+        gap_bound=2 * result.epsilon * result.length,
+        claim1_violations=len(claim1_violations(result)),
+        space_gap_violations=len(space_gap_violations(result)),
+        witness=find_failing_quantile(result),
+    )

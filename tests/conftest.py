@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.universe.counter import ComparisonCounter
+from repro.universe.universe import Universe
+
+
+@pytest.fixture
+def universe() -> Universe:
+    """A fresh universe without comparison counting."""
+    return Universe()
+
+
+@pytest.fixture
+def counted_universe() -> tuple[Universe, ComparisonCounter]:
+    """A universe whose items all report into one shared counter."""
+    counter = ComparisonCounter()
+    return Universe(counter=counter), counter

@@ -1,0 +1,96 @@
+"""Ablation machinery: refinement policies, compress periods, experiments."""
+
+import pytest
+
+from repro.core.adversary import build_adversarial_pair
+from repro.core.refine import REFINE_POLICIES
+from repro.experiments import run_experiment
+from repro.streams import random_stream
+from repro.summaries.capped import CappedSummary
+from repro.summaries.gk import GreenwaldKhanna
+from repro.universe import Universe
+
+
+class TestRefinePolicies:
+    @pytest.mark.parametrize("policy", REFINE_POLICIES)
+    def test_every_policy_yields_valid_construction(self, policy):
+        # Indistinguishability and Observation 1 hold for any adjacent-pair
+        # refinement choice — validate=True checks them throughout.
+        result = build_adversarial_pair(
+            CappedSummary, epsilon=1 / 16, k=4, budget=10, refine_policy=policy
+        )
+        assert result.length == 16 * 2 * 2**3
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown refine policy"):
+            build_adversarial_pair(
+                CappedSummary, epsilon=1 / 16, k=3, budget=10, refine_policy="best"
+            )
+
+    def test_largest_beats_smallest(self):
+        largest = build_adversarial_pair(
+            CappedSummary, epsilon=1 / 16, k=5, budget=12, refine_policy="largest"
+        )
+        smallest = build_adversarial_pair(
+            CappedSummary, epsilon=1 / 16, k=5, budget=12, refine_policy="smallest"
+        )
+        assert largest.final_gap().gap > smallest.final_gap().gap
+
+    def test_default_policy_is_largest(self):
+        explicit = build_adversarial_pair(
+            CappedSummary, epsilon=1 / 16, k=4, budget=12, refine_policy="largest"
+        )
+        default = build_adversarial_pair(CappedSummary, epsilon=1 / 16, k=4, budget=12)
+        assert explicit.final_gap().gap == default.final_gap().gap
+
+
+class TestCompressPeriod:
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            GreenwaldKhanna(1 / 8, compress_period=0)
+
+    def test_rare_compression_inflates_peak(self):
+        universe = Universe()
+        items = random_stream(universe, 4000, seed=0)
+        canonical = GreenwaldKhanna(1 / 16)
+        lazy = GreenwaldKhanna(1 / 16, compress_period=1000)
+        canonical.process_all(items)
+        lazy.process_all([item for item in items])
+        assert lazy.max_item_count > canonical.max_item_count
+
+    def test_guarantee_unaffected_by_period(self):
+        from repro.analysis.accuracy import max_rank_error
+
+        universe = Universe()
+        items = random_stream(universe, 2000, seed=1)
+        for period in (1, 7, 500):
+            summary = GreenwaldKhanna(1 / 16, compress_period=period)
+            summary.process_all(items)
+            assert max_rank_error(summary, items) <= 1 / 16 + 1 / 2000
+
+
+class TestAblationExperiments:
+    def test_a1_space_collapse(self):
+        (table,) = run_experiment("A1", epsilon=1 / 16, k=5, shuffle_seeds=(0,))
+        rows = list(zip(table.column("order"), table.column("peak |I|")))
+        adversarial = max(int(v) for order, v in rows if order == "adversarial")
+        shuffled = max(int(v) for order, v in rows if order.startswith("shuffled"))
+        assert adversarial > shuffled
+
+    def test_a2_policies_all_present(self):
+        (table,) = run_experiment("A2", epsilon=1 / 16, k=4, budget=10)
+        assert len(table.rows) == len(REFINE_POLICIES)
+
+    def test_a3_depth_increases_gap(self):
+        (table,) = run_experiment("A3", epsilon=1 / 16, total_log2=8, budget=10)
+        gaps = [int(v) for v in table.column("final gap")]
+        assert gaps[-1] > gaps[0]
+
+    def test_a4_error_never_degrades(self):
+        (table,) = run_experiment("A4", epsilon=1 / 16, length=1000)
+        errors = [float(v) for v in table.column("max error / N")]
+        assert all(error <= 1 / 16 + 1e-2 for error in errors)
+
+    def test_a5_budgets_respected(self):
+        (table,) = run_experiment("A5", epsilon=1 / 32, length=2048, shards=4)
+        assert set(table.column("within budget")) == {"yes"}

@@ -1,0 +1,161 @@
+"""Bound curves, accuracy profiling and table rendering."""
+
+import pytest
+
+from repro.analysis.accuracy import max_rank_error, quantile_error_profile
+from repro.analysis.bounds import (
+    biased_lower_bound,
+    biased_upper_bound_zhang_wang,
+    gk_upper_bound,
+    hung_ting_lower_bound,
+    kll_upper_bound,
+    mrl_upper_bound,
+    qdigest_upper_bound,
+    theorem22_lower_bound,
+    trivial_lower_bound,
+)
+from repro.analysis.tables import Table
+from repro.streams import random_stream
+from repro.summaries.capped import CappedSummary
+from repro.summaries.exact import ExactSummary
+from repro.summaries.gk import GreenwaldKhanna
+from repro.universe import Universe
+
+
+class TestBounds:
+    def test_trivial_bound(self):
+        assert trivial_lower_bound(1 / 32) == 16
+
+    def test_theorem22_grows_with_n(self):
+        epsilon = 1 / 64
+        values = [theorem22_lower_bound(epsilon, n) for n in (10**3, 10**6, 10**9)]
+        assert values[0] < values[1] < values[2]
+
+    def test_theorem22_zero_above_eps_threshold(self):
+        # The explicit constant c = 1/8 - 2 eps vanishes at eps = 1/16.
+        assert theorem22_lower_bound(1 / 16, 10**6) == 0
+        assert theorem22_lower_bound(1 / 8, 10**6) == 0
+
+    def test_hung_ting_flat_in_n(self):
+        epsilon = 1 / 64
+        assert hung_ting_lower_bound(epsilon) == hung_ting_lower_bound(epsilon)
+        # independent of N by signature: no N parameter at all
+
+    def test_new_bound_eventually_beats_hung_ting(self):
+        # With the paper's deliberately slack explicit constant the crossover
+        # sits at astronomically large N — what matters is that it exists:
+        # Theorem 2.2 grows with N while Hung-Ting is flat.
+        epsilon = 1 / 64
+        huge_n = round((1 / epsilon) * 2**80)
+        assert theorem22_lower_bound(epsilon, huge_n) > hung_ting_lower_bound(epsilon)
+
+    def test_lower_bounds_below_gk_upper(self):
+        epsilon = 1 / 64
+        for exponent in range(3, 10):
+            n = 10**exponent
+            assert theorem22_lower_bound(epsilon, n) < gk_upper_bound(epsilon, n)
+
+    def test_mrl_above_gk_asymptotically(self):
+        epsilon = 1 / 64
+        assert mrl_upper_bound(epsilon, 10**9) > gk_upper_bound(epsilon, 10**9)
+
+    def test_kll_bound_barely_grows_with_delta(self):
+        epsilon = 1 / 64
+        small = kll_upper_bound(epsilon, 1e-4)
+        tiny = kll_upper_bound(epsilon, 1e-64)
+        assert small < tiny < small * 6
+
+    def test_qdigest_bound_flat_in_n(self):
+        assert qdigest_upper_bound(1 / 16, 32) == 32 * 16
+
+    def test_biased_bounds_ordered(self):
+        epsilon, n = 1 / 64, 10**7
+        assert biased_lower_bound(epsilon, n) < biased_upper_bound_zhang_wang(epsilon, n)
+
+
+class TestAccuracy:
+    def test_exact_summary_profile_zero(self):
+        universe = Universe()
+        items = random_stream(universe, 500, seed=0)
+        summary = ExactSummary()
+        summary.process_all(items)
+        profile = quantile_error_profile(summary, items)
+        assert profile.max_error <= 1
+        assert profile.max_error_normalized <= 1 / 500
+
+    def test_gk_profile_within_epsilon(self):
+        universe = Universe()
+        items = random_stream(universe, 1000, seed=1)
+        summary = GreenwaldKhanna(1 / 8)
+        summary.process_all(items)
+        assert max_rank_error(summary, items) <= 1 / 8 + 1 / 1000
+
+    def test_bad_summary_profile_exceeds_epsilon(self):
+        universe = Universe()
+        items = random_stream(universe, 2000, seed=2)
+        summary = CappedSummary(1 / 64, budget=4)
+        summary.process_all(items)
+        assert max_rank_error(summary, items) > 1 / 64
+
+    def test_profile_counts_queries(self):
+        universe = Universe()
+        items = random_stream(universe, 100, seed=3)
+        summary = ExactSummary()
+        summary.process_all(items)
+        profile = quantile_error_profile(summary, items, grid=10)
+        assert profile.queries == 11
+        assert profile.n == 100
+
+    def test_empty_stream_rejected(self):
+        summary = ExactSummary()
+        with pytest.raises(ValueError):
+            quantile_error_profile(summary, [])
+
+    def test_mean_at_most_max(self):
+        universe = Universe()
+        items = random_stream(universe, 300, seed=4)
+        summary = GreenwaldKhanna(1 / 8)
+        summary.process_all(items)
+        profile = quantile_error_profile(summary, items)
+        assert profile.mean_error <= profile.max_error
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        table = Table("Title", ["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row("x", 10000.0)
+        text = table.render()
+        assert "Title" in text
+        assert "a" in text and "b" in text
+        assert "2.500" in text
+        assert "10,000" in text
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_columns_required(self):
+        with pytest.raises(ValueError):
+            Table("t", [])
+
+    def test_column_accessor(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("a") == ["1", "3"]
+
+    def test_markdown_shape(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2)
+        markdown = table.to_markdown()
+        assert "| a | b |" in markdown
+        assert "| 1 | 2 |" in markdown
+
+    def test_float_formatting(self):
+        table = Table("t", ["v"])
+        table.add_row(0.0)
+        table.add_row(0.12345)
+        table.add_row(12.345)
+        assert table.column("v") == ["0", "0.123", "12.3"]

@@ -1,0 +1,113 @@
+"""Applications from the paper's introduction: histograms, CDFs, KS tests."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.applications import (
+    approximate_cdf,
+    equi_depth_histogram,
+    ks_statistic,
+)
+from repro.streams import random_stream
+from repro.summaries.exact import ExactSummary
+from repro.summaries.gk import GreenwaldKhanna
+from repro.universe import Universe
+
+
+class TestEquiDepthHistogram:
+    def test_buckets_near_equal_depth(self):
+        universe = Universe()
+        epsilon = 1 / 32
+        n = 3200
+        summary = GreenwaldKhanna(epsilon)
+        summary.process_all(random_stream(universe, n, seed=0))
+        buckets = equi_depth_histogram(summary, 8)
+        assert len(buckets) == 8
+        for bucket in buckets:
+            assert abs(bucket.estimated_count - n / 8) <= 2 * epsilon * n + 1
+
+    def test_counts_sum_to_roughly_n(self):
+        universe = Universe()
+        summary = GreenwaldKhanna(1 / 32)
+        summary.process_all(random_stream(universe, 1000, seed=1))
+        buckets = equi_depth_histogram(summary, 5)
+        total = sum(bucket.estimated_count for bucket in buckets)
+        assert abs(total - 1000) <= 2 * (1 / 32) * 1000
+
+    def test_boundaries_non_decreasing(self):
+        universe = Universe()
+        summary = GreenwaldKhanna(1 / 16)
+        summary.process_all(random_stream(universe, 500, seed=2))
+        buckets = equi_depth_histogram(summary, 4)
+        uppers = [bucket.upper for bucket in buckets]
+        assert all(a <= b for a, b in zip(uppers, uppers[1:]))
+
+    def test_exact_summary_exact_histogram(self, universe):
+        summary = ExactSummary()
+        summary.process_all(universe.items(range(1, 101)))
+        buckets = equi_depth_histogram(summary, 4)
+        assert [bucket.estimated_count for bucket in buckets] == [25, 25, 25, 25]
+
+    def test_validation(self, universe):
+        summary = ExactSummary()
+        with pytest.raises(ValueError):
+            equi_depth_histogram(summary, 4)
+        summary.process(universe.item(1))
+        with pytest.raises(ValueError):
+            equi_depth_histogram(summary, 0)
+
+
+class TestCdf:
+    def test_cdf_matches_truth_within_eps(self):
+        universe = Universe()
+        epsilon = 1 / 32
+        summary = GreenwaldKhanna(epsilon)
+        summary.process_all(universe.items(range(1, 1001)))
+        for value in (100, 250, 500, 900):
+            probe = universe.item(Fraction(value) + Fraction(1, 2))
+            assert abs(approximate_cdf(summary, probe) - value / 1000) <= epsilon + 0.01
+
+    def test_cdf_bounds(self, universe):
+        summary = GreenwaldKhanna(1 / 8)
+        summary.process_all(universe.items(range(10, 20)))
+        assert approximate_cdf(summary, universe.item(0)) == 0.0
+        assert approximate_cdf(summary, universe.item(100)) == 1.0
+
+    def test_empty_rejected(self, universe):
+        with pytest.raises(ValueError):
+            approximate_cdf(GreenwaldKhanna(1 / 8), universe.item(0))
+
+
+class TestKsStatistic:
+    def test_identical_distributions_small_statistic(self):
+        universe = Universe()
+        epsilon = 1 / 64
+        a, b = GreenwaldKhanna(epsilon), GreenwaldKhanna(epsilon)
+        a.process_all(random_stream(universe, 4000, seed=3))
+        b.process_all(random_stream(universe, 4000, seed=4))
+        assert ks_statistic(a, b) <= 2 * epsilon + 0.05
+
+    def test_shifted_distributions_detected(self):
+        universe = Universe()
+        rng = random.Random(9)
+        epsilon = 1 / 64
+        a, b = GreenwaldKhanna(epsilon), GreenwaldKhanna(epsilon)
+        a.process_all(
+            universe.items(Fraction(rng.randrange(10**6), 10**6) for _ in range(4000))
+        )
+        b.process_all(
+            universe.items(
+                Fraction(rng.randrange(10**6), 10**6) + Fraction(1, 4)
+                for _ in range(4000)
+            )
+        )
+        statistic = ks_statistic(a, b)
+        assert abs(statistic - 0.25) <= 2 * epsilon + 0.05
+
+    def test_empty_rejected(self, universe):
+        a, b = GreenwaldKhanna(1 / 8), GreenwaldKhanna(1 / 8)
+        a.process(universe.item(1))
+        with pytest.raises(ValueError):
+            ks_statistic(a, b)

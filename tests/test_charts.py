@@ -1,0 +1,80 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import AsciiChart
+
+
+def make_chart(**kwargs):
+    chart = AsciiChart("test chart", **kwargs)
+    chart.set_x([1, 2, 3])
+    return chart
+
+
+class TestValidation:
+    def test_height_minimum(self):
+        with pytest.raises(ValueError):
+            AsciiChart("t", height=2)
+
+    def test_series_before_x_rejected(self):
+        chart = AsciiChart("t")
+        with pytest.raises(ValueError, match="set_x"):
+            chart.add_series("s", [1, 2])
+
+    def test_length_mismatch_rejected(self):
+        chart = make_chart()
+        with pytest.raises(ValueError, match="3 x positions"):
+            chart.add_series("s", [1, 2])
+
+    def test_render_without_series_rejected(self):
+        with pytest.raises(ValueError, match="no series"):
+            make_chart().render()
+
+    def test_too_many_series_rejected(self):
+        chart = make_chart()
+        for index in range(8):
+            chart.add_series(f"s{index}", [1, 2, 3])
+        with pytest.raises(ValueError, match="at most"):
+            chart.add_series("s9", [1, 2, 3])
+
+
+class TestRendering:
+    def test_contains_title_labels_and_legend(self):
+        chart = make_chart()
+        chart.add_series("alpha", [1, 5, 9])
+        text = chart.render()
+        assert "test chart" in text
+        assert "* = alpha" in text
+        assert " 1" in text and " 3" in text
+
+    def test_monotone_series_marks_distinct_rows(self):
+        chart = make_chart(height=6)
+        chart.add_series("up", [0, 50, 100])
+        rows = chart.render().splitlines()[1:7]
+        marks = [row_index for row_index, row in enumerate(rows) if "*" in row]
+        assert marks == sorted(marks)
+        assert len(marks) == 3
+
+    def test_collision_marker(self):
+        chart = make_chart(height=5)
+        chart.add_series("a", [1, 2, 3])
+        chart.add_series("b", [1, 2, 3])
+        assert "!" in chart.render()
+
+    def test_log_scale_compresses_big_values(self):
+        chart = make_chart(height=8, log_y=True)
+        chart.add_series("wide", [1, 1000, 1_000_000])
+        text = chart.render()
+        assert "1,000,000" in text  # top axis label
+
+    def test_flat_series_renders(self):
+        chart = make_chart()
+        chart.add_series("flat", [5, 5, 5])
+        assert chart.render()
+
+    def test_markdown_is_fenced(self):
+        chart = make_chart()
+        chart.add_series("a", [1, 2, 3])
+        markdown = chart.to_markdown()
+        assert markdown.startswith("**test chart**")
+        assert "```" in markdown

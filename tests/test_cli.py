@@ -1,0 +1,136 @@
+"""The ``python -m repro`` command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSummariesCommand:
+    def test_lists_algorithms(self):
+        out = io.StringIO()
+        assert main(["summaries"], out=out) == 0
+        text = out.getvalue()
+        for name in ("gk", "kll", "mrl", "qdigest"):
+            assert name in text
+
+
+class TestQuantilesCommand:
+    def write_numbers(self, tmp_path, values):
+        path = tmp_path / "data.txt"
+        path.write_text("\n".join(str(v) for v in values) + "\n")
+        return str(path)
+
+    def test_quantiles_from_file(self, tmp_path):
+        path = self.write_numbers(tmp_path, range(1, 101))
+        out = io.StringIO()
+        code = main(
+            ["quantiles", "--input", path, "--epsilon", "0.05", "--phi", "0.5"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "n = 100" in text
+        assert "phi = 0.5" in text
+
+    def test_median_value_close(self, tmp_path):
+        path = self.write_numbers(tmp_path, range(1, 1001))
+        out = io.StringIO()
+        main(["quantiles", "--input", path, "--epsilon", "0.01", "--phi", "0.5"], out=out)
+        reported = int(out.getvalue().split("phi = 0.5:")[1].strip().splitlines()[0])
+        assert abs(reported - 500) <= 11
+
+    def test_histogram_flag(self, tmp_path):
+        path = self.write_numbers(tmp_path, range(1, 201))
+        out = io.StringIO()
+        main(
+            ["quantiles", "--input", path, "--epsilon", "0.05", "--histogram", "4"],
+            out=out,
+        )
+        assert "bucket 4" in out.getvalue()
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("# header\n1\n\n2\n3\n")
+        out = io.StringIO()
+        main(["quantiles", "--input", str(path), "--epsilon", "0.2"], out=out)
+        assert "n = 3" in out.getvalue()
+
+    def test_bad_number_reported_with_line(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("1\noops\n")
+        with pytest.raises(SystemExit, match="line 2"):
+            main(["quantiles", "--input", str(path)], out=io.StringIO())
+
+    def test_empty_input_rejected(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("")
+        with pytest.raises(SystemExit, match="no input"):
+            main(["quantiles", "--input", str(path)], out=io.StringIO())
+
+    def test_stdin_default(self, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO("5\n3\n9\n"))
+        out = io.StringIO()
+        main(["quantiles", "--epsilon", "0.2", "--phi", "0.5"], out=out)
+        assert "n = 3" in out.getvalue()
+
+    def test_mrl_gets_n_hint(self, tmp_path):
+        path = self.write_numbers(tmp_path, range(1, 301))
+        out = io.StringIO()
+        code = main(
+            ["quantiles", "--input", path, "--summary", "mrl", "--epsilon", "0.05"],
+            out=out,
+        )
+        assert code == 0
+
+
+class TestAttackCommand:
+    def test_gk_survives(self):
+        out = io.StringIO()
+        code = main(
+            ["attack", "--summary", "gk", "--epsilon", "0.03125", "--k", "4"],
+            out=out,
+        )
+        assert code == 0
+        assert "SURVIVED" in out.getvalue()
+
+    def test_capped_defeated_nonzero_exit(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "attack",
+                "--summary",
+                "capped",
+                "--budget",
+                "8",
+                "--epsilon",
+                "0.0625",
+                "--k",
+                "4",
+            ],
+            out=out,
+        )
+        assert code == 1
+        text = out.getvalue()
+        assert "DEFEATED" in text
+        assert "0 Claim 1 violations" in text
+
+    def test_seeded_kll(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "attack",
+                "--summary",
+                "kll",
+                "--seed",
+                "0",
+                "--epsilon",
+                "0.0625",
+                "--k",
+                "4",
+            ],
+            out=out,
+        )
+        assert code in (0, 1)
+        assert "adversary vs kll" in out.getvalue()

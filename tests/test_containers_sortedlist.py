@@ -1,0 +1,160 @@
+"""SortedItemList: unit tests plus a hypothesis model check vs sorted()."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.containers import SortedItemList
+
+
+class TestBasics:
+    def test_empty(self):
+        sl = SortedItemList()
+        assert len(sl) == 0
+        assert list(sl) == []
+        assert 1 not in sl
+
+    def test_initial_values_are_sorted(self):
+        sl = SortedItemList([3, 1, 2])
+        assert list(sl) == [1, 2, 3]
+
+    def test_add_keeps_order(self):
+        sl = SortedItemList()
+        for value in [5, 1, 4, 2, 3]:
+            sl.add(value)
+        assert list(sl) == [1, 2, 3, 4, 5]
+
+    def test_duplicates_allowed(self):
+        sl = SortedItemList([2, 2, 1])
+        sl.add(2)
+        assert list(sl) == [1, 2, 2, 2]
+
+    def test_contains(self):
+        sl = SortedItemList([1, 3, 5])
+        assert 3 in sl
+        assert 2 not in sl
+
+    def test_getitem(self):
+        sl = SortedItemList([10, 30, 20])
+        assert sl[0] == 10
+        assert sl[1] == 20
+        assert sl[2] == 30
+
+    def test_getitem_negative(self):
+        sl = SortedItemList([1, 2, 3])
+        assert sl[-1] == 3
+        assert sl[-3] == 1
+
+    def test_getitem_out_of_range(self):
+        sl = SortedItemList([1])
+        with pytest.raises(IndexError):
+            sl[1]
+        with pytest.raises(IndexError):
+            sl[-2]
+
+    def test_load_validation(self):
+        with pytest.raises(ValueError):
+            SortedItemList(load=1)
+
+
+class TestBisect:
+    def test_bisect_left_and_right(self):
+        sl = SortedItemList([1, 2, 2, 3])
+        assert sl.bisect_left(2) == 1
+        assert sl.bisect_right(2) == 3
+        assert sl.bisect_left(0) == 0
+        assert sl.bisect_right(99) == 4
+
+    def test_count_less_alias(self):
+        sl = SortedItemList([1, 2, 3])
+        assert sl.count_less(3) == sl.bisect_left(3) == 2
+
+    def test_index_leftmost(self):
+        sl = SortedItemList([1, 2, 2, 3])
+        assert sl.index(2) == 1
+
+    def test_index_missing(self):
+        sl = SortedItemList([1, 3])
+        with pytest.raises(ValueError):
+            sl.index(2)
+
+
+class TestRemove:
+    def test_remove_existing(self):
+        sl = SortedItemList([1, 2, 3])
+        sl.remove(2)
+        assert list(sl) == [1, 3]
+
+    def test_remove_one_duplicate_only(self):
+        sl = SortedItemList([2, 2])
+        sl.remove(2)
+        assert list(sl) == [2]
+
+    def test_remove_missing_raises(self):
+        sl = SortedItemList([1])
+        with pytest.raises(ValueError):
+            sl.remove(9)
+
+    def test_remove_empties_chunk(self):
+        sl = SortedItemList([5], load=4)
+        sl.remove(5)
+        assert len(sl) == 0
+        sl.add(7)
+        assert list(sl) == [7]
+
+
+class TestChunking:
+    def test_splitting_with_tiny_load(self):
+        sl = SortedItemList(load=4)
+        for value in range(100):
+            sl.add(value)
+        assert list(sl) == list(range(100))
+        assert len(sl._chunks) > 1
+
+    def test_interleaved_adds_with_tiny_load(self):
+        sl = SortedItemList(load=4)
+        for value in range(0, 100, 2):
+            sl.add(value)
+        for value in range(1, 100, 2):
+            sl.add(value)
+        assert list(sl) == list(range(100))
+
+    def test_rank_queries_across_chunks(self):
+        sl = SortedItemList(range(0, 1000, 2), load=8)
+        assert sl.bisect_left(500) == 250
+        assert sl.bisect_left(501) == 251
+        assert sl[250] == 500
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.integers(min_value=-50, max_value=50)))
+def test_model_matches_sorted_reference(values):
+    sl = SortedItemList(load=4)
+    for value in values:
+        sl.add(value)
+    reference = sorted(values)
+    assert list(sl) == reference
+    assert len(sl) == len(reference)
+    for probe in range(-55, 56, 7):
+        assert sl.bisect_left(probe) == sum(1 for v in reference if v < probe)
+        assert sl.bisect_right(probe) == sum(1 for v in reference if v <= probe)
+    for position in range(len(reference)):
+        assert sl[position] == reference[position]
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-20, max_value=20), min_size=1),
+    st.data(),
+)
+def test_model_with_removals(values, data):
+    sl = SortedItemList(values, load=4)
+    reference = sorted(values)
+    removals = data.draw(
+        st.lists(st.sampled_from(values), max_size=len(values), unique=False)
+    )
+    for value in removals:
+        if value in reference:
+            reference.remove(value)
+            sl.remove(value)
+    assert list(sl) == reference

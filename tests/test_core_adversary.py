@@ -1,0 +1,123 @@
+"""AdvStrategy (Pseudocode 2): structure, invariants, parametrized summaries."""
+
+import pytest
+
+from repro.core.adversary import build_adversarial_pair
+from repro.errors import AdversaryError
+from repro.summaries.capped import CappedSummary
+from repro.summaries.exact import ExactSummary
+from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy
+from repro.summaries.kll import KLL
+from repro.summaries.mrl import MRL
+
+
+FACTORIES = {
+    "gk": lambda eps: GreenwaldKhanna(eps),
+    "gk-greedy": lambda eps: GreenwaldKhannaGreedy(eps),
+    "exact": lambda eps: ExactSummary(eps),
+    "capped": lambda eps: CappedSummary(eps, budget=10),
+    "kll-seeded": lambda eps: KLL(eps, seed=0),
+    "mrl": lambda eps: MRL(eps, n_hint=4096),
+}
+
+
+class TestStructure:
+    def test_stream_length_is_nk(self):
+        result = build_adversarial_pair(GreenwaldKhanna, epsilon=1 / 8, k=4)
+        assert result.length == round((1 / (1 / 8)) * 2**4)
+
+    def test_recursion_tree_node_count(self):
+        result = build_adversarial_pair(GreenwaldKhanna, epsilon=1 / 8, k=4)
+        assert len(result.nodes()) == 2**4 - 1
+
+    def test_leaf_count_and_sizes(self):
+        result = build_adversarial_pair(GreenwaldKhanna, epsilon=1 / 8, k=4)
+        leaves = [node for node in result.nodes() if node.left is None]
+        assert len(leaves) == 2**3
+        assert all(leaf.appended == result.leaf_size for leaf in leaves)
+
+    def test_internal_nodes_have_refinements(self):
+        result = build_adversarial_pair(GreenwaldKhanna, epsilon=1 / 8, k=3)
+        for node in result.nodes():
+            if node.left is not None:
+                assert node.refine is not None
+                assert node.right is not None
+            else:
+                assert node.refine is None
+
+    def test_node_appended_doubles_per_level(self):
+        result = build_adversarial_pair(GreenwaldKhanna, epsilon=1 / 8, k=4)
+        for node in result.nodes():
+            assert node.appended == result.leaf_size * 2 ** (node.level - 1)
+
+    def test_custom_leaf_size(self):
+        result = build_adversarial_pair(
+            GreenwaldKhanna, epsilon=1 / 8, k=3, leaf_size=6
+        )
+        assert result.length == 6 * 2**2
+
+    def test_on_leaf_callback_called_per_leaf(self):
+        seen = []
+        build_adversarial_pair(
+            GreenwaldKhanna,
+            epsilon=1 / 8,
+            k=3,
+            on_leaf=lambda pair, index: seen.append((index, pair.length)),
+        )
+        assert [index for index, _ in seen] == [1, 2, 3, 4]
+        assert [length for _, length in seen] == [16, 32, 48, 64]
+
+    def test_validation_errors(self):
+        with pytest.raises(AdversaryError):
+            build_adversarial_pair(GreenwaldKhanna, epsilon=1 / 8, k=0)
+        with pytest.raises(AdversaryError):
+            build_adversarial_pair(GreenwaldKhanna, epsilon=1 / 8, k=2, leaf_size=1)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+class TestInvariantsAcrossSummaries:
+    def test_construction_runs_with_validation(self, name):
+        # validate=True checks indistinguishability at every node and
+        # Observation 1 at every refinement; completing without raising is
+        # the assertion.
+        result = build_adversarial_pair(FACTORIES[name], epsilon=1 / 16, k=4)
+        assert result.length == 16 * 2**4
+
+    def test_gaps_positive_and_bounded_by_length(self, name):
+        result = build_adversarial_pair(FACTORIES[name], epsilon=1 / 16, k=4)
+        for node in result.nodes():
+            assert 1 <= node.gap <= result.length
+
+    def test_gap_monotone_up_the_tree(self, name):
+        # Claim 1 implies a parent's gap is at least each child's gap minus
+        # slack; the weaker sanity property g >= g'' (the right child refines
+        # *within* the parent's intervals) must hold exactly.
+        result = build_adversarial_pair(FACTORIES[name], epsilon=1 / 16, k=4)
+        for node in result.nodes():
+            if node.right is not None:
+                assert node.gap >= node.right.gap
+
+    def test_space_within_interval_bounds(self, name):
+        # Ever-stored (monotone accounting) dominates the current restricted
+        # array size at every node.
+        result = build_adversarial_pair(FACTORIES[name], epsilon=1 / 16, k=4)
+        for node in result.nodes():
+            assert node.space >= node.space_current >= 0
+
+    def test_rank_alignment_of_stored_items(self, name):
+        # The construction keeps rank_pi(I_pi[i]) <= rank_rho(I_rho[i])
+        # (Section 4.6, final observation).
+        result = build_adversarial_pair(FACTORIES[name], epsilon=1 / 16, k=4)
+        array_pi, array_rho = result.pair.item_arrays()
+        for item_pi, item_rho in zip(array_pi, array_rho):
+            assert result.pair.stream_pi.rank(item_pi) <= result.pair.stream_rho.rank(
+                item_rho
+            )
+
+
+class TestDeterminism:
+    def test_same_summary_same_trace(self):
+        first = build_adversarial_pair(GreenwaldKhanna, epsilon=1 / 16, k=4)
+        second = build_adversarial_pair(GreenwaldKhanna, epsilon=1 / 16, k=4)
+        assert [n.gap for n in first.nodes()] == [n.gap for n in second.nodes()]
+        assert first.max_items_stored() == second.max_items_stored()

@@ -1,0 +1,81 @@
+"""Failing-quantile witnesses (Lemma 3.4's proof, executed)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.adversary import build_adversarial_pair
+from repro.core.attacks import find_failing_quantile, probe_quantile, verify_gap_bound
+from repro.summaries.capped import CappedSummary
+from repro.summaries.exact import ExactSummary
+from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy
+
+
+class TestSurvivors:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda eps: GreenwaldKhanna(eps),
+            lambda eps: GreenwaldKhannaGreedy(eps),
+            lambda eps: ExactSummary(eps),
+        ],
+    )
+    def test_correct_summaries_yield_no_witness(self, factory):
+        result = build_adversarial_pair(factory, epsilon=1 / 16, k=5)
+        assert find_failing_quantile(result) is None
+        verify_gap_bound(result)  # does not raise
+
+
+class TestDefeated:
+    @pytest.mark.parametrize("budget", [8, 16, 32])
+    def test_capped_summaries_yield_witness(self, budget):
+        result = build_adversarial_pair(
+            CappedSummary, epsilon=1 / 16, k=5, budget=budget
+        )
+        witness = find_failing_quantile(result)
+        assert witness is not None
+        assert witness.failed
+        assert witness.failing_stream in ("pi", "rho", "both")
+        assert 0 <= witness.phi <= 1
+
+    def test_witness_error_exceeds_allowance(self):
+        result = build_adversarial_pair(CappedSummary, epsilon=1 / 16, k=5, budget=8)
+        witness = find_failing_quantile(result)
+        assert max(witness.error_pi, witness.error_rho) > witness.allowed_error
+
+    def test_witness_answers_are_stored_items(self):
+        result = build_adversarial_pair(CappedSummary, epsilon=1 / 16, k=5, budget=8)
+        witness = find_failing_quantile(result)
+        assert witness.answer_pi in result.pair.summary_pi.item_array()
+        assert witness.answer_rho in result.pair.summary_rho.item_array()
+
+    def test_verify_gap_bound_raises_for_defeated(self):
+        result = build_adversarial_pair(CappedSummary, epsilon=1 / 16, k=5, budget=8)
+        with pytest.raises(AssertionError, match="Lemma 3.4"):
+            verify_gap_bound(result)
+
+    def test_smaller_budget_larger_failure(self):
+        errors = []
+        for budget in (8, 64):
+            result = build_adversarial_pair(
+                CappedSummary, epsilon=1 / 16, k=5, budget=budget
+            )
+            witness = find_failing_quantile(result)
+            errors.append(max(witness.error_pi, witness.error_rho))
+        assert errors[0] > errors[1]
+
+
+class TestProbe:
+    def test_probe_reports_both_streams(self):
+        result = build_adversarial_pair(GreenwaldKhanna, epsilon=1 / 16, k=4)
+        witness = probe_quantile(result, Fraction(1, 2))
+        assert witness.phi == Fraction(1, 2)
+        assert witness.error_pi <= witness.allowed_error
+        assert witness.error_rho <= witness.allowed_error
+        assert not witness.failed
+        assert witness.failing_stream == "none"
+
+    def test_probe_target_rank(self):
+        result = build_adversarial_pair(GreenwaldKhanna, epsilon=1 / 16, k=4)
+        witness = probe_quantile(result, Fraction(1, 4))
+        assert witness.target_rank == Fraction(result.length, 4)

@@ -1,0 +1,197 @@
+"""Section 6 corollaries: median, rank estimation, randomized, biased."""
+
+import pytest
+
+from repro.core.adversary import build_adversarial_pair
+from repro.core.biased_attack import biased_attack
+from repro.core.median import median_attack
+from repro.core.randomized import attack_seeded_summary, kll_space_curve
+from repro.core.rank_attack import rank_attack
+from repro.summaries.biased import BiasedQuantileSummary
+from repro.summaries.capped import CappedSummary
+from repro.summaries.gk import GreenwaldKhanna
+from repro.summaries.kll import KLL
+
+
+class TestMedianAttack:
+    def test_correct_summary_hits_space_branch(self):
+        result = build_adversarial_pair(GreenwaldKhanna, epsilon=1 / 16, k=5)
+        outcome = median_attack(result)
+        assert outcome.outcome == "space"
+        assert outcome.appended == 0
+        assert outcome.items_stored > 0
+        assert not outcome.failed_median
+
+    def test_small_summary_fails_median(self):
+        result = build_adversarial_pair(CappedSummary, epsilon=1 / 16, k=5, budget=8)
+        outcome = median_attack(result)
+        assert outcome.outcome == "median-failure"
+        assert outcome.failed_median
+        assert outcome.appended > 0
+        assert outcome.final_length == outcome.original_length + outcome.appended
+
+    def test_appended_items_bounded_by_n(self):
+        result = build_adversarial_pair(CappedSummary, epsilon=1 / 16, k=5, budget=8)
+        outcome = median_attack(result)
+        assert outcome.appended <= outcome.original_length
+
+    def test_streams_remain_indistinguishable_after_append(self):
+        result = build_adversarial_pair(CappedSummary, epsilon=1 / 16, k=5, budget=8)
+        median_attack(result)
+        result.pair.check_indistinguishable()
+
+
+class TestQuantileAttackGeneralisation:
+    """Theorem 6.1's 'similarly for any other phi-quantile' remark."""
+
+    @pytest.mark.parametrize("numerator,denominator", [(1, 4), (1, 3), (2, 3), (3, 4)])
+    def test_arbitrary_target_quantile_fails_for_small_summary(
+        self, numerator, denominator
+    ):
+        from fractions import Fraction
+
+        from repro.core.median import quantile_attack
+
+        result = build_adversarial_pair(CappedSummary, epsilon=1 / 32, k=5, budget=8)
+        outcome = quantile_attack(result, Fraction(numerator, denominator))
+        assert outcome.outcome == "quantile-failure"
+        assert outcome.failed_median  # the generic failure predicate
+        assert outcome.final_length == outcome.original_length + outcome.appended
+
+    def test_correct_summary_space_branch_any_phi(self):
+        from fractions import Fraction
+
+        from repro.core.median import quantile_attack
+
+        result = build_adversarial_pair(GreenwaldKhanna, epsilon=1 / 16, k=5)
+        outcome = quantile_attack(result, Fraction(1, 4))
+        assert outcome.outcome == "space"
+
+    def test_phi_target_validated(self):
+        from fractions import Fraction
+
+        from repro.core.median import quantile_attack
+
+        result = build_adversarial_pair(CappedSummary, epsilon=1 / 16, k=3, budget=8)
+        with pytest.raises(ValueError):
+            quantile_attack(result, Fraction(0))
+        with pytest.raises(ValueError):
+            quantile_attack(result, Fraction(1))
+
+    def test_padding_lands_uncovered_region_on_target(self):
+        from fractions import Fraction
+
+        from repro.core.median import quantile_attack
+
+        result = build_adversarial_pair(CappedSummary, epsilon=1 / 32, k=5, budget=8)
+        phi_target = Fraction(1, 3)
+        phi_uncovered_before = None
+        gap_result = result.final_gap()
+        index = gap_result.index
+        phi_uncovered_before = Fraction(
+            gap_result.ranks_rho[index] + gap_result.ranks_pi[index - 1],
+            2 * result.length,
+        )
+        outcome = quantile_attack(result, phi_target)
+        # The uncovered rank moved to ~phi_target of the extended stream.
+        if phi_uncovered_before < phi_target:
+            moved = (
+                phi_uncovered_before * outcome.original_length + outcome.appended
+            ) / outcome.final_length
+        else:
+            moved = (
+                phi_uncovered_before * outcome.original_length
+            ) / outcome.final_length
+        assert abs(moved - phi_target) <= Fraction(1, outcome.original_length) * 2
+
+
+class TestRankAttack:
+    def test_correct_summary_estimates_within_tolerance(self):
+        result = build_adversarial_pair(GreenwaldKhanna, epsilon=1 / 16, k=5)
+        outcome = rank_attack(result)
+        assert not outcome.failed
+        assert outcome.error_pi <= outcome.allowed_error
+        assert outcome.error_rho <= outcome.allowed_error
+
+    def test_small_summary_fails_rank_estimation(self):
+        result = build_adversarial_pair(CappedSummary, epsilon=1 / 16, k=5, budget=8)
+        outcome = rank_attack(result)
+        assert outcome.failed
+
+    def test_true_ranks_straddle_the_gap(self):
+        result = build_adversarial_pair(CappedSummary, epsilon=1 / 16, k=5, budget=8)
+        outcome = rank_attack(result)
+        assert outcome.true_rank_rho - outcome.true_rank_pi >= outcome.gap - 2
+
+    def test_probes_are_fresh_items(self):
+        result = build_adversarial_pair(GreenwaldKhanna, epsilon=1 / 16, k=4)
+        outcome = rank_attack(result)
+        assert outcome.probe_pi not in set(result.pair.stream_pi)
+        assert outcome.probe_rho not in set(result.pair.stream_rho)
+
+
+class TestRandomized:
+    def test_undersized_seeded_kll_defeated_on_every_seed(self):
+        outcomes = attack_seeded_summary(
+            KLL, epsilon=1 / 16, k=5, seeds=(0, 1), summary_kwargs={"k": 8}
+        )
+        assert all(outcome.defeated for outcome in outcomes)
+
+    def test_generous_seeded_kll_survives(self):
+        outcomes = attack_seeded_summary(
+            KLL, epsilon=1 / 16, k=4, seeds=(0,), summary_kwargs={"delta": 1e-8}
+        )
+        assert not outcomes[0].defeated
+
+    def test_outcomes_deterministic_per_seed(self):
+        first = attack_seeded_summary(
+            KLL, epsilon=1 / 16, k=4, seeds=(3,), summary_kwargs={"k": 8}
+        )[0]
+        second = attack_seeded_summary(
+            KLL, epsilon=1 / 16, k=4, seeds=(3,), summary_kwargs={"k": 8}
+        )[0]
+        assert first.gap == second.gap
+        assert first.max_items_stored == second.max_items_stored
+
+    def test_space_curve_monotone_in_delta(self):
+        points = kll_space_curve(1 / 16, (1e-2, 1e-8, 1e-16), stream_length=4000)
+        sizes = [point.max_items_stored for point in points]
+        assert sizes[0] < sizes[-1]
+        ks = [point.k_parameter for point in points]
+        assert ks == sorted(ks)
+
+
+class TestBiasedAttack:
+    def test_phase_structure(self):
+        result = biased_attack(BiasedQuantileSummary, epsilon=1 / 16, k=4)
+        assert len(result.phases) == 4
+        for index, phase in enumerate(result.phases, start=1):
+            assert phase.phase == index
+            assert phase.appended == 16 * 2 ** (index - 1) * 2
+        assert result.length == sum(p.appended for p in result.phases)
+
+    def test_biased_summary_retains_early_phases(self):
+        result = biased_attack(BiasedQuantileSummary, epsilon=1 / 16, k=4)
+        for phase in result.phases:
+            # Theta(1/eps) per phase at the very least.
+            assert phase.stored_at_stream_end >= 1 / (2 * (1 / 16))
+
+    def test_uniform_gk_forgets_early_phases(self):
+        biased_result = biased_attack(BiasedQuantileSummary, epsilon=1 / 16, k=4)
+        uniform_result = biased_attack(GreenwaldKhanna, epsilon=1 / 16, k=4)
+        first_biased = biased_result.phases[0].stored_at_stream_end
+        first_uniform = uniform_result.phases[0].stored_at_stream_end
+        assert first_uniform < first_biased
+
+    def test_total_grows_superlinearly_in_k(self):
+        totals = [
+            biased_attack(BiasedQuantileSummary, epsilon=1 / 16, k=k).total_stored_at_end()
+            for k in (2, 4)
+        ]
+        assert totals[1] > 2 * totals[0]
+
+    def test_k_validation(self):
+        from repro.errors import AdversaryError
+
+        with pytest.raises(AdversaryError):
+            biased_attack(BiasedQuantileSummary, epsilon=1 / 16, k=0)

@@ -1,0 +1,116 @@
+"""Gap/refine machinery against a scripted summary with hand-computed values.
+
+The scripted summary keeps every j-th *arrival* — a decision based only on
+counters in G, so it is a legitimate deterministic comparison-based summary
+— which makes every rank, gap and refined interval computable by hand.
+"""
+
+import pytest
+
+from repro.core.gap import full_stream_gap, gap_in_intervals
+from repro.core.pair import SummaryPair
+from repro.core.refine import refine_intervals
+from repro.model.summary import QuantileSummary
+from repro.universe import OpenInterval, key_of
+from repro.universe.item import Item
+
+
+class ScriptedSummary(QuantileSummary):
+    """Keeps arrivals number 1, 1+j, 1+2j, ... (1-based), nothing else."""
+
+    name = "scripted"
+
+    def __init__(self, epsilon: float = 0.25, keep_every: int = 5) -> None:
+        super().__init__(epsilon)
+        self.keep_every = keep_every
+        self._kept: list[Item] = []
+
+    def _insert(self, item: Item) -> None:
+        if self._n % self.keep_every == 0:
+            self._kept.append(item)
+            self._kept.sort()
+
+    def _query(self, phi: float) -> Item:
+        index = min(len(self._kept) - 1, int(phi * len(self._kept)))
+        return self._kept[index]
+
+    def item_array(self) -> list[Item]:
+        return list(self._kept)
+
+    def fingerprint(self) -> tuple:
+        return (self.name, self._n, self.keep_every, len(self._kept))
+
+
+@pytest.fixture
+def scripted_pair(universe):
+    pair = SummaryPair(lambda: ScriptedSummary(keep_every=5))
+    for value in range(1, 13):  # arrivals 1..12, increasing
+        pair.feed(universe.item(value), universe.item(value + 100))
+    return pair
+
+
+class TestHandComputedGaps:
+    def test_kept_positions(self, scripted_pair):
+        array_pi, array_rho = scripted_pair.item_arrays()
+        assert [key_of(i) for i in array_pi] == [1, 6, 11]
+        assert [key_of(i) for i in array_rho] == [101, 106, 111]
+
+    def test_full_stream_gap_is_five(self, scripted_pair):
+        result = full_stream_gap(scripted_pair)
+        # rank_rho(106) - rank_pi(1) = 6 - 1 = 5; ties at the next pair.
+        assert result.gap == 5
+        assert result.index == 1
+        assert result.ranks_pi == (1, 6, 11)
+        assert result.ranks_rho == (1, 6, 11)
+
+    def test_indistinguishability_holds(self, scripted_pair):
+        scripted_pair.check_indistinguishable()
+
+    def test_refined_intervals_exact(self, scripted_pair, universe):
+        record = refine_intervals(
+            scripted_pair, OpenInterval.unbounded(), OpenInterval.unbounded()
+        )
+        assert record.gap == 5
+        assert record.index == 1
+        # pi zooms between stored item 1 and its stream successor 2.
+        assert key_of(record.new_interval_pi.lo) == 1
+        assert key_of(record.new_interval_pi.hi) == 2
+        # rho zooms between the predecessor of stored 106 (= 105) and 106.
+        assert key_of(record.new_interval_rho.lo) == 105
+        assert key_of(record.new_interval_rho.hi) == 106
+
+    def test_restricted_gap_in_subinterval(self, scripted_pair, universe):
+        # Restrict to (1, 11) for pi and (101, 111) for rho: the restricted
+        # arrays are [1, 6, 11] / [101, 106, 111] (boundaries enclosed) with
+        # restricted ranks 1, 6, 11 again, so the gap is unchanged.
+        interval_pi = OpenInterval(universe.item(1), universe.item(11))
+        interval_rho = OpenInterval(universe.item(101), universe.item(111))
+        result = gap_in_intervals(scripted_pair, interval_pi, interval_rho)
+        assert result.gap == 5
+
+    def test_denser_script_smaller_gap(self, universe):
+        pair = SummaryPair(lambda: ScriptedSummary(keep_every=2))
+        for value in range(1, 13):
+            pair.feed(universe.item(value), universe.item(value + 100))
+        assert full_stream_gap(pair).gap == 2
+
+    def test_sparser_script_larger_gap(self, universe):
+        pair = SummaryPair(lambda: ScriptedSummary(keep_every=11))
+        for value in range(1, 13):
+            pair.feed(universe.item(value), universe.item(value + 100))
+        # Kept arrivals 1 and 12: gap = rank(112) - rank(1) = 12 - 1 = 11.
+        assert full_stream_gap(pair).gap == 11
+
+    def test_gap_with_out_of_order_arrivals(self, universe):
+        # Arrival order is not value order; ranks are still value ranks.
+        pair = SummaryPair(lambda: ScriptedSummary(keep_every=3))
+        for value in [7, 2, 9, 4, 1, 8]:
+            pair.feed(universe.item(value), universe.item(value + 100))
+        array_pi, _ = pair.item_arrays()
+        # Kept arrivals: 7 (1st) and 4 (4th); sorted by value -> [4, 7].
+        assert [key_of(i) for i in array_pi] == [4, 7]
+        result = full_stream_gap(pair)
+        # Ranks among {1,2,4,7,8,9}: 4 -> 3 and 7 -> 4, so the only adjacent
+        # pair has gap 4 - 3 = 1 in both orientations.
+        assert result.ranks_pi == (3, 4)
+        assert result.gap == 1

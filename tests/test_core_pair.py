@@ -1,0 +1,93 @@
+"""SummaryPair: feeding, position tracking, indistinguishability checks."""
+
+import pytest
+
+from repro.core.pair import SummaryPair
+from repro.errors import IndistinguishabilityViolation
+from repro.summaries.gk import GreenwaldKhanna
+from repro.universe import OpenInterval
+
+
+def make_pair(factory=lambda: GreenwaldKhanna(1 / 8)) -> SummaryPair:
+    return SummaryPair(factory)
+
+
+class TestFeeding:
+    def test_feed_advances_both_streams(self, universe):
+        pair = make_pair()
+        pair.feed(universe.item(1), universe.item(100))
+        pair.feed(universe.item(2), universe.item(200))
+        assert pair.length == 2
+        assert pair.summary_pi.n == 2
+        assert pair.summary_rho.n == 2
+
+    def test_item_arrays_accessible(self, universe):
+        pair = make_pair()
+        for value in range(10):
+            pair.feed(universe.item(value), universe.item(value + 1000))
+        array_pi, array_rho = pair.item_arrays()
+        assert len(array_pi) == len(array_rho) > 0
+
+
+class TestIndistinguishability:
+    def test_isomorphic_streams_pass(self, universe):
+        pair = make_pair()
+        for value in range(50):
+            pair.feed(universe.item(value), universe.item(10 * value + 7))
+        pair.check_indistinguishable()  # does not raise
+
+    def test_diverging_orders_detected(self, universe):
+        pair = make_pair()
+        # pi sees increasing items, rho decreasing: memory states diverge.
+        for value in range(64):
+            pair.feed(universe.item(value), universe.item(-value))
+        with pytest.raises(IndistinguishabilityViolation):
+            pair.check_indistinguishable()
+
+    def test_different_epsilons_detected(self, universe):
+        calls = iter([1 / 8, 1 / 4, 1 / 8, 1 / 4] * 1000)
+
+        def alternating_factory():
+            return GreenwaldKhanna(next(calls))
+
+        pair = SummaryPair(alternating_factory)
+        for value in range(200):
+            pair.feed(universe.item(value), universe.item(value * 3))
+        with pytest.raises(IndistinguishabilityViolation):
+            pair.check_indistinguishable()
+
+
+class TestStorageAccounting:
+    def test_ever_stored_monotone(self, universe):
+        pair = make_pair()
+        counts = []
+        interval = OpenInterval.unbounded()
+        for value in range(120):
+            pair.feed(universe.item(value), universe.item(value + 10**6))
+            counts.append(pair.ever_stored_in(interval, "pi"))
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+    def test_ever_stored_at_least_current(self, universe):
+        pair = make_pair()
+        for value in range(300):
+            pair.feed(universe.item(value), universe.item(value + 10**6))
+        interval = OpenInterval.unbounded()
+        current = len(pair.summary_pi.item_array())
+        assert pair.ever_stored_in(interval, "pi") >= current
+
+    def test_ever_stored_counts_finite_boundaries(self, universe):
+        pair = make_pair()
+        boundary_lo = universe.item(-5)
+        boundary_hi = universe.item(1000)
+        for value in range(20):
+            pair.feed(universe.item(value), universe.item(value + 10**6))
+        interval = OpenInterval(boundary_lo, boundary_hi)
+        unbounded_count = pair.ever_stored_in(OpenInterval.unbounded(), "pi")
+        bounded_count = pair.ever_stored_in(interval, "pi")
+        assert bounded_count == unbounded_count + 2
+
+    def test_max_items_stored(self, universe):
+        pair = make_pair()
+        for value in range(100):
+            pair.feed(universe.item(value), universe.item(value + 10**6))
+        assert pair.max_items_stored() >= len(pair.summary_pi.item_array())

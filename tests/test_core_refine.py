@@ -1,0 +1,103 @@
+"""RefineIntervals (Pseudocode 1): gap location, new intervals, Observation 1."""
+
+import pytest
+
+from repro.core.pair import SummaryPair
+from repro.core.refine import refine_intervals
+from repro.summaries.capped import CappedSummary
+from repro.summaries.exact import ExactSummary
+from repro.summaries.gk import GreenwaldKhanna
+from repro.universe import OpenInterval
+
+
+def fed_pair(universe, factory, count=64, offset=10**6):
+    pair = SummaryPair(factory)
+    for value in range(1, count + 1):
+        pair.feed(universe.item(value), universe.item(value + offset))
+    return pair
+
+
+class TestRefinement:
+    def test_new_intervals_nested_in_old(self, universe):
+        pair = fed_pair(universe, lambda: GreenwaldKhanna(1 / 8))
+        record = refine_intervals(
+            pair, OpenInterval.unbounded(), OpenInterval.unbounded()
+        )
+        assert record.new_interval_pi.lo_is_item
+        assert record.new_interval_pi.hi_is_item
+        assert record.new_interval_rho.lo_is_item
+        assert record.new_interval_rho.hi_is_item
+
+    def test_new_intervals_are_empty_of_stream_items(self, universe):
+        pair = fed_pair(universe, lambda: GreenwaldKhanna(1 / 8))
+        record = refine_intervals(
+            pair, OpenInterval.unbounded(), OpenInterval.unbounded()
+        )
+        assert pair.stream_pi.count_in(record.new_interval_pi) == 0
+        assert pair.stream_rho.count_in(record.new_interval_rho) == 0
+
+    def test_pi_interval_hugs_left_extreme(self, universe):
+        # The pi interval starts at the stored anchor item itself.
+        pair = fed_pair(universe, lambda: CappedSummary(1 / 8, budget=6))
+        record = refine_intervals(
+            pair, OpenInterval.unbounded(), OpenInterval.unbounded()
+        )
+        anchor = record.restricted_pi[record.index - 1]
+        assert record.new_interval_pi.lo == anchor
+        # and ends at the anchor's immediate stream successor:
+        successor = pair.stream_pi.next_item(anchor)
+        assert record.new_interval_pi.hi == successor
+
+    def test_rho_interval_hugs_right_extreme(self, universe):
+        pair = fed_pair(universe, lambda: CappedSummary(1 / 8, budget=6))
+        record = refine_intervals(
+            pair, OpenInterval.unbounded(), OpenInterval.unbounded()
+        )
+        anchor = record.restricted_rho[record.index]
+        assert record.new_interval_rho.hi == anchor
+        predecessor = pair.stream_rho.prev_item(anchor)
+        assert record.new_interval_rho.lo == predecessor
+
+    def test_gap_matches_reported_index(self, universe):
+        pair = fed_pair(universe, lambda: CappedSummary(1 / 8, budget=6))
+        record = refine_intervals(
+            pair, OpenInterval.unbounded(), OpenInterval.unbounded()
+        )
+        i = record.index
+        assert record.gap == record.ranks_rho[i] - record.ranks_pi[i - 1]
+        for j in range(1, len(record.ranks_pi)):
+            assert record.gap >= record.ranks_rho[j] - record.ranks_pi[j - 1]
+
+    def test_exact_summary_gap_one(self, universe):
+        pair = fed_pair(universe, lambda: ExactSummary(), count=20)
+        record = refine_intervals(
+            pair, OpenInterval.unbounded(), OpenInterval.unbounded()
+        )
+        assert record.gap == 1
+
+    def test_tie_breaks_to_smallest_index(self, universe):
+        # The exact summary has gap 1 everywhere: index must be 1.
+        pair = fed_pair(universe, lambda: ExactSummary(), count=10)
+        record = refine_intervals(
+            pair, OpenInterval.unbounded(), OpenInterval.unbounded()
+        )
+        assert record.index == 1
+
+    def test_requires_two_entries(self, universe):
+        from repro.universe import POS_INFINITY
+
+        pair = SummaryPair(lambda: ExactSummary())
+        pair.feed(universe.item(1), universe.item(2))
+        with pytest.raises(ValueError, match="fewer than two"):
+            refine_intervals(
+                pair,
+                OpenInterval(universe.item(100), POS_INFINITY),
+                OpenInterval(universe.item(100), POS_INFINITY),
+            )
+
+    def test_validation_can_be_disabled(self, universe):
+        pair = fed_pair(universe, lambda: GreenwaldKhanna(1 / 8))
+        record = refine_intervals(
+            pair, OpenInterval.unbounded(), OpenInterval.unbounded(), validate=False
+        )
+        assert record.gap >= 1

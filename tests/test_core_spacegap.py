@@ -1,0 +1,121 @@
+"""Space-gap inequality (Lemma 5.2) and Claim 1 on real adversary traces."""
+
+import math
+
+import pytest
+
+from repro.core.adversary import build_adversarial_pair
+from repro.core.spacegap import (
+    check_claim1,
+    check_space_gap,
+    claim1_violations,
+    space_gap_constant,
+    space_gap_rhs,
+    space_gap_violations,
+)
+from repro.summaries.capped import CappedSummary
+from repro.summaries.exact import ExactSummary
+from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy
+from repro.summaries.kll import KLL
+
+FACTORIES = {
+    "gk": lambda eps: GreenwaldKhanna(eps),
+    "gk-greedy": lambda eps: GreenwaldKhannaGreedy(eps),
+    "exact": lambda eps: ExactSummary(eps),
+    "capped-8": lambda eps: CappedSummary(eps, budget=8),
+    "capped-32": lambda eps: CappedSummary(eps, budget=32),
+    "kll-small": lambda eps: KLL(eps, k=8, seed=0),
+}
+
+
+class TestFormula:
+    def test_constant(self):
+        assert space_gap_constant(1 / 32) == pytest.approx(1 / 8 - 1 / 16)
+        assert space_gap_constant(1 / 16) == pytest.approx(0)
+
+    def test_rhs_decreasing_in_gap(self):
+        epsilon, appended = 1 / 32, 2048
+        values = [space_gap_rhs(epsilon, appended, g) for g in (2, 8, 64, 256)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_rhs_nonpositive_beyond_4_eps_n(self):
+        epsilon, appended = 1 / 32, 1024
+        assert space_gap_rhs(epsilon, appended, round(4 * epsilon * appended)) <= 0
+
+    def test_rhs_at_lemma_34_gap_recovers_theorem(self):
+        # At g = 2 eps N the RHS equals c (log2(2 eps N) + 1) / (4 eps):
+        # the Theorem 2.2 bound.
+        epsilon, appended = 1 / 32, 4096
+        gap = round(2 * epsilon * appended)
+        expected = (
+            space_gap_constant(epsilon)
+            * (math.log2(gap) + 1)
+            / (4 * epsilon)
+        )
+        assert space_gap_rhs(epsilon, appended, gap) == pytest.approx(expected)
+
+    def test_rhs_rejects_bad_gap(self):
+        with pytest.raises(ValueError):
+            space_gap_rhs(1 / 32, 1024, 0)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+class TestOnRealTraces:
+    def test_space_gap_inequality_everywhere(self, name):
+        result = build_adversarial_pair(FACTORIES[name], epsilon=1 / 32, k=5)
+        assert space_gap_violations(result) == []
+
+    def test_claim1_everywhere(self, name):
+        result = build_adversarial_pair(FACTORIES[name], epsilon=1 / 32, k=5)
+        assert claim1_violations(result) == []
+
+    def test_checks_cover_every_node(self, name):
+        result = build_adversarial_pair(FACTORIES[name], epsilon=1 / 32, k=5)
+        assert len(check_space_gap(result)) == 2**5 - 1
+        assert len(check_claim1(result)) == 2**4 - 1
+
+
+class TestLemma53:
+    def test_no_violations_where_hypotheses_hold(self):
+        from repro.core.spacegap import check_lemma53, lemma53_violations
+
+        # Case 2 needs g in (2^7, 4 eps N_k): a *correct* summary at depth
+        # k = 8 (gaps up to 2 eps N = 512 but inequality (4) failing at the
+        # top nodes).  Lossy summaries blow past 4 eps N and land in Case 1
+        # everywhere, so GK is the right subject here.
+        result = build_adversarial_pair(
+            GreenwaldKhanna, epsilon=1 / 32, k=8, validate=False
+        )
+        applicable = check_lemma53(result)
+        assert applicable, "expected Case-2 nodes with g > 2^7"
+        assert lemma53_violations(result) == []
+
+    def test_vacuous_for_small_gaps(self):
+        from repro.core.spacegap import check_lemma53
+
+        result = build_adversarial_pair(GreenwaldKhanna, epsilon=1 / 32, k=4)
+        # GK keeps every gap at most 2 eps N = 64 < 2^7: no applicable nodes.
+        assert check_lemma53(result) == []
+
+
+class TestTheoremConclusion:
+    def test_correct_summary_pays_the_bound_at_root(self):
+        # Lemma 3.4 caps the gap at 2 eps N; plugging into Lemma 5.2 yields
+        # the Theorem 2.2 storage bound, which GK's measured S_k must meet.
+        epsilon, k = 1 / 32, 6
+        result = build_adversarial_pair(GreenwaldKhanna, epsilon=epsilon, k=k)
+        n = result.length
+        gap = result.root.gap
+        assert gap <= 2 * epsilon * n
+        theorem_bound = (
+            space_gap_constant(epsilon) * (math.log2(2 * epsilon * n) + 1) / (4 * epsilon)
+        )
+        assert result.root.space >= theorem_bound
+
+    def test_space_grows_with_k_for_gk(self):
+        epsilon = 1 / 32
+        spaces = [
+            build_adversarial_pair(GreenwaldKhanna, epsilon=epsilon, k=k).root.space
+            for k in (2, 4, 6)
+        ]
+        assert spaces[0] < spaces[1] < spaces[2]

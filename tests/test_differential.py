@@ -1,0 +1,98 @@
+"""Differential testing: every summary against the exact oracle."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams import random_stream, sorted_stream, zoomin_stream
+from repro.summaries.biased import BiasedQuantileSummary
+from repro.summaries.exact import ExactSummary
+from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy
+from repro.summaries.kll import KLL
+from repro.summaries.mrl import MRL
+from repro.universe import Universe
+
+# (factory, error budget as a multiple of eps*n) — randomized entries are
+# seeded, so budgets are deterministic facts, not probabilistic hopes.
+CONTENDERS = [
+    ("gk", lambda eps, n: GreenwaldKhanna(eps), 1.0),
+    ("gk-greedy", lambda eps, n: GreenwaldKhannaGreedy(eps), 1.0),
+    ("mrl", lambda eps, n: MRL(eps, n_hint=n), 1.0),
+    ("kll", lambda eps, n: KLL(eps, delta=1e-6, seed=0), 1.0),
+    ("biased", lambda eps, n: BiasedQuantileSummary(eps), 1.0),
+]
+
+GENERATORS = {
+    "random": lambda u, n: random_stream(u, n, seed=12),
+    "sorted": sorted_stream,
+    "zoomin": zoomin_stream,
+}
+
+
+@pytest.mark.parametrize("order", sorted(GENERATORS))
+@pytest.mark.parametrize("name,factory,budget", CONTENDERS)
+class TestQuantilesAgainstOracle:
+    def test_all_grid_queries_within_budget(self, order, name, factory, budget):
+        epsilon, n = 1 / 16, 1500
+        universe = Universe()
+        items = GENERATORS[order](universe, n)
+        oracle = ExactSummary()
+        subject = factory(epsilon, n)
+        for item in items:
+            oracle.process(item)
+            subject.process(item)
+        for j in range(33):
+            phi = j / 32
+            exact_rank = oracle.estimate_rank(subject.query(phi))
+            target = max(1, min(n, round(phi * n)))
+            assert abs(exact_rank - target) <= budget * epsilon * n + 1, (
+                f"{name} on {order}: phi={phi}"
+            )
+
+
+@pytest.mark.parametrize("name,factory,budget", CONTENDERS)
+class TestRankEstimatesAgainstOracle:
+    def test_rank_estimates_track_oracle(self, name, factory, budget):
+        epsilon, n = 1 / 16, 1200
+        universe = Universe()
+        items = random_stream(universe, n, seed=3)
+        oracle = ExactSummary()
+        subject = factory(epsilon, n)
+        for item in items:
+            oracle.process(item)
+            subject.process(item)
+        for value in range(0, n + 1, 97):
+            probe = universe.item(Fraction(value) + Fraction(1, 2))
+            exact = oracle.estimate_rank(probe)
+            estimate = subject.estimate_rank(probe)
+            assert abs(estimate - exact) <= budget * epsilon * n + 1, (
+                f"{name}: probe at {value}"
+            )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    n=st.integers(min_value=5, max_value=500),
+)
+def test_gk_variants_differential_property(seed, n):
+    """Band-based and greedy GK answer within eps of the oracle and of each
+    other's allowance on arbitrary random streams."""
+    epsilon = Fraction(1, 8)
+    universe = Universe()
+    items = random_stream(universe, n, seed=seed)
+    oracle = ExactSummary()
+    band = GreenwaldKhanna(epsilon)
+    greedy = GreenwaldKhannaGreedy(epsilon)
+    for item in items:
+        oracle.process(item)
+        band.process(item)
+        greedy.process(item)
+    for j in range(9):
+        phi = j / 8
+        target = max(1, min(n, round(phi * n)))
+        for subject in (band, greedy):
+            rank = oracle.estimate_rank(subject.query(phi))
+            assert abs(rank - target) <= epsilon * n + 1

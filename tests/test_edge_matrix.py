@@ -1,0 +1,123 @@
+"""Edge-case matrix: every registered summary under degenerate inputs."""
+
+import pytest
+
+from repro.errors import EmptySummaryError, InvalidQuantileError
+from repro.model.registry import available_summaries, create_summary
+from repro.universe import Universe, key_of
+
+
+def make(name: str, epsilon: float = 1 / 8, n: int = 64):
+    kwargs = {}
+    if name in ("mrl", "sampled-gk"):
+        kwargs["n_hint"] = max(n, 1)
+    if name in ("qdigest", "turnstile"):
+        kwargs["universe_bits"] = 10
+    if name == "sliding-gk":
+        kwargs["window"] = max(n, 1)
+    return create_summary(name, epsilon, **kwargs)
+
+
+ALL = sorted(available_summaries())
+# q-digest and the dyadic turnstile structure hash values and need a bounded
+# integer universe: they sit outside the comparison-based matrix.
+COMPARISON_BASED = [name for name in ALL if name not in ("qdigest", "turnstile")]
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestEmptyAndValidation:
+    def test_empty_query_raises(self, name):
+        with pytest.raises(EmptySummaryError):
+            make(name).query(0.5)
+
+    def test_phi_validation(self, name, universe):
+        summary = make(name)
+        summary.process(universe.item(1))
+        with pytest.raises(InvalidQuantileError):
+            summary.query(-0.01)
+        with pytest.raises(InvalidQuantileError):
+            summary.query(1.01)
+
+    def test_epsilon_validation(self, name):
+        with pytest.raises(ValueError):
+            create_summary(name, 0.0)
+
+
+@pytest.mark.parametrize("name", COMPARISON_BASED)
+class TestDegenerateStreams:
+    def test_single_item(self, name, universe):
+        summary = make(name, n=1)
+        only = universe.item(7)
+        summary.process(only)
+        for phi in (0.0, 0.5, 1.0):
+            assert key_of(summary.query(phi)) == 7
+
+    def test_two_items(self, name, universe):
+        summary = make(name, n=2)
+        summary.process_all(universe.items([10, 20]))
+        assert key_of(summary.query(0.0)) in (10, 20)
+        assert key_of(summary.query(1.0)) in (10, 20)
+
+    def test_all_equal_items(self, name, universe):
+        summary = make(name, n=50)
+        summary.process_all(universe.items([3] * 50))
+        assert key_of(summary.query(0.5)) == 3
+
+    def test_monotone_then_query_extremes(self, name, universe):
+        summary = make(name, n=100)
+        summary.process_all(universe.items(range(1, 101)))
+        low = key_of(summary.query(0.0))
+        high = key_of(summary.query(1.0))
+        assert low <= 1 + 100 * summary.epsilon + 1
+        assert high >= 100 - 100 * summary.epsilon - 1
+
+    def test_negative_and_fractional_values(self, name, universe):
+        from fractions import Fraction
+
+        summary = make(name, n=20)
+        values = [Fraction(-7, 3), Fraction(-1, 2), 0, Fraction(1, 9), 5]
+        summary.process_all(universe.items(values * 4))
+        answer = summary.query(0.5)
+        assert Fraction(-7, 3) <= key_of(answer) <= 5
+
+    def test_max_item_count_monotone(self, name, universe):
+        summary = make(name, n=200)
+        peaks = []
+        for item in universe.items(range(200)):
+            summary.process(item)
+            peaks.append(summary.max_item_count)
+        assert peaks == sorted(peaks)
+
+
+@pytest.mark.parametrize("name", COMPARISON_BASED)
+class TestComplianceMatrix:
+    def test_summary_is_model_compliant_end_to_end(self, name, universe):
+        # Wrap in the Definition 2.1 monitor and drive a mixed workload:
+        # completion without ModelViolation is the assertion.
+        from repro.model.compliance import ComplianceMonitor
+        from repro.streams import random_stream
+
+        inner = make(name, n=300)
+        monitored = ComplianceMonitor(inner)
+        monitored.process_all(random_stream(Universe(), 300, seed=11))
+        for phi in (0.0, 0.3, 0.5, 0.9, 1.0):
+            monitored.query(phi)
+        assert monitored.is_compliant
+
+
+@pytest.mark.parametrize("name", COMPARISON_BASED)
+class TestFingerprints:
+    def test_fingerprint_hashable_and_stable(self, name, universe):
+        summary = make(name, n=30)
+        summary.process_all(universe.items(range(30)))
+        first = summary.fingerprint()
+        second = summary.fingerprint()
+        assert hash(first) == hash(second)
+        assert first == second
+
+    def test_fingerprint_changes_as_stream_grows(self, name, universe):
+        summary = make(name, n=40)
+        summary.process_all(universe.items(range(20)))
+        before = summary.fingerprint()
+        summary.process_all(universe.items(range(100, 120)))
+        assert summary.fingerprint() != before

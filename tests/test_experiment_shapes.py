@@ -1,0 +1,105 @@
+"""Expected-shape assertions for the remaining experiments (small params).
+
+T2-T4 shapes are asserted in test_experiments.py; this file covers the
+corollaries (T5-T8), the curve experiments (T1/T9 charts) and the ablations,
+all at reduced sizes so the whole file stays fast.
+"""
+
+from repro.experiments import run_experiment
+
+
+class TestCorollaryShapes:
+    def test_t5_gk_space_branch_capped_failure_branch(self):
+        (table,) = run_experiment("T5", epsilon=1 / 32, k=4, budgets=(8,))
+        branches = dict(zip(table.column("summary"), table.column("branch")))
+        failures = dict(zip(table.column("summary"), table.column("median failed")))
+        assert branches["gk"] == "space"
+        assert failures["gk"] == "no"
+        assert branches["capped (8)"] == "median-failure"
+        assert failures["capped (8)"] == "YES"
+
+    def test_t6_shared_estimate_fails_one_side_only_for_capped(self):
+        (table,) = run_experiment("T6", epsilon=1 / 32, k=4, budgets=(8,))
+        outcomes = dict(zip(table.column("summary"), table.column("failed")))
+        assert outcomes["gk"] == "no"
+        assert outcomes["capped (8)"] == "YES"
+
+    def test_t7_small_sketch_defeated_and_curve_monotone(self):
+        attack, curve = run_experiment(
+            "T7",
+            epsilon=1 / 32,
+            k=4,
+            seeds=(0,),
+            sketches=(("kll k=8", {"k": 8}), ("kll delta=1e-6", {"delta": 1e-6})),
+            deltas=(1e-2, 1e-8),
+            stream_length=3000,
+        )
+        verdicts = dict(zip(attack.column("sketch"), attack.column("defeated")))
+        assert verdicts["kll k=8"] == "YES"
+        assert verdicts["kll delta=1e-6"] == "no"
+        sizes = [int(v) for v in curve.column("max |I|")]
+        assert sizes[0] < sizes[-1]
+
+    def test_t8_biased_dominates_uniform_and_grows(self):
+        per_phase, totals = run_experiment("T8", epsilon=1 / 32, k=4)
+        biased = [int(v) for v in per_phase.column("biased: retained")]
+        uniform = [int(v) for v in per_phase.column("gk (uniform): retained")]
+        assert biased == sorted(biased)
+        assert all(b >= u for b, u in zip(biased[:-1], uniform[:-1]))
+        totals_retained = [int(v) for v in totals.column("total retained")]
+        biased_total, uniform_total = totals_retained[0], totals_retained[1]
+        assert biased_total > uniform_total
+
+
+class TestCurveCharts:
+    def test_t1_returns_chart_with_three_series(self):
+        tables = run_experiment("T1", epsilon=1 / 32, k_max=3)
+        chart = tables[-1]
+        text = chart.render()
+        assert "gk measured" in text
+        assert "gk upper bound" in text
+        assert "thm 2.2 lower" in text
+
+    def test_t9_chart_flat_vs_growing(self):
+        tables = run_experiment("T9", epsilon=1 / 64, k_max=10)
+        chart = tables[-1]
+        text = chart.render()
+        assert "hung-ting" in text
+        assert "theorem 2.2" in text
+
+
+class TestAblationShapes:
+    def test_a2_smallest_policy_weakest(self):
+        (table,) = run_experiment("A2", epsilon=1 / 16, k=4, budget=10)
+        gaps = dict(
+            zip(table.column("policy"), (int(v) for v in table.column("final gap")))
+        )
+        assert gaps["smallest"] <= gaps["largest (paper)"]
+
+    def test_a3_monotone_in_depth(self):
+        (table,) = run_experiment("A3", epsilon=1 / 16, total_log2=8, budget=10)
+        gaps = [int(v) for v in table.column("final gap")]
+        assert gaps[0] < gaps[-1]
+
+    def test_a4_peak_grows_with_period(self):
+        (table,) = run_experiment(
+            "A4", epsilon=1 / 16, length=1200, multipliers=(1.0, 16.0)
+        )
+        peaks = [int(v) for v in table.column("peak |I|")]
+        assert peaks[1] > peaks[0]
+
+    def test_a5_merged_error_within_budget(self):
+        (table,) = run_experiment("A5", epsilon=1 / 32, length=2048, shards=4)
+        assert set(table.column("within budget")) == {"yes"}
+
+    def test_a6_gk_space_similar_under_both_orders(self):
+        _, space_table = run_experiment("A6", epsilon=1 / 16, k_values=(3, 4), budget=10)
+        recursive = [int(v) for v in space_table.column("gk space (recursive)")]
+        sequential = [int(v) for v in space_table.column("gk space (sequential)")]
+        for rec, seq in zip(recursive, sequential):
+            assert abs(rec - seq) <= 0.25 * max(rec, seq)
+
+    def test_a7_every_comparison_identical(self):
+        per_level, summary, _sample = run_experiment("A7", epsilon=1 / 8, k=4)
+        assert set(per_level.column("identical")) == {"yes"}
+        assert set(summary.column("identical")) == {"yes"}

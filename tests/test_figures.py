@@ -1,0 +1,84 @@
+"""The ASCII real-line figure renderer."""
+
+from repro.analysis.figures import (
+    FigurePanel,
+    render_pair_panel,
+    render_stream_line,
+)
+from repro.core.pair import SummaryPair
+from repro.streams import Stream
+from repro.summaries.exact import ExactSummary
+from repro.summaries.capped import CappedSummary
+from repro.universe import OpenInterval
+
+
+class TestStreamLine:
+    def test_empty_stream(self, universe):
+        assert "empty" in render_stream_line(Stream(), [])
+
+    def test_all_stored_marks(self, universe):
+        stream = Stream()
+        items = universe.items([3, 1, 2])
+        stream.extend(items)
+        line = render_stream_line(stream, items, width=20)
+        assert line.count("|") == 3
+        assert "x" not in line
+
+    def test_forgotten_marks(self, universe):
+        stream = Stream()
+        items = universe.items([1, 2, 3, 4])
+        stream.extend(items)
+        line = render_stream_line(stream, [items[0], items[3]], width=24)
+        assert line.count("|") == 2
+        assert line.count("x") == 2
+
+    def test_marks_ordered_by_rank(self, universe):
+        stream = Stream()
+        items = universe.items([30, 10, 20])  # arrival order != rank order
+        stream.extend(items)
+        line = render_stream_line(stream, [items[1]], width=30)  # store key 10
+        # The stored mark is the leftmost mark (rank 1).
+        first_mark = min(line.index("|"), line.index("x"))
+        assert line[first_mark] == "|"
+
+    def test_interval_brackets(self, universe):
+        stream = Stream()
+        items = universe.items(range(1, 11))
+        stream.extend(items)
+        interval = OpenInterval(items[2], items[7])
+        line = render_stream_line(stream, items, interval, width=60)
+        assert "(" in line and ")" in line
+        assert line.index("(") < line.index(")")
+
+    def test_label_prefix(self, universe):
+        stream = Stream()
+        stream.append(universe.item(1))
+        line = render_stream_line(stream, [], label="pi: ")
+        assert line.startswith("pi: ")
+
+
+class TestPairPanel:
+    def test_both_streams_rendered(self, universe):
+        pair = SummaryPair(lambda: ExactSummary())
+        for value in range(10):
+            pair.feed(universe.item(value), universe.item(value + 100))
+        panel = render_pair_panel(pair, title="t")
+        lines = panel.splitlines()
+        assert lines[0] == "t"
+        assert lines[1].startswith("  pi :")
+        assert lines[2].startswith("  rho:")
+
+    def test_forgetting_summary_shows_crosses(self, universe):
+        pair = SummaryPair(lambda: CappedSummary(0.1, budget=4))
+        for value in range(30):
+            pair.feed(universe.item(value), universe.item(value + 100))
+        panel = render_pair_panel(pair)
+        assert panel.count("x") > 10
+
+
+class TestFigurePanelProtocol:
+    def test_render_and_markdown(self):
+        panel = FigurePanel("title", "body line")
+        assert panel.render() == "title\nbody line"
+        assert panel.to_markdown().startswith("**title**")
+        assert "```" in panel.to_markdown()

@@ -1,0 +1,104 @@
+"""Interleaved generator, A8 experiment, GK compress soundness."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.streams import Stream, interleaved_stream, random_stream
+from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy
+from repro.universe import Universe, key_of
+
+
+class TestInterleavedStream:
+    def test_round_robin_order(self, universe):
+        items = interleaved_stream(universe, 8, runs=2)
+        assert [key_of(i) for i in items] == [1, 5, 2, 6, 3, 7, 4, 8]
+
+    def test_is_permutation(self, universe):
+        items = interleaved_stream(universe, 37, runs=3)
+        assert sorted(key_of(i) for i in items) == list(range(1, 38))
+
+    def test_runs_validation(self, universe):
+        with pytest.raises(ValueError):
+            interleaved_stream(universe, 10, runs=0)
+
+    def test_single_run_is_sorted(self, universe):
+        items = interleaved_stream(universe, 9, runs=1)
+        assert [key_of(i) for i in items] == list(range(1, 10))
+
+    def test_gk_guarantee_on_interleaved(self):
+        universe = Universe()
+        items = interleaved_stream(universe, 1600, runs=4)
+        summary = GreenwaldKhanna(1 / 16)
+        stream = Stream()
+        for item in items:
+            summary.process(item)
+            stream.append(item)
+        for percent in (0, 25, 50, 75, 100):
+            phi = percent / 100
+            rank = stream.rank(summary.query(phi))
+            target = max(1, min(1600, round(phi * 1600)))
+            assert abs(rank - target) <= 1600 / 16 + 1
+
+
+class TestA8Experiment:
+    def test_shape(self):
+        (table,) = run_experiment("A8", length=4000, budgets=(32, 512), epsilon=1 / 50)
+        methods = table.column("method")
+        assert methods[-1].startswith("gk one pass")
+        errors = [v for v in table.column("rank error")]
+        assert errors[:-1] == ["0", "0"]  # multipass rows exact
+        scans = [int(v) for v in table.column("scans")[:-1]]
+        assert scans[0] >= scans[1]  # smaller memory, no fewer scans
+
+
+@pytest.mark.parametrize("variant", [GreenwaldKhanna, GreenwaldKhannaGreedy])
+class TestGKCompressSoundness:
+    def test_rank_bounds_remain_valid_after_every_compress(self, variant):
+        """rmin <= true rank <= rmax for every tuple, at every prefix."""
+        universe = Universe()
+        items = random_stream(universe, 600, seed=13)
+        summary = variant(1 / 8)
+        stream = Stream()
+        for index, item in enumerate(items):
+            summary.process(item)
+            stream.append(item)
+            if index % 57 != 0:
+                continue
+            rmin = 0
+            for entry in summary._tuples:
+                rmin += entry.g
+                true_rank = stream.rank(entry.value)
+                assert rmin <= true_rank <= rmin + entry.delta, (
+                    f"tuple bounds broken at n={summary.n}"
+                )
+
+    def test_compress_never_drops_extremes(self, variant):
+        universe = Universe()
+        items = random_stream(universe, 500, seed=14)
+        summary = variant(1 / 8)
+        for item in items:
+            summary.process(item)
+        array = summary.item_array()
+        assert key_of(array[0]) == 1
+        assert key_of(array[-1]) == 500
+
+    def test_compress_reduces_array_at_fixed_prefix(self, variant):
+        universe = Universe()
+        lazy = variant(1 / 8, compress_period=10**9)
+        eager = variant(1 / 8)
+        items = random_stream(universe, 1000, seed=15)
+        for item in items:
+            lazy.process(item)
+            eager.process(item)
+        assert len(eager.item_array()) < len(lazy.item_array())
+
+    def test_rank_bounds_fraction_epsilon(self, variant):
+        # Exact-fraction epsilon keeps the invariant with no float slack.
+        universe = Universe()
+        summary = variant(Fraction(1, 10))
+        summary.process_all(random_stream(universe, 400, seed=16))
+        threshold = summary._threshold()
+        for entry in summary._tuples:
+            assert entry.g + entry.delta <= max(1, threshold)

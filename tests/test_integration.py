@@ -1,0 +1,156 @@
+"""End-to-end integration: the full pipeline against every registered summary."""
+
+import math
+
+import pytest
+
+from repro import (
+    available_summaries,
+    build_adversarial_pair,
+    check_claim1,
+    check_space_gap,
+    create_summary,
+    find_failing_quantile,
+)
+from repro.core.spacegap import claim1_violations, space_gap_violations
+from repro.model.compliance import ComplianceMonitor
+from repro.streams import random_stream
+from repro.universe import Universe
+
+# Comparison-based, deterministic (or seed-fixed) summaries the full
+# adversary pipeline applies to, with per-summary constructor arguments.
+ATTACKABLE = {
+    "gk": {},
+    "gk-greedy": {},
+    "exact": {},
+    "capped": {"budget": 24},
+    "kll": {"seed": 0},
+    "mrl": {"n_hint": 1 << 13},
+    "biased": {},
+}
+
+
+@pytest.mark.parametrize("name", sorted(ATTACKABLE))
+class TestFullPipeline:
+    def test_adversary_plus_all_proof_checks(self, name):
+        epsilon, k = 1 / 32, 5
+        result = build_adversarial_pair(
+            lambda eps: create_summary(name, eps, **ATTACKABLE[name]),
+            epsilon=epsilon,
+            k=k,
+        )
+        # Proof machinery holds regardless of the summary's quality:
+        assert space_gap_violations(result) == []
+        assert claim1_violations(result) == []
+        assert len(check_space_gap(result)) == len(result.nodes())
+        assert len(check_claim1(result)) == 2 ** (k - 1) - 1
+        # Lemma 3.4 dichotomy: small gap, or a concrete failing quantile.
+        witness = find_failing_quantile(result)
+        gap = result.final_gap().gap
+        if gap <= 2 * epsilon * result.length:
+            assert witness is None
+        else:
+            assert witness is not None and witness.failed
+
+
+class TestComplianceUnderAdversary:
+    def test_gk_compliant_through_the_whole_attack(self):
+        result = build_adversarial_pair(
+            lambda eps: ComplianceMonitor(create_summary("gk", eps)),
+            epsilon=1 / 16,
+            k=4,
+        )
+        assert result.pair.summary_pi.is_compliant
+        assert result.pair.summary_rho.is_compliant
+
+
+class TestRegistryMatrixOnPlainStreams:
+    @pytest.mark.parametrize(
+        "name", sorted(set(available_summaries()) - {"qdigest", "turnstile"})
+    )
+    def test_every_summary_processes_and_answers(self, name):
+        universe = Universe()
+        items = random_stream(universe, 600, seed=1)
+        kwargs = {"n_hint": 600} if name in ("mrl", "sampled-gk") else {}
+        summary = create_summary(name, 1 / 8, **kwargs)
+        summary.process_all(items)
+        answer = summary.query(0.5)
+        assert answer in set(items)
+
+    def test_turnstile_on_integer_stream(self):
+        universe = Universe()
+        items = random_stream(universe, 600, seed=1)
+        summary = create_summary("turnstile", 1 / 8, universe_bits=10)
+        summary.process_all(items)
+        summary.query(0.5)  # value-typed answer; may not be a stream item
+
+    def test_qdigest_on_integer_stream(self):
+        universe = Universe()
+        items = random_stream(universe, 600, seed=1)
+        summary = create_summary(
+            "qdigest", 1 / 8, universe_bits=math.ceil(math.log2(602))
+        )
+        summary.process_all(items)
+        summary.query(0.5)  # may legally return an unseen value
+
+
+class TestCheatersAreCaught:
+    """Summaries outside the model trip the adversary's runtime checks.
+
+    Definition 2.1(iii) cannot be enforced statically; its observable
+    consequence — order-isomorphic streams leave equivalent memory — is
+    verified after every phase, so a summary that peeks at values or flips
+    unseeded coins diverges across pi and rho and raises.
+    """
+
+    def test_value_peeking_summary_detected(self):
+        import pytest as _pytest
+
+        from repro.errors import IndistinguishabilityViolation
+        from repro.summaries.capped import CappedSummary
+        from repro.universe import key_of as _key_of
+
+        class ValuePeeking(CappedSummary):
+            name = "value-peeking"
+
+            def fingerprint(self):
+                # Cheats: leaks item values into the general memory.  A
+                # forgetful summary makes the refined intervals of pi and rho
+                # genuinely different, so their items differ and the leak
+                # makes the two fingerprints diverge.
+                leak = hash(tuple(_key_of(entry.value) for entry in self._entries))
+                return (self.name, self._n, leak)
+
+        with _pytest.raises(IndistinguishabilityViolation):
+            build_adversarial_pair(
+                lambda eps: ValuePeeking(eps, budget=8), epsilon=1 / 8, k=3
+            )
+
+    def test_unseeded_randomness_detected(self):
+        import pytest as _pytest
+
+        from repro.errors import IndistinguishabilityViolation
+        from repro.summaries.kll import KLL
+
+        seeds = iter(range(100))
+
+        def fresh_seed_factory(eps):
+            # Each instance flips different coins — effectively unseeded
+            # randomness, which is exactly what Theorem 6.4's reduction must
+            # remove before the deterministic adversary applies.
+            return KLL(eps, k=8, seed=next(seeds))
+
+        with _pytest.raises(IndistinguishabilityViolation):
+            build_adversarial_pair(fresh_seed_factory, epsilon=1 / 8, k=5)
+
+
+class TestScalingSanity:
+    def test_gk_space_logarithmic_not_linear(self):
+        universe = Universe()
+        sizes = []
+        for length in (2000, 8000):
+            summary = create_summary("gk", 1 / 32)
+            summary.process_all(random_stream(universe, length, seed=2))
+            sizes.append(summary.max_item_count)
+        # Quadrupling N must grow space far less than 4x.
+        assert sizes[1] < sizes[0] * 2

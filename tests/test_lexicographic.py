@@ -1,0 +1,154 @@
+"""The lexicographic string universe and its midpoint construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import UniverseExhaustedError
+from repro.universe import (
+    LexicographicUniverse,
+    OpenInterval,
+    POS_INFINITY,
+    key_of,
+    string_between,
+)
+
+canonical_strings = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8
+).filter(lambda s: not s.endswith("a"))
+
+
+class TestStringBetween:
+    def test_simple_midpoints(self):
+        assert string_between("", None) == "n"
+        assert string_between("b", "x") == "m"
+
+    def test_adjacent_letters_descend(self):
+        result = string_between("b", "c")
+        assert "b" < result < "c"
+        assert result.startswith("b")
+
+    def test_prefix_cases(self):
+        assert "az" < string_between("az", "b") < "b"
+        assert "" < string_between("", "b") < "b"
+        assert "" < string_between("", "ab") < "ab"
+
+    def test_result_is_canonical(self):
+        for low, high in [("", None), ("b", "c"), ("az", "b"), ("m", "mz")]:
+            assert not string_between(low, high).endswith("a")
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(UniverseExhaustedError):
+            string_between("c", "b")
+        with pytest.raises(UniverseExhaustedError):
+            string_between("c", "c")
+
+    @settings(max_examples=300, deadline=None)
+    @given(canonical_strings, canonical_strings)
+    def test_between_property(self, a, b):
+        if a == b:
+            return
+        low, high = sorted([a, b])
+        result = string_between(low, high)
+        assert low < result < high
+        assert not result.endswith("a")
+
+    @settings(max_examples=50, deadline=None)
+    @given(canonical_strings)
+    def test_between_low_and_top(self, low):
+        result = string_between(low, None)
+        assert result > low
+
+    def test_repeated_bisection_200_deep(self):
+        # The continuity assumption: always room to descend.
+        low, high = "b", "c"
+        for _ in range(200):
+            middle = string_between(low, high)
+            assert low < middle < high
+            low = middle
+        assert len(low) <= 220  # growth stays linear in depth
+
+
+class TestLexicographicUniverse:
+    def test_item_validation(self):
+        universe = LexicographicUniverse()
+        with pytest.raises(ValueError):
+            universe.item("")
+        with pytest.raises(ValueError):
+            universe.item("nota!")
+        with pytest.raises(ValueError):
+            universe.item("enda")
+
+    def test_ordered_items_increasing_and_inside(self):
+        universe = LexicographicUniverse()
+        lo, hi = universe.item("b"), universe.item("c")
+        interval = OpenInterval(lo, hi)
+        items = universe.ordered_items(17, interval)
+        assert len(items) == 17
+        assert all(x < y for x, y in zip(items, items[1:]))
+        assert all(interval.contains(item) for item in items)
+
+    def test_half_bounded_interval(self):
+        universe = LexicographicUniverse()
+        interval = OpenInterval(universe.item("m"), POS_INFINITY)
+        drawn = universe.between(interval)
+        assert key_of(drawn) > "m"
+
+    def test_items_created_counter(self):
+        universe = LexicographicUniverse()
+        universe.ordered_items(5, OpenInterval.unbounded())
+        assert universe.items_created == 5
+
+    def test_labels(self):
+        universe = LexicographicUniverse()
+        items = universe.ordered_items(2, OpenInterval.unbounded(), label_prefix="s")
+        assert [i.label for i in items] == ["s1", "s2"]
+
+    def test_zero_count_rejected(self):
+        universe = LexicographicUniverse()
+        with pytest.raises(ValueError):
+            universe.ordered_items(0, OpenInterval.unbounded())
+
+
+class TestUniverseObliviousness:
+    def test_adversary_traces_identical_across_universes(self):
+        from repro.core.adversary import build_adversarial_pair
+        from repro.summaries.gk import GreenwaldKhanna
+        from repro.universe import Universe
+
+        rational = build_adversarial_pair(
+            GreenwaldKhanna, epsilon=1 / 8, k=4, universe=Universe()
+        )
+        lexicographic = build_adversarial_pair(
+            GreenwaldKhanna, epsilon=1 / 8, k=4, universe=LexicographicUniverse()
+        )
+        assert [n.gap for n in rational.nodes()] == [
+            n.gap for n in lexicographic.nodes()
+        ]
+        assert [n.space for n in rational.nodes()] == [
+            n.space for n in lexicographic.nodes()
+        ]
+        assert (
+            rational.pair.summary_pi.fingerprint()
+            == lexicographic.pair.summary_pi.fingerprint()
+        )
+
+    def test_gk_over_strings_meets_guarantee(self):
+        from repro.streams import Stream
+        from repro.summaries.gk import GreenwaldKhanna
+
+        universe = LexicographicUniverse()
+        items = universe.ordered_items(512, OpenInterval.unbounded())
+        import random
+
+        random.Random(4).shuffle(items)
+        summary = GreenwaldKhanna(1 / 8)
+        stream = Stream()
+        for item in items:
+            summary.process(item)
+            stream.append(item)
+        for percent in (0, 25, 50, 75, 100):
+            phi = percent / 100
+            rank = stream.rank(summary.query(phi))
+            target = max(1, min(512, round(phi * 512)))
+            assert abs(rank - target) <= 512 / 8 + 1

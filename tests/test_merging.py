@@ -1,0 +1,224 @@
+"""Merging summaries: GK one-way merge, KLL/MRL/Exact level-wise merges."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams import Stream, random_stream
+from repro.summaries import merge_gk
+from repro.summaries.exact import ExactSummary
+from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy
+from repro.summaries.kll import KLL
+from repro.summaries.mrl import MRL
+from repro.universe import Universe
+
+
+def split_stream(universe, length, seed, parts):
+    items = random_stream(universe, length, seed=seed)
+    chunk = length // parts
+    return [items[i * chunk : (i + 1) * chunk] for i in range(parts - 1)] + [
+        items[(parts - 1) * chunk :]
+    ], items
+
+
+def check_merged_guarantee(summary, items, allowed_eps):
+    stream = Stream()
+    stream.extend(items)
+    n = len(items)
+    grid = max(8, round(2 / allowed_eps))
+    for j in range(grid + 1):
+        phi = Fraction(j, grid)
+        rank = stream.rank(summary.query(float(phi)))
+        target = max(1, min(n, int(phi * n)))
+        assert abs(rank - target) <= allowed_eps * n + 1, (
+            f"phi={phi}: rank {rank} target {target}"
+        )
+
+
+class TestGKMerge:
+    @pytest.mark.parametrize("variant", [GreenwaldKhanna, GreenwaldKhannaGreedy])
+    def test_two_way_merge_meets_additive_guarantee(self, variant):
+        universe = Universe()
+        (left, right), items = split_stream(universe, 2000, seed=0, parts=2)
+        a, b = variant(1 / 32), variant(1 / 32)
+        a.process_all(left)
+        b.process_all(right)
+        merged = merge_gk(a, b)
+        assert merged.n == 2000
+        # Merged rank bounds add exactly, so the guarantee stays at eps.
+        check_merged_guarantee(merged, items, allowed_eps=1 / 32)
+
+    def test_merged_epsilon_is_max(self):
+        a, b = GreenwaldKhanna(1 / 32), GreenwaldKhanna(1 / 64)
+        universe = Universe()
+        a.process_all(universe.items(range(100)))
+        b.process_all(universe.items(range(100, 200)))
+        merged = merge_gk(a, b)
+        assert merged.epsilon == pytest.approx(1 / 32)
+
+    def test_merge_preserves_variant(self):
+        universe = Universe()
+        a, b = GreenwaldKhannaGreedy(1 / 8), GreenwaldKhannaGreedy(1 / 8)
+        a.process_all(universe.items(range(50)))
+        b.process_all(universe.items(range(50, 100)))
+        merged = merge_gk(a, b)
+        assert isinstance(merged, GreenwaldKhannaGreedy)
+
+    def test_inputs_left_intact(self):
+        universe = Universe()
+        a, b = GreenwaldKhanna(1 / 8), GreenwaldKhanna(1 / 8)
+        a.process_all(universe.items(range(100)))
+        b.process_all(universe.items(range(100, 200)))
+        before_a, before_b = a.fingerprint(), b.fingerprint()
+        merge_gk(a, b)
+        assert a.fingerprint() == before_a
+        assert b.fingerprint() == before_b
+
+    def test_merged_summary_keeps_streaming(self):
+        universe = Universe()
+        a, b = GreenwaldKhanna(1 / 16), GreenwaldKhanna(1 / 16)
+        a.process_all(universe.items(range(0, 400, 2)))
+        b.process_all(universe.items(range(1, 400, 2)))
+        merged = merge_gk(a, b)
+        extra = universe.items(range(400, 600))
+        merged.process_all(extra)
+        assert merged.n == 600
+        merged.query(0.5)  # still answers
+
+    def test_merge_weights_sum_to_n(self):
+        universe = Universe()
+        a, b = GreenwaldKhanna(1 / 16), GreenwaldKhanna(1 / 16)
+        a.process_all(universe.items(range(0, 500, 2)))
+        b.process_all(universe.items(range(1, 500, 2)))
+        merged = merge_gk(a, b)
+        assert sum(entry.g for entry in merged._tuples) == merged.n
+
+    def test_merge_space_stays_summary_sized(self):
+        universe = Universe()
+        a, b = GreenwaldKhanna(1 / 32), GreenwaldKhanna(1 / 32)
+        a.process_all(random_stream(universe, 4000, seed=1))
+        b.process_all(
+            [universe.item(10**7 + i) for i in range(4000)]
+        )
+        merged = merge_gk(a, b)
+        assert len(merged._tuples) < 8000 / 4
+
+    def test_type_checked(self):
+        a = GreenwaldKhanna(1 / 8)
+        with pytest.raises(TypeError):
+            merge_gk(a, ExactSummary())
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        length=st.integers(min_value=20, max_value=600),
+        parts_seed=st.integers(min_value=1, max_value=10**6),
+    )
+    def test_merge_guarantee_property(self, seed, length, parts_seed):
+        universe = Universe()
+        items = random_stream(universe, length, seed=seed)
+        split = parts_seed % (length - 1) + 1
+        a, b = GreenwaldKhanna(1 / 16), GreenwaldKhanna(1 / 16)
+        a.process_all(items[:split])
+        b.process_all(items[split:])
+        merged = merge_gk(a, b)
+        check_merged_guarantee(merged, items, allowed_eps=1 / 16)
+
+
+class TestKLLMerge:
+    def test_merge_preserves_weight(self):
+        universe = Universe()
+        a = KLL(1 / 16, seed=0)
+        b = KLL(1 / 16, seed=1)
+        a.process_all(random_stream(universe, 1500, seed=2))
+        b.process_all([universe.item(10**7 + i) for i in range(1500)])
+        a.merge(b)
+        assert a.n == 3000
+        assert sum(weight for _, weight in a._weighted_items()) == 3000
+
+    def test_merged_accuracy(self):
+        universe = Universe()
+        items = random_stream(universe, 4000, seed=3)
+        a = KLL(1 / 16, delta=1e-4, seed=0)
+        b = KLL(1 / 16, delta=1e-4, seed=1)
+        a.process_all(items[:2000])
+        b.process_all(items[2000:])
+        a.merge(b)
+        stream = Stream()
+        stream.extend(items)
+        for percent in range(0, 101, 10):
+            phi = percent / 100
+            rank = stream.rank(a.query(phi))
+            target = max(1, min(4000, round(phi * 4000)))
+            assert abs(rank - target) <= 2 * 4000 / 16
+
+    def test_eight_way_merge_tree(self):
+        universe = Universe()
+        items = random_stream(universe, 4000, seed=4)
+        shards = [KLL(1 / 16, delta=1e-4, seed=s) for s in range(8)]
+        for index, item in enumerate(items):
+            shards[index % 8].process(item)
+        while len(shards) > 1:
+            merged = []
+            for left, right in zip(shards[::2], shards[1::2]):
+                left.merge(right)
+                merged.append(left)
+            shards = merged
+        combined = shards[0]
+        assert combined.n == 4000
+        stream = Stream()
+        stream.extend(items)
+        rank = stream.rank(combined.query(0.5))
+        assert abs(rank - 2000) <= 3 * 4000 / 16
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            KLL(1 / 8, seed=0).merge(ExactSummary())
+
+
+class TestMRLMerge:
+    def test_merge_counts(self):
+        universe = Universe()
+        a = MRL(1 / 16, n_hint=4000)
+        b = MRL(1 / 16, n_hint=4000)
+        a.process_all(random_stream(universe, 1000, seed=5))
+        b.process_all([universe.item(10**7 + i) for i in range(1000)])
+        a.merge(b)
+        assert a.n == 2000
+        assert sum(weight for _, weight in a._weighted_items()) == 2000
+
+    def test_merged_accuracy(self):
+        universe = Universe()
+        items = random_stream(universe, 3000, seed=6)
+        a = MRL(1 / 16, n_hint=3000)
+        b = MRL(1 / 16, n_hint=3000)
+        a.process_all(items[:1500])
+        b.process_all(items[1500:])
+        a.merge(b)
+        stream = Stream()
+        stream.extend(items)
+        for percent in range(0, 101, 20):
+            phi = percent / 100
+            rank = stream.rank(a.query(phi))
+            target = max(1, min(3000, round(phi * 3000)))
+            assert abs(rank - target) <= 2 * 3000 / 16
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            MRL(1 / 8).merge(ExactSummary())
+
+
+class TestExactMerge:
+    def test_merge_is_union(self, universe):
+        a, b = ExactSummary(), ExactSummary()
+        a.process_all(universe.items(range(0, 10)))
+        b.process_all(universe.items(range(10, 25)))
+        a.merge(b)
+        assert a.n == 25
+        assert len(a.item_array()) == 25
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            ExactSummary().merge(KLL(1 / 8, seed=0))

@@ -1,0 +1,161 @@
+"""ComplianceMonitor: the rules of Definition 2.1 enforced at runtime."""
+
+import pytest
+
+from repro.errors import ModelViolation
+from repro.model import ComplianceMonitor, QuantileSummary
+from repro.summaries.gk import GreenwaldKhanna
+from repro.summaries.qdigest import QDigest
+from repro.universe.item import Item
+from repro.universe.universe import Universe
+
+
+class _Honest(QuantileSummary):
+    name = "honest"
+
+    def __init__(self, epsilon: float = 0.25) -> None:
+        super().__init__(epsilon)
+        self._items: list[Item] = []
+
+    def _insert(self, item: Item) -> None:
+        self._items.append(item)
+        self._items.sort()
+
+    def _query(self, phi: float) -> Item:
+        return self._items[min(len(self._items) - 1, int(phi * len(self._items)))]
+
+    def item_array(self) -> list[Item]:
+        return list(self._items)
+
+    def fingerprint(self) -> tuple:
+        return (self._n,)
+
+
+class _StoresForeignItem(_Honest):
+    """Stores an item that never appeared in the stream."""
+
+    name = "foreign"
+
+    def __init__(self, epsilon: float = 0.25) -> None:
+        super().__init__(epsilon)
+        self._universe = Universe()
+
+    def _insert(self, item: Item) -> None:
+        super()._insert(item)
+        self._items.append(self._universe.item(10**9 + len(self._items)))
+        self._items.sort()
+
+
+class _UnsortedArray(_Honest):
+    """Returns its item array in arrival order (possibly unsorted)."""
+
+    name = "unsorted"
+
+    def _insert(self, item: Item) -> None:
+        self._items.append(item)
+
+    def item_array(self) -> list[Item]:
+        return list(self._items)
+
+
+class _Resurrects(_Honest):
+    """Drops an item, then silently puts it back without it re-arriving."""
+
+    name = "resurrects"
+
+    def __init__(self, epsilon: float = 0.25) -> None:
+        super().__init__(epsilon)
+        self._hidden: Item | None = None
+
+    def _insert(self, item: Item) -> None:
+        super()._insert(item)
+        if self._n == 1:  # drop the second item, resurrect on the fourth
+            self._hidden = self._items.pop(0)
+        if self._n == 3 and self._hidden is not None:
+            self._items.append(self._hidden)
+            self._items.sort()
+            self._hidden = None
+
+
+class _LyingQuery(_Honest):
+    """Answers queries with an item it does not store."""
+
+    name = "lying-query"
+
+    def _query(self, phi: float) -> Item:
+        return Universe().item(-(10**9))
+
+
+class TestHonestSummaries:
+    def test_honest_summary_passes(self, universe):
+        monitored = ComplianceMonitor(_Honest())
+        monitored.process_all(universe.items(range(10)))
+        monitored.query(0.5)
+        assert monitored.is_compliant
+
+    def test_gk_is_compliant(self, universe):
+        monitored = ComplianceMonitor(GreenwaldKhanna(1 / 8))
+        monitored.process_all(universe.items(range(200)))
+        for phi in (0.0, 0.25, 0.5, 0.75, 1.0):
+            monitored.query(phi)
+        assert monitored.is_compliant
+
+    def test_monitor_mirrors_inner_interface(self, universe):
+        inner = GreenwaldKhanna(1 / 8)
+        monitored = ComplianceMonitor(inner)
+        monitored.process_all(universe.items(range(50)))
+        assert monitored.item_array() == inner.item_array()
+        assert monitored.fingerprint() == inner.fingerprint()
+        assert monitored.name == "monitored[gk]"
+        assert monitored.estimate_rank(universe.item(25)) == inner.estimate_rank(
+            universe.item(25)
+        )
+
+
+class TestViolations:
+    def test_foreign_item_detected(self, universe):
+        monitored = ComplianceMonitor(_StoresForeignItem())
+        with pytest.raises(ModelViolation, match="never seen"):
+            monitored.process_all(universe.items(range(3)))
+        assert not monitored.is_compliant
+
+    def test_unsorted_array_detected(self, universe):
+        monitored = ComplianceMonitor(_UnsortedArray())
+        with pytest.raises(ModelViolation, match="sorted"):
+            monitored.process_all(universe.items([5, 1]))
+
+    def test_resurrection_detected(self, universe):
+        monitored = ComplianceMonitor(_Resurrects())
+        with pytest.raises(ModelViolation, match="discarded"):
+            monitored.process_all(universe.items(range(6)))
+
+    def test_reappearing_item_may_return(self, universe):
+        # If the item arrives in the stream again, storing it again is legal.
+        class DropThenSeeAgain(_Honest):
+            name = "drop-then-see"
+
+            def _insert(self, item: Item) -> None:
+                super()._insert(item)
+                if self._n == 0 and len(self._items) == 1:
+                    pass
+
+        monitored = ComplianceMonitor(DropThenSeeAgain())
+        first = universe.item(1)
+        again = universe.item(1)  # equal value arrives twice
+        monitored.process(first)
+        monitored.process(again)
+        assert monitored.is_compliant
+
+    def test_query_returning_unstored_item_detected(self, universe):
+        monitored = ComplianceMonitor(_LyingQuery())
+        monitored.process_all(universe.items(range(3)))
+        with pytest.raises(ModelViolation, match="not present"):
+            monitored.query(0.5)
+
+    def test_qdigest_query_flagged_as_violation(self, universe):
+        # The paper: q-digest "can actually return an item that did not occur
+        # in the stream", so the monitor must reject it.
+        monitored = ComplianceMonitor(QDigest(0.25, universe_bits=6))
+        monitored.process_all(universe.items(range(20)))
+        with pytest.raises(ModelViolation):
+            monitored.query(0.5)

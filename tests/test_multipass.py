@@ -1,0 +1,115 @@
+"""Multi-pass exact selection (Munro-Paterson lineage)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multipass import SelectionError, multipass_median, multipass_select
+from repro.streams import random_stream
+from repro.universe import Universe, key_of
+
+
+def make_source(values, universe=None):
+    universe = universe if universe is not None else Universe()
+    items = universe.items(values)
+    return lambda: iter(items)
+
+
+class TestExactness:
+    def test_small_list_every_rank(self):
+        values = [9, 2, 7, 4, 1, 8, 3, 6, 5]
+        source = make_source(values)
+        for rank in range(1, 10):
+            result = multipass_select(source, rank, memory_budget=16)
+            assert key_of(result.item) == rank
+
+    def test_large_stream_selected_ranks(self):
+        universe = Universe()
+        items = random_stream(universe, 20_000, seed=5)
+        source = lambda: iter(items)
+        for rank in (1, 137, 10_000, 19_999, 20_000):
+            result = multipass_select(source, rank, memory_budget=256)
+            assert key_of(result.item) == rank
+
+    def test_median_function(self):
+        source = make_source(range(1, 102))  # 101 items, median = 51
+        result = multipass_median(source, memory_budget=16)
+        assert key_of(result.item) == 51
+
+    def test_exact_despite_duplicates(self):
+        values = [5, 1, 5, 5, 2, 2, 9] * 10
+        source = make_source(values)
+        expected = sorted(values)
+        for rank in (1, 10, 35, 70):
+            result = multipass_select(source, rank, memory_budget=16)
+            assert key_of(result.item) == expected[rank - 1]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        n=st.integers(min_value=1, max_value=800),
+        data=st.data(),
+    )
+    def test_selection_property(self, seed, n, data):
+        universe = Universe()
+        items = random_stream(universe, n, seed=seed)
+        rank = data.draw(st.integers(min_value=1, max_value=n))
+        result = multipass_select(lambda: iter(items), rank, memory_budget=32)
+        assert key_of(result.item) == rank  # values are the permutation 1..n
+
+
+class TestResourceBehaviour:
+    def test_single_round_when_everything_fits(self):
+        source = make_source(range(50))
+        result = multipass_select(source, 25, memory_budget=64)
+        assert result.passes == 2  # count scan + one summarise scan
+        assert result.peak_memory <= 64
+
+    def test_more_scans_with_smaller_memory(self):
+        universe = Universe()
+        items = random_stream(universe, 10_000, seed=6)
+        small = multipass_select(lambda: iter(items), 5000, memory_budget=32)
+        large = multipass_select(lambda: iter(items), 5000, memory_budget=4096)
+        assert small.passes > large.passes
+        assert small.peak_memory < large.peak_memory
+
+    def test_peak_memory_far_below_n(self):
+        universe = Universe()
+        items = random_stream(universe, 30_000, seed=7)
+        result = multipass_select(lambda: iter(items), 15_000, memory_budget=512)
+        assert result.peak_memory <= 1024
+        assert result.peak_memory < 30_000 / 20
+
+    def test_scan_counts_reported(self):
+        universe = Universe()
+        items = random_stream(universe, 5000, seed=8)
+        result = multipass_select(lambda: iter(items), 2500, memory_budget=64)
+        assert result.passes >= 3  # count, summarise, verify at least once
+        assert result.rank == 2500
+
+
+class TestValidation:
+    def test_rank_bounds(self):
+        source = make_source(range(10))
+        with pytest.raises(SelectionError):
+            multipass_select(source, 0)
+        with pytest.raises(SelectionError):
+            multipass_select(source, 11)
+
+    def test_memory_minimum(self):
+        with pytest.raises(SelectionError):
+            multipass_select(make_source(range(10)), 5, memory_budget=4)
+
+    def test_empty_median(self):
+        with pytest.raises(SelectionError):
+            multipass_median(make_source([]))
+
+    def test_unstable_source_detected(self):
+        universe = Universe()
+        shrinking = [universe.items(range(100)), universe.items(range(3))]
+
+        def source():
+            return iter(shrinking.pop(0)) if shrinking else iter([])
+
+        with pytest.raises(SelectionError):
+            multipass_select(source, 50, memory_budget=16)

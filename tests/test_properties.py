@@ -1,0 +1,102 @@
+"""Cross-cutting property-based tests for the adversarial construction.
+
+These tie together the whole stack: for randomly drawn parameters and
+summaries, every structural invariant the paper's proof relies on must hold
+on the executed construction.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adversary import build_adversarial_pair
+from repro.core.spacegap import claim1_violations, space_gap_violations
+from repro.streams import Stream, random_stream
+from repro.summaries.capped import CappedSummary
+from repro.summaries.exact import ExactSummary
+from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy
+from repro.summaries.kll import KLL
+from repro.universe import Universe
+
+SUMMARY_STRATEGY = st.sampled_from(
+    [
+        ("gk", lambda eps: GreenwaldKhanna(eps)),
+        ("gk-greedy", lambda eps: GreenwaldKhannaGreedy(eps)),
+        ("exact", lambda eps: ExactSummary(eps)),
+        ("capped-7", lambda eps: CappedSummary(eps, budget=7)),
+        ("capped-21", lambda eps: CappedSummary(eps, budget=21)),
+        ("kll-s1", lambda eps: KLL(eps, seed=1)),
+        ("kll-small", lambda eps: KLL(eps, k=6, seed=2)),
+    ]
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    summary=SUMMARY_STRATEGY,
+    inverse_eps=st.sampled_from([8, 16, 32]),
+    k=st.integers(min_value=1, max_value=4),
+)
+def test_adversary_invariants_hold_for_any_summary(summary, inverse_eps, k):
+    _, factory = summary
+    # validate=True raises on any indistinguishability or Observation 1
+    # breach at any node; the checks below add Claim 1 and Lemma 5.2.
+    result = build_adversarial_pair(
+        factory, epsilon=Fraction(1, inverse_eps), k=k, validate=True
+    )
+    assert result.length == inverse_eps * 2 * 2 ** (k - 1)
+    assert claim1_violations(result) == []
+    assert space_gap_violations(result) == []
+    for node in result.nodes():
+        assert node.gap >= 1
+        assert node.space >= 2  # at least min and max of the interval
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    length=st.integers(min_value=10, max_value=600),
+    inverse_eps=st.sampled_from([4, 8, 16]),
+)
+def test_gk_and_greedy_agree_on_guarantee(seed, length, inverse_eps):
+    universe = Universe()
+    items = random_stream(universe, length, seed=seed)
+    epsilon = Fraction(1, inverse_eps)
+    band = GreenwaldKhanna(epsilon)
+    greedy = GreenwaldKhannaGreedy(epsilon)
+    stream = Stream()
+    for item in items:
+        band.process(item)
+        greedy.process(item)
+        stream.append(item)
+    n = length
+    for j in range(0, inverse_eps + 1):
+        phi = Fraction(j, inverse_eps)
+        target = max(1, min(n, int(phi * n)))
+        for summary in (band, greedy):
+            rank = stream.rank(summary.query(float(phi)))
+            assert abs(rank - target) <= epsilon * n + 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    inverse_eps=st.sampled_from([16, 32]),
+    k=st.integers(min_value=2, max_value=4),
+    budget=st.integers(min_value=4, max_value=12),
+)
+def test_lemma_34_dichotomy(inverse_eps, k, budget):
+    """Either the gap respects 2 eps N, or a failing quantile exists."""
+    from repro.core.attacks import find_failing_quantile
+
+    result = build_adversarial_pair(
+        CappedSummary, epsilon=Fraction(1, inverse_eps), k=k, budget=budget
+    )
+    witness = find_failing_quantile(result)
+    gap = result.final_gap().gap
+    bound = 2 * result.epsilon * result.length
+    if witness is None:
+        assert gap <= bound
+    else:
+        assert gap > bound
+        assert witness.failed

@@ -1,0 +1,96 @@
+"""Sampled GK (Felber-Ostrovsky lineage): sampling + summary composition."""
+
+import pytest
+
+from repro.streams import Stream, random_stream
+from repro.summaries.sampled import SampledGK, required_sample_size
+from repro.universe import Universe
+
+
+class TestSizing:
+    def test_required_sample_size_shapes(self):
+        assert required_sample_size(0.01) > required_sample_size(0.1)
+        assert required_sample_size(0.1, delta=1e-8) > required_sample_size(
+            0.1, delta=0.1
+        )
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            required_sample_size(0.1, delta=0)
+
+    def test_n_hint_validation(self):
+        with pytest.raises(ValueError):
+            SampledGK(0.1, n_hint=0)
+
+    def test_rate_capped_at_one(self):
+        summary = SampledGK(0.1, n_hint=10)
+        assert summary.sample_rate == 1.0
+
+    def test_rate_shrinks_for_long_streams(self):
+        summary = SampledGK(0.1, n_hint=10**7)
+        assert summary.sample_rate < 0.01
+
+
+class TestBehaviour:
+    def test_samples_everything_at_rate_one(self, universe):
+        summary = SampledGK(0.1, n_hint=50, seed=0)
+        summary.process_all(universe.items(range(50)))
+        assert summary.sampled_count == 50
+
+    def test_first_item_always_sampled(self, universe):
+        summary = SampledGK(0.1, n_hint=10**9, seed=0)
+        summary.process(universe.item(42))
+        assert summary.sampled_count == 1
+        assert summary.query(0.5) == universe.item(42)
+
+    def test_space_far_below_stream(self):
+        universe = Universe()
+        epsilon, n = 1 / 10, 40_000
+        summary = SampledGK(epsilon, n_hint=n, seed=0)
+        summary.process_all(random_stream(universe, n, seed=7))
+        # The sample itself is ~ 8 ln(200) / eps^2 ~ 4200; GK compresses it.
+        assert summary.sampled_count < n / 4
+        assert summary.max_item_count < 600
+
+    def test_accuracy_on_long_stream(self):
+        universe = Universe()
+        epsilon, n = 1 / 10, 30_000
+        items = random_stream(universe, n, seed=8)
+        summary = SampledGK(epsilon, n_hint=n, delta=1e-4, seed=0)
+        stream = Stream()
+        for item in items:
+            summary.process(item)
+            stream.append(item)
+        for percent in range(10, 100, 20):
+            phi = percent / 100
+            rank = stream.rank(summary.query(phi))
+            assert abs(rank - phi * n) <= epsilon * n + 1
+
+    def test_rank_estimates_scale_to_stream(self):
+        universe = Universe()
+        n = 20_000
+        summary = SampledGK(1 / 10, n_hint=n, delta=1e-4, seed=1)
+        summary.process_all(universe.items(range(1, n + 1)))
+        estimate = summary.estimate_rank(universe.item(n // 2))
+        assert abs(estimate - n // 2) <= n / 10 + 1
+
+    def test_deterministic_per_seed(self):
+        results = []
+        for _ in range(2):
+            universe = Universe()
+            summary = SampledGK(1 / 10, n_hint=5000, seed=3)
+            summary.process_all(random_stream(universe, 5000, seed=9))
+            results.append(summary.fingerprint())
+        assert results[0] == results[1]
+
+    def test_attackable_once_seeded(self):
+        # Theorem 6.4's reduction applies to the seeded variant too: the
+        # adversary runs and all proof checks hold.
+        from repro.core.adversary import build_adversarial_pair
+        from repro.core.spacegap import claim1_violations, space_gap_violations
+
+        result = build_adversarial_pair(
+            lambda eps: SampledGK(eps, n_hint=512, seed=5), epsilon=1 / 16, k=4
+        )
+        assert claim1_violations(result) == []
+        assert space_gap_violations(result) == []

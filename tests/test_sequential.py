@@ -1,0 +1,88 @@
+"""The sequential (Hung-Ting-style) zooming adversary."""
+
+import pytest
+
+from repro.core.sequential import sequential_adversary
+from repro.errors import AdversaryError
+from repro.summaries.capped import CappedSummary
+from repro.summaries.exact import ExactSummary
+from repro.summaries.gk import GreenwaldKhanna
+
+
+class TestStructure:
+    def test_stream_length(self):
+        result = sequential_adversary(GreenwaldKhanna, epsilon=1 / 8, rounds=5)
+        assert result.length == 5 * 16
+        assert len(result.rounds) == 5
+
+    def test_custom_batch(self):
+        result = sequential_adversary(GreenwaldKhanna, epsilon=1 / 8, rounds=3, batch=10)
+        assert result.length == 30
+
+    def test_validation(self):
+        with pytest.raises(AdversaryError):
+            sequential_adversary(GreenwaldKhanna, epsilon=1 / 8, rounds=0)
+        with pytest.raises(AdversaryError):
+            sequential_adversary(GreenwaldKhanna, epsilon=1 / 8, rounds=2, batch=1)
+
+    def test_round_lengths_monotone(self):
+        result = sequential_adversary(GreenwaldKhanna, epsilon=1 / 8, rounds=6)
+        lengths = [r.length_after for r in result.rounds]
+        assert lengths == sorted(lengths)
+        assert lengths[-1] == result.length
+
+
+class TestBehaviour:
+    def test_indistinguishability_maintained(self):
+        # validate=True checks after every round; completing is the assertion.
+        result = sequential_adversary(
+            CappedSummary, epsilon=1 / 16, rounds=8, budget=10
+        )
+        result.pair.check_indistinguishable()
+
+    def test_gap_accumulates_against_capped(self):
+        result = sequential_adversary(
+            CappedSummary, epsilon=1 / 16, rounds=10, budget=8
+        )
+        gaps = [r.full_gap for r in result.rounds]
+        assert gaps[-1] > gaps[0]
+        assert gaps[-1] > 2 * (1 / 16) * result.length  # defeats the summary
+
+    def test_full_gap_never_decreases(self):
+        result = sequential_adversary(
+            CappedSummary, epsilon=1 / 16, rounds=8, budget=8
+        )
+        gaps = [r.full_gap for r in result.rounds]
+        assert all(a <= b for a, b in zip(gaps, gaps[1:]))
+
+    def test_exact_summary_keeps_gap_one(self):
+        result = sequential_adversary(ExactSummary, epsilon=1 / 8, rounds=5)
+        assert result.final_gap().gap == 1
+
+    def test_gk_survives_sequential_attack(self):
+        result = sequential_adversary(GreenwaldKhanna, epsilon=1 / 16, rounds=16)
+        assert result.final_gap().gap <= 2 * (1 / 16) * result.length
+
+    def test_gk_pays_logarithmic_space(self):
+        small = sequential_adversary(GreenwaldKhanna, epsilon=1 / 16, rounds=4)
+        large = sequential_adversary(GreenwaldKhanna, epsilon=1 / 16, rounds=32)
+        # 8x more rounds, far less than 8x more space.
+        assert large.max_items_stored() < 3 * small.max_items_stored()
+
+
+class TestExperimentA6:
+    def test_matched_lengths(self):
+        from repro.experiments import run_experiment
+
+        gap_table, space_table = run_experiment(
+            "A6", epsilon=1 / 16, k_values=(2, 3), budget=10
+        )
+        assert len(gap_table.rows) == 2
+        assert len(space_table.rows) == 2
+
+    def test_a7_identical_columns(self):
+        from repro.experiments import run_experiment
+
+        per_level, summary, sample = run_experiment("A7", epsilon=1 / 8, k=3)
+        assert set(per_level.column("identical")) == {"yes"}
+        assert set(summary.column("identical")) == {"yes"}

@@ -1,0 +1,126 @@
+"""Sliding-window quantiles over mergeable GK blocks."""
+
+import pytest
+
+from repro.streams import random_stream
+from repro.summaries.sliding import SlidingWindowQuantiles
+from repro.universe import Universe, key_of
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowQuantiles(0.1, window=0)
+        with pytest.raises(ValueError):
+            SlidingWindowQuantiles(0.1, window=100, blocks=1)
+
+    def test_registered(self):
+        from repro.model.registry import create_summary
+
+        summary = create_summary("sliding-gk", 0.1, window=100)
+        assert summary.window == 100
+
+    def test_effective_epsilon(self):
+        summary = SlidingWindowQuantiles(0.05, window=1000, blocks=10)
+        assert summary.effective_epsilon == pytest.approx(0.05 + 0.1)
+
+
+class TestWindowSemantics:
+    def test_window_size_caps_at_window(self, universe):
+        summary = SlidingWindowQuantiles(0.1, window=50, blocks=5)
+        summary.process_all(universe.items(range(30)))
+        assert summary.window_size() == 30
+        summary.process_all(universe.items(range(100, 170)))
+        assert summary.window_size() == 50
+
+    def test_expired_blocks_dropped(self, universe):
+        summary = SlidingWindowQuantiles(0.1, window=40, blocks=4)
+        summary.process_all(universe.items(range(200)))
+        # Live blocks cover at most window + one block of slack.
+        covered = sum(block.n for _, block in summary._live)
+        assert covered <= 40 + summary._block_size
+
+    def test_old_items_leave_the_answers(self, universe):
+        # Values 0..99 then 1000..1099 with window 100: after the second
+        # batch, queries must be drawn from the recent value range.
+        summary = SlidingWindowQuantiles(0.1, window=100, blocks=5)
+        summary.process_all(universe.items(range(100)))
+        summary.process_all(universe.items(range(1000, 1100)))
+        for phi in (0.25, 0.5, 0.9):
+            answer = summary.query(phi)
+            assert key_of(answer) >= 990  # only the straddling block may leak
+
+    def test_accuracy_within_effective_epsilon(self):
+        universe = Universe()
+        window, epsilon = 500, 1 / 16
+        summary = SlidingWindowQuantiles(epsilon, window=window, blocks=8)
+        items = random_stream(universe, 2000, seed=3)
+        summary.process_all(items)
+        recent = sorted(items[-window:])
+        budget = summary.effective_epsilon * window + summary._block_size
+        for percent in (10, 50, 90):
+            phi = percent / 100
+            answer = summary.query(phi)
+            # Rank of the answer within the true window content.
+            rank = sum(1 for item in recent if item <= answer)
+            target = phi * window
+            assert abs(rank - target) <= budget
+
+    def test_space_much_smaller_than_window(self):
+        universe = Universe()
+        summary = SlidingWindowQuantiles(1 / 16, window=4000, blocks=8)
+        summary.process_all(random_stream(universe, 8000, seed=4))
+        assert summary._item_count() < 4000 / 2
+
+    def test_rank_estimate_monotone(self, universe):
+        summary = SlidingWindowQuantiles(1 / 8, window=200, blocks=4)
+        summary.process_all(universe.items(range(400)))
+        probes = [universe.item(v) for v in range(150, 400, 40)]
+        estimates = [summary.estimate_rank(p) for p in probes]
+        assert all(a <= b for a, b in zip(estimates, estimates[1:]))
+
+    def test_item_array_sorted(self, universe):
+        summary = SlidingWindowQuantiles(1 / 8, window=100, blocks=4)
+        summary.process_all(universe.items(range(250)))
+        array = summary.item_array()
+        assert all(a <= b for a, b in zip(array, array[1:]))
+
+
+class TestQDigestDeletion:
+    def test_delete_reverses_insert(self, universe):
+        from repro.summaries.qdigest import QDigest
+
+        digest = QDigest(0.25, universe_bits=6)
+        items = universe.items([5, 9, 9, 13])
+        digest.process_all(items)
+        digest.delete(universe.item(9))
+        assert digest.n == 3
+        assert sum(digest._counts.values()) == 3
+
+    def test_delete_after_compression_hits_ancestor(self, universe):
+        from repro.summaries.qdigest import QDigest
+
+        digest = QDigest(0.5, universe_bits=5)
+        digest.process_all(universe.items(list(range(32)) * 4))
+        digest.compress()
+        before = sum(digest._counts.values())
+        digest.delete(universe.item(7))
+        assert sum(digest._counts.values()) == before - 1
+
+    def test_delete_from_empty_raises(self, universe):
+        from repro.summaries.qdigest import QDigest
+
+        digest = QDigest(0.25, universe_bits=4)
+        with pytest.raises(ValueError):
+            digest.delete(universe.item(3))
+
+    def test_turnstile_quantiles_track_survivors(self, universe):
+        from repro.summaries.qdigest import QDigest
+
+        digest = QDigest(1 / 8, universe_bits=8)
+        items = universe.items(range(200))
+        digest.process_all(items)
+        for value in range(100):  # delete the lower half
+            digest.delete(universe.item(value))
+        answer = digest.query(0.5)
+        assert key_of(answer) >= 130  # median of survivors ~ 150, eps slack

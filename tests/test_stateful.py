@@ -1,0 +1,93 @@
+"""Stateful property tests (hypothesis RuleBasedStateMachine)."""
+
+from bisect import bisect_left, bisect_right, insort
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.containers import SortedItemList
+from repro.streams import Stream
+from repro.universe import Universe
+
+
+class SortedListMachine(RuleBasedStateMachine):
+    """SortedItemList vs a plain sorted list under interleaved operations."""
+
+    def __init__(self):
+        super().__init__()
+        self.subject = SortedItemList(load=4)
+        self.model: list[int] = []
+
+    @rule(value=st.integers(min_value=-25, max_value=25))
+    def add(self, value):
+        self.subject.add(value)
+        insort(self.model, value)
+
+    @rule(value=st.integers(min_value=-25, max_value=25))
+    def remove_if_present(self, value):
+        if value in self.model:
+            self.model.remove(value)
+            self.subject.remove(value)
+
+    @rule(probe=st.integers(min_value=-30, max_value=30))
+    def check_bisect(self, probe):
+        assert self.subject.bisect_left(probe) == bisect_left(self.model, probe)
+        assert self.subject.bisect_right(probe) == bisect_right(self.model, probe)
+
+    @invariant()
+    def contents_match(self):
+        assert list(self.subject) == self.model
+        assert len(self.subject) == len(self.model)
+
+    @invariant()
+    def positional_access_matches(self):
+        for position in range(0, len(self.model), max(1, len(self.model) // 5)):
+            assert self.subject[position] == self.model[position]
+
+
+TestSortedListMachine = SortedListMachine.TestCase
+TestSortedListMachine.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)
+
+
+class StreamOracleMachine(RuleBasedStateMachine):
+    """Stream rank/next/prev oracles vs a sorted reference."""
+
+    def __init__(self):
+        super().__init__()
+        self.universe = Universe()
+        self.stream = Stream()
+        self.values: list[int] = []
+        self.next_fresh = 0
+
+    @rule()
+    def append_fresh(self):
+        value = self.next_fresh * 7 % 1009  # scrambled but distinct
+        self.next_fresh += 1
+        if value in self.values:
+            return
+        self.values.append(value)
+        self.stream.append(self.universe.item(value))
+
+    @invariant()
+    def ranks_match_reference(self):
+        ordered = sorted(self.values)
+        for value in self.values[:: max(1, len(self.values) // 4)]:
+            expected = ordered.index(value) + 1
+            assert self.stream.rank(self.universe.item(value)) == expected
+
+    @invariant()
+    def min_max_match(self):
+        if self.values:
+            from repro.universe import key_of
+
+            assert key_of(self.stream.min_item) == min(self.values)
+            assert key_of(self.stream.max_item) == max(self.values)
+
+
+TestStreamOracleMachine = StreamOracleMachine.TestCase
+TestStreamOracleMachine.settings = settings(
+    max_examples=25, stateful_step_count=50, deadline=None
+)

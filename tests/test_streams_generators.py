@@ -1,0 +1,57 @@
+"""Workload generators: lengths, orders, determinism."""
+
+from repro.streams import (
+    random_stream,
+    reversed_stream,
+    sorted_stream,
+    zoomin_stream,
+)
+from repro.streams.generators import adversarial_order_stream
+from repro.summaries.gk import GreenwaldKhanna
+from repro.universe import key_of
+
+
+class TestShapes:
+    def test_sorted_stream(self, universe):
+        items = sorted_stream(universe, 10)
+        assert [key_of(i) for i in items] == list(range(1, 11))
+
+    def test_reversed_stream(self, universe):
+        items = reversed_stream(universe, 10)
+        assert [key_of(i) for i in items] == list(range(10, 0, -1))
+
+    def test_random_stream_is_permutation(self, universe):
+        items = random_stream(universe, 100, seed=1)
+        assert sorted(key_of(i) for i in items) == list(range(1, 101))
+
+    def test_random_stream_deterministic_per_seed(self):
+        from repro.universe import Universe
+
+        first = [key_of(i) for i in random_stream(Universe(), 50, seed=9)]
+        second = [key_of(i) for i in random_stream(Universe(), 50, seed=9)]
+        third = [key_of(i) for i in random_stream(Universe(), 50, seed=10)]
+        assert first == second
+        assert first != third
+
+    def test_zoomin_alternates_extremes(self, universe):
+        items = zoomin_stream(universe, 6)
+        assert [key_of(i) for i in items] == [1, 6, 2, 5, 3, 4]
+
+    def test_zoomin_odd_length(self, universe):
+        items = zoomin_stream(universe, 5)
+        assert [key_of(i) for i in items] == [1, 5, 2, 4, 3]
+        assert len(items) == 5
+
+    def test_zoomin_is_permutation(self, universe):
+        items = zoomin_stream(universe, 33)
+        assert sorted(key_of(i) for i in items) == list(range(1, 34))
+
+
+class TestAdversarialOrder:
+    def test_length_matches_construction(self):
+        items = adversarial_order_stream(GreenwaldKhanna, epsilon=1 / 8, k=3)
+        assert len(items) == round((1 / (1 / 8)) * 2**3)
+
+    def test_items_distinct(self):
+        items = adversarial_order_stream(GreenwaldKhanna, epsilon=1 / 8, k=3)
+        assert len({key_of(i) for i in items}) == len(items)

@@ -1,0 +1,120 @@
+"""Stream: rank/next/prev oracles and the restricted-rank convention."""
+
+import pytest
+
+from repro.streams import Stream
+from repro.universe import NEG_INFINITY, OpenInterval, POS_INFINITY, key_of
+
+
+@pytest.fixture
+def stream(universe):
+    s = Stream()
+    s.extend(universe.items([30, 10, 50, 20, 40]))
+    return s
+
+
+class TestBasics:
+    def test_length_and_iteration_in_arrival_order(self, stream):
+        assert len(stream) == 5
+        assert [key_of(i) for i in stream] == [30, 10, 50, 20, 40]
+
+    def test_getitem_by_arrival_position(self, stream):
+        assert key_of(stream[0]) == 30
+        assert key_of(stream[4]) == 40
+
+    def test_sorted_items(self, stream):
+        assert [key_of(i) for i in stream.sorted_items()] == [10, 20, 30, 40, 50]
+
+    def test_min_max(self, stream):
+        assert key_of(stream.min_item) == 10
+        assert key_of(stream.max_item) == 50
+
+    def test_duplicate_rejected(self, universe):
+        s = Stream()
+        s.append(universe.item(1))
+        with pytest.raises(ValueError, match="duplicate"):
+            s.append(universe.item(1))
+
+    def test_duplicates_allowed_when_opted_out(self, universe):
+        s = Stream(require_distinct=False)
+        s.append(universe.item(1))
+        s.append(universe.item(1))
+        assert len(s) == 2
+
+
+class TestRankOracles:
+    def test_rank_is_one_based_sorted_position(self, stream, universe):
+        assert stream.rank(universe.item(10)) == 1
+        assert stream.rank(universe.item(30)) == 3
+        assert stream.rank(universe.item(50)) == 5
+
+    def test_item_at_rank_inverts_rank(self, stream):
+        for rank in range(1, 6):
+            assert stream.rank(stream.item_at_rank(rank)) == rank
+
+    def test_item_at_rank_bounds(self, stream):
+        with pytest.raises(IndexError):
+            stream.item_at_rank(0)
+        with pytest.raises(IndexError):
+            stream.item_at_rank(6)
+
+    def test_count_less_with_items_and_sentinels(self, stream, universe):
+        assert stream.count_less(universe.item(35)) == 3
+        assert stream.count_less(NEG_INFINITY) == 0
+        assert stream.count_less(POS_INFINITY) == 5
+
+    def test_count_at_most(self, stream, universe):
+        assert stream.count_at_most(universe.item(30)) == 3
+        assert stream.count_at_most(universe.item(29)) == 2
+
+    def test_next_prev(self, stream, universe):
+        assert key_of(stream.next_item(universe.item(30))) == 40
+        assert key_of(stream.prev_item(universe.item(30))) == 20
+
+    def test_next_prev_between_values(self, stream, universe):
+        assert key_of(stream.next_item(universe.item(31))) == 40
+        assert key_of(stream.prev_item(universe.item(29))) == 20
+
+    def test_next_of_max_raises(self, stream, universe):
+        with pytest.raises(ValueError):
+            stream.next_item(universe.item(50))
+
+    def test_prev_of_min_raises(self, stream, universe):
+        with pytest.raises(ValueError):
+            stream.prev_item(universe.item(10))
+
+
+class TestIntervalOracles:
+    def test_count_in(self, stream, universe):
+        interval = OpenInterval(universe.item(10), universe.item(50))
+        assert stream.count_in(interval) == 3
+
+    def test_count_in_unbounded(self, stream):
+        assert stream.count_in(OpenInterval.unbounded()) == 5
+
+    def test_items_in_excludes_boundaries(self, stream, universe):
+        interval = OpenInterval(universe.item(10), universe.item(40))
+        assert [key_of(i) for i in stream.items_in(interval)] == [20, 30]
+
+    def test_rank_in_matches_figure_1_convention(self, universe):
+        # Boundary lo has rank 1, twelve inside items ranks 2..13, hi rank 14.
+        s = Stream()
+        lo, hi = universe.item(0), universe.item(130)
+        inside = universe.items(range(10, 130, 10))
+        s.extend([lo, *inside, hi])
+        interval = OpenInterval(lo, hi)
+        assert s.rank_in(interval, lo) == 1
+        assert s.rank_in(interval, inside[0]) == 2
+        assert s.rank_in(interval, inside[4]) == 6
+        assert s.rank_in(interval, inside[9]) == 11
+        assert s.rank_in(interval, hi) == 14
+
+    def test_rank_in_unbounded_equals_full_rank(self, stream, universe):
+        interval = OpenInterval.unbounded()
+        probe = universe.item(30)
+        assert stream.rank_in(interval, probe) == stream.rank(probe)
+
+    def test_rank_in_with_sentinel_lower_bound(self, stream, universe):
+        interval = OpenInterval(NEG_INFINITY, universe.item(40))
+        assert stream.rank_in(interval, universe.item(10)) == 1
+        assert stream.rank_in(interval, universe.item(30)) == 3

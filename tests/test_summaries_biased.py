@@ -1,0 +1,110 @@
+"""Biased quantile summary: relative-error guarantee and structure."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.streams import Stream, random_stream, sorted_stream
+from repro.summaries.biased import BiasedQuantileSummary
+from repro.universe import Universe
+
+
+def check_relative_error(summary, stream, slack=2):
+    """Rank error at rank k must be at most eps * k (+ small slack)."""
+    n = len(stream)
+    eps = Fraction(summary.epsilon)
+    targets = sorted({max(1, round(n * fraction)) for fraction in
+                      (0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0)})
+    for target in targets:
+        phi = Fraction(target, n)
+        rank = stream.rank(summary.query(float(phi)))
+        assert abs(rank - target) <= eps * target + slack, (
+            f"rank {rank} vs target {target}: relative error exceeded"
+        )
+
+
+class TestRelativeGuarantee:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_streams(self, seed):
+        universe = Universe()
+        items = random_stream(universe, 3000, seed=seed)
+        summary = BiasedQuantileSummary(1 / 10)
+        stream = Stream()
+        for item in items:
+            summary.process(item)
+            stream.append(item)
+        check_relative_error(summary, stream)
+
+    def test_sorted_stream(self):
+        universe = Universe()
+        items = sorted_stream(universe, 2000)
+        summary = BiasedQuantileSummary(1 / 10)
+        stream = Stream()
+        for item in items:
+            summary.process(item)
+            stream.append(item)
+        check_relative_error(summary, stream)
+
+    def test_low_ranks_nearly_exact(self):
+        universe = Universe()
+        items = random_stream(universe, 5000, seed=4)
+        summary = BiasedQuantileSummary(1 / 10)
+        stream = Stream()
+        for item in items:
+            summary.process(item)
+            stream.append(item)
+        # Rank 10 with eps = 1/10 allows error 1 (+slack).
+        rank = stream.rank(summary.query(10 / 5000))
+        assert abs(rank - 10) <= 3
+
+
+class TestStructure:
+    def test_g_sums_to_n(self):
+        universe = Universe()
+        summary = BiasedQuantileSummary(1 / 8)
+        summary.process_all(random_stream(universe, 999, seed=5))
+        assert sum(entry.g for entry in summary._tuples) == 999
+
+    def test_invariant_rank_adaptive(self):
+        # Each tuple's uncertainty is bounded by the internal (eps/2)
+        # allowance evaluated at its upper rank bound — the insertion rule
+        # references the successor, hence rmax rather than rmin here.
+        universe = Universe()
+        summary = BiasedQuantileSummary(1 / 8)
+        summary.process_all(random_stream(universe, 1500, seed=6))
+        internal = Fraction(1, 8) / 2
+        rmin = 0
+        for entry in summary._tuples:
+            rmin += entry.g
+            rmax = rmin + entry.delta
+            assert entry.g + entry.delta <= max(1, int(2 * internal * rmax)) + 1
+
+    def test_stores_more_than_uniform_gk(self):
+        from repro.summaries.gk import GreenwaldKhanna
+
+        universe = Universe()
+        items = random_stream(universe, 8000, seed=7)
+        biased = BiasedQuantileSummary(1 / 16)
+        uniform = GreenwaldKhanna(1 / 16)
+        for item in items:
+            biased.process(item)
+            uniform.process(item)
+        assert len(biased.item_array()) > len(uniform.item_array())
+
+    def test_space_sublinear(self):
+        universe = Universe()
+        summary = BiasedQuantileSummary(1 / 8)
+        summary.process_all(random_stream(universe, 6000, seed=8))
+        assert summary.max_item_count < 6000 / 3
+
+    def test_item_array_sorted(self, universe):
+        summary = BiasedQuantileSummary(1 / 8)
+        summary.process_all(random_stream(Universe(), 700, seed=9))
+        array = summary.item_array()
+        assert all(a <= b for a, b in zip(array, array[1:]))
+
+    def test_estimate_rank(self, universe):
+        summary = BiasedQuantileSummary(1 / 10)
+        summary.process_all(universe.items(range(1, 1001)))
+        estimate = summary.estimate_rank(universe.item(100))
+        assert abs(estimate - 100) <= 0.1 * 100 + 2

@@ -1,0 +1,233 @@
+"""Greenwald-Khanna: invariants, guarantees, bands, rank estimation."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams import Stream, random_stream, sorted_stream, zoomin_stream
+from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy, _band
+from repro.universe import Universe
+
+VARIANTS = [GreenwaldKhanna, GreenwaldKhannaGreedy]
+
+
+def check_all_quantiles(summary, stream: Stream) -> None:
+    """Assert the eps-guarantee at every distinguishable quantile."""
+    n = len(stream)
+    eps = Fraction(summary.epsilon)
+    grid = max(4, round(2 / summary.epsilon))
+    for j in range(grid + 1):
+        phi = Fraction(j, grid)
+        answer = summary.query(float(phi))
+        rank = stream.rank(answer)
+        target = max(1, min(n, int(phi * n)))
+        assert abs(rank - target) <= eps * n + 1, (
+            f"phi={phi}: rank {rank} vs target {target} beyond eps*n={eps * n}"
+        )
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+class TestGuarantee:
+    def test_random_order(self, variant):
+        universe = Universe()
+        items = random_stream(universe, 2000, seed=4)
+        summary = variant(1 / 16)
+        stream = Stream()
+        for item in items:
+            summary.process(item)
+            stream.append(item)
+        check_all_quantiles(summary, stream)
+
+    def test_sorted_order(self, variant):
+        universe = Universe()
+        items = sorted_stream(universe, 1500)
+        summary = variant(1 / 16)
+        stream = Stream()
+        for item in items:
+            summary.process(item)
+            stream.append(item)
+        check_all_quantiles(summary, stream)
+
+    def test_zoomin_order(self, variant):
+        universe = Universe()
+        items = zoomin_stream(universe, 1500)
+        summary = variant(1 / 16)
+        stream = Stream()
+        for item in items:
+            summary.process(item)
+            stream.append(item)
+        check_all_quantiles(summary, stream)
+
+    def test_guarantee_holds_at_every_prefix(self, variant):
+        universe = Universe()
+        items = random_stream(universe, 400, seed=8)
+        summary = variant(1 / 8)
+        stream = Stream()
+        for index, item in enumerate(items):
+            summary.process(item)
+            stream.append(item)
+            if index % 37 == 0:
+                check_all_quantiles(summary, stream)
+
+    def test_tiny_streams(self, variant):
+        universe = Universe()
+        summary = variant(1 / 8)
+        stream = Stream()
+        for item in universe.items([5, 3, 9]):
+            summary.process(item)
+            stream.append(item)
+        check_all_quantiles(summary, stream)
+
+    def test_single_item(self, variant):
+        universe = Universe()
+        summary = variant(1 / 8)
+        only = universe.item(42)
+        summary.process(only)
+        assert summary.query(0.0) == only
+        assert summary.query(0.5) == only
+        assert summary.query(1.0) == only
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+class TestInvariants:
+    def test_g_delta_invariant(self, variant):
+        universe = Universe()
+        summary = variant(1 / 16)
+        for item in random_stream(universe, 1000, seed=2):
+            summary.process(item)
+            threshold = summary._threshold()
+            for entry in summary._tuples:
+                assert entry.g + entry.delta <= max(1, threshold), (
+                    f"invariant broken at n={summary.n}"
+                )
+
+    def test_g_sums_to_n(self, variant):
+        universe = Universe()
+        summary = variant(1 / 16)
+        summary.process_all(random_stream(universe, 777, seed=3))
+        assert sum(entry.g for entry in summary._tuples) == 777
+
+    def test_min_and_max_always_stored(self, variant):
+        universe = Universe()
+        items = random_stream(universe, 500, seed=5)
+        summary = variant(1 / 8)
+        smallest = largest = None
+        for item in items:
+            summary.process(item)
+            smallest = item if smallest is None or item < smallest else smallest
+            largest = item if largest is None or item > largest else largest
+            array = summary.item_array()
+            assert array[0] == smallest
+            assert array[-1] == largest
+
+    def test_item_array_sorted(self, variant):
+        universe = Universe()
+        summary = variant(1 / 8)
+        summary.process_all(random_stream(universe, 300, seed=6))
+        array = summary.item_array()
+        assert all(a <= b for a, b in zip(array, array[1:]))
+
+    def test_space_stays_sublinear(self, variant):
+        universe = Universe()
+        summary = variant(1 / 16)
+        summary.process_all(random_stream(universe, 4000, seed=7))
+        # Far below N; loosely below the analysed bound too.
+        assert summary.max_item_count < 4000 / 4
+        assert summary.max_item_count <= (11 / (2 / 16)) * 12
+
+    def test_duplicates_handled(self, variant):
+        universe = Universe()
+        summary = variant(1 / 8)
+        values = [5, 1, 5, 3, 5, 2, 5, 4] * 30
+        summary.process_all(universe.items(values))
+        assert summary.n == 240
+        summary.query(0.5)  # does not raise
+
+
+class TestBands:
+    def test_band_zero_at_threshold(self):
+        assert _band(10, 10) == 0
+
+    def test_band_one_just_below(self):
+        # Band 1 holds deltas in (p - 2 - (p mod 2), p - 1 - (p mod 1)].
+        p = 10
+        assert _band(9, p) == 1
+
+    def test_bands_non_decreasing_as_delta_shrinks(self):
+        p = 64
+        bands = [_band(delta, p) for delta in range(p, -1, -1)]
+        assert all(b1 <= b2 for b1, b2 in zip(bands, bands[1:]))
+
+    def test_band_of_excess_delta_is_zero(self):
+        # Over-threshold deltas (possible after merging at tiny n) are
+        # treated like the freshest tuples: band 0, never merged away.
+        assert _band(11, 10) == 0
+
+    def test_band_of_zero_delta_is_largest(self):
+        p = 64
+        assert _band(0, p) >= _band(32, p)
+
+
+class TestRankEstimation:
+    def test_estimates_within_eps_n(self):
+        universe = Universe()
+        items = random_stream(universe, 1000, seed=11)
+        summary = GreenwaldKhanna(1 / 16)
+        stream = Stream()
+        for item in items:
+            summary.process(item)
+            stream.append(item)
+        for value in range(0, 1001, 53):
+            probe = universe.item(Fraction(value) + Fraction(1, 2))
+            true_rank = stream.count_at_most(probe)
+            estimate = summary.estimate_rank(probe)
+            assert abs(estimate - true_rank) <= 1000 / 16 + 1
+
+    def test_estimate_below_minimum_is_zero(self, universe):
+        summary = GreenwaldKhanna(1 / 8)
+        summary.process_all(universe.items(range(10, 20)))
+        assert summary.estimate_rank(universe.item(0)) == 0
+
+    def test_estimate_above_maximum_is_n(self, universe):
+        summary = GreenwaldKhanna(1 / 8)
+        summary.process_all(universe.items(range(10, 20)))
+        assert summary.estimate_rank(universe.item(100)) == 10
+
+
+class TestFingerprint:
+    def test_fingerprint_is_item_free(self, universe):
+        summary = GreenwaldKhanna(1 / 8)
+        summary.process_all(universe.items(range(50)))
+        def flatten(value):
+            if isinstance(value, tuple):
+                for part in value:
+                    yield from flatten(part)
+            else:
+                yield value
+        for leaf in flatten(summary.fingerprint()):
+            assert isinstance(leaf, (int, str))
+
+    def test_order_isomorphic_streams_same_fingerprint(self, universe):
+        a, b = GreenwaldKhanna(1 / 8), GreenwaldKhanna(1 / 8)
+        a.process_all(universe.items([3, 1, 4, 1.5, 9, 2.6, 5]))
+        b.process_all(universe.items([30, 10, 40, 15, 90, 26, 50]))
+        assert a.fingerprint() == b.fingerprint()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    permutation_seed=st.integers(min_value=0, max_value=10**6),
+    length=st.integers(min_value=1, max_value=400),
+    inverse_eps=st.sampled_from([4, 8, 16]),
+)
+def test_gk_guarantee_property(permutation_seed, length, inverse_eps):
+    universe = Universe()
+    items = random_stream(universe, length, seed=permutation_seed)
+    summary = GreenwaldKhanna(Fraction(1, inverse_eps))
+    stream = Stream()
+    for item in items:
+        summary.process(item)
+        stream.append(item)
+    check_all_quantiles(summary, stream)

@@ -1,0 +1,104 @@
+"""MRL multilevel buffer summary: guarantee, weight conservation, collapse."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.streams import Stream, random_stream, sorted_stream
+from repro.summaries.mrl import MRL, mrl_buffer_size
+from repro.universe import Universe
+
+
+def check_quantiles(summary, stream, slack=1):
+    n = len(stream)
+    eps = Fraction(summary.epsilon)
+    grid = max(4, round(2 / summary.epsilon))
+    for j in range(grid + 1):
+        phi = Fraction(j, grid)
+        rank = stream.rank(summary.query(float(phi)))
+        target = max(1, min(n, int(phi * n)))
+        assert abs(rank - target) <= eps * n + slack
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_streams(self, seed):
+        universe = Universe()
+        items = random_stream(universe, 3000, seed=seed)
+        summary = MRL(1 / 16, n_hint=3000)
+        stream = Stream()
+        for item in items:
+            summary.process(item)
+            stream.append(item)
+        check_quantiles(summary, stream)
+
+    def test_sorted_stream(self):
+        universe = Universe()
+        items = sorted_stream(universe, 2500)
+        summary = MRL(1 / 16, n_hint=2500)
+        stream = Stream()
+        for item in items:
+            summary.process(item)
+            stream.append(item)
+        check_quantiles(summary, stream)
+
+    def test_small_stream_is_exact(self, universe):
+        # Below one buffer capacity nothing collapses: answers are exact.
+        summary = MRL(1 / 4, n_hint=1000)
+        stream = Stream()
+        for item in universe.items([4, 2, 7, 1]):
+            summary.process(item)
+            stream.append(item)
+        assert stream.rank(summary.query(0.5)) == 2
+
+
+class TestStructure:
+    def test_weights_sum_to_n(self):
+        universe = Universe()
+        summary = MRL(1 / 8, n_hint=2000)
+        summary.process_all(random_stream(universe, 1999, seed=5))
+        total = sum(weight for _, weight in summary._weighted_items())
+        assert total == 1999
+
+    def test_collapse_creates_levels(self):
+        universe = Universe()
+        summary = MRL(1 / 8, n_hint=4000)
+        summary.process_all(random_stream(universe, 4000, seed=6))
+        assert len(summary._buffers) >= 3
+
+    def test_space_well_below_n(self):
+        universe = Universe()
+        summary = MRL(1 / 16, n_hint=5000)
+        summary.process_all(random_stream(universe, 5000, seed=7))
+        assert summary.max_item_count < 5000 / 2
+
+    def test_buffer_size_formula_positive_and_monotone(self):
+        small = mrl_buffer_size(1 / 8, 1000)
+        large = mrl_buffer_size(1 / 8, 10**7)
+        assert 0 < small <= large
+        tighter = mrl_buffer_size(1 / 64, 1000)
+        assert tighter > small
+
+    def test_n_hint_validation(self):
+        with pytest.raises(ValueError):
+            mrl_buffer_size(0.1, 0)
+
+    def test_item_array_sorted(self):
+        universe = Universe()
+        summary = MRL(1 / 8, n_hint=1000)
+        summary.process_all(random_stream(universe, 1000, seed=8))
+        array = summary.item_array()
+        assert all(a <= b for a, b in zip(array, array[1:]))
+
+    def test_fingerprints_match_for_isomorphic_streams(self, universe):
+        a = MRL(1 / 4, n_hint=100)
+        b = MRL(1 / 4, n_hint=100)
+        a.process_all(universe.items(range(0, 100)))
+        b.process_all(universe.items(range(1000, 1100)))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_estimate_rank_weighted(self, universe):
+        summary = MRL(1 / 4, n_hint=100)
+        summary.process_all(universe.items(range(1, 51)))
+        estimate = summary.estimate_rank(universe.item(25))
+        assert abs(estimate - 25) <= 50 / 4 + 1

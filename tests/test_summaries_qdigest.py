@@ -1,0 +1,99 @@
+"""q-digest: the non-comparison-based contrast point."""
+
+import pytest
+
+from repro.streams import Stream, random_stream
+from repro.summaries.qdigest import QDigest
+from repro.universe import Universe, key_of
+
+
+class TestBasics:
+    def test_not_comparison_based_flag(self):
+        assert QDigest.is_comparison_based is False
+
+    def test_counts_conserved(self, universe):
+        digest = QDigest(0.1, universe_bits=8)
+        digest.process_all(universe.items(range(200)))
+        assert sum(digest._counts.values()) == 200
+
+    def test_universe_bounds_enforced(self, universe):
+        digest = QDigest(0.1, universe_bits=4)
+        with pytest.raises(ValueError):
+            digest.process(universe.item(16))
+        with pytest.raises(ValueError):
+            digest.process(universe.item(-1))
+
+    def test_integer_keys_required(self, universe):
+        from fractions import Fraction
+
+        digest = QDigest(0.1, universe_bits=4)
+        with pytest.raises(ValueError, match="integer"):
+            digest.process(universe.item(Fraction(1, 2)))
+
+    def test_item_array_empty(self, universe):
+        digest = QDigest(0.1, universe_bits=8)
+        digest.process_all(universe.items(range(100)))
+        assert digest.item_array() == []
+
+    def test_universe_bits_validation(self):
+        with pytest.raises(ValueError):
+            QDigest(0.1, universe_bits=0)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_quantile_error_within_eps(self, seed):
+        universe = Universe()
+        epsilon = 1 / 16
+        length = 4000
+        items = random_stream(universe, length, seed=seed)
+        digest = QDigest(epsilon, universe_bits=13)
+        stream = Stream()
+        for item in items:
+            digest.process(item)
+            stream.append(item)
+        for percent in range(5, 100, 5):
+            phi = percent / 100
+            answer = digest.query(phi)
+            # q-digest may answer with a value not in the stream: measure
+            # its rank as the count of stream items at most the answer.
+            rank = stream.count_at_most(answer)
+            target = phi * length
+            assert abs(rank - target) <= epsilon * length + 1
+
+    def test_rank_estimates(self, universe):
+        digest = QDigest(1 / 16, universe_bits=10)
+        digest.process_all(universe.items(range(1, 1001)))
+        estimate = digest.estimate_rank(universe.item(500))
+        assert abs(estimate - 500) <= 1000 / 16 + 1
+
+
+class TestCompression:
+    def test_node_count_sublinear_in_n(self):
+        universe = Universe()
+        digest = QDigest(1 / 8, universe_bits=12)
+        digest.process_all(random_stream(universe, 4000, seed=2))
+        digest.compress()
+        assert digest.node_count() < 4000 / 4
+
+    def test_node_count_independent_of_n(self):
+        # The property that lets q-digest escape the comparison-based lower
+        # bound: space O((1/eps) log |U|), no N dependence.
+        counts = []
+        for length in (1000, 4000):
+            universe = Universe()
+            digest = QDigest(1 / 8, universe_bits=10)
+            values = [value % 1000 for value in range(length)]
+            digest.process_all(
+                Universe().items(values)
+            )
+            digest.compress()
+            counts.append(digest.node_count())
+        assert counts[1] < counts[0] * 2.5
+
+    def test_query_may_return_unseen_value(self, universe):
+        digest = QDigest(1 / 2, universe_bits=8)
+        digest.process_all(universe.items([0, 255] * 50))
+        answer = digest.query(0.5)
+        # The answer is a node upper bound, not necessarily a stream value.
+        assert 0 <= key_of(answer) <= 255

@@ -1,0 +1,172 @@
+"""Exact, offline-optimal, sampling and capped summaries."""
+
+import math
+
+import pytest
+
+from repro.streams import Stream, random_stream
+from repro.summaries.capped import CappedSummary
+from repro.summaries.exact import ExactSummary
+from repro.summaries.offline import OfflineOptimal
+from repro.summaries.sampling import ReservoirSampling, reservoir_size_for
+from repro.universe import Universe, key_of
+
+
+class TestExact:
+    def test_queries_are_exact(self, universe):
+        summary = ExactSummary()
+        stream = Stream()
+        items = random_stream(universe, 500, seed=0)
+        for item in items:
+            summary.process(item)
+            stream.append(item)
+        for percent in range(0, 101, 10):
+            phi = percent / 100
+            rank = stream.rank(summary.query(phi))
+            target = max(1, min(500, math.ceil(phi * 500)))
+            assert rank == target
+
+    def test_rank_estimates_exact(self, universe):
+        summary = ExactSummary()
+        summary.process_all(universe.items(range(1, 101)))
+        assert summary.estimate_rank(universe.item(37)) == 37
+
+    def test_stores_everything(self, universe):
+        summary = ExactSummary()
+        summary.process_all(universe.items(range(123)))
+        assert summary.max_item_count == 123
+
+
+class TestOfflineOptimal:
+    def test_summary_size_is_half_inverse_eps(self, universe):
+        summary = OfflineOptimal(1 / 20)
+        summary.process_all(universe.items(range(1, 10_001)))
+        assert summary.summary_size() <= math.ceil(20 / 2)
+
+    def test_answers_within_eps(self, universe):
+        epsilon = 1 / 20
+        summary = OfflineOptimal(epsilon)
+        stream = Stream()
+        items = random_stream(universe, 2000, seed=1)
+        for item in items:
+            summary.process(item)
+            stream.append(item)
+        summary.finalize()
+        n = 2000
+        for percent in range(0, 101, 5):
+            phi = percent / 100
+            rank = stream.rank(summary.query(phi))
+            target = max(1, min(n, math.ceil(phi * n)))
+            assert abs(rank - target) <= epsilon * n + 1
+
+    def test_cannot_process_after_finalize(self, universe):
+        summary = OfflineOptimal(0.1)
+        summary.process(universe.item(1))
+        summary.finalize()
+        with pytest.raises(RuntimeError):
+            summary.process(universe.item(2))
+
+    def test_finalize_idempotent(self, universe):
+        summary = OfflineOptimal(0.1)
+        summary.process_all(universe.items(range(100)))
+        summary.finalize()
+        size = summary.summary_size()
+        summary.finalize()
+        assert summary.summary_size() == size
+
+    def test_rank_estimates_after_finalize(self, universe):
+        summary = OfflineOptimal(1 / 10)
+        summary.process_all(universe.items(range(1, 101)))
+        estimate = summary.estimate_rank(universe.item(50))
+        assert abs(estimate - 50) <= 10 + 1
+
+
+class TestSampling:
+    def test_reservoir_never_exceeds_m(self, universe):
+        sampler = ReservoirSampling(0.1, m=32, seed=0)
+        sampler.process_all(universe.items(range(1000)))
+        assert sampler.max_item_count == 32
+
+    def test_reservoir_holds_prefix_before_filling(self, universe):
+        sampler = ReservoirSampling(0.1, m=10, seed=0)
+        sampler.process_all(universe.items(range(5)))
+        assert sorted(key_of(i) for i in sampler.item_array()) == list(range(5))
+
+    def test_size_formula(self):
+        assert reservoir_size_for(0.1) < reservoir_size_for(0.01)
+        with pytest.raises(ValueError):
+            reservoir_size_for(0.1, delta=0)
+
+    def test_deterministic_per_seed(self, universe):
+        first = ReservoirSampling(0.1, m=16, seed=5)
+        second = ReservoirSampling(0.1, m=16, seed=5)
+        items = universe.items(range(500))
+        first.process_all(items)
+        second.process_all(items)
+        assert first.fingerprint() == second.fingerprint()
+        assert first.item_array() == second.item_array()
+
+    def test_statistical_accuracy(self):
+        universe = Universe()
+        items = random_stream(universe, 5000, seed=2)
+        sampler = ReservoirSampling(0.05, seed=0)
+        stream = Stream()
+        for item in items:
+            sampler.process(item)
+            stream.append(item)
+        rank = stream.rank(sampler.query(0.5))
+        assert abs(rank - 2500) <= 0.05 * 5000 + 1
+
+    def test_rank_estimate_scales_to_n(self, universe):
+        sampler = ReservoirSampling(0.1, m=100, seed=1)
+        sampler.process_all(universe.items(range(1, 1001)))
+        estimate = sampler.estimate_rank(universe.item(500))
+        assert abs(estimate - 500) <= 150
+
+
+class TestCapped:
+    def test_budget_respected(self, universe):
+        summary = CappedSummary(0.1, budget=12)
+        summary.process_all(universe.items(range(500)))
+        assert summary.max_item_count <= 12
+
+    def test_minimum_budget_enforced(self):
+        with pytest.raises(ValueError):
+            CappedSummary(0.1, budget=2)
+
+    def test_weights_sum_to_n(self, universe):
+        summary = CappedSummary(0.1, budget=8)
+        summary.process_all(universe.items(range(333)))
+        assert sum(entry.g for entry in summary._entries) == 333
+
+    def test_min_max_retained(self):
+        universe = Universe()
+        items = random_stream(universe, 400, seed=3)
+        summary = CappedSummary(0.1, budget=6)
+        summary.process_all(items)
+        array = summary.item_array()
+        assert key_of(array[0]) == 1
+        assert key_of(array[-1]) == 400
+
+    def test_accurate_when_budget_exceeds_stream(self, universe):
+        summary = CappedSummary(0.1, budget=100)
+        stream = Stream()
+        for item in universe.items(range(1, 51)):
+            summary.process(item)
+            stream.append(item)
+        assert stream.rank(summary.query(0.5)) == 25
+
+    def test_deterministic(self, universe):
+        items = list(range(200))
+        a, b = CappedSummary(0.1, budget=9), CappedSummary(0.1, budget=9)
+        a.process_all(universe.items(items))
+        b.process_all(universe.items(items))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_rank_estimate_monotone(self, universe):
+        summary = CappedSummary(0.1, budget=10)
+        summary.process_all(universe.items(range(1, 301)))
+        estimates = [
+            summary.estimate_rank(universe.item(value)) for value in range(0, 301, 30)
+        ]
+        assert all(a <= b for a, b in zip(estimates, estimates[1:]))

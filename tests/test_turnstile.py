@@ -1,0 +1,139 @@
+"""Count-Min sketch and dyadic turnstile quantiles."""
+
+import pytest
+
+from repro.sketches.countmin import CountMinSketch
+from repro.streams import Stream, random_stream
+from repro.summaries.turnstile import TurnstileQuantiles
+from repro.universe import Universe, key_of
+
+
+class TestCountMin:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=1)
+        with pytest.raises(ValueError):
+            CountMinSketch(width=8, depth=0)
+        with pytest.raises(ValueError):
+            CountMinSketch.for_guarantee(0)
+        with pytest.raises(ValueError):
+            CountMinSketch.for_guarantee(0.1, delta=0)
+
+    def test_never_undercounts(self):
+        sketch = CountMinSketch(width=32, depth=4, seed=1)
+        import random
+
+        rng = random.Random(2)
+        truth: dict[int, int] = {}
+        for _ in range(2000):
+            key = rng.randrange(100)
+            truth[key] = truth.get(key, 0) + 1
+            sketch.update(key)
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    def test_overcount_within_guarantee(self):
+        epsilon = 0.02
+        sketch = CountMinSketch.for_guarantee(epsilon, delta=1e-4, seed=3)
+        import random
+
+        rng = random.Random(4)
+        truth: dict[int, int] = {}
+        for _ in range(5000):
+            key = rng.randrange(500)
+            truth[key] = truth.get(key, 0) + 1
+            sketch.update(key)
+        for key, count in truth.items():
+            assert sketch.estimate(key) <= count + epsilon * 5000 + 1
+
+    def test_deletions(self):
+        sketch = CountMinSketch(width=64, depth=4, seed=5)
+        for _ in range(10):
+            sketch.update(7)
+        for _ in range(4):
+            sketch.update(7, -1)
+        assert sketch.total == 6
+        assert sketch.estimate(7) >= 6
+
+    def test_deterministic_per_seed(self):
+        a = CountMinSketch(width=16, depth=3, seed=9)
+        b = CountMinSketch(width=16, depth=3, seed=9)
+        for key in range(100):
+            a.update(key % 13)
+            b.update(key % 13)
+        assert a._rows == b._rows
+
+    def test_memory_counters(self):
+        assert CountMinSketch(width=10, depth=3).memory_counters() == 30
+
+
+class TestTurnstileQuantiles:
+    def test_not_comparison_based(self):
+        assert TurnstileQuantiles.is_comparison_based is False
+
+    def test_quantiles_within_eps(self):
+        universe = Universe()
+        epsilon, n = 1 / 16, 3000
+        items = random_stream(universe, n, seed=6)
+        summary = TurnstileQuantiles(epsilon, universe_bits=12, seed=0)
+        stream = Stream()
+        for item in items:
+            summary.process(item)
+            stream.append(item)
+        for percent in range(5, 100, 10):
+            phi = percent / 100
+            answer = summary.query(phi)
+            rank = stream.count_at_most(answer)
+            assert abs(rank - phi * n) <= epsilon * n + 1
+
+    def test_rank_estimates(self, universe):
+        summary = TurnstileQuantiles(1 / 16, universe_bits=10, seed=0)
+        summary.process_all(universe.items(range(1, 1001)))
+        estimate = summary.estimate_rank(universe.item(500))
+        assert abs(estimate - 500) <= 1000 / 16 + 1
+
+    def test_deletions_shift_quantiles(self, universe):
+        summary = TurnstileQuantiles(1 / 8, universe_bits=9, seed=0)
+        items = universe.items(range(400))
+        summary.process_all(items)
+        for value in range(200):  # remove the lower half
+            summary.delete(universe.item(value))
+        assert summary.n == 200
+        median = key_of(summary.query(0.5))
+        assert median >= 250  # survivors' median ~ 300, eps slack
+
+    def test_delete_validation(self, universe):
+        summary = TurnstileQuantiles(1 / 8, universe_bits=6)
+        with pytest.raises(ValueError):
+            summary.delete(universe.item(3))
+
+    def test_universe_bounds_enforced(self, universe):
+        summary = TurnstileQuantiles(1 / 8, universe_bits=4)
+        with pytest.raises(ValueError):
+            summary.process(universe.item(16))
+        from fractions import Fraction
+
+        with pytest.raises(ValueError):
+            summary.process(universe.item(Fraction(1, 2)))
+
+    def test_space_independent_of_n(self):
+        counters = []
+        for length in (500, 4000):
+            universe = Universe()
+            summary = TurnstileQuantiles(1 / 8, universe_bits=12, seed=0)
+            summary.process_all(
+                universe.items([value % 4096 for value in range(length)])
+            )
+            counters.append(summary.memory_counters())
+        assert counters[0] == counters[1]
+
+    def test_item_array_empty(self, universe):
+        summary = TurnstileQuantiles(1 / 8, universe_bits=6)
+        summary.process_all(universe.items(range(30)))
+        assert summary.item_array() == []
+
+    def test_rank_of_value_monotone(self, universe):
+        summary = TurnstileQuantiles(1 / 8, universe_bits=8, seed=0)
+        summary.process_all(universe.items(range(0, 256, 2)))
+        ranks = [summary.rank_of_value(value) for value in range(0, 256, 16)]
+        assert all(a <= b for a, b in zip(ranks, ranks[1:]))

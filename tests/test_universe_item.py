@@ -1,0 +1,197 @@
+"""Items: comparison semantics, forbidden operations, sentinels, counters."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ForbiddenItemOperation
+from repro.universe import (
+    ComparisonCounter,
+    Item,
+    NEG_INFINITY,
+    POS_INFINITY,
+    Universe,
+    key_of,
+)
+
+fractions = st.fractions(min_value=-1000, max_value=1000, max_denominator=997)
+
+
+def item(value) -> Item:
+    return Item(Fraction(value))
+
+
+class TestComparisons:
+    def test_less_than(self):
+        assert item(1) < item(2)
+        assert not item(2) < item(1)
+        assert not item(1) < item(1)
+
+    def test_less_equal(self):
+        assert item(1) <= item(1)
+        assert item(1) <= item(2)
+        assert not item(2) <= item(1)
+
+    def test_greater_than(self):
+        assert item(2) > item(1)
+        assert not item(1) > item(2)
+
+    def test_greater_equal(self):
+        assert item(2) >= item(2)
+        assert not item(1) >= item(2)
+
+    def test_equality(self):
+        assert item(5) == item(5)
+        assert item(5) != item(6)
+
+    def test_equality_with_other_types_is_not_implemented(self):
+        # Items never silently equal plain numbers; Python's fallback to
+        # identity then makes == evaluate to False.
+        assert item(1).__eq__(1) is NotImplemented
+        assert (item(1) == 1) is False
+
+    def test_sorting_uses_comparisons(self):
+        items = [item(3), item(1), item(2)]
+        assert [key_of(i) for i in sorted(items)] == [1, 2, 3]
+
+    @given(fractions, fractions)
+    def test_total_order_antisymmetry(self, a, b):
+        x, y = Item(a), Item(b)
+        assert (x < y) == (y > x)
+        assert (x <= y) == (y >= x)
+        assert (x < y and y < x) is False
+
+    @given(fractions, fractions, fractions)
+    def test_total_order_transitivity(self, a, b, c):
+        x, y, z = Item(a), Item(b), Item(c)
+        if x < y and y < z:
+            assert x < z
+
+    @given(fractions, fractions)
+    def test_trichotomy(self, a, b):
+        x, y = Item(a), Item(b)
+        assert sum([x < y, x == y, x > y]) == 1
+
+
+class TestHashing:
+    def test_equal_items_hash_equal(self):
+        assert hash(item(7)) == hash(item(7))
+
+    def test_items_usable_in_sets(self):
+        collection = {item(1), item(2), item(1)}
+        assert len(collection) == 2
+
+    def test_dict_lookup_by_equal_item(self):
+        positions = {item(4): "here"}
+        assert positions[item(4)] == "here"
+
+
+class TestSentinels:
+    def test_neg_infinity_below_everything(self):
+        assert NEG_INFINITY < item(-10**9)
+        assert item(-10**9) > NEG_INFINITY
+        assert not NEG_INFINITY > item(0)
+
+    def test_pos_infinity_above_everything(self):
+        assert POS_INFINITY > item(10**9)
+        assert item(10**9) < POS_INFINITY
+
+    def test_sentinels_order_each_other(self):
+        assert NEG_INFINITY < POS_INFINITY
+        assert not POS_INFINITY < NEG_INFINITY
+
+    def test_sentinel_not_less_than_itself(self):
+        assert not NEG_INFINITY < NEG_INFINITY
+        assert NEG_INFINITY <= NEG_INFINITY
+        assert POS_INFINITY >= POS_INFINITY
+
+    def test_item_never_equals_sentinel(self):
+        assert not item(0) == POS_INFINITY
+        assert not item(0) == NEG_INFINITY
+
+    def test_sentinel_repr(self):
+        assert repr(NEG_INFINITY) == "-inf"
+        assert repr(POS_INFINITY) == "+inf"
+
+
+class TestForbiddenOperations:
+    @pytest.mark.parametrize(
+        "operation",
+        [
+            lambda a, b: a + b,
+            lambda a, b: a - b,
+            lambda a, b: a * b,
+            lambda a, b: a / b,
+            lambda a, b: a // b,
+            lambda a, b: 1 + a,
+            lambda a, b: 2 * a,
+        ],
+    )
+    def test_binary_arithmetic_raises(self, operation):
+        with pytest.raises(ForbiddenItemOperation):
+            operation(item(1), item(2))
+
+    @pytest.mark.parametrize(
+        "operation",
+        [lambda a: -a, abs, int, float, bool, lambda a: list(range(10))[a]],
+    )
+    def test_unary_value_extraction_raises(self, operation):
+        with pytest.raises(ForbiddenItemOperation):
+            operation(item(1))
+
+    def test_error_message_cites_the_model(self):
+        with pytest.raises(ForbiddenItemOperation, match="Definition 2.1"):
+            item(1) + item(2)
+
+
+class TestCounting:
+    def test_comparisons_counted(self):
+        counter = ComparisonCounter()
+        a = Item(Fraction(1), counter=counter)
+        b = Item(Fraction(2), counter=counter)
+        assert a < b
+        assert b >= a
+        assert counter.comparisons == 2
+        assert counter.equality_tests == 0
+
+    def test_equality_tests_counted_separately(self):
+        counter = ComparisonCounter()
+        a = Item(Fraction(1), counter=counter)
+        b = Item(Fraction(1), counter=counter)
+        assert a == b
+        assert counter.equality_tests == 1
+        assert counter.comparisons == 0
+
+    def test_counter_on_either_side_suffices(self):
+        counter = ComparisonCounter()
+        counted = Item(Fraction(1), counter=counter)
+        plain = Item(Fraction(0))
+        assert plain < counted
+        assert counter.comparisons == 1
+
+    def test_total_and_reset(self):
+        counter = ComparisonCounter()
+        a = Item(Fraction(1), counter=counter)
+        _ = a < Item(Fraction(2))
+        _ = a == Item(Fraction(1))
+        assert counter.total == 2
+        counter.reset()
+        assert counter.total == 0
+
+    def test_universe_attaches_counter(self):
+        counter = ComparisonCounter()
+        universe = Universe(counter=counter)
+        items = universe.items([1, 2, 3])
+        sorted(items)
+        assert counter.comparisons > 0
+
+
+class TestRepr:
+    def test_repr_shows_key(self):
+        assert "3" in repr(item(3))
+
+    def test_repr_prefers_label(self):
+        labelled = Item(Fraction(3), label="a7")
+        assert "a7" in repr(labelled)

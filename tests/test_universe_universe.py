@@ -1,0 +1,156 @@
+"""Universe: drawing fresh items, intervals, continuity."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.universe import (
+    Item,
+    NEG_INFINITY,
+    OpenInterval,
+    POS_INFINITY,
+    Universe,
+    key_of,
+)
+
+
+class TestItemCreation:
+    def test_item_from_int(self, universe):
+        assert key_of(universe.item(5)) == Fraction(5)
+
+    def test_item_from_fraction(self, universe):
+        assert key_of(universe.item(Fraction(1, 3))) == Fraction(1, 3)
+
+    def test_items_batch_preserves_order_of_values(self, universe):
+        items = universe.items([3, 1, 2])
+        assert [key_of(i) for i in items] == [3, 1, 2]
+
+    def test_items_created_counter(self, universe):
+        universe.items([1, 2, 3])
+        universe.item(4)
+        assert universe.items_created == 4
+
+    def test_label_attached(self, universe):
+        assert universe.item(1, label="x").label == "x"
+
+
+class TestBetween:
+    def test_between_finite_bounds(self, universe):
+        lo, hi = universe.item(0), universe.item(1)
+        middle = universe.between(OpenInterval(lo, hi))
+        assert lo < middle < hi
+
+    def test_between_unbounded(self, universe):
+        middle = universe.between(OpenInterval.unbounded())
+        assert isinstance(middle, Item)
+
+    def test_between_half_unbounded_low(self, universe):
+        hi = universe.item(0)
+        middle = universe.between(OpenInterval(NEG_INFINITY, hi))
+        assert middle < hi
+
+    def test_between_half_unbounded_high(self, universe):
+        lo = universe.item(0)
+        middle = universe.between(OpenInterval(lo, POS_INFINITY))
+        assert middle > lo
+
+    def test_between_is_exact_midpoint(self, universe):
+        lo, hi = universe.item(0), universe.item(1)
+        middle = universe.between(OpenInterval(lo, hi))
+        assert key_of(middle) == Fraction(1, 2)
+
+    @given(
+        st.fractions(min_value=-100, max_value=100, max_denominator=64),
+        st.fractions(min_value=-100, max_value=100, max_denominator=64),
+    )
+    def test_between_always_strictly_inside(self, a, b):
+        if a == b:
+            return
+        lo, hi = sorted([a, b])
+        universe = Universe()
+        interval = OpenInterval(universe.item(lo), universe.item(hi))
+        middle = universe.between(interval)
+        assert interval.contains(middle)
+
+
+class TestOrderedItems:
+    def test_count(self, universe):
+        interval = OpenInterval(universe.item(0), universe.item(1))
+        assert len(universe.ordered_items(7, interval)) == 7
+
+    def test_strictly_increasing(self, universe):
+        interval = OpenInterval(universe.item(0), universe.item(1))
+        items = universe.ordered_items(16, interval)
+        assert all(a < b for a, b in zip(items, items[1:]))
+
+    def test_all_inside_interval(self, universe):
+        lo, hi = universe.item(3), universe.item(4)
+        interval = OpenInterval(lo, hi)
+        for drawn in universe.ordered_items(9, interval):
+            assert interval.contains(drawn)
+
+    def test_equally_spaced(self, universe):
+        interval = OpenInterval(universe.item(0), universe.item(10))
+        items = universe.ordered_items(4, interval)
+        assert [key_of(i) for i in items] == [2, 4, 6, 8]
+
+    def test_works_in_unbounded_interval(self, universe):
+        items = universe.ordered_items(5, OpenInterval.unbounded())
+        assert all(a < b for a, b in zip(items, items[1:]))
+
+    def test_label_prefix(self, universe):
+        interval = OpenInterval(universe.item(0), universe.item(1))
+        items = universe.ordered_items(2, interval, label_prefix="pi")
+        assert [i.label for i in items] == ["pi1", "pi2"]
+
+    def test_zero_count_rejected(self, universe):
+        interval = OpenInterval(universe.item(0), universe.item(1))
+        with pytest.raises(ValueError):
+            universe.ordered_items(0, interval)
+
+    def test_nested_refinement_never_exhausts(self, universe):
+        # The continuity assumption: refining 50 times still yields items.
+        interval = OpenInterval.unbounded()
+        for _ in range(50):
+            a, b = universe.ordered_items(2, interval)
+            interval = OpenInterval(a, b)
+        assert universe.between(interval) is not None
+
+
+class TestIntervalValidation:
+    def test_empty_interval_rejected(self, universe):
+        lo, hi = universe.item(1), universe.item(1)
+        with pytest.raises(ValueError):
+            OpenInterval(lo, hi)
+
+    def test_inverted_interval_rejected(self, universe):
+        with pytest.raises(ValueError):
+            OpenInterval(universe.item(2), universe.item(1))
+
+    def test_contains_excludes_endpoints(self, universe):
+        lo, hi = universe.item(0), universe.item(2)
+        interval = OpenInterval(lo, hi)
+        assert not interval.contains(lo)
+        assert not interval.contains(hi)
+        assert interval.contains(universe.item(1))
+
+    def test_unbounded_flags(self, universe):
+        assert OpenInterval.unbounded().is_unbounded
+        bounded = OpenInterval(universe.item(0), universe.item(1))
+        assert not bounded.is_unbounded
+        assert bounded.lo_is_item and bounded.hi_is_item
+
+    def test_half_bounded_flags(self, universe):
+        half = OpenInterval(universe.item(0), POS_INFINITY)
+        assert half.lo_is_item and not half.hi_is_item
+        assert not half.is_unbounded
+
+
+class TestShapedCounter:
+    def test_shared_counter_counts_across_items(self, counted_universe):
+        universe, counter = counted_universe
+        items = universe.items([5, 3, 4, 1, 2])
+        sorted(items)
+        assert counter.comparisons >= 4
