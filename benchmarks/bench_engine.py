@@ -1,0 +1,136 @@
+"""Sharded-engine throughput benchmark: 1 shard vs N shards.
+
+A standalone argparse script (run it directly, not through pytest):
+
+    PYTHONPATH=src python benchmarks/bench_engine.py            # full run
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke    # CI-sized
+
+It ingests a seeded pseudorandom integer stream into
+:class:`repro.engine.ShardedQuantileEngine` at each requested shard count,
+records ingest throughput plus merged-query latency, and appends one entry
+to ``benchmarks/results/BENCH_engine.json`` so runs accumulate a history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine import EngineConfig, ShardedQuantileEngine  # noqa: E402
+
+RESULTS_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_engine.json"
+
+
+def run_once(summary: str, shards: int, values: list[int], args) -> dict:
+    config = EngineConfig(
+        summary=summary,
+        epsilon=args.epsilon,
+        shards=shards,
+        workers=args.workers,
+        executor=args.executor,
+        seed=args.seed,
+        batch_size=args.batch_size,
+    )
+    engine = ShardedQuantileEngine(config)
+    report = engine.ingest(values)
+
+    query_started = time.perf_counter_ns()
+    engine.quantiles([0.01, 0.25, 0.5, 0.75, 0.99])
+    query_ns = time.perf_counter_ns() - query_started
+
+    return {
+        "summary": summary,
+        "shards": shards,
+        "executor": args.executor,
+        "items": report.items,
+        "seconds": round(report.seconds, 4),
+        "items_per_second": round(report.items_per_second),
+        "query_5_quantiles_ms": round(query_ns / 1e6, 3),
+        "ingest_p50_us": engine.telemetry.latency_quantiles("ingest_batch").get(
+            "p50"
+        ),
+        "stored_items_total": sum(
+            len(shard.item_array()) for shard in engine.shard_summaries
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--items", type=int, default=200_000)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny run for CI: 20k items, still exercises every shard count",
+    )
+    parser.add_argument(
+        "--summaries", nargs="+", default=["gk", "kll"], metavar="NAME"
+    )
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 4], metavar="K"
+    )
+    parser.add_argument("--epsilon", type=float, default=0.01)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--executor", default="serial", choices=("serial", "thread", "process")
+    )
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--batch-size", type=int, default=8192)
+    parser.add_argument(
+        "--output", default=str(RESULTS_PATH), help="JSON history file to append to"
+    )
+    args = parser.parse_args(argv)
+
+    items = 20_000 if args.smoke else args.items
+    rng = random.Random(args.seed)
+    values = [rng.randint(0, 10**9) for _ in range(items)]
+
+    runs = []
+    for summary in args.summaries:
+        baseline = None
+        for shards in args.shards:
+            result = run_once(summary, shards, values, args)
+            if baseline is None:
+                baseline = result["items_per_second"]
+            result["speedup_vs_1_shard"] = round(
+                result["items_per_second"] / baseline, 2
+            )
+            runs.append(result)
+            print(
+                f"{summary:>4} x{shards} shard(s): "
+                f"{result['items_per_second']:>9,} items/s  "
+                f"(x{result['speedup_vs_1_shard']} vs first), "
+                f"5-quantile query {result['query_5_quantiles_ms']} ms"
+            )
+
+    entry = {
+        "benchmark": "engine_ingest_throughput",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": sys.version.split()[0],
+        "items": items,
+        "smoke": args.smoke,
+        "runs": runs,
+    }
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    history = []
+    if output.exists():
+        try:
+            history = json.loads(output.read_text())
+        except json.JSONDecodeError:
+            history = []
+    history.append(entry)
+    output.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"appended entry #{len(history)} to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""Quickstart for the sharded quantile-aggregation engine.
+
+Ingests 200,000 values into four KLL shards, answers global quantile and
+rank queries through the balanced merge tree, checkpoints mid-run, kills
+the engine, restores it from disk, finishes the stream, and shows that the
+resumed engine answers exactly like one that never stopped.  Finishes with
+the engine's own telemetry — latency quantiles served by the GK summaries
+the engine keeps about itself.
+
+Run:  PYTHONPATH=src python examples/engine_quickstart.py
+"""
+
+import random
+import tempfile
+from pathlib import Path
+
+from repro.engine import EngineConfig, ShardedQuantileEngine
+
+
+def main() -> None:
+    rng = random.Random(42)
+    values = [rng.randint(0, 1_000_000) for _ in range(200_000)]
+    config = EngineConfig(
+        summary="kll", epsilon=0.01, shards=4, seed=7, batch_size=8192
+    )
+
+    # --- straight run: ingest everything, query globally -----------------------
+    engine = ShardedQuantileEngine(config)
+    report = engine.ingest(values)
+    print(
+        f"ingested {report.items:,} items in {report.seconds:.2f}s "
+        f"({report.items_per_second:,.0f} items/s) across "
+        f"{config.shards} shards: {report.shard_counts}"
+    )
+    for phi in (0.25, 0.5, 0.75, 0.99):
+        print(f"  phi = {phi}: {engine.query(phi)}")
+    print(f"  rank(500000) ~= {engine.rank(500_000):,} of {engine.items_ingested:,}")
+
+    # --- interrupted run: checkpoint at halftime, restore, catch up ------------
+    half = len(values) // 2
+    interrupted = ShardedQuantileEngine(config)
+    interrupted.ingest(values[:half])
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "engine.jsonl"
+        written = interrupted.checkpoint(path)
+        print(f"\ncheckpointed at n = {half:,} ({written:,} bytes)")
+        del interrupted  # "crash"
+
+        resumed = ShardedQuantileEngine.restore(path)
+        resumed.ingest(values[half:])
+        phis = [0.1, 0.5, 0.9]
+        assert resumed.quantiles(phis) == engine.quantiles(phis)
+        print("restored engine answers identically after finishing the stream")
+
+    # --- the engine watching itself --------------------------------------------
+    telemetry = engine.stats()["telemetry"]
+    print("\ncounters:", telemetry["counters"])
+    for operation, entry in telemetry["latency_us"].items():
+        quantiles = ", ".join(
+            f"{k} = {v:,.0f}us" for k, v in entry["quantiles"].items()
+        )
+        print(f"  {operation}: {quantiles}  ({entry['observations']} obs)")
+
+
+if __name__ == "__main__":
+    main()

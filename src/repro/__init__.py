@@ -79,6 +79,8 @@ from repro.core import (
     verify_gap_bound,
 )
 from repro.analysis import Table, gk_upper_bound, theorem22_lower_bound
+from repro.engine import EngineConfig, ShardedQuantileEngine, Telemetry
+from repro.model import merge_summaries, mergeable_summaries, register_merge
 from repro.multipass import SelectionResult, multipass_median, multipass_select
 from repro.persistence import dump as dump_summary, load as load_summary
 from repro.summaries import SlidingWindowQuantiles, merge_gk
@@ -92,6 +94,7 @@ __all__ = [
     "CappedSummary",
     "ComparisonCounter",
     "ComplianceMonitor",
+    "EngineConfig",
     "ExactSummary",
     "FailureWitness",
     "GreenwaldKhanna",
@@ -109,10 +112,12 @@ __all__ = [
     "QuantileSummary",
     "ReservoirSampling",
     "SelectionResult",
+    "ShardedQuantileEngine",
     "SlidingWindowQuantiles",
     "Stream",
     "SummaryPair",
     "Table",
+    "Telemetry",
     "Universe",
     "available_summaries",
     "build_adversarial_pair",
@@ -127,7 +132,10 @@ __all__ = [
     "gk_upper_bound",
     "key_of",
     "merge_gk",
+    "merge_summaries",
+    "mergeable_summaries",
     "multipass_median",
+    "register_merge",
     "multipass_select",
     "refine_intervals",
     "register_summary",

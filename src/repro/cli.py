@@ -11,6 +11,12 @@ Subcommands
     Run the paper's adversarial construction against a summary and report
     the outcome: space paid, final gap vs the Lemma 3.4 ceiling, and the
     failing-quantile witness if one exists.
+``engine ingest | query | stats``
+    Drive the sharded aggregation engine (:mod:`repro.engine`): ingest a
+    file or generated stream into per-shard summaries with a checkpoint on
+    disk, answer global quantile/rank queries from a checkpoint, and view
+    the engine's telemetry (latency quantiles served by the engine's own GK
+    summaries).
 
 The experiment harness has its own entry point:
 ``python -m repro.experiments``.
@@ -19,12 +25,20 @@ The experiment harness has its own entry point:
 from __future__ import annotations
 
 import argparse
+import json
+import random
 import sys
 from fractions import Fraction
-from typing import Iterable, TextIO
+from typing import Iterable, Iterator, TextIO
 
 from repro.analysis.applications import equi_depth_histogram
-from repro.model.registry import available_summaries, create_summary
+from repro.engine import EngineConfig, ShardedQuantileEngine
+from repro.errors import ReproError
+from repro.model.registry import (
+    available_summaries,
+    create_summary,
+    mergeable_summaries,
+)
 from repro.universe.item import key_of
 from repro.universe.universe import Universe
 from repro.verify import verify_summary
@@ -106,6 +120,184 @@ def _cmd_attack(args: argparse.Namespace, out: TextIO) -> int:
     return 0 if report.survived else 1
 
 
+def _generated_values(count: int, seed: int) -> Iterator[int]:
+    rng = random.Random(seed)
+    return (rng.randint(0, 10**9) for _ in range(count))
+
+
+def _engine_values(args: argparse.Namespace) -> Iterable:
+    if args.input is not None and args.generate is not None:
+        raise SystemExit("give either --input or --generate, not both")
+    if args.input is not None:
+        with open(args.input) as handle:
+            return _parse_values(handle)
+    if args.generate is not None:
+        if args.generate < 1:
+            raise SystemExit(f"--generate must be positive, got {args.generate}")
+        return _generated_values(args.generate, args.seed)
+    return _parse_values(sys.stdin)
+
+
+def _engine_config(args: argparse.Namespace) -> EngineConfig:
+    return EngineConfig(
+        summary=args.summary,
+        epsilon=args.epsilon,
+        shards=args.shards,
+        workers=args.workers,
+        executor=args.executor,
+        routing=args.routing,
+        merge_strategy=args.merge_strategy,
+        seed=args.seed,
+        batch_size=args.batch_size,
+    )
+
+
+def _cmd_engine_ingest(args: argparse.Namespace, out: TextIO) -> int:
+    values = _engine_values(args)
+    if args.resume:
+        engine = ShardedQuantileEngine.restore(args.checkpoint)
+    else:
+        engine = ShardedQuantileEngine(_engine_config(args))
+    report = engine.ingest(values)
+    written = engine.checkpoint(args.checkpoint)
+    print(
+        f"ingested {report.items} items in {report.batches} batches "
+        f"({report.items_per_second:,.0f} items/s) across "
+        f"{engine.config.shards} shard(s) [{engine.config.summary}, "
+        f"executor={engine.config.executor}]",
+        file=out,
+    )
+    print(f"shard item counts: {report.shard_counts}", file=out)
+    print(
+        f"checkpoint: {args.checkpoint} ({written} bytes, "
+        f"total n = {engine.items_ingested})",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_engine_query(args: argparse.Namespace, out: TextIO) -> int:
+    engine = ShardedQuantileEngine.restore(args.checkpoint)
+    print(
+        f"n = {engine.items_ingested}, summary = {engine.config.summary}, "
+        f"shards = {engine.config.shards}, "
+        f"merge = {engine.config.merge_strategy}",
+        file=out,
+    )
+    for phi in args.phi:
+        print(f"phi = {phi:g}: {engine.query(phi)}", file=out)
+    for value in args.rank or []:
+        print(f"rank({value:g}) ~= {engine.rank(value)}", file=out)
+    return 0
+
+
+def _cmd_engine_stats(args: argparse.Namespace, out: TextIO) -> int:
+    engine = ShardedQuantileEngine.restore(args.checkpoint)
+    stats = engine.stats()
+    if args.json:
+        json.dump(stats, out, indent=2)
+        print(file=out)
+        return 0
+    print(
+        f"engine: {stats['items_ingested']} items in "
+        f"{stats['batches_ingested']} batches, "
+        f"{len(stats['shards'])} x {stats['config']['summary']} "
+        f"(eps = {stats['config']['epsilon']})",
+        file=out,
+    )
+    for shard in stats["shards"]:
+        print(
+            f"  shard {shard['index']}: {shard['items']} items, "
+            f"{shard['stored']} stored (peak {shard['peak_stored']})",
+            file=out,
+        )
+    telemetry = stats["telemetry"]
+    print("counters:", file=out)
+    for name, value in telemetry["counters"].items():
+        print(f"  {name} = {value}", file=out)
+    sizes = telemetry["batch_sizes"]
+    if sizes["observations"]:
+        rendered = ", ".join(
+            f"{label} = {value:g}" for label, value in sizes["quantiles"].items()
+        )
+        print(
+            f"batch sizes ({sizes['observations']} obs): {rendered}",
+            file=out,
+        )
+    print("latency quantiles (microseconds):", file=out)
+    for operation, entry in telemetry["latency_us"].items():
+        rendered = ", ".join(
+            f"{label} = {value:,.1f}" for label, value in entry["quantiles"].items()
+        )
+        print(
+            f"  {operation} ({entry['observations']} obs): {rendered}",
+            file=out,
+        )
+    return 0
+
+
+def _add_engine_parser(subparsers) -> None:
+    engine = subparsers.add_parser(
+        "engine", help="sharded aggregation engine: ingest, query, stats"
+    )
+    commands = engine.add_subparsers(dest="engine_command", required=True)
+
+    ingest = commands.add_parser(
+        "ingest", help="shard a stream into summaries and checkpoint them"
+    )
+    ingest.add_argument(
+        "--checkpoint", required=True, help="JSONL checkpoint path to write"
+    )
+    ingest.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the existing checkpoint instead of starting fresh",
+    )
+    ingest.add_argument(
+        "--summary",
+        default="gk",
+        choices=mergeable_summaries(),
+        help="per-shard summary type (must be mergeable)",
+    )
+    ingest.add_argument("--epsilon", type=float, default=0.01)
+    ingest.add_argument("--shards", type=int, default=4)
+    ingest.add_argument("--workers", type=int, default=1)
+    ingest.add_argument(
+        "--executor", default="serial", choices=("serial", "thread", "process")
+    )
+    ingest.add_argument("--routing", default="hash", choices=("hash", "round-robin"))
+    ingest.add_argument(
+        "--merge-strategy", default="balanced", choices=("balanced", "left")
+    )
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument("--batch-size", type=int, default=4096)
+    ingest.add_argument("--input", help="file of numbers (default: stdin)")
+    ingest.add_argument(
+        "--generate",
+        type=int,
+        help="ingest N seeded pseudorandom integers instead of reading input",
+    )
+
+    query = commands.add_parser(
+        "query", help="answer global quantile/rank queries from a checkpoint"
+    )
+    query.add_argument("--checkpoint", required=True)
+    query.add_argument(
+        "--phi", type=float, nargs="+", default=[0.25, 0.5, 0.75, 0.99]
+    )
+    query.add_argument(
+        "--rank", type=float, nargs="+", help="values to rank-estimate"
+    )
+
+    stats = commands.add_parser(
+        "stats", help="engine telemetry: counters and latency quantiles"
+    )
+    stats.add_argument("--checkpoint", required=True)
+    stats.add_argument(
+        "--json", action="store_true", help="emit the raw JSON metrics snapshot"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -140,6 +332,8 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--k", type=int, default=6, help="recursion depth")
     attack.add_argument("--budget", type=int, help="budget for capped summaries")
     attack.add_argument("--seed", type=int, help="seed for randomized summaries")
+
+    _add_engine_parser(subparsers)
     return parser
 
 
@@ -150,4 +344,15 @@ def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
         "quantiles": _cmd_quantiles,
         "attack": _cmd_attack,
     }
-    return handlers[args.command](args, out)
+    if args.command == "engine":
+        handler = {
+            "ingest": _cmd_engine_ingest,
+            "query": _cmd_engine_query,
+            "stats": _cmd_engine_stats,
+        }[args.engine_command]
+    else:
+        handler = handlers[args.command]
+    try:
+        return handler(args, out)
+    except ReproError as error:
+        raise SystemExit(f"error: {error}") from None

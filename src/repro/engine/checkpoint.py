@@ -1,0 +1,131 @@
+"""JSONL checkpointing for the sharded engine.
+
+Format: one JSON object per line.
+
+* line 1 — header: ``{"kind": "engine-checkpoint", "format": 1,
+  "config": <EngineConfig payload>, "items_ingested": N, "batches": B,
+  "shards": K}``
+* next K lines — one per shard: ``{"kind": "shard", "index": i,
+  "summary": <repro.persistence payload>}``
+* last line — ``{"kind": "telemetry", "telemetry": <Telemetry payload>}``
+
+Summaries are encoded with :mod:`repro.persistence`, so a restored engine
+resumes with *exact* summary state — same stored items, same rank bounds,
+same RNG continuation — and answers every query identically to the engine
+that wrote the file.  Writes go to a temporary sibling file followed by
+``os.replace``, so a crash mid-checkpoint never corrupts the previous one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.engine.config import EngineConfig
+from repro.engine.telemetry import Telemetry
+from repro.errors import CheckpointError
+from repro.persistence import PersistenceError, dump as dump_summary
+
+CHECKPOINT_FORMAT = 1
+
+
+def write_checkpoint(path: str | Path, engine: Any) -> int:
+    """Write ``engine``'s full state to ``path`` atomically; return bytes written."""
+    path = Path(path)
+    lines = [
+        json.dumps(
+            {
+                "kind": "engine-checkpoint",
+                "format": CHECKPOINT_FORMAT,
+                "config": engine.config.to_payload(),
+                "items_ingested": engine.items_ingested,
+                "batches": engine.batches_ingested,
+                "shards": len(engine.shard_summaries),
+            }
+        )
+    ]
+    for index, summary in enumerate(engine.shard_summaries):
+        lines.append(
+            json.dumps(
+                {"kind": "shard", "index": index, "summary": dump_summary(summary)}
+            )
+        )
+    lines.append(
+        json.dumps({"kind": "telemetry", "telemetry": engine.telemetry.to_payload()})
+    )
+    text = "\n".join(lines) + "\n"
+    temporary = path.with_name(path.name + ".tmp")
+    temporary.parent.mkdir(parents=True, exist_ok=True)
+    temporary.write_text(text)
+    os.replace(temporary, path)
+    return len(text.encode())
+
+
+def read_checkpoint(path: str | Path) -> dict:
+    """Parse a checkpoint into its parts (no summaries instantiated yet).
+
+    Returns ``{"config": EngineConfig, "items_ingested": int, "batches": int,
+    "shard_payloads": [dict, ...], "telemetry": Telemetry}``.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint {path} does not exist")
+    try:
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+    except json.JSONDecodeError as error:
+        raise CheckpointError(f"checkpoint {path} is not valid JSONL: {error}") from None
+    if not lines:
+        raise CheckpointError(f"checkpoint {path} is empty")
+
+    header = lines[0]
+    if header.get("kind") != "engine-checkpoint":
+        raise CheckpointError(
+            f"checkpoint {path} does not start with an engine-checkpoint header"
+        )
+    if header.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"unsupported checkpoint format {header.get('format')!r}"
+        )
+
+    try:
+        config = EngineConfig.from_payload(header["config"])
+    except KeyError as error:
+        raise CheckpointError(f"checkpoint header is missing {error}") from None
+
+    shard_payloads: list[dict | None] = [None] * int(header["shards"])
+    telemetry = None
+    for record in lines[1:]:
+        kind = record.get("kind")
+        if kind == "shard":
+            index = int(record["index"])
+            if not 0 <= index < len(shard_payloads):
+                raise CheckpointError(f"shard index {index} out of range")
+            shard_payloads[index] = record["summary"]
+        elif kind == "telemetry":
+            telemetry = Telemetry.from_payload(record["telemetry"])
+        else:
+            raise CheckpointError(f"unknown checkpoint record kind {kind!r}")
+    missing = [i for i, payload in enumerate(shard_payloads) if payload is None]
+    if missing:
+        raise CheckpointError(
+            f"checkpoint {path} is truncated: missing shards {missing}"
+        )
+    if telemetry is None:
+        telemetry = Telemetry()
+
+    return {
+        "config": config,
+        "items_ingested": int(header["items_ingested"]),
+        "batches": int(header["batches"]),
+        "shard_payloads": shard_payloads,
+        "telemetry": telemetry,
+    }
+
+
+__all__ = ["CHECKPOINT_FORMAT", "PersistenceError", "read_checkpoint", "write_checkpoint"]

@@ -1,0 +1,306 @@
+"""The sharded, mergeable quantile-aggregation engine.
+
+:class:`ShardedQuantileEngine` ingests batches of raw numeric values, routes
+each value to one of ``shards`` per-shard summaries (any registered,
+mergeable summary type — see :mod:`repro.model.registry`), and answers
+global quantile/rank queries by folding the shards through a merge tree
+(:mod:`repro.engine.merge_tree`).  Everything is deterministic by
+construction: routing is value- or index-based (:mod:`repro.engine.routing`),
+shard summaries are seeded per shard, and each shard is only ever touched by
+one worker at a time — so serial, threaded and re-run executions produce
+bit-identical shard states.
+
+The engine checkpoints to JSONL (:mod:`repro.engine.checkpoint`) built on
+:mod:`repro.persistence`, and tracks its own health with
+:class:`~repro.engine.telemetry.Telemetry` — per-operation latency
+distributions held in GK summaries (the repo dogfooding its own subject
+matter) plus exact counters.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from fractions import Fraction
+from pathlib import Path
+from time import perf_counter_ns
+from typing import Iterable, Iterator, Sequence
+
+import repro.summaries  # noqa: F401  (registers summary types and merges)
+from repro.engine import checkpoint as checkpoint_io
+from repro.engine.config import EngineConfig
+from repro.engine.merge_tree import fold_shards
+from repro.engine.routing import route_batch
+from repro.engine.telemetry import Telemetry
+from repro.errors import EngineError
+from repro.model.registry import create_summary
+from repro.model.summary import QuantileSummary, exact_fraction
+from repro.persistence import dump as dump_summary, load as load_summary
+from repro.universe.item import key_of
+from repro.universe.universe import Universe
+
+
+def as_fraction(value) -> Fraction:
+    """Normalise a raw input value (int/float/str/Fraction) to a Fraction.
+
+    Floats go through :func:`~repro.model.summary.exact_fraction` so humanly
+    entered decimals become the simple rationals they were meant to be.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        return exact_fraction(value)
+    return Fraction(str(value))
+
+
+def _chunks(values: Iterable, size: int) -> Iterator[list]:
+    chunk: list = []
+    for value in values:
+        chunk.append(value)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def _summarise_subbatch(task: tuple) -> dict:
+    """Process-pool work unit: summarise one shard's sub-batch, ship it back.
+
+    Runs in a worker process; receives only picklable primitives and returns
+    a :mod:`repro.persistence` payload that the coordinator merges into the
+    shard (mergeable-summary style: workers never share state).
+    """
+    summary_name, epsilon, kwargs, values = task
+    universe = Universe()
+    summary = create_summary(summary_name, epsilon, **kwargs)
+    summary.process_all(universe.items(values))
+    return dump_summary(summary)
+
+
+@dataclass
+class IngestReport:
+    """What one :meth:`ShardedQuantileEngine.ingest` call accomplished."""
+
+    items: int
+    batches: int
+    seconds: float
+    shard_counts: list[int]
+
+    @property
+    def items_per_second(self) -> float:
+        return self.items / self.seconds if self.seconds > 0 else float("inf")
+
+
+class ShardedQuantileEngine:
+    """Sharded ingestion, merge-tree queries, checkpointing, telemetry."""
+
+    def __init__(
+        self, config: EngineConfig | None = None, telemetry: Telemetry | None = None
+    ) -> None:
+        self.config = (config if config is not None else EngineConfig()).validate()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._universes = [Universe() for _ in range(self.config.shards)]
+        self._shards: list[QuantileSummary] = [
+            self._make_shard_summary(index) for index in range(self.config.shards)
+        ]
+        self._items_ingested = 0
+        self._batches = 0
+        self._merged: QuantileSummary | None = None
+
+    def _make_shard_summary(self, index: int) -> QuantileSummary:
+        return create_summary(
+            self.config.summary, self.config.epsilon, **self.config.shard_kwargs(index)
+        )
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def shard_summaries(self) -> Sequence[QuantileSummary]:
+        """The live per-shard summaries (read-only view)."""
+        return tuple(self._shards)
+
+    @property
+    def items_ingested(self) -> int:
+        return self._items_ingested
+
+    @property
+    def batches_ingested(self) -> int:
+        return self._batches
+
+    # -- ingestion -----------------------------------------------------------------
+
+    def ingest(self, values: Iterable, batch_size: int | None = None) -> IngestReport:
+        """Route ``values`` to shards in batches; return a throughput report."""
+        batch_size = batch_size if batch_size is not None else self.config.batch_size
+        if batch_size < 1:
+            raise EngineError(f"batch_size must be positive, got {batch_size}")
+        started = perf_counter_ns()
+        items_before = self._items_ingested
+        batches = 0
+        pool = None
+        try:
+            if self.config.executor == "thread":
+                pool = ThreadPoolExecutor(max_workers=self.config.workers)
+            elif self.config.executor == "process":
+                pool = ProcessPoolExecutor(max_workers=self.config.workers)
+            for batch in _chunks(values, batch_size):
+                self._ingest_batch([as_fraction(value) for value in batch], pool)
+                batches += 1
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        seconds = (perf_counter_ns() - started) / 1e9
+        return IngestReport(
+            items=self._items_ingested - items_before,
+            batches=batches,
+            seconds=seconds,
+            shard_counts=[summary.n for summary in self._shards],
+        )
+
+    def _ingest_batch(self, values: list[Fraction], pool) -> None:
+        batch_started = perf_counter_ns()
+        buckets = route_batch(
+            values, self.config.shards, self.config.routing, self._items_ingested
+        )
+        busy = [index for index, bucket in enumerate(buckets) if bucket]
+        if self.config.executor == "process":
+            self._ingest_via_processes(busy, buckets, pool)
+        elif self.config.executor == "thread" and len(busy) > 1:
+            # One task per busy shard; a shard is touched by exactly one
+            # worker, so no locks and no nondeterminism.
+            list(
+                pool.map(
+                    lambda index: self._feed_shard(index, buckets[index]), busy
+                )
+            )
+        else:
+            for index in busy:
+                self._feed_shard(index, buckets[index])
+        self._items_ingested += len(values)
+        self._batches += 1
+        self._merged = None
+        self.telemetry.count("items_ingested", len(values))
+        self.telemetry.count("batches_ingested")
+        self.telemetry.record_batch_size(len(values))
+        self.telemetry.record_latency(
+            "ingest_batch", perf_counter_ns() - batch_started
+        )
+
+    def _feed_shard(self, index: int, values: list[Fraction]) -> None:
+        self._shards[index].process_all(self._universes[index].items(values))
+
+    def _ingest_via_processes(self, busy, buckets, pool) -> None:
+        """Mergeable-summary ingestion: workers summarise, coordinator merges.
+
+        Each busy shard's sub-batch becomes a fresh summary in a worker
+        process (seeded like its shard, so runs are reproducible); the
+        returned payload is merged into the shard here.  Shard state differs
+        from the streaming executors — it is merge-built — but the epsilon
+        guarantee and determinism hold.
+        """
+        tasks = [
+            (
+                self.config.summary,
+                self.config.epsilon,
+                self.config.shard_kwargs(index),
+                buckets[index],
+            )
+            for index in busy
+        ]
+        from repro.model.registry import merge_summaries
+
+        for index, payload in zip(busy, pool.map(_summarise_subbatch, tasks)):
+            partial = load_summary(payload, self._universes[index])
+            self._shards[index] = merge_summaries(self._shards[index], partial)
+            self.telemetry.count("merges_performed")
+
+    # -- queries -------------------------------------------------------------------
+
+    def merged_summary(self) -> QuantileSummary:
+        """The merge-tree fold of all shards (cached until the next ingest).
+
+        Treat as read-only; with one shard this is the shard itself.
+        """
+        if self._merged is None:
+            fold_started = perf_counter_ns()
+            self._merged = fold_shards(
+                self._shards,
+                self.config.merge_strategy,
+                on_merge=lambda: self.telemetry.count("merges_performed"),
+            )
+            self.telemetry.record_latency(
+                "merge_fold", perf_counter_ns() - fold_started
+            )
+        return self._merged
+
+    def query(self, phi: float) -> Fraction:
+        """The global phi-quantile's value (key of the answering item)."""
+        with self.telemetry.timed("query"):
+            answer = self.merged_summary().query(phi)
+        self.telemetry.count("queries_answered")
+        return key_of(answer)
+
+    def quantiles(self, phis: Iterable[float]) -> list[Fraction]:
+        """Batch form of :meth:`query`."""
+        return [self.query(phi) for phi in phis]
+
+    def rank(self, value) -> int:
+        """Estimated number of ingested items ``<=`` ``value``."""
+        probe = Universe().item(as_fraction(value))
+        with self.telemetry.timed("query"):
+            estimate = self.merged_summary().estimate_rank(probe)
+        self.telemetry.count("queries_answered")
+        return estimate
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def checkpoint(self, path: str | Path) -> int:
+        """Write the engine's full state to ``path``; return bytes written."""
+        with self.telemetry.timed("checkpoint"):
+            written = checkpoint_io.write_checkpoint(path, self)
+        self.telemetry.count("checkpoints_written")
+        self.telemetry.count("checkpoint_bytes", written)
+        return written
+
+    @classmethod
+    def restore(cls, path: str | Path) -> "ShardedQuantileEngine":
+        """Rebuild an engine from a checkpoint with exact summary state."""
+        parts = checkpoint_io.read_checkpoint(path)
+        engine = cls(parts["config"], telemetry=parts["telemetry"])
+        engine._shards = [
+            load_summary(payload, universe)
+            for payload, universe in zip(parts["shard_payloads"], engine._universes)
+        ]
+        engine._items_ingested = parts["items_ingested"]
+        engine._batches = parts["batches"]
+        engine.telemetry.count("restores")
+        return engine
+
+    # -- reporting -----------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-compatible status: config, shard fill, telemetry snapshot."""
+        return {
+            "config": self.config.to_payload(),
+            "items_ingested": self._items_ingested,
+            "batches_ingested": self._batches,
+            "shards": [
+                {
+                    "index": index,
+                    "items": summary.n,
+                    "stored": len(summary.item_array()),
+                    "peak_stored": summary.max_item_count,
+                }
+                for index, summary in enumerate(self._shards)
+            ],
+            "telemetry": self.telemetry.snapshot(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedQuantileEngine(summary={self.config.summary!r}, "
+            f"shards={self.config.shards}, n={self._items_ingested})"
+        )

@@ -1,0 +1,63 @@
+"""Deterministic shard routing.
+
+Reproducibility is a hard requirement of the engine: re-running the same
+ingest with the same config must rebuild bit-identical shard states, no
+matter how many workers execute it.  Routing therefore never consults
+``random`` or id()-style process state:
+
+* **hash** routing mixes the item's exact rational key through SplitMix64,
+  so the same value always lands on the same shard, across runs, processes
+  and Python versions (Python's built-in ``hash`` randomises strings and is
+  version-dependent, so it is deliberately not used).
+* **round-robin** routing assigns arrival index ``i`` to shard
+  ``i % shards``; the engine threads its lifetime item count through
+  :func:`route_batch` so the assignment survives batch boundaries and
+  checkpoint/restore.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """One SplitMix64 round — a fast, well-mixed 64-bit finaliser."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def shard_of(value: Fraction, shard_count: int) -> int:
+    """Deterministic shard index for a rational value (hash routing)."""
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be positive, got {shard_count}")
+    mixed = _splitmix64(value.numerator & _MASK64)
+    mixed = _splitmix64(mixed ^ (value.denominator & _MASK64))
+    return mixed % shard_count
+
+
+def route_batch(
+    values: list[Fraction],
+    shard_count: int,
+    routing: str,
+    already_ingested: int,
+) -> list[list[Fraction]]:
+    """Partition ``values`` into one bucket per shard.
+
+    ``already_ingested`` is the engine's lifetime item count before this
+    batch; round-robin routing continues from it so batch size and
+    checkpoint boundaries never change the assignment.
+    """
+    buckets: list[list[Fraction]] = [[] for _ in range(shard_count)]
+    if routing == "hash":
+        for value in values:
+            buckets[shard_of(value, shard_count)].append(value)
+    elif routing == "round-robin":
+        for offset, value in enumerate(values):
+            buckets[(already_ingested + offset) % shard_count].append(value)
+    else:
+        raise ValueError(f"unknown routing {routing!r}")
+    return buckets

@@ -1,0 +1,140 @@
+"""Engine telemetry that dogfoods the repo's own summaries.
+
+Per-operation latencies and batch sizes are streamed into
+:class:`~repro.summaries.gk.GreenwaldKhanna` summaries — the very structure
+whose optimality the paper proves — so the engine's own monitoring runs in
+O((1/eps) log(eps N)) space no matter how long it serves.  Plain counters
+(items ingested, merges performed, checkpoint bytes, ...) are exact.
+
+Latencies are recorded in integer nanoseconds (``time.perf_counter_ns``
+deltas become exact rational items; no float keys, no drift) and reported in
+microseconds.  :meth:`Telemetry.snapshot` exports a JSON-compatible metrics
+dict; :meth:`to_payload` / :meth:`from_payload` ride along in engine
+checkpoints via :mod:`repro.persistence`, so stats survive a restart.
+
+Thread-safety: the engine records telemetry only from its coordinator
+thread (worker threads touch shard summaries, never this object), so no
+locking is needed.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import EmptySummaryError
+from repro.persistence import dump as _dump_summary, load as _load_summary
+from repro.summaries.gk import GreenwaldKhanna
+from repro.universe.item import key_of
+from repro.universe.universe import Universe
+
+TELEMETRY_EPSILON = 0.01
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+
+class Telemetry:
+    """Counters plus GK-summarised latency and batch-size distributions."""
+
+    def __init__(self, epsilon: float = TELEMETRY_EPSILON) -> None:
+        self.epsilon = float(epsilon)
+        self.counters: dict[str, int] = {}
+        self._universe = Universe()
+        self._latencies: dict[str, GreenwaldKhanna] = {}
+        self._batch_sizes = GreenwaldKhanna(self.epsilon)
+
+    # -- recording ---------------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record_latency(self, operation: str, nanoseconds: int) -> None:
+        """Feed one latency observation into ``operation``'s GK summary."""
+        summary = self._latencies.get(operation)
+        if summary is None:
+            summary = self._latencies[operation] = GreenwaldKhanna(self.epsilon)
+        summary.process(self._universe.item(int(nanoseconds)))
+
+    def record_batch_size(self, size: int) -> None:
+        """Feed one batch-size observation into the batch-size GK summary."""
+        self._batch_sizes.process(self._universe.item(int(size)))
+
+    @contextmanager
+    def timed(self, operation: str) -> Iterator[None]:
+        """Time a block and record its latency under ``operation``."""
+        started = time.perf_counter_ns()
+        try:
+            yield
+        finally:
+            self.record_latency(operation, time.perf_counter_ns() - started)
+
+    # -- reporting ---------------------------------------------------------------
+
+    @staticmethod
+    def _quantiles_of(summary: GreenwaldKhanna, phis, scale: float) -> dict:
+        report = {}
+        for phi in phis:
+            try:
+                answer = summary.query(phi)
+            except EmptySummaryError:
+                return {}
+            report[f"p{round(phi * 100)}"] = float(key_of(answer)) / scale
+        return report
+
+    def latency_quantiles(
+        self, operation: str, phis=DEFAULT_QUANTILES
+    ) -> dict:
+        """Latency quantiles for ``operation`` in microseconds (p50/p90/...)."""
+        summary = self._latencies.get(operation)
+        if summary is None:
+            return {}
+        return self._quantiles_of(summary, phis, scale=1000.0)
+
+    def snapshot(self) -> dict:
+        """JSON-compatible metrics snapshot: counters + distributions."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "batch_sizes": {
+                "observations": self._batch_sizes.n,
+                "quantiles": self._quantiles_of(
+                    self._batch_sizes, DEFAULT_QUANTILES, scale=1.0
+                ),
+            },
+            "latency_us": {
+                operation: {
+                    "observations": summary.n,
+                    "quantiles": self.latency_quantiles(operation),
+                }
+                for operation, summary in sorted(self._latencies.items())
+            },
+        }
+
+    # -- checkpoint support --------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """Full state (exact, via :mod:`repro.persistence`) for checkpoints."""
+        return {
+            "epsilon": repr(self.epsilon),
+            "counters": dict(self.counters),
+            "batch_sizes": _dump_summary(self._batch_sizes),
+            "latencies": {
+                operation: _dump_summary(summary)
+                for operation, summary in self._latencies.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Telemetry":
+        telemetry = cls(epsilon=float(payload["epsilon"]))
+        telemetry.counters = {
+            name: int(value) for name, value in payload["counters"].items()
+        }
+        telemetry._batch_sizes = _load_summary(
+            payload["batch_sizes"], telemetry._universe
+        )
+        telemetry._latencies = {
+            operation: _load_summary(encoded, telemetry._universe)
+            for operation, encoded in payload["latencies"].items()
+        }
+        return telemetry

@@ -59,3 +59,27 @@ class UniverseExhaustedError(ReproError):
 
 class AdversaryError(ReproError):
     """The adversarial construction was invoked with invalid parameters."""
+
+
+class UnsupportedMergeError(ReproError, TypeError):
+    """Two summaries cannot be merged.
+
+    Raised by :func:`repro.model.registry.merge_summaries` when no merge
+    function is registered for the first summary's type, or when the
+    registered merge rejects the second operand.  Merge functions are
+    registered per summary type in :mod:`repro.summaries.merging`; summaries
+    without one (e.g. the offline-optimal summary, whose selection step is
+    inherently single-stream) simply are not mergeable.
+    """
+
+
+class EngineError(ReproError):
+    """The sharded aggregation engine was misconfigured or misused.
+
+    Raised with an actionable message: which parameter is wrong, what values
+    are accepted, and — for summary types — which registered types would work.
+    """
+
+
+class CheckpointError(EngineError):
+    """An engine checkpoint file is missing, truncated, or malformed."""

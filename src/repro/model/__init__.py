@@ -17,7 +17,15 @@ anything that is not an item).  The lower bound counts only ``|I|``.
 from repro.model.memory import MemoryState, equivalent
 from repro.model.summary import QuantileSummary
 from repro.model.compliance import ComplianceMonitor
-from repro.model.registry import available_summaries, create_summary, register_summary
+from repro.model.registry import (
+    available_summaries,
+    create_summary,
+    has_merge,
+    merge_summaries,
+    mergeable_summaries,
+    register_merge,
+    register_summary,
+)
 
 __all__ = [
     "ComplianceMonitor",
@@ -26,5 +34,9 @@ __all__ = [
     "available_summaries",
     "create_summary",
     "equivalent",
+    "has_merge",
+    "merge_summaries",
+    "mergeable_summaries",
+    "register_merge",
     "register_summary",
 ]

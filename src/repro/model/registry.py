@@ -1,19 +1,35 @@
-"""A name -> factory registry of quantile summaries.
+"""A name -> factory registry of quantile summaries, plus their merges.
 
 Experiments and benchmarks refer to algorithms by short names (``"gk"``,
 ``"kll"``, ...).  Summary modules register themselves at import time via
 :func:`register_summary`; :func:`create_summary` instantiates by name.
+
+The registry also tracks *merge functions*: :mod:`repro.summaries.merging`
+registers, per summary type, a function combining two summaries into one
+covering the concatenated stream (GK's pairwise bound-merge, KLL's native
+level-wise merge, exact-summary concatenation, ...).  :func:`merge_summaries`
+dispatches on the first operand's registered name and raises
+:class:`~repro.errors.UnsupportedMergeError` for types without one — the
+sharded engine (:mod:`repro.engine`) relies on this to fold per-shard
+summaries into a global answer.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+from repro.errors import UnsupportedMergeError
 from repro.model.summary import QuantileSummary
 
 SummaryFactory = Callable[..., QuantileSummary]
 
+# A merge takes two summaries and returns a summary over the concatenation of
+# both input streams.  Neither input may be mutated (engine shards must stay
+# queryable and re-mergeable after a fold).
+MergeFunction = Callable[[QuantileSummary, QuantileSummary], QuantileSummary]
+
 _REGISTRY: dict[str, SummaryFactory] = {}
+_MERGES: dict[str, MergeFunction] = {}
 
 
 def register_summary(name: str, factory: SummaryFactory) -> None:
@@ -37,3 +53,65 @@ def create_summary(name: str, epsilon: float, **kwargs) -> QuantileSummary:
 def available_summaries() -> list[str]:
     """Sorted list of registered summary names."""
     return sorted(_REGISTRY)
+
+
+def summary_factory(name: str) -> SummaryFactory:
+    """The factory registered under ``name`` (KeyError with the known list)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(f"unknown summary {name!r}; known: {known}") from None
+
+
+# -- merge functions ---------------------------------------------------------------
+
+
+def register_merge(name: str, merge: MergeFunction) -> None:
+    """Register ``merge`` for the summary type named ``name``.
+
+    Re-registration must be identical, mirroring :func:`register_summary`.
+    The contract for ``merge(first, second)``: return a summary over the
+    concatenation of both input streams, leave both inputs intact, and raise
+    ``TypeError`` if ``second`` is of an incompatible type.
+    """
+    existing = _MERGES.get(name)
+    if existing is not None and existing is not merge:
+        raise ValueError(f"merge for summary {name!r} is already registered")
+    _MERGES[name] = merge
+
+
+def has_merge(name: str) -> bool:
+    """Whether a merge function is registered for summary type ``name``."""
+    return name in _MERGES
+
+
+def mergeable_summaries() -> list[str]:
+    """Sorted names of summary types with a registered merge function."""
+    return sorted(_MERGES)
+
+
+def merge_summaries(
+    first: QuantileSummary, second: QuantileSummary
+) -> QuantileSummary:
+    """Merge two summaries via the merge registered for ``first``'s type.
+
+    Dispatches on ``type(first).name``.  Raises
+    :class:`~repro.errors.UnsupportedMergeError` when no merge is registered
+    for that type, or when the registered merge rejects ``second`` (e.g. a
+    KLL sketch cannot absorb an MRL summary).  Inputs are left intact.
+    """
+    name = getattr(type(first), "name", None)
+    merge = _MERGES.get(name) if name is not None else None
+    if merge is None:
+        mergeable = ", ".join(mergeable_summaries()) or "<none>"
+        raise UnsupportedMergeError(
+            f"no merge registered for summary type "
+            f"{name or type(first).__name__!r}; mergeable types: {mergeable}"
+        )
+    try:
+        return merge(first, second)
+    except UnsupportedMergeError:
+        raise
+    except TypeError as error:
+        raise UnsupportedMergeError(str(error)) from error

@@ -11,11 +11,14 @@ strings so round-trips are lossless.  Restored items are fresh
 :class:`~repro.universe.Item` objects (optionally attached to a counter via
 the ``universe`` argument); object identity is not preserved, values are.
 
-Supported: GreenwaldKhanna, GreenwaldKhannaGreedy, KLL, RelativeErrorSketch,
-MRL, CappedSummary, BiasedQuantileSummary, ExactSummary.  Randomized
-sketches (KLL, REQ) restore their *structure*; the RNG is re-seeded from the
-stored seed and then fast-forwarded by the recorded number of draws, so a
-restored sketch continues exactly like the original.
+Every summary type registered in :mod:`repro.model.registry` round-trips:
+the GK family, KLL, REQ, MRL, CappedSummary, BiasedQuantileSummary,
+ExactSummary, ReservoirSampling, SampledGK, OfflineOptimal,
+SlidingWindowQuantiles, and the non-comparison sketches QDigest and
+TurnstileQuantiles (which store counters, not items).  Randomized summaries
+restore their *structure*; the RNG is re-seeded from the stored seed and
+then fast-forwarded by replaying the recorded number of draws, so a restored
+summary continues exactly like the original.
 """
 
 from __future__ import annotations
@@ -24,13 +27,20 @@ from fractions import Fraction
 from typing import Any
 
 from repro.errors import ReproError
+from repro.sketches.countmin import CountMinSketch
 from repro.summaries.biased import BiasedQuantileSummary
 from repro.summaries.capped import CappedSummary
 from repro.summaries.exact import ExactSummary
 from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy
 from repro.summaries.kll import KLL
 from repro.summaries.mrl import MRL
+from repro.summaries.offline import OfflineOptimal
+from repro.summaries.qdigest import QDigest
 from repro.summaries.req import RelativeErrorSketch
+from repro.summaries.sampled import SampledGK
+from repro.summaries.sampling import ReservoirSampling
+from repro.summaries.sliding import SlidingWindowQuantiles
+from repro.summaries.turnstile import TurnstileQuantiles
 from repro.universe.item import Item, key_of
 from repro.universe.universe import Universe
 
@@ -260,6 +270,170 @@ def _decode_exact(payload: dict, universe: Universe) -> ExactSummary:
     return summary
 
 
+# -- sampling-based ----------------------------------------------------------------
+
+
+def _encode_sampling(summary: ReservoirSampling) -> dict:
+    # The reservoir's *list order* matters (replacement indexes into it), so
+    # items are stored in slot order, not sorted.
+    return {
+        "m": summary.m,
+        "seed": summary.seed,
+        "reservoir": [_encode_key(item) for item in summary._reservoir],
+    }
+
+
+def _decode_sampling(payload: dict, universe: Universe) -> ReservoirSampling:
+    summary = ReservoirSampling(
+        _epsilon_of(payload), m=int(payload["m"]), seed=payload["seed"]
+    )
+    summary._reservoir = [
+        universe.item(_decode_key(key)) for key in payload["reservoir"]
+    ]
+    # One randrange(j + 1) was drawn per insert after the reservoir filled
+    # (at j = m, m+1, ..., n-1); replaying the same bounds reproduces the
+    # RNG state exactly, so the restored summary continues like the original.
+    for j in range(summary.m, int(payload["n"])):
+        summary._rng.randrange(j + 1)
+    return summary
+
+
+def _encode_sampled_gk(summary: SampledGK) -> dict:
+    return {
+        "n_hint": summary.n_hint,
+        "seed": summary.seed,
+        "rate": str(Fraction(summary._rate).limit_denominator(10**12)),
+        "sampled": summary._sampled,
+        "inner": dump(summary._inner),
+    }
+
+
+def _decode_sampled_gk(payload: dict, universe: Universe) -> SampledGK:
+    summary = SampledGK(
+        _epsilon_of(payload), n_hint=int(payload["n_hint"]), seed=payload["seed"]
+    )
+    summary._rate = float(Fraction(payload["rate"]))
+    summary._sampled = int(payload["sampled"])
+    summary._inner = load(payload["inner"], universe)
+    if summary._rate < 1.0:
+        # One rng.random() per processed item (the sampling coin).
+        for _ in range(int(payload["n"])):
+            summary._rng.random()
+    return summary
+
+
+# -- offline ---------------------------------------------------------------------
+
+
+def _encode_offline(summary: OfflineOptimal) -> dict:
+    return {
+        "finalized": summary.is_finalized,
+        "buffer": (
+            None
+            if summary._buffer is None
+            else [_encode_key(item) for item in summary._buffer]
+        ),
+        "selected": [_encode_key(item) for item in summary._selected],
+        "selected_ranks": list(summary._selected_ranks),
+    }
+
+
+def _decode_offline(payload: dict, universe: Universe) -> OfflineOptimal:
+    summary = OfflineOptimal(_epsilon_of(payload))
+    if payload["finalized"]:
+        summary._buffer = None
+    else:
+        summary._buffer = [
+            universe.item(_decode_key(key)) for key in payload["buffer"]
+        ]
+    summary._selected = [
+        universe.item(_decode_key(key)) for key in payload["selected"]
+    ]
+    summary._selected_ranks = [int(rank) for rank in payload["selected_ranks"]]
+    return summary
+
+
+# -- sliding window ---------------------------------------------------------------
+
+
+def _encode_sliding(summary: SlidingWindowQuantiles) -> dict:
+    return {
+        "window": summary.window,
+        "blocks": summary.blocks,
+        "live": [[start, dump(block)] for start, block in summary._live],
+    }
+
+
+def _decode_sliding(payload: dict, universe: Universe) -> SlidingWindowQuantiles:
+    summary = SlidingWindowQuantiles(
+        _epsilon_of(payload),
+        window=int(payload["window"]),
+        blocks=int(payload["blocks"]),
+    )
+    summary._live = [
+        (int(start), load(block, universe)) for start, block in payload["live"]
+    ]
+    return summary
+
+
+# -- non-comparison sketches (counters, not items) ----------------------------------
+
+
+def _encode_qdigest(summary: QDigest) -> dict:
+    return {
+        "universe_bits": summary.universe_bits,
+        "counts": sorted([node, count] for node, count in summary._counts.items()),
+        "since_compress": summary._since_compress,
+    }
+
+
+def _decode_qdigest(payload: dict, universe: Universe) -> QDigest:
+    summary = QDigest(
+        _epsilon_of(payload),
+        universe_bits=int(payload["universe_bits"]),
+        universe=universe,
+    )
+    summary._counts = {int(node): int(count) for node, count in payload["counts"]}
+    summary._since_compress = int(payload["since_compress"])
+    return summary
+
+
+def _encode_turnstile(summary: TurnstileQuantiles) -> dict:
+    return {
+        "universe_bits": summary.universe_bits,
+        "levels": [
+            {
+                "width": sketch.width,
+                "depth": sketch.depth,
+                "seed": sketch.seed,
+                "total": sketch.total,
+                "rows": [list(row) for row in sketch._rows],
+            }
+            for sketch in summary._levels
+        ],
+    }
+
+
+def _decode_turnstile(payload: dict, universe: Universe) -> TurnstileQuantiles:
+    summary = TurnstileQuantiles(
+        _epsilon_of(payload),
+        universe_bits=int(payload["universe_bits"]),
+        universe=universe,
+    )
+    levels = []
+    for encoded in payload["levels"]:
+        sketch = CountMinSketch(
+            width=int(encoded["width"]),
+            depth=int(encoded["depth"]),
+            seed=encoded["seed"],
+        )
+        sketch._rows = [[int(count) for count in row] for row in encoded["rows"]]
+        sketch._total = int(encoded["total"])
+        levels.append(sketch)
+    summary._levels = levels
+    return summary
+
+
 _ENCODERS = {
     GreenwaldKhanna: _encode_gk,
     GreenwaldKhannaGreedy: _encode_gk,
@@ -269,6 +443,12 @@ _ENCODERS = {
     MRL: _encode_mrl,
     CappedSummary: _encode_capped,
     ExactSummary: _encode_exact,
+    ReservoirSampling: _encode_sampling,
+    SampledGK: _encode_sampled_gk,
+    OfflineOptimal: _encode_offline,
+    SlidingWindowQuantiles: _encode_sliding,
+    QDigest: _encode_qdigest,
+    TurnstileQuantiles: _encode_turnstile,
 }
 
 _DECODERS = {
@@ -280,4 +460,10 @@ _DECODERS = {
     "MRL": _decode_mrl,
     "CappedSummary": _decode_capped,
     "ExactSummary": _decode_exact,
+    "ReservoirSampling": _decode_sampling,
+    "SampledGK": _decode_sampled_gk,
+    "OfflineOptimal": _decode_offline,
+    "SlidingWindowQuantiles": _decode_sliding,
+    "QDigest": _decode_qdigest,
+    "TurnstileQuantiles": _decode_turnstile,
 }

@@ -23,7 +23,7 @@ Not comparison-based (escapes the lower bound; included for contrast):
 """
 
 from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy
-from repro.summaries.merging import merge_gk
+from repro.summaries.merging import merge_gk, merge_summaries
 from repro.summaries.mrl import MRL
 from repro.summaries.kll import KLL
 from repro.summaries.sampling import ReservoirSampling
@@ -53,4 +53,5 @@ __all__ = [
     "SlidingWindowQuantiles",
     "TurnstileQuantiles",
     "merge_gk",
+    "merge_summaries",
 ]

@@ -18,13 +18,32 @@ library's summaries:
   buffer merging, the textbook fully-mergeable constructions (implemented in
   their own modules; re-exported here).
 
+Every merge is also *registered* with :mod:`repro.model.registry` under its
+summary's short name, so callers holding summaries of unknown concrete type
+can combine them uniformly::
+
+    from repro.summaries.merging import merge_summaries
+    merged = merge_summaries(shard_a, shard_b)   # dispatches by type
+
+Registered here: ``gk`` / ``gk-greedy`` (pairwise bound-merge via
+:func:`merge_gk`), ``kll`` / ``mrl`` / ``req`` (native level-wise merges),
+and ``exact`` (concatenation).  Summary types without a principled merge
+(offline-optimal, capped, the non-comparison sketches) are deliberately left
+out; :func:`merge_summaries` raises
+:class:`~repro.errors.UnsupportedMergeError` for them.  Registered merges
+never mutate their inputs — the in-place native merges are wrapped in a
+deep-copying adapter — so a merge *tree* can fold the same shard summaries
+repeatedly (the sharded engine of :mod:`repro.engine` does exactly that).
+
 All merges are comparison-based: they only compare stored items.
 """
 
 from __future__ import annotations
 
+import copy
 from fractions import Fraction
 
+from repro.model.registry import merge_summaries, register_merge
 from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy, _GKBase, _Tuple
 from repro.universe.item import Item
 
@@ -110,4 +129,30 @@ def merge_gk(first: _GKBase, second: _GKBase) -> _GKBase:
     return merged
 
 
-__all__ = ["merge_gk", "GreenwaldKhanna", "GreenwaldKhannaGreedy"]
+def _merge_by_absorbing(first, second):
+    """Non-mutating adapter over an in-place ``first.merge(second)``.
+
+    The native KLL/MRL/REQ/exact merges absorb ``second`` into ``first``;
+    the registry contract requires both inputs intact, so the absorption runs
+    on a deep copy.  Deep-copying a summary copies only its stored items
+    (O(summary size), not O(stream length)) plus its RNG state, so repeated
+    folds stay cheap.
+    """
+    merged = copy.deepcopy(first)
+    merged.merge(second)
+    return merged
+
+
+register_merge("gk", merge_gk)
+register_merge("gk-greedy", merge_gk)
+register_merge("kll", _merge_by_absorbing)
+register_merge("mrl", _merge_by_absorbing)
+register_merge("req", _merge_by_absorbing)
+register_merge("exact", _merge_by_absorbing)
+
+__all__ = [
+    "merge_gk",
+    "merge_summaries",
+    "GreenwaldKhanna",
+    "GreenwaldKhannaGreedy",
+]

@@ -1,0 +1,148 @@
+"""The ``python -m repro engine`` subcommands."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def _ingest(tmp_path, extra=(), n=2000):
+    checkpoint = str(tmp_path / "engine.jsonl")
+    code, text = _run(
+        [
+            "engine", "ingest",
+            "--checkpoint", checkpoint,
+            "--generate", str(n),
+            "--shards", "4",
+            "--seed", "11",
+            *extra,
+        ]
+    )
+    return checkpoint, code, text
+
+
+class TestEngineIngest:
+    def test_generate_and_checkpoint(self, tmp_path):
+        checkpoint, code, text = _ingest(tmp_path)
+        assert code == 0
+        assert "ingested 2000 items" in text
+        assert "4 shard(s)" in text
+        assert "checkpoint:" in text
+
+    def test_input_file(self, tmp_path):
+        data = tmp_path / "data.txt"
+        data.write_text("\n".join(str(v) for v in range(500)) + "\n")
+        checkpoint = str(tmp_path / "engine.jsonl")
+        code, text = _run(
+            ["engine", "ingest", "--checkpoint", checkpoint, "--input", str(data)]
+        )
+        assert code == 0
+        assert "ingested 500 items" in text
+
+    def test_resume_accumulates(self, tmp_path):
+        checkpoint, _, _ = _ingest(tmp_path)
+        code, text = _run(
+            [
+                "engine", "ingest", "--checkpoint", checkpoint, "--resume",
+                "--generate", "1000", "--seed", "12",
+            ]
+        )
+        assert code == 0
+        assert "total n = 3000" in text
+
+    def test_input_and_generate_conflict(self, tmp_path):
+        with pytest.raises(SystemExit, match="not both"):
+            _run(
+                [
+                    "engine", "ingest", "--checkpoint", str(tmp_path / "c"),
+                    "--generate", "10", "--input", "whatever.txt",
+                ]
+            )
+
+    def test_nonpositive_generate_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="positive"):
+            _run(
+                [
+                    "engine", "ingest", "--checkpoint", str(tmp_path / "c"),
+                    "--generate", "0",
+                ]
+            )
+
+    def test_unmergeable_summary_rejected_by_argparse(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            _run(
+                [
+                    "engine", "ingest", "--checkpoint", str(tmp_path / "c"),
+                    "--generate", "10", "--summary", "qdigest",
+                ]
+            )
+
+    def test_bad_shards_reported_as_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="shards"):
+            _run(
+                [
+                    "engine", "ingest", "--checkpoint", str(tmp_path / "c"),
+                    "--generate", "10", "--shards", "0",
+                ]
+            )
+
+
+class TestEngineQuery:
+    def test_quantiles_and_ranks(self, tmp_path):
+        checkpoint, _, _ = _ingest(tmp_path)
+        code, text = _run(
+            [
+                "engine", "query", "--checkpoint", checkpoint,
+                "--phi", "0.5", "--rank", "500000000",
+            ]
+        )
+        assert code == 0
+        assert "phi = 0.5:" in text
+        assert "rank(5e+08)" in text
+
+    def test_missing_checkpoint_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            _run(
+                ["engine", "query", "--checkpoint", str(tmp_path / "nope.jsonl")]
+            )
+
+    def test_query_answers_match_library(self, tmp_path):
+        from repro.engine import ShardedQuantileEngine
+
+        checkpoint, _, _ = _ingest(tmp_path)
+        _, text = _run(
+            ["engine", "query", "--checkpoint", checkpoint, "--phi", "0.5"]
+        )
+        reported = text.split("phi = 0.5:")[1].strip().splitlines()[0]
+        engine = ShardedQuantileEngine.restore(checkpoint)
+        assert reported == str(engine.query(0.5))
+
+
+class TestEngineStats:
+    def test_human_view_has_telemetry(self, tmp_path):
+        checkpoint, _, _ = _ingest(tmp_path)
+        code, text = _run(["engine", "stats", "--checkpoint", checkpoint])
+        assert code == 0
+        assert "items_ingested = 2000" in text
+        assert "latency quantiles (microseconds):" in text
+        assert "ingest_batch" in text
+        assert "p50" in text
+
+    def test_json_view_is_valid_json(self, tmp_path):
+        checkpoint, _, _ = _ingest(tmp_path)
+        code, text = _run(
+            ["engine", "stats", "--checkpoint", checkpoint, "--json"]
+        )
+        assert code == 0
+        stats = json.loads(text)
+        assert stats["items_ingested"] == 2000
+        assert stats["config"]["shards"] == 4
+        assert stats["telemetry"]["counters"]["batches_ingested"] >= 1

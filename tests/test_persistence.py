@@ -1,9 +1,10 @@
-"""Serialisation round-trips for every supported summary."""
+"""Serialisation round-trips for every registered summary type."""
 
 import json
 
 import pytest
 
+from repro.model.registry import available_summaries
 from repro.persistence import PersistenceError, dump, load
 from repro.streams import random_stream
 from repro.summaries.biased import BiasedQuantileSummary
@@ -12,10 +13,17 @@ from repro.summaries.exact import ExactSummary
 from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy
 from repro.summaries.kll import KLL
 from repro.summaries.mrl import MRL
-from repro.summaries.req import RelativeErrorSketch
+from repro.summaries.offline import OfflineOptimal
 from repro.summaries.qdigest import QDigest
+from repro.summaries.req import RelativeErrorSketch
+from repro.summaries.sampled import SampledGK
+from repro.summaries.sampling import ReservoirSampling
+from repro.summaries.sliding import SlidingWindowQuantiles
+from repro.summaries.turnstile import TurnstileQuantiles
 from repro.universe import Universe, key_of
 
+# One factory per *registered* summary name; test_registry_fully_covered
+# fails if a new summary type is registered without a round-trip entry here.
 FACTORIES = {
     "gk": lambda: GreenwaldKhanna(1 / 16),
     "gk-greedy": lambda: GreenwaldKhannaGreedy(1 / 16),
@@ -25,7 +33,26 @@ FACTORIES = {
     "mrl": lambda: MRL(1 / 16, n_hint=2000),
     "capped": lambda: CappedSummary(1 / 16, budget=12),
     "exact": lambda: ExactSummary(),
+    "sampling": lambda: ReservoirSampling(1 / 8, m=64, seed=5),
+    "sampled-gk": lambda: SampledGK(1 / 8, n_hint=500, seed=5),
+    "offline": lambda: OfflineOptimal(1 / 16),
+    "sliding-gk": lambda: SlidingWindowQuantiles(1 / 8, window=300, blocks=4),
+    "qdigest": lambda: QDigest(1 / 16, universe_bits=12),
+    "turnstile": lambda: TurnstileQuantiles(1 / 4, universe_bits=10, seed=5),
 }
+
+
+def test_registry_fully_covered():
+    """Every summary registered in repro.model.registry must round-trip.
+
+    Other test modules register throwaway types (their names contain
+    "test") into the process-wide registry; only real types must be covered.
+    """
+    missing = {
+        name for name in available_summaries() if "test" not in name
+    } - set(FACTORIES)
+    assert not missing, f"registered summaries without round-trip coverage: {missing}"
+    assert set(FACTORIES) <= set(available_summaries())
 
 
 def roundtrip(summary):
@@ -98,10 +125,11 @@ class TestPayloadDetails:
         )
 
     def test_unsupported_type_rejected(self):
-        universe = Universe()
-        digest = QDigest(0.1, universe_bits=4)
+        class NotASummary:
+            epsilon = 0.5
+
         with pytest.raises(PersistenceError, match="cannot serialise"):
-            dump(digest)
+            dump(NotASummary())
 
     def test_bad_format_rejected(self):
         with pytest.raises(PersistenceError, match="unsupported format"):
