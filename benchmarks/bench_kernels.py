@@ -16,7 +16,7 @@ from repro.summaries.kll import KLL
 from repro.summaries.mrl import MRL
 from repro.summaries.qdigest import QDigest
 from repro.summaries.sampling import ReservoirSampling
-from repro.universe import Universe
+from repro.universe import ComparisonCounter, Universe
 
 STREAM_LENGTH = 10_000
 EPSILON = 1 / 64
@@ -63,6 +63,29 @@ def test_process_throughput(benchmark, stream_items, name):
 
     summary = benchmark(build)
     assert summary.n == STREAM_LENGTH
+
+
+@pytest.mark.parametrize("name", ["gk", "gk-greedy", "kll", "mrl"])
+def test_process_comparison_cost(benchmark, name):
+    """Comparison cost of one full insert pass, via ComparisonCounter.delta().
+
+    The delta() context manager replaces the manual reset-and-read pairs
+    this file used to need: each round measures its own block without
+    zeroing the shared counter under other rounds.
+    """
+    counter = ComparisonCounter()
+    items = random_stream(Universe(counter=counter), STREAM_LENGTH, seed=13)
+
+    def build():
+        summary = SUMMARIES[name]()
+        with counter.delta() as cost:
+            summary.process_all(items)
+        return summary, cost
+
+    summary, cost = benchmark(build)
+    assert summary.n == STREAM_LENGTH
+    assert cost.comparisons > 0
+    assert cost.total == cost.comparisons + cost.equality_tests
 
 
 @pytest.mark.parametrize("name", ["gk", "kll", "mrl"])

@@ -48,12 +48,13 @@ def main() -> None:
           f"(allowed error {EPSILON:.4f})\n")
     print(f"{'summary':>14}  {'peak space':>10}  {'max err/N':>10}  "
           f"{'ok':>3}  {'comparisons':>11}")
+    counter = ComparisonCounter()
     for name, factory in contenders:
-        counter = ComparisonCounter()
         items = [Item(key_of(item), counter=counter) for item in base_items]
         summary = factory()
-        summary.process_all(items)
-        comparisons = counter.total
+        with counter.delta() as cost:
+            summary.process_all(items)
+        comparisons = cost.total
         profile = quantile_error_profile(summary, items)
         space = summary.max_item_count
         if isinstance(summary, QDigest):

@@ -80,6 +80,7 @@ from repro.core import (
 )
 from repro.analysis import Table, gk_upper_bound, theorem22_lower_bound
 from repro.engine import EngineConfig, ShardedQuantileEngine, Telemetry
+from repro.obs import AdversaryTracer, MetricRegistry, ObservedSummary, trace_to
 from repro.model import merge_summaries, mergeable_summaries, register_merge
 from repro.multipass import SelectionResult, multipass_median, multipass_select
 from repro.persistence import dump as dump_summary, load as load_summary
@@ -90,6 +91,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdversaryResult",
+    "AdversaryTracer",
     "BiasedQuantileSummary",
     "CappedSummary",
     "ComparisonCounter",
@@ -104,7 +106,9 @@ __all__ = [
     "KLL",
     "MRL",
     "MemoryState",
+    "MetricRegistry",
     "NEG_INFINITY",
+    "ObservedSummary",
     "OfflineOptimal",
     "OpenInterval",
     "POS_INFINITY",
@@ -140,5 +144,6 @@ __all__ = [
     "refine_intervals",
     "register_summary",
     "theorem22_lower_bound",
+    "trace_to",
     "verify_gap_bound",
 ]

@@ -17,6 +17,13 @@ Subcommands
     disk, answer global quantile/rank queries from a checkpoint, and view
     the engine's telemetry (latency quantiles served by the engine's own GK
     summaries).
+``obs report | export``
+    The observability layer (:mod:`repro.obs`): combine metric-registry
+    dumps (``attack --metrics``, ``quantiles --metrics``) and engine
+    checkpoints into one human-readable report, or export them in
+    Prometheus text exposition format / JSON for scraping and dashboards.
+    ``report --trace`` also summarises a JSONL span trace (``--trace`` on
+    ``attack``, ``engine ingest`` and the experiment runner).
 
 The experiment harness has its own entry point:
 ``python -m repro.experiments``.
@@ -25,6 +32,7 @@ The experiment harness has its own entry point:
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import random
 import sys
@@ -33,12 +41,23 @@ from typing import Iterable, Iterator, TextIO
 
 from repro.analysis.applications import equi_depth_histogram
 from repro.engine import EngineConfig, ShardedQuantileEngine
-from repro.errors import ReproError
+from repro.engine.checkpoint import read_checkpoint
+from repro.errors import ObservabilityError, ReproError
 from repro.model.registry import (
     available_summaries,
     create_summary,
     mergeable_summaries,
 )
+from repro.obs import (
+    AdversaryTracer,
+    MetricRegistry,
+    ObservedSummary,
+    read_trace,
+    render as render_registry,
+    trace_to,
+)
+from repro.obs.export import FORMATS as EXPORT_FORMATS
+from repro.universe.counter import ComparisonCounter
 from repro.universe.item import key_of
 from repro.universe.universe import Universe
 from repro.verify import verify_summary
@@ -75,11 +94,15 @@ def _cmd_quantiles(args: argparse.Namespace, out: TextIO) -> int:
     if not values:
         raise SystemExit("no input values")
 
-    universe = Universe()
+    registry = MetricRegistry()
+    counter = ComparisonCounter() if args.metrics else None
+    universe = Universe(counter=counter)
     kwargs = {}
     if args.summary == "mrl":
         kwargs["n_hint"] = len(values)
     summary = create_summary(args.summary, args.epsilon, **kwargs)
+    if args.metrics:
+        summary = ObservedSummary(summary, registry=registry, counter=counter)
     summary.process_all(universe.items(values))
 
     print(
@@ -98,6 +121,9 @@ def _cmd_quantiles(args: argparse.Namespace, out: TextIO) -> int:
                 f"(~{bucket.estimated_count} items)",
                 file=out,
             )
+    if args.metrics:
+        _write_metrics(args.metrics, registry)
+        print(f"metrics written to {args.metrics}", file=out)
     return 0
 
 
@@ -111,12 +137,29 @@ def _cmd_attack(args: argparse.Namespace, out: TextIO) -> int:
     def factory(epsilon: float):
         return create_summary(args.summary, epsilon, **kwargs)
 
-    report = verify_summary(factory, epsilon=args.epsilon, k=args.k)
+    observe = args.metrics or args.trace
+    tracer = AdversaryTracer(MetricRegistry()) if observe else None
+    trace_context = trace_to(args.trace) if args.trace else contextlib.nullcontext()
+    with trace_context:
+        report = verify_summary(
+            factory,
+            epsilon=args.epsilon,
+            k=args.k,
+            universe=Universe(counter=tracer.counter) if tracer else None,
+            observer=tracer,
+        )
+    if tracer is not None:
+        tracer.record_result(report)
     # The factory hides the registry name from the report; restore it.
     text = report.render().replace(
         f"adversary vs {report.summary_name}:", f"adversary vs {args.summary}:", 1
     )
     print(text, file=out)
+    if args.metrics:
+        _write_metrics(args.metrics, tracer.registry)
+        print(f"metrics written to {args.metrics}", file=out)
+    if args.trace:
+        print(f"trace written to {args.trace}", file=out)
     return 0 if report.survived else 1
 
 
@@ -158,8 +201,10 @@ def _cmd_engine_ingest(args: argparse.Namespace, out: TextIO) -> int:
         engine = ShardedQuantileEngine.restore(args.checkpoint)
     else:
         engine = ShardedQuantileEngine(_engine_config(args))
-    report = engine.ingest(values)
-    written = engine.checkpoint(args.checkpoint)
+    trace_context = trace_to(args.trace) if args.trace else contextlib.nullcontext()
+    with trace_context:
+        report = engine.ingest(values)
+        written = engine.checkpoint(args.checkpoint)
     print(
         f"ingested {report.items} items in {report.batches} batches "
         f"({report.items_per_second:,.0f} items/s) across "
@@ -173,6 +218,8 @@ def _cmd_engine_ingest(args: argparse.Namespace, out: TextIO) -> int:
         f"total n = {engine.items_ingested})",
         file=out,
     )
+    if args.trace:
+        print(f"trace written to {args.trace}", file=out)
     return 0
 
 
@@ -236,6 +283,136 @@ def _cmd_engine_stats(args: argparse.Namespace, out: TextIO) -> int:
     return 0
 
 
+def _write_metrics(path: str, registry: MetricRegistry) -> None:
+    """Dump ``registry`` as an exact JSON payload file."""
+    with open(path, "w") as handle:
+        json.dump(registry.to_payload(), handle)
+        handle.write("\n")
+
+
+def _combined_registry(args: argparse.Namespace) -> MetricRegistry:
+    """One registry merged from --metrics dumps and --checkpoint telemetry."""
+    registry = MetricRegistry()
+    for path in args.metrics or []:
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except OSError as error:
+            raise ObservabilityError(f"cannot read metrics file: {error}") from None
+        except json.JSONDecodeError as error:
+            raise ObservabilityError(
+                f"metrics file {path} is not valid JSON: {error}"
+            ) from None
+        registry.merge(MetricRegistry.from_payload(payload))
+    for path in args.checkpoint or []:
+        registry.merge(read_checkpoint(path)["telemetry"].registry)
+    return registry
+
+
+def _cmd_obs_export(args: argparse.Namespace, out: TextIO) -> int:
+    if not (args.metrics or args.checkpoint):
+        raise SystemExit("give at least one --metrics or --checkpoint source")
+    registry = _combined_registry(args)
+    text = render_registry(registry, args.format)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"{args.format} metrics written to {args.output}", file=out)
+    else:
+        out.write(text)
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace, out: TextIO) -> int:
+    if not (args.metrics or args.checkpoint or args.trace):
+        raise SystemExit(
+            "give at least one --metrics, --checkpoint, or --trace source"
+        )
+    registry = _combined_registry(args)
+    snapshot = registry.snapshot()
+    if snapshot["counters"]:
+        print("counters:", file=out)
+        for name, value in snapshot["counters"].items():
+            print(f"  {name} = {value}", file=out)
+    if snapshot["gauges"]:
+        print("gauges:", file=out)
+        for name, value in snapshot["gauges"].items():
+            print(f"  {name} = {value:g}", file=out)
+    if snapshot["histograms"]:
+        print("histograms (GK-summarised):", file=out)
+        for name, entry in snapshot["histograms"].items():
+            rendered = ", ".join(
+                f"{label} = {value:g}" for label, value in entry["quantiles"].items()
+            )
+            print(
+                f"  {name} ({entry['observations']} obs): {rendered}",
+                file=out,
+            )
+    if args.trace:
+        _report_trace(args.trace, out)
+    return 0
+
+
+def _report_trace(path: str, out: TextIO) -> None:
+    """Aggregate a JSONL span trace per span name."""
+    records = read_trace(path)
+    spans = [record for record in records if record.get("kind") == "span"]
+    events = sum(1 for record in records if record.get("kind") == "event")
+    print(f"trace {path}: {len(spans)} spans, {events} events", file=out)
+    by_name: dict[str, list[int]] = {}
+    for span in spans:
+        by_name.setdefault(span["name"], []).append(span["duration_ns"])
+    for name in sorted(by_name):
+        durations = by_name[name]
+        total_ms = sum(durations) / 1e6
+        print(
+            f"  {name}: {len(durations)} span(s), total {total_ms:.2f} ms, "
+            f"mean {total_ms / len(durations):.3f} ms",
+            file=out,
+        )
+
+
+def _add_obs_parser(subparsers) -> None:
+    obs = subparsers.add_parser(
+        "obs", help="observability: report and export recorded metrics/traces"
+    )
+    commands = obs.add_subparsers(dest="obs_command", required=True)
+
+    def add_sources(parser, with_trace: bool) -> None:
+        parser.add_argument(
+            "--metrics",
+            action="append",
+            metavar="PATH",
+            help="metric-registry JSON dump (repeatable; from attack/quantiles --metrics)",
+        )
+        parser.add_argument(
+            "--checkpoint",
+            action="append",
+            metavar="PATH",
+            help="engine checkpoint whose telemetry to include (repeatable)",
+        )
+        if with_trace:
+            parser.add_argument(
+                "--trace", metavar="PATH", help="JSONL span trace to summarise"
+            )
+
+    report = commands.add_parser(
+        "report", help="human-readable view of metrics and span traces"
+    )
+    add_sources(report, with_trace=True)
+
+    export = commands.add_parser(
+        "export", help="emit metrics in Prometheus or JSON format"
+    )
+    add_sources(export, with_trace=False)
+    export.add_argument(
+        "--format", default="prometheus", choices=EXPORT_FORMATS
+    )
+    export.add_argument(
+        "--output", metavar="PATH", help="write to PATH instead of stdout"
+    )
+
+
 def _add_engine_parser(subparsers) -> None:
     engine = subparsers.add_parser(
         "engine", help="sharded aggregation engine: ingest, query, stats"
@@ -276,6 +453,11 @@ def _add_engine_parser(subparsers) -> None:
         "--generate",
         type=int,
         help="ingest N seeded pseudorandom integers instead of reading input",
+    )
+    ingest.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a JSONL span trace of the ingest run to PATH",
     )
 
     query = commands.add_parser(
@@ -323,6 +505,11 @@ def build_parser() -> argparse.ArgumentParser:
     quantiles.add_argument(
         "--histogram", type=int, default=0, help="also print an equi-depth histogram"
     )
+    quantiles.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="record insert/query latency and comparison cost; dump to PATH",
+    )
 
     attack = subparsers.add_parser(
         "attack", help="run the paper's adversary against a summary"
@@ -332,8 +519,19 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--k", type=int, default=6, help="recursion depth")
     attack.add_argument("--budget", type=int, help="budget for capped summaries")
     attack.add_argument("--seed", type=int, help="seed for randomized summaries")
+    attack.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="record per-node adversary metrics; dump the registry to PATH",
+    )
+    attack.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a JSONL span trace (one span per recursion node) to PATH",
+    )
 
     _add_engine_parser(subparsers)
+    _add_obs_parser(subparsers)
     return parser
 
 
@@ -350,6 +548,11 @@ def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
             "query": _cmd_engine_query,
             "stats": _cmd_engine_stats,
         }[args.engine_command]
+    elif args.command == "obs":
+        handler = {
+            "report": _cmd_obs_report,
+            "export": _cmd_obs_export,
+        }[args.obs_command]
     else:
         handler = handlers[args.command]
     try:

@@ -99,6 +99,27 @@ class AdversaryResult:
         return list(self.root.walk())
 
 
+class AdversaryObserver:
+    """No-op observer base for AdvStrategy runs.
+
+    An observer sees every node of the recursion tree as it executes:
+    :meth:`enter_node` fires before a node does any work, and
+    :meth:`exit_node` fires after its :class:`NodeTrace` is complete, with
+    the live pair available for measurement.  The observability layer's
+    :class:`~repro.obs.instrument.AdversaryTracer` implements this protocol
+    to turn each node into metrics and a trace span; any duck-typed object
+    with the two methods works.
+    """
+
+    def enter_node(
+        self, level: int, interval_pi: OpenInterval, interval_rho: OpenInterval
+    ) -> None:
+        """Called when a node of ``level`` starts, before its subtree runs."""
+
+    def exit_node(self, trace: NodeTrace, pair: SummaryPair) -> None:
+        """Called with the finished node's trace and the live pair."""
+
+
 def adv_strategy(
     pair: SummaryPair,
     k: int,
@@ -108,6 +129,7 @@ def adv_strategy(
     validate: bool = True,
     on_leaf: Callable[[SummaryPair, int], None] | None = None,
     refine_policy: str = "largest",
+    observer: AdversaryObserver | None = None,
 ) -> NodeTrace:
     """Pseudocode 2, executed against the live pair.  Returns the node trace.
 
@@ -128,6 +150,9 @@ def adv_strategy(
     on_leaf:
         Optional callback invoked after each leaf with (pair, leaf_index) —
         used by the figure-2 experiment to snapshot intermediate states.
+    observer:
+        Optional :class:`AdversaryObserver` notified on node entry and exit
+        — the hook the observability layer uses to trace runs.
     """
     if k < 1:
         raise AdversaryError(f"recursion level must be >= 1, got {k}")
@@ -140,6 +165,9 @@ def adv_strategy(
         if pair.stream_rho.count_in(interval_rho) != 0:
             raise AdversaryError("input assumption (ii) violated for rho")
 
+    if observer is not None:
+        observer.enter_node(k, interval_pi, interval_rho)
+
     if k == 1:
         _execute_leaf(pair, interval_pi, interval_rho, leaf_size)
         if on_leaf is not None:
@@ -149,7 +177,7 @@ def adv_strategy(
     else:
         left = adv_strategy(
             pair, k - 1, interval_pi, interval_rho, leaf_size, validate, on_leaf,
-            refine_policy,
+            refine_policy, observer,
         )
         refine_record = refine_intervals(
             pair, interval_pi, interval_rho, validate, policy=refine_policy
@@ -163,6 +191,7 @@ def adv_strategy(
             validate,
             on_leaf,
             refine_policy,
+            observer,
         )
 
     if validate:
@@ -173,7 +202,7 @@ def adv_strategy(
     space_current = len(
         [item for item in pair.summary_pi.item_array() if interval_pi.contains(item)]
     ) + int(interval_pi.lo_is_item) + int(interval_pi.hi_is_item)
-    return NodeTrace(
+    trace = NodeTrace(
         level=k,
         appended=leaf_size * (1 << (k - 1)),
         interval_pi=interval_pi,
@@ -185,6 +214,9 @@ def adv_strategy(
         left=left,
         right=right,
     )
+    if observer is not None:
+        observer.exit_node(trace, pair)
+    return trace
 
 
 def _execute_leaf(
@@ -213,6 +245,7 @@ def build_adversarial_pair(
     universe: Universe | None = None,
     on_leaf: Callable[[SummaryPair, int], None] | None = None,
     refine_policy: str = "largest",
+    observer: AdversaryObserver | None = None,
     **factory_kwargs,
 ) -> AdversaryResult:
     """Run the full construction: AdvStrategy(k, {}, {}, (-inf,inf), (-inf,inf)).
@@ -230,6 +263,7 @@ def build_adversarial_pair(
     pair = SummaryPair(lambda: summary_factory(epsilon, **factory_kwargs), universe)
     unbounded = OpenInterval.unbounded()
     root = adv_strategy(
-        pair, k, unbounded, unbounded, leaf_size, validate, on_leaf, refine_policy
+        pair, k, unbounded, unbounded, leaf_size, validate, on_leaf, refine_policy,
+        observer,
     )
     return AdversaryResult(pair=pair, root=root, epsilon=epsilon, k=k, leaf_size=leaf_size)

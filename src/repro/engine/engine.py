@@ -34,6 +34,7 @@ from repro.engine.routing import route_batch
 from repro.engine.telemetry import Telemetry
 from repro.errors import EngineError
 from repro.model.registry import create_summary
+from repro.obs import spans as obs_spans
 from repro.model.summary import QuantileSummary, exact_fraction
 from repro.persistence import dump as dump_summary, load as load_summary
 from repro.universe.item import key_of
@@ -141,17 +142,26 @@ class ShardedQuantileEngine:
         items_before = self._items_ingested
         batches = 0
         pool = None
-        try:
-            if self.config.executor == "thread":
-                pool = ThreadPoolExecutor(max_workers=self.config.workers)
-            elif self.config.executor == "process":
-                pool = ProcessPoolExecutor(max_workers=self.config.workers)
-            for batch in _chunks(values, batch_size):
-                self._ingest_batch([as_fraction(value) for value in batch], pool)
-                batches += 1
-        finally:
-            if pool is not None:
-                pool.shutdown()
+        with obs_spans.span(
+            "engine.ingest",
+            shards=self.config.shards,
+            summary=self.config.summary,
+            executor=self.config.executor,
+        ) as ingest_span:
+            try:
+                if self.config.executor == "thread":
+                    pool = ThreadPoolExecutor(max_workers=self.config.workers)
+                elif self.config.executor == "process":
+                    pool = ProcessPoolExecutor(max_workers=self.config.workers)
+                for batch in _chunks(values, batch_size):
+                    self._ingest_batch([as_fraction(value) for value in batch], pool)
+                    batches += 1
+            finally:
+                if pool is not None:
+                    pool.shutdown()
+            ingest_span.set(
+                items=self._items_ingested - items_before, batches=batches
+            )
         seconds = (perf_counter_ns() - started) / 1e9
         return IngestReport(
             items=self._items_ingested - items_before,
@@ -166,19 +176,22 @@ class ShardedQuantileEngine:
             values, self.config.shards, self.config.routing, self._items_ingested
         )
         busy = [index for index, bucket in enumerate(buckets) if bucket]
-        if self.config.executor == "process":
-            self._ingest_via_processes(busy, buckets, pool)
-        elif self.config.executor == "thread" and len(busy) > 1:
-            # One task per busy shard; a shard is touched by exactly one
-            # worker, so no locks and no nondeterminism.
-            list(
-                pool.map(
-                    lambda index: self._feed_shard(index, buckets[index]), busy
+        with obs_spans.span(
+            "engine.ingest_batch", items=len(values), busy_shards=len(busy)
+        ):
+            if self.config.executor == "process":
+                self._ingest_via_processes(busy, buckets, pool)
+            elif self.config.executor == "thread" and len(busy) > 1:
+                # One task per busy shard; a shard is touched by exactly one
+                # worker, so no locks and no nondeterminism.
+                list(
+                    pool.map(
+                        lambda index: self._feed_shard(index, buckets[index]), busy
+                    )
                 )
-            )
-        else:
-            for index in busy:
-                self._feed_shard(index, buckets[index])
+            else:
+                for index in busy:
+                    self._feed_shard(index, buckets[index])
         self._items_ingested += len(values)
         self._batches += 1
         self._merged = None
@@ -226,11 +239,16 @@ class ShardedQuantileEngine:
         """
         if self._merged is None:
             fold_started = perf_counter_ns()
-            self._merged = fold_shards(
-                self._shards,
-                self.config.merge_strategy,
-                on_merge=lambda: self.telemetry.count("merges_performed"),
-            )
+            with obs_spans.span(
+                "engine.merge_fold",
+                shards=self.config.shards,
+                strategy=self.config.merge_strategy,
+            ):
+                self._merged = fold_shards(
+                    self._shards,
+                    self.config.merge_strategy,
+                    on_merge=lambda: self.telemetry.count("merges_performed"),
+                )
             self.telemetry.record_latency(
                 "merge_fold", perf_counter_ns() - fold_started
             )
@@ -238,7 +256,7 @@ class ShardedQuantileEngine:
 
     def query(self, phi: float) -> Fraction:
         """The global phi-quantile's value (key of the answering item)."""
-        with self.telemetry.timed("query"):
+        with self.telemetry.timed("query"), obs_spans.span("engine.query", phi=phi):
             answer = self.merged_summary().query(phi)
         self.telemetry.count("queries_answered")
         return key_of(answer)
@@ -259,8 +277,11 @@ class ShardedQuantileEngine:
 
     def checkpoint(self, path: str | Path) -> int:
         """Write the engine's full state to ``path``; return bytes written."""
-        with self.telemetry.timed("checkpoint"):
+        with self.telemetry.timed("checkpoint"), obs_spans.span(
+            "engine.checkpoint"
+        ) as checkpoint_span:
             written = checkpoint_io.write_checkpoint(path, self)
+            checkpoint_span.set(bytes=written)
         self.telemetry.count("checkpoints_written")
         self.telemetry.count("checkpoint_bytes", written)
         return written

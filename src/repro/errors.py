@@ -83,3 +83,13 @@ class EngineError(ReproError):
 
 class CheckpointError(EngineError):
     """An engine checkpoint file is missing, truncated, or malformed."""
+
+
+class ObservabilityError(ReproError):
+    """The observability layer was misused or given malformed data.
+
+    Raised by :mod:`repro.obs` for non-Prometheus-compatible metric names,
+    metric kind collisions (a counter re-registered as a gauge), decreasing
+    counters, span begin/end mismatches, and unreadable metric or trace
+    files.
+    """

@@ -11,12 +11,14 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 
 from repro.analysis.latex import to_latex
 from repro.analysis.tables import Table
 from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.obs.spans import span, trace_to
 
 
 def _list_experiments() -> None:
@@ -46,6 +48,11 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="additionally write the tables as LaTeX (booktabs) to PATH",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a JSONL span trace (one span per experiment) to PATH",
+    )
     args = parser.parse_args(argv)
 
     if not args.ids:
@@ -59,21 +66,27 @@ def main(argv: list[str] | None = None) -> int:
 
     markdown_chunks: list[str] = []
     latex_chunks: list[str] = []
-    for experiment_id in ids:
-        spec = get_experiment(experiment_id)
-        print(f"== {spec.id}: {spec.title} ({spec.paper_ref}) ==\n")
-        started = time.perf_counter()
-        tables = spec.runner()()
-        elapsed = time.perf_counter() - started
-        for table in tables:
-            print(table.render())
-            print()
-            markdown_chunks.append(table.to_markdown())
-            markdown_chunks.append("")
-            if args.latex and isinstance(table, Table):
-                latex_chunks.append(to_latex(table))
-                latex_chunks.append("")
-        print(f"[{spec.id} completed in {elapsed:.1f}s]\n")
+    trace_context = trace_to(args.trace) if args.trace else contextlib.nullcontext()
+    with trace_context:
+        for experiment_id in ids:
+            spec = get_experiment(experiment_id)
+            print(f"== {spec.id}: {spec.title} ({spec.paper_ref}) ==\n")
+            started = time.perf_counter()
+            with span("experiment", id=spec.id, paper_ref=spec.paper_ref) as exp_span:
+                tables = spec.runner()()
+                exp_span.set(tables=len(tables))
+            elapsed = time.perf_counter() - started
+            for table in tables:
+                print(table.render())
+                print()
+                markdown_chunks.append(table.to_markdown())
+                markdown_chunks.append("")
+                if args.latex and isinstance(table, Table):
+                    latex_chunks.append(to_latex(table))
+                    latex_chunks.append("")
+            print(f"[{spec.id} completed in {elapsed:.1f}s]\n")
+    if args.trace:
+        print(f"trace written to {args.trace}")
 
     if args.markdown:
         with open(args.markdown, "w") as handle:

@@ -1,0 +1,66 @@
+"""repro.obs — the unified observability layer.
+
+One subsystem records everything the paper quantifies and everything the
+engine serves:
+
+* :mod:`repro.obs.registry` — :class:`MetricRegistry` with exact
+  :class:`Counter`\\ s, :class:`Gauge`\\ s, and GK-sketch-backed
+  :class:`Histogram`\\ s (the repo monitoring itself with its own subject
+  matter), plus exact payload round-tripping and registry merging.
+* :mod:`repro.obs.spans` — structured trace spans/events written as JSONL
+  with a monotonic clock; :func:`trace_to` installs a writer, :func:`span` /
+  :func:`event` are no-ops when tracing is off.
+* :mod:`repro.obs.export` — Prometheus text exposition format and JSON
+  snapshot exporters.
+* :mod:`repro.obs.instrument` — :class:`AdversaryTracer` (per-recursion-node
+  metrics and spans for AdvStrategy runs) and :class:`ObservedSummary`
+  (insert/query latency and comparison cost per summary type).
+
+The engine's :class:`~repro.engine.telemetry.Telemetry` is built on the same
+registry, so ``repro obs export`` can merge an adversary run and an engine
+checkpoint into one Prometheus page.  See ``docs/observability.md``.
+"""
+
+from repro.obs.export import FORMATS, render, to_json, to_prometheus
+from repro.obs.instrument import AdversaryTracer, ObservedSummary
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.spans import (
+    Span,
+    TraceWriter,
+    current_writer,
+    event,
+    read_trace,
+    span,
+    trace_to,
+    use_writer,
+)
+
+__all__ = [
+    "AdversaryTracer",
+    "Counter",
+    "FORMATS",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "ObservedSummary",
+    "Span",
+    "TraceWriter",
+    "current_writer",
+    "event",
+    "get_registry",
+    "read_trace",
+    "render",
+    "set_registry",
+    "span",
+    "to_json",
+    "to_prometheus",
+    "trace_to",
+    "use_writer",
+]

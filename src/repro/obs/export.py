@@ -1,0 +1,104 @@
+"""Exporters: Prometheus text exposition format and JSON snapshots.
+
+``to_prometheus`` renders a :class:`~repro.obs.registry.MetricRegistry` in
+the Prometheus text exposition format (version 0.0.4): one ``# HELP`` /
+``# TYPE`` pair per metric family followed by its samples.  Counters and
+gauges map directly; GK-backed histograms are exposed as Prometheus
+*summaries* — ``name{quantile="0.5"}`` samples plus ``name_sum`` and
+``name_count`` — since a quantile sketch is exactly what a Prometheus
+summary is (client libraries usually approximate theirs; ours carries the
+GK guarantee).
+
+``to_json`` is the structured alternative for dashboards and tests, and
+``render`` dispatches on a format name for the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ObservabilityError
+from repro.obs.registry import Counter, Gauge, Histogram, MetricRegistry
+
+EXPORT_QUANTILES = (0.5, 0.9, 0.99)
+
+FORMATS = ("prometheus", "json")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _labels_text(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [*labels, *extra]
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"' for key, value in pairs
+    )
+    return f"{{{rendered}}}"
+
+
+def _number(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricRegistry) -> str:
+    """Render the registry in Prometheus text exposition format 0.0.4."""
+    lines: list[str] = []
+    seen_families: set[str] = set()
+    for metric in registry:
+        if metric.name not in seen_families:
+            seen_families.add(metric.name)
+            help_text = registry.help_for(metric.name)
+            if help_text:
+                lines.append(f"# HELP {metric.name} {_escape_help(help_text)}")
+            family_type = "summary" if isinstance(metric, Histogram) else metric.kind
+            lines.append(f"# TYPE {metric.name} {family_type}")
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(
+                f"{metric.name}{_labels_text(metric.labels)} {_number(metric.value)}"
+            )
+        else:
+            for phi in EXPORT_QUANTILES:
+                if not metric.observations:
+                    break
+                value = metric.quantile(phi)
+                lines.append(
+                    f"{metric.name}"
+                    f"{_labels_text(metric.labels, (('quantile', f'{phi:g}'),))} "
+                    f"{_number(float(value))}"
+                )
+            lines.append(
+                f"{metric.name}_sum{_labels_text(metric.labels)} "
+                f"{_number(float(metric.sum))}"
+            )
+            lines.append(
+                f"{metric.name}_count{_labels_text(metric.labels)} "
+                f"{metric.observations}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(registry: MetricRegistry, indent: int | None = 2) -> str:
+    """Render the registry's deterministic snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def render(registry: MetricRegistry, format: str) -> str:
+    """Dispatch to an exporter by format name (``prometheus`` or ``json``)."""
+    if format == "prometheus":
+        return to_prometheus(registry)
+    if format == "json":
+        return to_json(registry)
+    raise ObservabilityError(
+        f"unknown export format {format!r}; expected one of {FORMATS}"
+    )

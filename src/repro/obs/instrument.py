@@ -1,0 +1,254 @@
+"""Instrumentation hooks for the hot layers: adversary runs and summaries.
+
+:class:`AdversaryTracer` plugs into the ``observer`` parameter of
+:func:`repro.core.adversary.adv_strategy` and records, per recursion node,
+everything Section 5's argument is about: the gap ``g`` introduced at the
+node, the monotone space charge ``S_k``, the live item-array and
+memory-state sizes, and the :class:`ComparisonCounter` deltas that price the
+node's work under Definition 2.1.  With a trace active (see
+:func:`repro.obs.spans.trace_to`) it also emits one span per node, so the
+JSONL trace *is* the recursion tree with the proof's quantities attached.
+
+:class:`ObservedSummary` wraps any :class:`~repro.model.summary.QuantileSummary`
+and meters its operations — insert/query latency histograms and comparison
+cost per summary type — without the summary knowing it is being watched.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.model.memory import MemoryState
+from repro.obs import spans as _spans
+from repro.obs.registry import MetricRegistry, get_registry
+from repro.universe.counter import ComparisonCounter
+
+
+class AdversaryTracer:
+    """Observer for AdvStrategy runs: per-node metrics and trace spans.
+
+    Usage::
+
+        tracer = AdversaryTracer(registry)
+        result = build_adversarial_pair(
+            GreenwaldKhanna, epsilon=1/32, k=6,
+            universe=Universe(counter=tracer.counter), observer=tracer,
+        )
+
+    The tracer owns a :class:`ComparisonCounter`; attach it to the universe
+    that draws the adversary's items so every comparison the summary performs
+    on them is priced.  (Without it, comparison metrics stay at zero — the
+    construction itself still traces fine.)
+    """
+
+    def __init__(
+        self,
+        registry: MetricRegistry | None = None,
+        counter: ComparisonCounter | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else get_registry()
+        self.counter = counter if counter is not None else ComparisonCounter()
+        self._open: list[tuple[Any, int, int]] = []
+        self._synced_comparisons = 0
+        self._synced_equality = 0
+        self.nodes_observed = 0
+
+    # -- observer protocol (called by adv_strategy) --------------------------------
+
+    def enter_node(self, level: int, interval_pi, interval_rho) -> None:
+        """A recursion node of level ``level`` is starting."""
+        writer = _spans.current_writer()
+        span = (
+            writer.begin("adversary.node", level=level, interval=str(interval_pi))
+            if writer is not None
+            else None
+        )
+        self._open.append(
+            (span, self.counter.comparisons, self.counter.equality_tests)
+        )
+
+    def exit_node(self, trace, pair) -> None:
+        """The node that produced ``trace`` finished; record its measurements."""
+        span, comparisons_before, equality_before = self._open.pop()
+        comparison_delta = self.counter.comparisons - comparisons_before
+        equality_delta = self.counter.equality_tests - equality_before
+        memory = MemoryState.capture(pair.summary_pi)
+        self.nodes_observed += 1
+
+        registry = self.registry
+        registry.counter(
+            "adversary_nodes_total", help="AdvStrategy recursion nodes executed"
+        ).inc()
+        registry.counter(
+            "adversary_comparisons_total",
+            help="order comparisons performed on adversary items (Definition 2.1)",
+        ).inc(self.counter.comparisons - self._synced_comparisons)
+        registry.counter(
+            "adversary_equality_tests_total",
+            help="equality tests performed on adversary items (Definition 2.1)",
+        ).inc(self.counter.equality_tests - self._synced_equality)
+        self._synced_comparisons = self.counter.comparisons
+        self._synced_equality = self.counter.equality_tests
+        registry.gauge(
+            "adversary_round_gap",
+            help="gap g introduced at the last node of each recursion level",
+            level=str(trace.level),
+        ).set(trace.gap)
+        registry.gauge(
+            "adversary_items_stored",
+            help="peak |I| over time across both summary runs",
+        ).set(pair.max_items_stored())
+        registry.gauge(
+            "adversary_memory_state_size",
+            help="|I| of the pi-summary's memory state at the last node exit",
+        ).set(memory.item_count)
+        registry.histogram(
+            "adversary_node_gap",
+            help="distribution of per-node gaps over the recursion tree",
+        ).observe(trace.gap)
+        registry.histogram(
+            "adversary_node_space",
+            help="distribution of per-node monotone space charges S_k",
+        ).observe(trace.space)
+
+        if span is not None:
+            span.set(
+                level=trace.level,
+                gap=trace.gap,
+                space=trace.space,
+                space_current=trace.space_current,
+                appended=trace.appended,
+                items_stored=pair.max_items_stored(),
+                memory_state_size=memory.item_count,
+                comparisons=comparison_delta,
+                equality_tests=equality_delta,
+                stream_length=pair.length,
+            )
+            _spans.current_writer().end(span)
+
+    # -- post-run summary metrics ----------------------------------------------------
+
+    def record_result(self, report) -> None:
+        """Record run-level gauges from a :class:`~repro.verify.VerificationReport`."""
+        registry = self.registry
+        registry.gauge(
+            "adversary_final_gap", help="gap over the full streams after the run"
+        ).set(report.final_gap)
+        registry.gauge(
+            "adversary_stream_length", help="N_k, the constructed stream length"
+        ).set(report.length)
+        registry.gauge(
+            "adversary_gap_bound", help="the Lemma 3.4 ceiling 2 eps N"
+        ).set(report.gap_bound)
+        registry.gauge(
+            "adversary_survived",
+            help="1 if every quantile was answered within eps N, else 0",
+        ).set(1 if report.survived else 0)
+
+
+class ObservedSummary:
+    """Wrap a summary; meter insert/query latency and comparison cost.
+
+    Latencies land in per-summary-type histograms
+    (``summary_process_latency_ns{summary="gk"}``), comparison deltas in
+    per-type counters, and everything else delegates to the wrapped summary
+    untouched — the wrapper satisfies the :class:`QuantileSummary` interface
+    by delegation, so it drops into any code that takes a summary.
+    """
+
+    def __init__(
+        self,
+        inner,
+        registry: MetricRegistry | None = None,
+        counter: ComparisonCounter | None = None,
+    ) -> None:
+        self.inner = inner
+        self.registry = registry if registry is not None else get_registry()
+        self.counter = counter
+        name = inner.name
+        self._process_latency = self.registry.histogram(
+            "summary_process_latency_ns",
+            help="per-item insert latency in nanoseconds",
+            summary=name,
+        )
+        self._query_latency = self.registry.histogram(
+            "summary_query_latency_ns",
+            help="quantile/rank query latency in nanoseconds",
+            summary=name,
+        )
+        self._processed = self.registry.counter(
+            "summary_items_processed_total",
+            help="items inserted through the observed summary",
+            summary=name,
+        )
+        self._queries = self.registry.counter(
+            "summary_queries_total",
+            help="quantile/rank queries answered by the observed summary",
+            summary=name,
+        )
+        self._comparisons = self.registry.counter(
+            "summary_comparisons_total",
+            help="order comparisons performed during observed operations",
+            summary=name,
+        )
+        self._equality = self.registry.counter(
+            "summary_equality_tests_total",
+            help="equality tests performed during observed operations",
+            summary=name,
+        )
+
+    # -- metered operations --------------------------------------------------------
+
+    def _sync_counter(self, before: tuple[int, int]) -> None:
+        if self.counter is None:
+            return
+        self._comparisons.inc(self.counter.comparisons - before[0])
+        self._equality.inc(self.counter.equality_tests - before[1])
+
+    def _counter_state(self) -> tuple[int, int]:
+        if self.counter is None:
+            return (0, 0)
+        return (self.counter.comparisons, self.counter.equality_tests)
+
+    def process(self, item) -> None:
+        before = self._counter_state()
+        started = time.perf_counter_ns()
+        try:
+            self.inner.process(item)
+        finally:
+            self._process_latency.observe(time.perf_counter_ns() - started)
+            self._processed.inc()
+            self._sync_counter(before)
+
+    def process_all(self, items) -> None:
+        for item in items:
+            self.process(item)
+
+    def query(self, phi: float):
+        before = self._counter_state()
+        started = time.perf_counter_ns()
+        try:
+            return self.inner.query(phi)
+        finally:
+            self._query_latency.observe(time.perf_counter_ns() - started)
+            self._queries.inc()
+            self._sync_counter(before)
+
+    def estimate_rank(self, item) -> int:
+        before = self._counter_state()
+        started = time.perf_counter_ns()
+        try:
+            return self.inner.estimate_rank(item)
+        finally:
+            self._query_latency.observe(time.perf_counter_ns() - started)
+            self._queries.inc()
+            self._sync_counter(before)
+
+    # -- delegation ----------------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:
+        return f"ObservedSummary({self.inner!r})"

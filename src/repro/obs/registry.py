@@ -1,0 +1,426 @@
+"""The metric registry: exact counters, gauges, and GK-backed histograms.
+
+Every quantity the paper argues about — items stored, gap growth, comparison
+counts under Definition 2.1 — is a number some layer of this repo produces.
+:class:`MetricRegistry` gives all layers one place to record them:
+
+* :class:`Counter` — exact, monotonically increasing integer (items
+  ingested, comparisons performed, adversary nodes executed).
+* :class:`Gauge` — a last-written value (current gap, memory-state size).
+* :class:`Histogram` — a full value distribution held in a
+  :class:`~repro.summaries.gk.GreenwaldKhanna` summary, the very structure
+  whose optimality the paper proves.  The registry therefore monitors the
+  system in O((1/eps) log(eps N)) space per distribution no matter how long
+  the process runs — the same dogfooding the engine telemetry pioneered.
+
+Metrics are identified by a Prometheus-compatible name plus an optional,
+sorted label set, so ``registry.counter("summary_comparisons_total",
+summary="gk")`` and the same call with ``summary="kll"`` are two time
+series of one metric family.  :meth:`MetricRegistry.snapshot` produces a
+deterministic JSON-compatible dict; :meth:`to_payload` /
+:meth:`from_payload` round-trip the registry exactly (histograms via
+:mod:`repro.persistence`); :meth:`merge` folds another registry in —
+counters add, gauges take the incoming value, histograms merge through
+:func:`repro.summaries.merging.merge_gk` — which is how the CLI combines an
+adversary run's metrics with an engine checkpoint's telemetry into one
+Prometheus page.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import Iterator
+
+from repro.errors import EmptySummaryError, ObservabilityError
+from repro.persistence import dump as _dump_summary, load as _load_summary
+from repro.summaries.gk import GreenwaldKhanna
+from repro.summaries.merging import merge_gk
+from repro.universe.item import key_of
+from repro.universe.universe import Universe
+
+_NAME_PATTERN = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+DEFAULT_HISTOGRAM_EPSILON = 0.01
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _validate_name(name: str, what: str = "metric") -> str:
+    if not _NAME_PATTERN.match(name):
+        raise ObservabilityError(
+            f"{what} name {name!r} is not Prometheus-compatible "
+            "(expected [a-zA-Z_][a-zA-Z0-9_]*)"
+        )
+    return name
+
+
+def _label_set(labels: dict[str, str]) -> LabelSet:
+    for key in labels:
+        _validate_name(key, what="label")
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+class Counter:
+    """An exact, monotonically increasing integer metric."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "help", "_value")
+
+    def __init__(self, name: str, labels: LabelSet, help: str = "") -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, amount: int = 1) -> None:
+        """Increase the counter by ``amount`` (must be non-negative)."""
+        amount = int(amount)
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self._value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, labels={dict(self.labels)}, value={self._value})"
+
+
+class Gauge:
+    """A metric that holds the last value written to it."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "help", "_value")
+
+    def __init__(self, name: str, labels: LabelSet, help: str = "") -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self._value: int | float = 0
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def set(self, value: int | float) -> None:
+        """Overwrite the gauge with ``value``."""
+        self._value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self._value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self._value -= amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, labels={dict(self.labels)}, value={self._value})"
+
+
+class Histogram:
+    """A value distribution summarised by the repo's own GK summary.
+
+    Observations are exact rationals (integers pass through unchanged), so
+    latencies recorded in integer nanoseconds never suffer float drift.  The
+    histogram additionally tracks the exact running sum, which Prometheus'
+    summary exposition (`*_sum` / `*_count`) wants and a GK summary alone
+    cannot recover.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "help", "epsilon", "_universe", "_summary", "_sum")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet,
+        help: str = "",
+        epsilon: float = DEFAULT_HISTOGRAM_EPSILON,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.epsilon = float(epsilon)
+        self._universe = Universe()
+        self._summary = GreenwaldKhanna(self.epsilon)
+        self._sum = Fraction(0)
+
+    @property
+    def observations(self) -> int:
+        """Number of values observed."""
+        return self._summary.n
+
+    @property
+    def sum(self) -> Fraction:
+        """Exact sum of all observed values."""
+        return self._sum
+
+    @property
+    def summary(self) -> GreenwaldKhanna:
+        """The backing GK summary (read-only use, please)."""
+        return self._summary
+
+    def observe(self, value: int | Fraction) -> None:
+        """Feed one observation into the distribution."""
+        value = Fraction(value)
+        self._summary.process(self._universe.item(value))
+        self._sum += value
+
+    def quantiles(self, phis=DEFAULT_QUANTILES, scale: float = 1.0) -> dict[str, float]:
+        """``{"p50": ..., "p90": ...}`` estimates, each divided by ``scale``."""
+        report: dict[str, float] = {}
+        for phi in phis:
+            try:
+                answer = self._summary.query(phi)
+            except EmptySummaryError:
+                return {}
+            report[f"p{round(phi * 100):g}"] = float(key_of(answer)) / scale
+        return report
+
+    def quantile(self, phi: float) -> Fraction:
+        """The exact rational key answering the ``phi``-quantile query."""
+        return key_of(self._summary.query(phi))
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold ``other``'s distribution into this one (GK merge)."""
+        if other.observations:
+            self._summary = merge_gk(self._summary, other._summary)
+            self._sum += other._sum
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name!r}, labels={dict(self.labels)}, "
+            f"observations={self.observations})"
+        )
+
+
+Metric = Counter | Gauge | Histogram
+
+REGISTRY_FORMAT = 1
+
+
+class MetricRegistry:
+    """Process- or component-wide collection of named metrics.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first call
+    for a (name, labels) pair creates the metric, later calls return the same
+    object, and re-using a name for a different metric kind raises
+    :class:`~repro.errors.ObservabilityError`.
+    """
+
+    def __init__(self, default_epsilon: float = DEFAULT_HISTOGRAM_EPSILON) -> None:
+        self.default_epsilon = float(default_epsilon)
+        self._metrics: dict[tuple[str, LabelSet], Metric] = {}
+        self._help: dict[str, str] = {}
+        self._kinds: dict[str, str] = {}
+
+    # -- creation ------------------------------------------------------------------
+
+    def _get_or_create(self, factory, kind: str, name: str, help: str, labels):
+        _validate_name(name)
+        key = (name, _label_set(labels))
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if existing.kind != kind:
+                raise ObservabilityError(
+                    f"metric {name!r} is already registered as a "
+                    f"{existing.kind}, not a {kind}"
+                )
+            return existing
+        if self._kinds.setdefault(name, kind) != kind:
+            raise ObservabilityError(
+                f"metric family {name!r} is already registered as a "
+                f"{self._kinds[name]}, not a {kind}"
+            )
+        if help:
+            self._help.setdefault(name, help)
+        metric = factory(key)
+        self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """Get or create the counter ``name`` with the given label set."""
+        return self._get_or_create(
+            lambda key: Counter(key[0], key[1], help=self._help.get(name, help)),
+            "counter", name, help, labels,
+        )
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        """Get or create the gauge ``name`` with the given label set."""
+        return self._get_or_create(
+            lambda key: Gauge(key[0], key[1], help=self._help.get(name, help)),
+            "gauge", name, help, labels,
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        epsilon: float | None = None,
+        **labels: str,
+    ) -> Histogram:
+        """Get or create the GK-backed histogram ``name`` with the labels."""
+        eps = self.default_epsilon if epsilon is None else float(epsilon)
+        return self._get_or_create(
+            lambda key: Histogram(
+                key[0], key[1], help=self._help.get(name, help), epsilon=eps
+            ),
+            "histogram", name, help, labels,
+        )
+
+    # -- introspection -------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Metric]:
+        """All metrics, sorted by (name, labels) for deterministic output."""
+        for key in sorted(self._metrics):
+            yield self._metrics[key]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str, **labels: str) -> Metric | None:
+        """The metric at (name, labels), or None if never created."""
+        return self._metrics.get((name, _label_set(labels)))
+
+    def help_for(self, name: str) -> str:
+        return self._help.get(name, "")
+
+    def snapshot(self) -> dict:
+        """Deterministic JSON-compatible view of every metric's current value."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, int | float] = {}
+        histograms: dict[str, dict] = {}
+        for metric in self:
+            label = _render_key(metric.name, metric.labels)
+            if isinstance(metric, Counter):
+                counters[label] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[label] = metric.value
+            else:
+                histograms[label] = {
+                    "observations": metric.observations,
+                    "sum": float(metric.sum),
+                    "quantiles": metric.quantiles(),
+                }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    # -- persistence ---------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """Exact JSON-compatible state, sorted, for files and checkpoints."""
+        counters, gauges, histograms = [], [], []
+        for metric in self:
+            entry = {
+                "name": metric.name,
+                "labels": dict(metric.labels),
+                "help": self._help.get(metric.name, ""),
+            }
+            if isinstance(metric, Counter):
+                counters.append({**entry, "value": metric.value})
+            elif isinstance(metric, Gauge):
+                gauges.append({**entry, "value": metric.value})
+            else:
+                histograms.append(
+                    {
+                        **entry,
+                        "epsilon": repr(metric.epsilon),
+                        "sum": str(metric.sum),
+                        "summary": _dump_summary(metric.summary),
+                    }
+                )
+        return {
+            "kind": "metric-registry",
+            "format": REGISTRY_FORMAT,
+            "default_epsilon": repr(self.default_epsilon),
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MetricRegistry":
+        """Reconstruct a registry with exact metric state from a payload."""
+        if payload.get("kind") != "metric-registry":
+            raise ObservabilityError(
+                "payload is not a metric-registry dump "
+                f"(kind={payload.get('kind')!r})"
+            )
+        if payload.get("format") != REGISTRY_FORMAT:
+            raise ObservabilityError(
+                f"unsupported metric-registry format {payload.get('format')!r}"
+            )
+        registry = cls(default_epsilon=float(payload.get("default_epsilon", 0.01)))
+        for entry in payload.get("counters", ()):
+            counter = registry.counter(
+                entry["name"], help=entry.get("help", ""), **entry.get("labels", {})
+            )
+            counter.inc(int(entry["value"]))
+        for entry in payload.get("gauges", ()):
+            gauge = registry.gauge(
+                entry["name"], help=entry.get("help", ""), **entry.get("labels", {})
+            )
+            gauge.set(entry["value"])
+        for entry in payload.get("histograms", ()):
+            histogram = registry.histogram(
+                entry["name"],
+                help=entry.get("help", ""),
+                epsilon=float(entry["epsilon"]),
+                **entry.get("labels", {}),
+            )
+            histogram._summary = _load_summary(entry["summary"], histogram._universe)
+            histogram._sum = Fraction(entry.get("sum", 0))
+        return registry
+
+    # -- merging -------------------------------------------------------------------
+
+    def merge(self, other: "MetricRegistry") -> None:
+        """Fold ``other`` into this registry.
+
+        Counters add, gauges take the incoming value, histograms merge their
+        GK summaries.  Kind conflicts raise
+        :class:`~repro.errors.ObservabilityError`.
+        """
+        for metric in other:
+            labels = dict(metric.labels)
+            help = other.help_for(metric.name)
+            if isinstance(metric, Counter):
+                self.counter(metric.name, help=help, **labels).inc(metric.value)
+            elif isinstance(metric, Gauge):
+                self.gauge(metric.name, help=help, **labels).set(metric.value)
+            else:
+                self.histogram(
+                    metric.name, help=help, epsilon=metric.epsilon, **labels
+                ).merge_from(metric)
+
+    def __repr__(self) -> str:
+        return f"MetricRegistry({len(self._metrics)} metrics)"
+
+
+def _render_key(name: str, labels: LabelSet) -> str:
+    """``name{k="v",...}`` — the snapshot/report key for one time series."""
+    if not labels:
+        return name
+    rendered = ",".join(f'{key}="{value}"' for key, value in labels)
+    return f"{name}{{{rendered}}}"
+
+
+# -- the process-wide default registry ---------------------------------------------
+
+_GLOBAL_REGISTRY = MetricRegistry()
+
+
+def get_registry() -> MetricRegistry:
+    """The process-wide default registry."""
+    return _GLOBAL_REGISTRY
+
+
+def set_registry(registry: MetricRegistry) -> MetricRegistry:
+    """Replace the process-wide default registry; returns the previous one."""
+    global _GLOBAL_REGISTRY
+    previous = _GLOBAL_REGISTRY
+    _GLOBAL_REGISTRY = registry
+    return previous

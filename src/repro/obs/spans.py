@@ -1,0 +1,254 @@
+"""Structured trace spans written as JSONL with a monotonic clock.
+
+A *span* is a named interval of work with attributes; spans nest, forming a
+tree that mirrors the call structure that produced them — for the paper's
+adversary, one span per node of the AdvStrategy recursion tree, carrying the
+node's gap and memory measurements as attributes.  An *event* is a point
+annotation inside the current span.
+
+Timing uses :func:`time.perf_counter_ns` — monotonic, unaffected by wall
+clock adjustments — so durations are trustworthy and span ordering is total
+within a process.  Each finished span becomes one JSON line::
+
+    {"kind": "span", "id": 3, "parent": 1, "name": "adversary.node",
+     "start_ns": ..., "end_ns": ..., "duration_ns": ...,
+     "attributes": {"level": 2, "gap": 5, ...}}
+
+The module keeps a *current writer*: :func:`trace_to` installs one for a
+``with`` block, and the free functions :func:`span` / :func:`event` write to
+it when present and are near-zero-cost no-ops when absent.  That lets hot
+layers (the engine's ingest loop, the adversary) emit spans unconditionally
+without dragging a writer argument through every signature.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Iterator, TextIO
+
+from repro.errors import ObservabilityError
+
+TRACE_FORMAT = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce an attribute value to something JSON can hold."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class Span:
+    """One open (or finished) interval of traced work."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start_ns", "end_ns", "attributes")
+
+    def __init__(
+        self, name: str, span_id: int, parent_id: int | None, start_ns: int
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_ns = start_ns
+        self.end_ns: int | None = None
+        self.attributes: dict[str, Any] = {}
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) attributes on this span."""
+        for key, value in attributes.items():
+            self.attributes[key] = _jsonable(value)
+        return self
+
+    @property
+    def duration_ns(self) -> int | None:
+        if self.end_ns is None:
+            return None
+        return self.end_ns - self.start_ns
+
+    def __repr__(self) -> str:
+        state = "open" if self.end_ns is None else f"{self.duration_ns}ns"
+        return f"Span({self.name!r}, id={self.span_id}, {state})"
+
+
+class _NullSpan:
+    """Accepts attribute writes and does nothing — used when no trace is active."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class TraceWriter:
+    """Writes a span tree to a JSONL sink with a monotonic clock.
+
+    The writer tracks the stack of open spans; ``begin``/``end`` give
+    explicit control (the adversary tracer needs it across recursive calls)
+    and :meth:`span` wraps them as a context manager for everyone else.
+    """
+
+    def __init__(
+        self,
+        sink: TextIO,
+        clock: Callable[[], int] = time.perf_counter_ns,
+    ) -> None:
+        self._sink = sink
+        self._clock = clock
+        self._next_id = 1
+        self._stack: list[Span] = []
+        self._spans_written = 0
+        self._write(
+            {
+                "kind": "trace-header",
+                "format": TRACE_FORMAT,
+                "clock": "perf_counter_ns",
+            }
+        )
+
+    # -- low-level -----------------------------------------------------------------
+
+    def _write(self, record: dict) -> None:
+        self._sink.write(json.dumps(record) + "\n")
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def spans_written(self) -> int:
+        return self._spans_written
+
+    def begin(self, name: str, **attributes: Any) -> Span:
+        """Open a span as a child of the current one and make it current."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(name, self._next_id, parent, self._clock())
+        self._next_id += 1
+        span.set(**attributes)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span) -> None:
+        """Close ``span`` and write its JSON line (must be the current span)."""
+        if not self._stack or self._stack[-1] is not span:
+            raise ObservabilityError(
+                f"span {span.name!r} is not the innermost open span"
+            )
+        self._stack.pop()
+        span.end_ns = self._clock()
+        self._spans_written += 1
+        self._write(
+            {
+                "kind": "span",
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "name": span.name,
+                "start_ns": span.start_ns,
+                "end_ns": span.end_ns,
+                "duration_ns": span.duration_ns,
+                "attributes": span.attributes,
+            }
+        )
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Context manager: open a span, yield it, close it on exit."""
+        opened = self.begin(name, **attributes)
+        try:
+            yield opened
+        finally:
+            self.end(opened)
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Write a point-in-time event attached to the current span."""
+        self._write(
+            {
+                "kind": "event",
+                "span": self._stack[-1].span_id if self._stack else None,
+                "name": name,
+                "at_ns": self._clock(),
+                "attributes": {k: _jsonable(v) for k, v in attributes.items()},
+            }
+        )
+
+
+# -- current-writer plumbing -------------------------------------------------------
+
+_CURRENT_WRITER: TraceWriter | None = None
+
+
+def current_writer() -> TraceWriter | None:
+    """The installed trace writer, or None when tracing is off."""
+    return _CURRENT_WRITER
+
+
+@contextmanager
+def use_writer(writer: TraceWriter | None) -> Iterator[TraceWriter | None]:
+    """Install ``writer`` as the current writer for the duration of the block."""
+    global _CURRENT_WRITER
+    previous = _CURRENT_WRITER
+    _CURRENT_WRITER = writer
+    try:
+        yield writer
+    finally:
+        _CURRENT_WRITER = previous
+
+
+@contextmanager
+def trace_to(path: str | Path) -> Iterator[TraceWriter]:
+    """Write a JSONL trace of the block to ``path`` (creates parent dirs)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as sink:
+        writer = TraceWriter(sink)
+        with use_writer(writer):
+            yield writer
+
+
+@contextmanager
+def span(name: str, **attributes: Any) -> Iterator[Span | _NullSpan]:
+    """Span on the current writer; a no-op yielding :data:`NULL_SPAN` when off."""
+    writer = _CURRENT_WRITER
+    if writer is None:
+        yield NULL_SPAN
+        return
+    with writer.span(name, **attributes) as opened:
+        yield opened
+
+
+def event(name: str, **attributes: Any) -> None:
+    """Event on the current writer; a no-op when tracing is off."""
+    writer = _CURRENT_WRITER
+    if writer is not None:
+        writer.event(name, **attributes)
+
+
+# -- reading traces back -----------------------------------------------------------
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Parse a JSONL trace file into its records (header included).
+
+    Raises :class:`~repro.errors.ObservabilityError` on malformed files.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ObservabilityError(f"trace {path} does not exist")
+    records = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            raise ObservabilityError(
+                f"trace {path} line {number} is not valid JSON: {error}"
+            ) from None
+    if records and records[0].get("kind") not in ("trace-header", "span", "event"):
+        raise ObservabilityError(f"trace {path} does not look like a span trace")
+    return records

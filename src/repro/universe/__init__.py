@@ -16,7 +16,7 @@ package makes that assumption executable:
 * :class:`ComparisonCounter` instruments how many comparisons a summary makes.
 """
 
-from repro.universe.counter import ComparisonCounter
+from repro.universe.counter import ComparisonCounter, CounterDelta
 from repro.universe.item import NEG_INFINITY, POS_INFINITY, Item, key_of
 from repro.universe.interval import OpenInterval
 from repro.universe.lexicographic import LexicographicUniverse, string_between
@@ -24,6 +24,7 @@ from repro.universe.universe import Universe
 
 __all__ = [
     "ComparisonCounter",
+    "CounterDelta",
     "Item",
     "LexicographicUniverse",
     "NEG_INFINITY",

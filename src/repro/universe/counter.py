@@ -9,6 +9,59 @@ summary interacts with items at all.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class CounterDelta:
+    """Comparison counts observed during one :meth:`ComparisonCounter.delta` block.
+
+    While the block is open the properties report the counts so far; once it
+    exits they freeze at the block's totals, so the object can be kept and
+    read after the measured code has moved on.
+    """
+
+    __slots__ = ("_counter", "_start_comparisons", "_start_equality", "_frozen")
+
+    def __init__(self, counter: "ComparisonCounter") -> None:
+        self._counter = counter
+        self._start_comparisons = counter.comparisons
+        self._start_equality = counter.equality_tests
+        self._frozen: tuple[int, int] | None = None
+
+    def freeze(self) -> None:
+        """Fix the delta at the counts accumulated so far."""
+        if self._frozen is None:
+            self._frozen = (
+                self._counter.comparisons - self._start_comparisons,
+                self._counter.equality_tests - self._start_equality,
+            )
+
+    @property
+    def comparisons(self) -> int:
+        """Order comparisons performed inside the block."""
+        if self._frozen is not None:
+            return self._frozen[0]
+        return self._counter.comparisons - self._start_comparisons
+
+    @property
+    def equality_tests(self) -> int:
+        """Equality tests performed inside the block."""
+        if self._frozen is not None:
+            return self._frozen[1]
+        return self._counter.equality_tests - self._start_equality
+
+    @property
+    def total(self) -> int:
+        """All item operations performed inside the block."""
+        return self.comparisons + self.equality_tests
+
+    def __repr__(self) -> str:
+        return (
+            f"CounterDelta(comparisons={self.comparisons}, "
+            f"equality_tests={self.equality_tests})"
+        )
+
 
 class ComparisonCounter:
     """Counts comparisons and equality tests performed on items.
@@ -41,6 +94,24 @@ class ComparisonCounter:
         """Reset both counts to zero."""
         self.comparisons = 0
         self.equality_tests = 0
+
+    @contextmanager
+    def delta(self) -> Iterator[CounterDelta]:
+        """Measure the comparisons performed inside a ``with`` block.
+
+        Replaces the manual reset-and-read idiom — and unlike ``reset()``
+        it composes: nested or sequential blocks each get their own delta
+        without disturbing the running totals::
+
+            with counter.delta() as cost:
+                summary.process_all(items)
+            print(cost.comparisons, cost.equality_tests)
+        """
+        measurement = CounterDelta(self)
+        try:
+            yield measurement
+        finally:
+            measurement.freeze()
 
     def __repr__(self) -> str:
         return (

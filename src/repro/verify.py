@@ -74,9 +74,17 @@ def verify_summary(
     summary_factory: Callable[..., QuantileSummary],
     epsilon: float,
     k: int,
+    universe=None,
+    observer=None,
     **factory_kwargs,
 ) -> VerificationReport:
     """Run the full adversarial pipeline and collect a report.
+
+    ``universe`` and ``observer`` pass straight through to
+    :func:`~repro.core.adversary.build_adversarial_pair` — supply a
+    counter-carrying universe and an
+    :class:`~repro.obs.instrument.AdversaryTracer` to get metrics and trace
+    spans out of the run.
 
     Raises :class:`~repro.errors.IndistinguishabilityViolation` (from the
     run itself) if the summary is not a deterministic comparison-based
@@ -84,7 +92,12 @@ def verify_summary(
     does not cover it.
     """
     result: AdversaryResult = build_adversarial_pair(
-        summary_factory, epsilon=epsilon, k=k, **factory_kwargs
+        summary_factory,
+        epsilon=epsilon,
+        k=k,
+        universe=universe,
+        observer=observer,
+        **factory_kwargs,
     )
     return report_from_result(result)
 

@@ -324,6 +324,19 @@ class TestCheckpointRestore:
         assert restored.telemetry.counters["restores"] == 1
         assert restored.telemetry.latency_quantiles("ingest_batch")
 
+    def test_telemetry_snapshot_survives_the_checkpoint_file_exactly(self, tmp_path):
+        engine = self._engine(tmp_path)
+        engine.query(0.5)
+        before = engine.telemetry.snapshot()
+        path = tmp_path / "ck.jsonl"
+        engine.checkpoint(path)
+        reloaded = read_checkpoint(path)["telemetry"]
+        assert reloaded.snapshot() == before
+        # ... and re-serialising the reloaded state is byte-stable.
+        assert json.dumps(reloaded.to_payload()) == json.dumps(
+            Telemetry.from_payload(reloaded.to_payload()).to_payload()
+        )
+
     def test_checkpoint_write_is_atomic(self, tmp_path):
         engine = self._engine(tmp_path)
         path = tmp_path / "ck.jsonl"

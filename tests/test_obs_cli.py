@@ -1,0 +1,220 @@
+"""The ``obs`` CLI subcommands and the --metrics/--trace flags that feed them."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import MetricRegistry, read_trace
+
+
+def _write_numbers(tmp_path, values):
+    path = tmp_path / "data.txt"
+    path.write_text("\n".join(str(v) for v in values) + "\n")
+    return str(path)
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def attack_metrics(tmp_path):
+    """A metrics dump plus trace from one small adversary run."""
+    metrics = tmp_path / "attack-metrics.json"
+    trace = tmp_path / "attack-trace.jsonl"
+    code, _ = _run(
+        [
+            "attack",
+            "--summary",
+            "gk",
+            "--epsilon",
+            "0.125",
+            "--k",
+            "3",
+            "--metrics",
+            str(metrics),
+            "--trace",
+            str(trace),
+        ]
+    )
+    assert code == 0
+    return metrics, trace
+
+
+@pytest.fixture
+def engine_checkpoint(tmp_path):
+    checkpoint = tmp_path / "engine.jsonl"
+    trace = tmp_path / "engine-trace.jsonl"
+    code, _ = _run(
+        [
+            "engine",
+            "ingest",
+            "--checkpoint",
+            str(checkpoint),
+            "--generate",
+            "2000",
+            "--shards",
+            "2",
+            "--trace",
+            str(trace),
+        ]
+    )
+    assert code == 0
+    return checkpoint, trace
+
+
+class TestMetricsFlags:
+    def test_attack_metrics_dump_loads_as_registry(self, attack_metrics):
+        metrics, _ = attack_metrics
+        registry = MetricRegistry.from_payload(json.loads(metrics.read_text()))
+        assert registry.get("adversary_nodes_total").value == 7
+        assert registry.get("adversary_comparisons_total").value > 0
+        assert registry.get("adversary_items_stored").value > 0
+
+    def test_attack_trace_has_one_span_per_recursion_node(self, attack_metrics):
+        _, trace = attack_metrics
+        spans = [
+            record
+            for record in read_trace(trace)
+            if record["kind"] == "span" and record["name"] == "adversary.node"
+        ]
+        assert len(spans) == 7
+        for span in spans:
+            assert "gap" in span["attributes"]
+            assert "memory_state_size" in span["attributes"]
+
+    def test_quantiles_metrics_dump(self, tmp_path):
+        path = _write_numbers(tmp_path, range(1, 301))
+        metrics = tmp_path / "q-metrics.json"
+        code, text = _run(
+            [
+                "quantiles",
+                "--input",
+                path,
+                "--epsilon",
+                "0.05",
+                "--metrics",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        assert "metrics written to" in text
+        registry = MetricRegistry.from_payload(json.loads(metrics.read_text()))
+        assert registry.get("summary_items_processed_total", summary="gk").value == 300
+        assert (
+            registry.get("summary_process_latency_ns", summary="gk").observations
+            == 300
+        )
+
+    def test_engine_ingest_trace(self, engine_checkpoint):
+        _, trace = engine_checkpoint
+        names = [
+            record["name"]
+            for record in read_trace(trace)
+            if record["kind"] == "span"
+        ]
+        assert "engine.ingest" in names
+        assert "engine.ingest_batch" in names
+        assert "engine.checkpoint" in names
+
+
+class TestObsReport:
+    def test_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            _run(["obs", "report"])
+
+    def test_report_combines_metrics_checkpoint_and_trace(
+        self, attack_metrics, engine_checkpoint
+    ):
+        metrics, trace = attack_metrics
+        checkpoint, _ = engine_checkpoint
+        code, text = _run(
+            [
+                "obs",
+                "report",
+                "--metrics",
+                str(metrics),
+                "--checkpoint",
+                str(checkpoint),
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        assert "adversary_nodes_total = 7" in text
+        assert "engine_items_ingested = 2000" in text
+        assert "adversary_node_gap" in text
+        assert "adversary.node: 7 span(s)" in text
+
+    def test_missing_metrics_file_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read metrics file"):
+            _run(["obs", "report", "--metrics", str(tmp_path / "missing.json")])
+
+
+class TestObsExport:
+    def test_prometheus_covers_the_acceptance_metrics(
+        self, attack_metrics, engine_checkpoint
+    ):
+        """One export covers adversary round gap, items stored, comparison
+        counts, and engine ingest latency histograms — the issue's bar."""
+        metrics, _ = attack_metrics
+        checkpoint, _ = engine_checkpoint
+        code, text = _run(
+            [
+                "obs",
+                "export",
+                "--format",
+                "prometheus",
+                "--metrics",
+                str(metrics),
+                "--checkpoint",
+                str(checkpoint),
+            ]
+        )
+        assert code == 0
+        assert 'adversary_round_gap{level="1"}' in text
+        assert "adversary_items_stored" in text
+        assert "adversary_comparisons_total" in text
+        assert 'engine_latency_ns{operation="ingest_batch",quantile="0.5"}' in text
+        assert "# TYPE engine_latency_ns summary" in text
+
+    def test_json_export_to_file(self, attack_metrics, tmp_path):
+        metrics, _ = attack_metrics
+        output = tmp_path / "metrics.prom.json"
+        code, text = _run(
+            [
+                "obs",
+                "export",
+                "--format",
+                "json",
+                "--metrics",
+                str(metrics),
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        assert "json metrics written to" in text
+        snapshot = json.loads(output.read_text())
+        assert snapshot["counters"]["adversary_nodes_total"] == 7
+
+    def test_merging_two_dumps_adds_counters(self, attack_metrics, tmp_path):
+        metrics, _ = attack_metrics
+        code, text = _run(
+            [
+                "obs",
+                "export",
+                "--format",
+                "json",
+                "--metrics",
+                str(metrics),
+                "--metrics",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        assert json.loads(text)["counters"]["adversary_nodes_total"] == 14

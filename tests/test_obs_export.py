@@ -1,0 +1,80 @@
+"""Exporters: Prometheus text exposition validity and JSON snapshots."""
+
+import json
+import re
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import MetricRegistry, render, to_json, to_prometheus
+
+# One sample line of the text exposition format (0.0.4):
+#   name{label="value",...} <number>
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_][a-zA-Z0-9_]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" [0-9eE+.\-]+$"
+)
+COMMENT_LINE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_][a-zA-Z0-9_]*( .*)?$")
+
+
+def _populated() -> MetricRegistry:
+    registry = MetricRegistry()
+    registry.counter("adversary_comparisons_total", help="comparisons").inc(123)
+    registry.gauge("adversary_round_gap", help="per-round gap", level="2").set(7)
+    histogram = registry.histogram(
+        "engine_latency_ns", help="engine latency", operation="ingest_batch"
+    )
+    for value in (1000, 2000, 3000):
+        histogram.observe(value)
+    return registry
+
+
+class TestPrometheus:
+    def test_every_line_is_valid_exposition(self):
+        text = to_prometheus(_populated())
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            assert COMMENT_LINE.match(line) or SAMPLE_LINE.match(line), line
+
+    def test_type_lines_match_metric_kinds(self):
+        text = to_prometheus(_populated())
+        assert "# TYPE adversary_comparisons_total counter" in text
+        assert "# TYPE adversary_round_gap gauge" in text
+        assert "# TYPE engine_latency_ns summary" in text
+
+    def test_summary_samples_cover_quantiles_sum_count(self):
+        text = to_prometheus(_populated())
+        assert 'engine_latency_ns{operation="ingest_batch",quantile="0.5"}' in text
+        assert 'engine_latency_ns_sum{operation="ingest_batch"} 6000.0' in text
+        assert 'engine_latency_ns_count{operation="ingest_batch"} 3' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricRegistry()
+        registry.counter("x_total", path='a"b\\c').inc(1)
+        text = to_prometheus(registry)
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_empty_registry_exports_empty(self):
+        assert to_prometheus(MetricRegistry()) == ""
+
+    def test_help_only_emitted_once_per_family(self):
+        registry = MetricRegistry()
+        registry.counter("x_total", help="x", summary="gk").inc(1)
+        registry.counter("x_total", help="x", summary="kll").inc(1)
+        text = to_prometheus(registry)
+        assert text.count("# HELP x_total") == 1
+        assert text.count("# TYPE x_total") == 1
+
+
+class TestJsonAndDispatch:
+    def test_json_export_parses_back_to_snapshot(self):
+        registry = _populated()
+        assert json.loads(to_json(registry)) == registry.snapshot()
+
+    def test_render_dispatch(self):
+        registry = _populated()
+        assert render(registry, "prometheus") == to_prometheus(registry)
+        assert render(registry, "json") == to_json(registry)
+        with pytest.raises(ObservabilityError):
+            render(registry, "xml")

@@ -1,0 +1,133 @@
+"""Instrumentation hooks: adversary tracing and observed summaries."""
+
+from repro.core.adversary import build_adversarial_pair
+from repro.obs import AdversaryTracer, MetricRegistry, ObservedSummary, read_trace, trace_to
+from repro.streams import random_stream
+from repro.summaries.gk import GreenwaldKhanna
+from repro.universe import ComparisonCounter, Universe
+from repro.verify import verify_summary
+
+EPSILON = 1 / 8
+K = 3
+
+
+def _traced_run(tmp_path):
+    registry = MetricRegistry()
+    tracer = AdversaryTracer(registry)
+    path = tmp_path / "adv.jsonl"
+    with trace_to(path):
+        result = build_adversarial_pair(
+            GreenwaldKhanna,
+            epsilon=EPSILON,
+            k=K,
+            universe=Universe(counter=tracer.counter),
+            observer=tracer,
+        )
+    return registry, tracer, result, read_trace(path)
+
+
+class TestAdversaryTracer:
+    def test_one_span_per_recursion_node_with_gap_and_memory(self, tmp_path):
+        _, _, result, records = _traced_run(tmp_path)
+        spans = [
+            record
+            for record in records
+            if record["kind"] == "span" and record["name"] == "adversary.node"
+        ]
+        # The recursion tree of AdvStrategy(k) has 2^k - 1 nodes.
+        assert len(spans) == 2**K - 1 == len(result.nodes())
+        assert {span["attributes"]["level"] for span in spans} == set(range(1, K + 1))
+        for span in spans:
+            attributes = span["attributes"]
+            assert attributes["gap"] >= 0
+            assert attributes["space"] >= 0
+            assert attributes["memory_state_size"] >= 0
+            assert attributes["items_stored"] >= 0
+            assert attributes["comparisons"] > 0
+        # Span gaps match the measured NodeTraces exactly.
+        assert sorted(s["attributes"]["gap"] for s in spans) == sorted(
+            node.gap for node in result.nodes()
+        )
+
+    def test_parent_links_mirror_the_recursion_tree(self, tmp_path):
+        _, _, _, records = _traced_run(tmp_path)
+        spans = [r for r in records if r["kind"] == "span"]
+        by_id = {span["id"]: span for span in spans}
+        roots = [span for span in spans if span["parent"] is None]
+        assert len(roots) == 1
+        assert roots[0]["attributes"]["level"] == K
+        for span in spans:
+            if span["parent"] is not None:
+                parent = by_id[span["parent"]]
+                assert parent["attributes"]["level"] == span["attributes"]["level"] + 1
+
+    def test_registry_covers_the_papers_quantities(self, tmp_path):
+        registry, tracer, result, _ = _traced_run(tmp_path)
+        assert registry.get("adversary_nodes_total").value == 2**K - 1
+        assert (
+            registry.get("adversary_comparisons_total").value
+            == tracer.counter.comparisons
+            > 0
+        )
+        assert (
+            registry.get("adversary_items_stored").value
+            == result.max_items_stored()
+        )
+        for level in range(1, K + 1):
+            assert registry.get("adversary_round_gap", level=str(level)) is not None
+        assert registry.get("adversary_node_gap").observations == 2**K - 1
+
+    def test_metrics_work_without_an_active_trace(self):
+        registry = MetricRegistry()
+        tracer = AdversaryTracer(registry)
+        build_adversarial_pair(
+            GreenwaldKhanna,
+            epsilon=EPSILON,
+            k=2,
+            universe=Universe(counter=tracer.counter),
+            observer=tracer,
+        )
+        assert registry.get("adversary_nodes_total").value == 3
+
+    def test_verify_summary_passes_observer_through(self):
+        registry = MetricRegistry()
+        tracer = AdversaryTracer(registry)
+        report = verify_summary(
+            GreenwaldKhanna,
+            epsilon=EPSILON,
+            k=2,
+            universe=Universe(counter=tracer.counter),
+            observer=tracer,
+        )
+        tracer.record_result(report)
+        assert registry.get("adversary_final_gap").value == report.final_gap
+        assert registry.get("adversary_survived").value == 1
+
+
+class TestObservedSummary:
+    def test_meters_process_and_query(self):
+        registry = MetricRegistry()
+        counter = ComparisonCounter()
+        universe = Universe(counter=counter)
+        summary = ObservedSummary(
+            GreenwaldKhanna(0.05), registry=registry, counter=counter
+        )
+        items = random_stream(universe, 500, seed=3)
+        summary.process_all(items)
+        summary.query(0.5)
+        summary.estimate_rank(items[0])
+
+        assert summary.n == 500  # delegation still works
+        assert registry.get("summary_items_processed_total", summary="gk").value == 500
+        assert registry.get("summary_queries_total", summary="gk").value == 2
+        assert registry.get("summary_comparisons_total", summary="gk").value > 0
+        latency = registry.get("summary_process_latency_ns", summary="gk")
+        assert latency.observations == 500
+        assert registry.get("summary_query_latency_ns", summary="gk").observations == 2
+
+    def test_works_without_a_counter(self):
+        registry = MetricRegistry()
+        summary = ObservedSummary(GreenwaldKhanna(0.05), registry=registry)
+        summary.process_all(random_stream(Universe(), 100, seed=4))
+        assert registry.get("summary_comparisons_total", summary="gk").value == 0
+        assert registry.get("summary_items_processed_total", summary="gk").value == 100

@@ -1,0 +1,170 @@
+"""MetricRegistry: metric kinds, labels, snapshots, round-trips, merging."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import MetricRegistry, get_registry, set_registry
+
+
+class TestCounters:
+    def test_counts_exactly(self):
+        registry = MetricRegistry()
+        counter = registry.counter("ops_total")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricRegistry()
+        assert registry.counter("x_total") is registry.counter("x_total")
+
+    def test_labelled_series_are_distinct(self):
+        registry = MetricRegistry()
+        registry.counter("cmp_total", summary="gk").inc(3)
+        registry.counter("cmp_total", summary="kll").inc(5)
+        assert registry.get("cmp_total", summary="gk").value == 3
+        assert registry.get("cmp_total", summary="kll").value == 5
+
+    def test_counter_cannot_decrease(self):
+        registry = MetricRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.counter("x_total").inc(-1)
+
+    def test_invalid_name_rejected(self):
+        registry = MetricRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.counter("bad name")
+        with pytest.raises(ObservabilityError):
+            registry.counter("ok_name", **{"bad-label": "v"})
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricRegistry()
+        registry.counter("thing")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("thing")
+        with pytest.raises(ObservabilityError):
+            registry.histogram("thing", summary="gk")
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        registry = MetricRegistry()
+        gauge = registry.gauge("gap")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13
+
+
+class TestHistograms:
+    def test_observations_sum_and_quantiles(self):
+        registry = MetricRegistry()
+        histogram = registry.histogram("latency_ns")
+        for value in range(1, 1001):
+            histogram.observe(value)
+        assert histogram.observations == 1000
+        assert histogram.sum == 500_500
+        quantiles = histogram.quantiles()
+        assert set(quantiles) == {"p50", "p90", "p99"}
+        # GK guarantee: within eps * n = 10 ranks of the true quantile.
+        assert abs(quantiles["p50"] - 500) <= 10
+        assert abs(quantiles["p99"] - 990) <= 10
+
+    def test_empty_histogram_has_no_quantiles(self):
+        registry = MetricRegistry()
+        assert registry.histogram("empty_ns").quantiles() == {}
+
+    def test_histogram_space_stays_sublinear(self):
+        registry = MetricRegistry()
+        histogram = registry.histogram("latency_ns", epsilon=0.05)
+        for value in range(20_000):
+            histogram.observe(value)
+        # The whole point of GK-backed histograms: far fewer stored items
+        # than observations.
+        assert len(histogram.summary.item_array()) < 2_000
+
+
+class TestSnapshotAndPayload:
+    def _populated(self) -> MetricRegistry:
+        registry = MetricRegistry()
+        registry.counter("b_total", help="b").inc(2)
+        registry.counter("a_total", help="a").inc(1)
+        registry.gauge("gap", level="3").set(12)
+        histogram = registry.histogram("lat_ns", operation="ingest")
+        for value in (100, 200, 300, 400):
+            histogram.observe(value)
+        return registry
+
+    def test_snapshot_is_json_compatible_and_sorted(self):
+        snapshot = self._populated().snapshot()
+        json.dumps(snapshot)
+        assert list(snapshot["counters"]) == ["a_total", "b_total"]
+
+    def test_payload_round_trip_preserves_snapshot(self):
+        registry = self._populated()
+        restored = MetricRegistry.from_payload(registry.to_payload())
+        assert restored.snapshot() == registry.snapshot()
+        # Quantiles survive exactly, not just approximately.
+        original = registry.get("lat_ns", operation="ingest")
+        copy = restored.get("lat_ns", operation="ingest")
+        assert copy.quantiles() == original.quantiles()
+        assert copy.sum == original.sum
+
+    def test_payload_is_byte_stable_across_insertion_orders(self):
+        first = MetricRegistry()
+        first.counter("a_total").inc(1)
+        first.counter("b_total").inc(2)
+        second = MetricRegistry()
+        second.counter("b_total").inc(2)
+        second.counter("a_total").inc(1)
+        assert json.dumps(first.to_payload()) == json.dumps(second.to_payload())
+
+    def test_payload_is_json_serialisable(self):
+        json.dumps(self._populated().to_payload())
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(ObservabilityError):
+            MetricRegistry.from_payload({"kind": "something-else"})
+        with pytest.raises(ObservabilityError):
+            MetricRegistry.from_payload({"kind": "metric-registry", "format": 99})
+
+
+class TestMerge:
+    def test_merge_semantics(self):
+        left = MetricRegistry()
+        left.counter("ops_total").inc(10)
+        left.gauge("gap").set(1)
+        left.histogram("lat_ns").observe(100)
+
+        right = MetricRegistry()
+        right.counter("ops_total").inc(5)
+        right.gauge("gap").set(9)
+        right.histogram("lat_ns").observe(300)
+
+        left.merge(right)
+        assert left.get("ops_total").value == 15   # counters add
+        assert left.get("gap").value == 9          # gauges take incoming
+        merged = left.get("lat_ns")
+        assert merged.observations == 2            # histograms GK-merge
+        assert merged.sum == 400
+
+    def test_merge_kind_conflict_rejected(self):
+        left = MetricRegistry()
+        left.counter("thing")
+        right = MetricRegistry()
+        right.gauge("thing").set(1)
+        with pytest.raises(ObservabilityError):
+            left.merge(right)
+
+
+class TestGlobalRegistry:
+    def test_set_registry_swaps_and_restores(self):
+        replacement = MetricRegistry()
+        previous = set_registry(replacement)
+        try:
+            assert get_registry() is replacement
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous

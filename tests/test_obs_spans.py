@@ -1,0 +1,112 @@
+"""Trace spans: nesting, JSONL output, the no-op path, and trace reading."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import TraceWriter, current_writer, event, read_trace, span, trace_to
+from repro.obs.spans import NULL_SPAN
+
+
+def _lines(sink: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+class TestTraceWriter:
+    def test_header_first(self):
+        sink = io.StringIO()
+        TraceWriter(sink)
+        header = _lines(sink)[0]
+        assert header["kind"] == "trace-header"
+        assert header["clock"] == "perf_counter_ns"
+
+    def test_nested_spans_record_parents_and_durations(self):
+        sink = io.StringIO()
+        clock_values = iter(range(0, 1000, 10))
+        writer = TraceWriter(sink, clock=lambda: next(clock_values))
+        with writer.span("outer"):
+            with writer.span("inner", depth=2):
+                pass
+        records = [r for r in _lines(sink) if r["kind"] == "span"]
+        inner, outer = records  # inner closes (and is written) first
+        assert inner["name"] == "inner"
+        assert inner["parent"] == outer["id"]
+        assert outer["parent"] is None
+        assert inner["duration_ns"] > 0
+        assert outer["start_ns"] <= inner["start_ns"]
+        assert inner["end_ns"] <= outer["end_ns"]
+        assert inner["attributes"] == {"depth": 2}
+
+    def test_attributes_set_during_span(self):
+        sink = io.StringIO()
+        writer = TraceWriter(sink)
+        with writer.span("work") as opened:
+            opened.set(items=7, label="x")
+        record = _lines(sink)[-1]
+        assert record["attributes"] == {"items": 7, "label": "x"}
+
+    def test_non_json_attributes_coerced_to_str(self):
+        sink = io.StringIO()
+        writer = TraceWriter(sink)
+        with writer.span("work", interval=object()):
+            pass
+        attrs = _lines(sink)[-1]["attributes"]
+        assert isinstance(attrs["interval"], str)
+
+    def test_events_attach_to_current_span(self):
+        sink = io.StringIO()
+        writer = TraceWriter(sink)
+        with writer.span("work") as opened:
+            writer.event("tick", n=1)
+        records = _lines(sink)
+        tick = next(r for r in records if r["kind"] == "event")
+        assert tick["span"] == opened.span_id
+        assert tick["attributes"] == {"n": 1}
+
+    def test_out_of_order_end_rejected(self):
+        writer = TraceWriter(io.StringIO())
+        first = writer.begin("a")
+        writer.begin("b")
+        with pytest.raises(ObservabilityError):
+            writer.end(first)
+
+
+class TestModuleLevelApi:
+    def test_noop_without_writer(self):
+        assert current_writer() is None
+        with span("anything", x=1) as opened:
+            assert opened is NULL_SPAN
+            opened.set(more=2)  # swallowed, no error
+        event("ignored")
+
+    def test_trace_to_installs_and_removes_writer(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with trace_to(path) as writer:
+            assert current_writer() is writer
+            with span("outer") as opened:
+                assert opened is not NULL_SPAN
+                event("inside")
+        assert current_writer() is None
+        records = read_trace(path)
+        kinds = [record["kind"] for record in records]
+        assert kinds == ["trace-header", "event", "span"]
+
+
+class TestReadTrace:
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            read_trace(tmp_path / "nope.jsonl")
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "trace-header"}\nnot json\n')
+        with pytest.raises(ObservabilityError):
+            read_trace(path)
+
+    def test_foreign_jsonl_rejected(self, tmp_path):
+        path = tmp_path / "foreign.jsonl"
+        path.write_text('{"kind": "engine-checkpoint"}\n')
+        with pytest.raises(ObservabilityError):
+            read_trace(path)

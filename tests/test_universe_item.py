@@ -188,6 +188,51 @@ class TestCounting:
         assert counter.comparisons > 0
 
 
+class TestCounterDelta:
+    def test_delta_measures_only_the_block(self):
+        counter = ComparisonCounter()
+        a = Item(Fraction(1), counter=counter)
+        b = Item(Fraction(2), counter=counter)
+        _ = a < b  # outside: not part of the delta
+        with counter.delta() as cost:
+            _ = a < b
+            _ = b < a
+            _ = a == b
+        assert cost.comparisons == 2
+        assert cost.equality_tests == 1
+        assert cost.total == 3
+        assert counter.total == 4  # the counter itself keeps accumulating
+
+    def test_delta_is_live_inside_and_frozen_after(self):
+        counter = ComparisonCounter()
+        a = Item(Fraction(1), counter=counter)
+        with counter.delta() as cost:
+            _ = a < Item(Fraction(2))
+            assert cost.comparisons == 1
+        _ = a < Item(Fraction(3))
+        assert cost.comparisons == 1  # frozen at block exit
+
+    def test_deltas_nest(self):
+        counter = ComparisonCounter()
+        a = Item(Fraction(1), counter=counter)
+        with counter.delta() as outer:
+            _ = a < Item(Fraction(2))
+            with counter.delta() as inner:
+                _ = a < Item(Fraction(3))
+        assert inner.comparisons == 1
+        assert outer.comparisons == 2
+
+    def test_delta_freezes_on_exception(self):
+        counter = ComparisonCounter()
+        a = Item(Fraction(1), counter=counter)
+        with pytest.raises(RuntimeError):
+            with counter.delta() as cost:
+                _ = a < Item(Fraction(2))
+                raise RuntimeError("boom")
+        _ = a < Item(Fraction(3))
+        assert cost.comparisons == 1
+
+
 class TestRepr:
     def test_repr_shows_key(self):
         assert "3" in repr(item(3))
