@@ -46,14 +46,25 @@ def as_fraction(value) -> Fraction:
 
     Floats go through :func:`~repro.model.summary.exact_fraction` so humanly
     entered decimals become the simple rationals they were meant to be.
+
+    Malformed input — ``"abc"``, a zero-denominator ``"1/0"``, ``nan`` —
+    raises :class:`~repro.errors.EngineError` naming the offending value,
+    never a bare ``ValueError``/``ZeroDivisionError``: ingest paths (the
+    serving layer above all) catch engine errors, and an uncatchable leak
+    from one bad wire value must not take down a batch.
     """
     if isinstance(value, Fraction):
         return value
     if isinstance(value, int):
         return Fraction(value)
-    if isinstance(value, float):
-        return exact_fraction(value)
-    return Fraction(str(value))
+    try:
+        if isinstance(value, float):
+            return exact_fraction(value)
+        return Fraction(str(value))
+    except (ValueError, ZeroDivisionError, OverflowError, TypeError) as error:
+        raise EngineError(
+            f"cannot interpret {value!r} as a number: {error}"
+        ) from None
 
 
 def _chunks(values: Iterable, size: int) -> Iterator[list]:
@@ -304,10 +315,19 @@ class ShardedQuantileEngine:
 
     def stats(self) -> dict:
         """JSON-compatible status: config, shard fill, telemetry snapshot."""
+        ingest_seconds = self.telemetry.operation_seconds("ingest_batch")
         return {
             "config": self.config.to_payload(),
             "items_ingested": self._items_ingested,
             "batches_ingested": self._batches,
+            "throughput": {
+                "ingest_seconds": ingest_seconds,
+                "items_per_second": (
+                    self._items_ingested / ingest_seconds
+                    if ingest_seconds > 0
+                    else None
+                ),
+            },
             "shards": [
                 {
                     "index": index,

@@ -124,6 +124,18 @@ class Telemetry:
             return {}
         return summary.quantiles(phis, scale=1000.0)
 
+    def operation_seconds(self, operation: str) -> float:
+        """Total wall time recorded under ``operation``, in seconds.
+
+        Exact (the histogram keeps a rational running sum), so
+        ``items / operation_seconds("ingest_batch")`` is a faithful lifetime
+        items-per-second figure even across checkpoint/restore cycles.
+        """
+        summary = self._latencies.get(operation)
+        if summary is None:
+            return 0.0
+        return float(summary.sum) / 1e9
+
     def snapshot(self) -> dict:
         """JSON-compatible metrics snapshot: counters + distributions."""
         return {

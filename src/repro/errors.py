@@ -85,6 +85,41 @@ class CheckpointError(EngineError):
     """An engine checkpoint file is missing, truncated, or malformed."""
 
 
+class ServiceError(ReproError):
+    """The asyncio serving layer was misused or hit an operational fault.
+
+    Base class for everything raised by :mod:`repro.service`: protocol
+    violations, failed requests (with their wire error code), and exhausted
+    client retries.
+    """
+
+
+class ProtocolError(ServiceError):
+    """A request or response line violates the NDJSON wire protocol.
+
+    Raised when a line is not valid JSON, exceeds the size limit, names an
+    unknown operation, or carries fields of the wrong shape (a non-list
+    ``values``, a ``phi`` outside ``[0, 1]``, a negative deadline, ...).
+    """
+
+
+class RequestFailed(ServiceError):
+    """The server answered a request with an explicit error response.
+
+    Carries the wire ``code`` (see :mod:`repro.service.protocol`) so callers
+    can distinguish load shedding (``overloaded``, ``deadline_exceeded``,
+    ``shutting_down``) from caller bugs (``bad_request``, ``bad_value``).
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class ServiceUnavailable(ServiceError):
+    """The client exhausted its retries without completing the request."""
+
+
 class ObservabilityError(ReproError):
     """The observability layer was misused or given malformed data.
 

@@ -1,0 +1,60 @@
+"""Asyncio quantile-serving service around the sharded engine.
+
+Public surface: :class:`~repro.service.server.QuantileService` (NDJSON TCP
+server with single-writer micro-batched ingest, snapshot reads, explicit
+backpressure and a ``GET /metrics`` Prometheus endpoint), configured by
+:class:`~repro.service.server.ServiceConfig`;
+:class:`~repro.service.client.QuantileClient` (connection reuse, timeouts,
+seeded exponential backoff); and the deterministic load generator in
+:mod:`repro.service.loadgen`.  The wire protocol is specified in
+:mod:`repro.service.protocol` and documented in ``docs/service.md``.
+"""
+
+from repro.service.client import QuantileClient, backoff_schedule
+from repro.service.limits import BoundedQueue, Deadline
+from repro.service.loadgen import LoadConfig, LoadReport, run_load, run_load_sync
+from repro.service.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    RETRYABLE_CODES,
+    Request,
+    decode_line,
+    encode_line,
+    error_response,
+    ok_response,
+    parse_request,
+    parse_response,
+)
+from repro.service.server import IngestJob, QuantileService, ServiceConfig
+from repro.service.snapshots import EMPTY_SNAPSHOT, Snapshot, SnapshotStore
+
+__all__ = [
+    "BoundedQueue",
+    "Deadline",
+    "EMPTY_SNAPSHOT",
+    "ERROR_CODES",
+    "IngestJob",
+    "LoadConfig",
+    "LoadReport",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "QuantileClient",
+    "QuantileService",
+    "RETRYABLE_CODES",
+    "Request",
+    "ServiceConfig",
+    "Snapshot",
+    "SnapshotStore",
+    "backoff_schedule",
+    "decode_line",
+    "encode_line",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "parse_response",
+    "run_load",
+    "run_load_sync",
+]

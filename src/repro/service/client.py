@@ -1,0 +1,224 @@
+"""Asyncio client for the quantile service: reuse, timeouts, backoff.
+
+:class:`QuantileClient` keeps one TCP connection open and reuses it across
+requests (ids are matched, so pipelining is safe), applies a per-request
+timeout, and — on connection failures — retries with exponential backoff
+plus deterministic jitter drawn from a seeded RNG, so test runs and load
+generations replay identically.
+
+Two failure channels are kept distinct on purpose:
+
+* transport failures (refused/reset connections, timeouts) are retried up
+  to ``max_retries`` times and then raise
+  :class:`~repro.errors.ServiceUnavailable`;
+* *explicit* server errors arrive as responses and raise
+  :class:`~repro.errors.RequestFailed` carrying the wire ``code``.  Shed
+  codes (:data:`repro.service.protocol.RETRYABLE_CODES`) are retried too
+  when ``retry_shed`` is set — the server guarantees a shed request was
+  never applied, so the retry cannot double-ingest.
+
+``fetch_metrics`` speaks the other dialect of the same port: it issues an
+HTTP/1.0 ``GET /metrics`` on a fresh connection and returns the Prometheus
+text exposition body.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from repro.errors import RequestFailed, ServiceError, ServiceUnavailable
+from repro.service import protocol
+
+_TRANSPORT_ERRORS = (
+    ConnectionError,
+    asyncio.IncompleteReadError,
+    asyncio.TimeoutError,
+    OSError,
+)
+
+
+def backoff_schedule(
+    attempts: int,
+    base_s: float = 0.05,
+    cap_s: float = 2.0,
+    seed: int | None = 0,
+) -> list[float]:
+    """The sleep (seconds) before each retry: ``base * 2^i`` capped, jittered.
+
+    Jitter is drawn from ``random.Random(seed)`` so a given seed always
+    produces the same schedule — deterministic load tests stay deterministic.
+    """
+    rng = random.Random(seed)
+    delays = []
+    for attempt in range(attempts):
+        delay = min(cap_s, base_s * (2 ** attempt))
+        delays.append(delay + rng.uniform(0, delay))
+    return delays
+
+
+class QuantileClient:
+    """One reusable connection to a :class:`~repro.service.server.QuantileService`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout_s: float = 10.0,
+        max_retries: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        jitter_seed: int | None = 0,
+        retry_shed: bool = False,
+        deadline_ms: float | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.deadline_ms = deadline_ms
+        self.retry_shed = retry_shed
+        self._delays = backoff_schedule(
+            max_retries, base_s=backoff_base_s, cap_s=backoff_cap_s, seed=jitter_seed
+        )
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._next_id = 0
+        self.requests_sent = 0
+        self.retries_used = 0
+
+    async def __aenter__(self) -> "QuantileClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # -- connection management -----------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    async def connect(self) -> None:
+        if self._writer is not None:
+            return
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), timeout=self.timeout_s
+        )
+
+    def _reset(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+        self._reader = self._writer = None
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            writer = self._writer
+            self._reader = self._writer = None
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except _TRANSPORT_ERRORS:
+                pass
+
+    # -- the request core ----------------------------------------------------------
+
+    async def _roundtrip(self, request: protocol.Request) -> dict:
+        await self.connect()
+        self._writer.write(protocol.encode_line(request.to_record()))
+        await self._writer.drain()
+        line = await asyncio.wait_for(
+            self._reader.readline(), timeout=self.timeout_s
+        )
+        if not line:
+            raise ConnectionResetError("server closed the connection")
+        response = protocol.parse_response(protocol.decode_line(line))
+        if response["id"] not in (request.id, None):
+            raise ServiceError(
+                f"response id {response['id']!r} does not match request "
+                f"id {request.id}"
+            )
+        return response
+
+    async def _call(self, op: str, **fields) -> dict:
+        self._next_id += 1
+        deadline_ms = fields.pop("deadline_ms", None)
+        if deadline_ms is None:
+            deadline_ms = self.deadline_ms
+        request = protocol.Request(
+            id=self._next_id, op=op, deadline_ms=deadline_ms, **fields
+        )
+        last_error: Exception | None = None
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self.retries_used += 1
+                await asyncio.sleep(self._delays[attempt - 1])
+            try:
+                self.requests_sent += 1
+                response = await self._roundtrip(request)
+            except _TRANSPORT_ERRORS as error:
+                last_error = error
+                self._reset()
+                continue
+            if response["ok"]:
+                return response
+            error_body = response["error"]
+            failure = RequestFailed(
+                error_body["code"], error_body.get("message", "")
+            )
+            if self.retry_shed and failure.code in protocol.RETRYABLE_CODES:
+                last_error = failure
+                continue
+            raise failure
+        raise ServiceUnavailable(
+            f"{op} to {self.host}:{self.port} failed after "
+            f"{self.max_retries + 1} attempt(s): {last_error}"
+        )
+
+    # -- operations ----------------------------------------------------------------
+
+    async def ping(self) -> dict:
+        return await self._call("ping")
+
+    async def insert(self, values, deadline_ms: float | None = None) -> dict:
+        """Insert values (numbers or numeric strings); returns ``{items, n, epoch}``."""
+        return await self._call(
+            "insert", values=tuple(values), deadline_ms=deadline_ms
+        )
+
+    async def query(self, phis, deadline_ms: float | None = None) -> dict:
+        """Quantile answers for each phi: ``results`` of ``{phi, value, approx}``."""
+        return await self._call("query", phis=tuple(phis), deadline_ms=deadline_ms)
+
+    async def rank(self, values, deadline_ms: float | None = None) -> dict:
+        """Rank estimates for each value: ``results`` of ``{value, rank}``."""
+        return await self._call(
+            "rank", values=tuple(values), deadline_ms=deadline_ms
+        )
+
+    async def stats(self) -> dict:
+        """Server-side service + engine stats (the engine's ``stats()`` dict)."""
+        return await self._call("stats")
+
+    # -- metrics over the HTTP-ish dialect -------------------------------------------
+
+    async def fetch_metrics(self) -> str:
+        """GET /metrics on a fresh connection; return the Prometheus body."""
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), timeout=self.timeout_s
+        )
+        try:
+            writer.write(
+                b"GET /metrics HTTP/1.0\r\nHost: " + self.host.encode() + b"\r\n\r\n"
+            )
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(-1), timeout=self.timeout_s)
+        finally:
+            writer.close()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+        if " 200 " not in status_line + " ":
+            raise ServiceError(f"/metrics answered {status_line!r}")
+        return body.decode()

@@ -1,0 +1,155 @@
+"""Backpressure primitives: per-request deadlines and a bounded job queue.
+
+The service survives overload by *refusing* work explicitly rather than
+queueing without bound:
+
+* :class:`Deadline` — a monotonic-clock expiry carried by every request.
+  Work is checked against it at admission and again at dequeue, so a
+  request that waited too long in the queue is shed with
+  ``deadline_exceeded`` instead of being served stale or dropped silently.
+* :class:`BoundedQueue` — a fixed-capacity FIFO between connection handlers
+  (many producers) and the single-writer ingest loop (one consumer).
+  :meth:`~BoundedQueue.try_put` never blocks: when the queue is full the
+  caller sheds the request with ``overloaded`` immediately, which keeps the
+  server's memory bounded and its latency honest under any offered load.
+  :meth:`~BoundedQueue.get_batch` coalesces whatever has accumulated into
+  one micro-batch (up to ``max_items`` jobs), which is what makes the
+  ingest loop amortise :meth:`engine.ingest` calls over bursts.
+
+Both classes are asyncio-single-loop objects; nothing here is thread-safe,
+by design — the service runs one event loop and one writer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from typing import Any, Callable
+
+
+class Deadline:
+    """A point on the monotonic clock after which a request must be shed."""
+
+    __slots__ = ("_expires_at", "_clock")
+
+    def __init__(
+        self,
+        timeout_ms: float | None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._clock = clock
+        if timeout_ms is None:
+            self._expires_at = math.inf
+        else:
+            self._expires_at = clock() + float(timeout_ms) / 1000.0
+
+    @classmethod
+    def unbounded(cls) -> "Deadline":
+        return cls(None)
+
+    @property
+    def expires_at(self) -> float:
+        return self._expires_at
+
+    def remaining_s(self) -> float:
+        """Seconds until expiry (may be negative; ``inf`` when unbounded)."""
+        return self._expires_at - self._clock()
+
+    def expired(self) -> bool:
+        return self.remaining_s() <= 0
+
+    def __repr__(self) -> str:
+        if math.isinf(self._expires_at):
+            return "Deadline(unbounded)"
+        return f"Deadline(remaining={self.remaining_s() * 1000:.1f}ms)"
+
+
+class QueueClosed(Exception):
+    """Internal signal: the queue refused a put because it is closing."""
+
+
+class BoundedQueue:
+    """Fixed-capacity FIFO with non-blocking admission and batch dequeue.
+
+    Producers call :meth:`try_put`, which returns ``False`` (shed) instead
+    of blocking when the queue is full or closing.  The single consumer
+    calls :meth:`get_batch`, which waits for at least one job and then
+    drains up to ``max_items`` without further waiting — the micro-batch.
+    :meth:`close` stops admission and wakes the consumer one last time;
+    after the queue is drained, :meth:`get_batch` returns ``None`` forever.
+    """
+
+    _STOP = object()
+
+    def __init__(self, max_jobs: int) -> None:
+        if max_jobs < 1:
+            raise ValueError(f"max_jobs must be positive, got {max_jobs}")
+        self.max_jobs = max_jobs
+        # +1 slot so close() can always enqueue the stop sentinel at once.
+        self._queue: asyncio.Queue = asyncio.Queue(max_jobs + 1)
+        self._closing = False
+        self._stopped = False
+
+    # -- producers -----------------------------------------------------------------
+
+    def try_put(self, job: Any) -> bool:
+        """Admit ``job`` if there is room; never blocks.
+
+        Returns ``False`` when the queue is at capacity or closing — the
+        caller must shed the request with an explicit error.
+        """
+        if self._closing:
+            return False
+        if self._queue.qsize() >= self.max_jobs:
+            return False
+        self._queue.put_nowait(job)
+        return True
+
+    @property
+    def depth(self) -> int:
+        """Jobs currently waiting (the stop sentinel excluded)."""
+        size = self._queue.qsize()
+        return max(0, size - 1) if self._closing else size
+
+    @property
+    def closing(self) -> bool:
+        return self._closing
+
+    # -- the single consumer -------------------------------------------------------
+
+    async def get_batch(self, max_items: int, linger_s: float = 0.0) -> list | None:
+        """Wait for work, then drain up to ``max_items`` jobs as one batch.
+
+        ``linger_s`` optionally sleeps once after the first job arrives so a
+        trickle of producers can coalesce; zero keeps latency minimal.
+        Returns ``None`` when the queue is closed and fully drained.
+        """
+        if self._stopped:
+            return None
+        first = await self._queue.get()
+        if first is self._STOP:
+            self._stopped = True
+            return None
+        if linger_s > 0 and self._queue.qsize() == 0:
+            await asyncio.sleep(linger_s)
+        batch = [first]
+        while len(batch) < max_items:
+            try:
+                job = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if job is self._STOP:
+                self._stopped = True
+                break
+            batch.append(job)
+        return batch
+
+    def close(self) -> None:
+        """Refuse further admissions and wake the consumer for final drain."""
+        if self._closing:
+            return
+        self._closing = True
+        # Capacity is max_jobs + 1 and try_put stops at max_jobs, so this
+        # slot is always free.
+        self._queue.put_nowait(self._STOP)

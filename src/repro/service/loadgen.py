@@ -1,0 +1,199 @@
+"""Deterministic mixed-workload load generator for the quantile service.
+
+Spawns ``clients`` concurrent :class:`~repro.service.client.QuantileClient`
+connections, each driving a seeded per-client RNG (``seed * 8191 + index``)
+through ``ops_per_client`` operations chosen by ``insert_ratio`` — so the
+same :class:`LoadConfig` always produces the same byte-for-byte request
+stream, the same set of inserted values, and therefore a *checkable*
+ground truth: :meth:`LoadReport.exact_rank` computes the true rank of any
+value over everything the run inserted, which is how the end-to-end test
+and the CI smoke job assert the served answers stay within epsilon.
+
+Used by ``benchmarks/bench_service.py`` (throughput/latency history),
+``repro client load`` (operator smoke-testing a live server), and the
+loopback e2e test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from fractions import Fraction
+from time import perf_counter_ns
+
+from repro.errors import RequestFailed, ServiceError
+from repro.service.client import QuantileClient
+
+
+@dataclass
+class LoadConfig:
+    """Shape of one deterministic load run."""
+
+    clients: int = 8
+    ops_per_client: int = 50
+    insert_ratio: float = 0.7
+    values_per_insert: int = 100
+    value_range: tuple[int, int] = (0, 1_000_000)
+    phis: tuple = (0.1, 0.5, 0.9, 0.99)
+    deadline_ms: float = 5000.0
+    seed: int = 0
+
+    def validate(self) -> "LoadConfig":
+        if self.clients < 1:
+            raise ServiceError(f"clients must be positive, got {self.clients}")
+        if self.ops_per_client < 1:
+            raise ServiceError(
+                f"ops_per_client must be positive, got {self.ops_per_client}"
+            )
+        if not 0 <= self.insert_ratio <= 1:
+            raise ServiceError(
+                f"insert_ratio must be in [0, 1], got {self.insert_ratio}"
+            )
+        if self.values_per_insert < 1:
+            raise ServiceError(
+                f"values_per_insert must be positive, got {self.values_per_insert}"
+            )
+        return self
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run, with enough detail to verify accuracy."""
+
+    ops: int = 0
+    ok: int = 0
+    errors: dict = field(default_factory=dict)  # code -> count
+    latencies_ns: dict = field(default_factory=dict)  # op -> [ns, ...]
+    inserted: list = field(default_factory=list)  # every acked inserted value
+    seconds: float = 0.0
+
+    def record_ok(self, op: str, elapsed_ns: int) -> None:
+        self.ops += 1
+        self.ok += 1
+        self.latencies_ns.setdefault(op, []).append(elapsed_ns)
+
+    def record_error(self, op: str, code: str, elapsed_ns: int) -> None:
+        self.ops += 1
+        self.errors[code] = self.errors.get(code, 0) + 1
+        self.latencies_ns.setdefault(op, []).append(elapsed_ns)
+
+    def merge(self, other: "LoadReport") -> None:
+        self.ops += other.ops
+        self.ok += other.ok
+        for code, count in other.errors.items():
+            self.errors[code] = self.errors.get(code, 0) + count
+        for op, latencies in other.latencies_ns.items():
+            self.latencies_ns.setdefault(op, []).extend(latencies)
+        self.inserted.extend(other.inserted)
+
+    # -- ground truth ---------------------------------------------------------------
+
+    def exact_rank(self, value) -> int:
+        """True number of acked inserted values ``<=`` ``value``."""
+        ordered = sorted(Fraction(v) for v in self.inserted)
+        return bisect_right(ordered, Fraction(value))
+
+    def max_rank_error(self, answers: dict) -> float:
+        """Largest |rank error| / n over a ``query`` response's results."""
+        n = len(self.inserted)
+        if n == 0:
+            return 0.0
+        ordered = sorted(Fraction(v) for v in self.inserted)
+        worst = 0.0
+        for entry in answers["results"]:
+            target_rank = entry["phi"] * n
+            served_rank = bisect_right(ordered, Fraction(entry["value"]))
+            worst = max(worst, abs(served_rank - target_rank) / n)
+        return worst
+
+    # -- reporting ------------------------------------------------------------------
+
+    def latency_quantiles_us(self, op: str, phis=(0.5, 0.9, 0.99)) -> dict:
+        latencies = sorted(self.latencies_ns.get(op, ()))
+        if not latencies:
+            return {}
+        return {
+            f"p{round(phi * 100):g}": latencies[
+                min(len(latencies) - 1, int(phi * len(latencies)))
+            ]
+            / 1000.0
+            for phi in phis
+        }
+
+    def summary(self) -> dict:
+        """JSON-compatible run summary for benchmarks and the CLI."""
+        return {
+            "ops": self.ops,
+            "ok": self.ok,
+            "errors": dict(sorted(self.errors.items())),
+            "inserted_values": len(self.inserted),
+            "seconds": round(self.seconds, 6),
+            "ops_per_second": round(self.ops / self.seconds, 2)
+            if self.seconds > 0
+            else None,
+            "latency_us": {
+                op: self.latency_quantiles_us(op)
+                for op in sorted(self.latencies_ns)
+            },
+        }
+
+
+async def _worker(
+    index: int, host: str, port: int, config: LoadConfig
+) -> LoadReport:
+    rng = random.Random(config.seed * 8191 + index)
+    report = LoadReport()
+    lo, hi = config.value_range
+    client = QuantileClient(
+        host,
+        port,
+        deadline_ms=config.deadline_ms,
+        jitter_seed=config.seed * 65537 + index,
+    )
+    async with client:
+        for _ in range(config.ops_per_client):
+            roll = rng.random()
+            if roll < config.insert_ratio:
+                op = "insert"
+                values = [
+                    rng.randint(lo, hi) for _ in range(config.values_per_insert)
+                ]
+            elif roll < config.insert_ratio + (1 - config.insert_ratio) / 2:
+                op = "query"
+            else:
+                op = "rank"
+            started = perf_counter_ns()
+            try:
+                if op == "insert":
+                    await client.insert(values)
+                    report.inserted.extend(values)
+                elif op == "query":
+                    await client.query(config.phis)
+                else:
+                    await client.rank([rng.randint(lo, hi)])
+            except RequestFailed as failure:
+                report.record_error(op, failure.code, perf_counter_ns() - started)
+            else:
+                report.record_ok(op, perf_counter_ns() - started)
+    return report
+
+
+async def run_load(host: str, port: int, config: LoadConfig) -> LoadReport:
+    """Drive the configured workload against ``host:port``; gather one report."""
+    config.validate()
+    started = perf_counter_ns()
+    reports = await asyncio.gather(
+        *(_worker(index, host, port, config) for index in range(config.clients))
+    )
+    combined = LoadReport()
+    for report in reports:
+        combined.merge(report)
+    combined.seconds = (perf_counter_ns() - started) / 1e9
+    return combined
+
+
+def run_load_sync(host: str, port: int, config: LoadConfig) -> LoadReport:
+    """:func:`run_load` for synchronous callers (CLI, benchmarks)."""
+    return asyncio.run(run_load(host, port, config))

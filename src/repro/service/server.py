@@ -1,0 +1,527 @@
+"""The asyncio quantile-serving server.
+
+Architecture (one event loop, one writer)::
+
+    connections --parse--> [BoundedQueue] --micro-batch--> ingest loop
+         |                                                     |
+         |  query/rank ----> SnapshotStore.current() <--publish+
+         |  GET /metrics --> Prometheus exposition of the shared registry
+
+* **Single-writer ingest.**  Connection handlers never touch the engine;
+  an ``insert`` becomes an :class:`IngestJob` on a :class:`BoundedQueue`
+  and the handler awaits the job's future.  One ingest-loop task drains
+  the queue in micro-batches, feeds all values to
+  :meth:`ShardedQuantileEngine.ingest` in a single call, publishes a fresh
+  snapshot, and only then resolves the futures — an acknowledged insert is
+  therefore always visible to the acknowledging client's next query.
+* **Non-blocking reads.**  ``query``/``rank`` are answered from the
+  current immutable snapshot (:mod:`repro.service.snapshots`) and never
+  wait on ingest.
+* **Explicit load shedding.**  A full queue answers ``overloaded``; a
+  request whose deadline expired (at admission or while queued) answers
+  ``deadline_exceeded``; inserts during drain answer ``shutting_down``.
+  Nothing is ever dropped without a response.
+* **Graceful drain.**  :meth:`QuantileService.stop` stops accepting
+  connections, closes the queue, waits for the ingest loop to flush every
+  admitted job (resolving every future), optionally checkpoints the
+  engine, and only then closes client sockets.
+* **Observability.**  Every stage records to a shared
+  :class:`~repro.obs.registry.MetricRegistry` (the engine's telemetry
+  included) and emits :mod:`repro.obs.spans` spans; ``GET /metrics`` on
+  the same port serves the Prometheus text exposition (version 0.0.4).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from fractions import Fraction
+from pathlib import Path
+from time import perf_counter_ns
+
+from repro.engine import EngineConfig, ShardedQuantileEngine, Telemetry
+from repro.engine.engine import as_fraction
+from repro.errors import EmptySummaryError, EngineError, ReproError, ServiceError
+from repro.obs import spans as obs_spans
+from repro.obs.export import to_prometheus
+from repro.obs.registry import MetricRegistry
+from repro.service import protocol
+from repro.service.limits import BoundedQueue, Deadline
+from repro.service.snapshots import SnapshotStore
+
+SERVICE_NAMESPACE = "service_"
+
+
+@dataclass
+class ServiceConfig:
+    """Operational knobs of the serving layer (engine knobs live in
+    :class:`~repro.engine.config.EngineConfig`)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port from `service.port`
+    max_queue_jobs: int = 256
+    max_batch_jobs: int = 64
+    max_values_per_insert: int = 65536
+    default_deadline_ms: float = 5000.0
+    linger_ms: float = 0.0
+    drain_timeout_s: float = 30.0
+    checkpoint_path: str | None = None
+
+    def validate(self) -> "ServiceConfig":
+        if self.max_queue_jobs < 1:
+            raise ServiceError(
+                f"max_queue_jobs must be positive, got {self.max_queue_jobs}"
+            )
+        if self.max_batch_jobs < 1:
+            raise ServiceError(
+                f"max_batch_jobs must be positive, got {self.max_batch_jobs}"
+            )
+        if self.max_values_per_insert < 1:
+            raise ServiceError(
+                "max_values_per_insert must be positive, got "
+                f"{self.max_values_per_insert}"
+            )
+        if self.default_deadline_ms <= 0:
+            raise ServiceError(
+                "default_deadline_ms must be positive, got "
+                f"{self.default_deadline_ms}"
+            )
+        if self.linger_ms < 0:
+            raise ServiceError(f"linger_ms must be >= 0, got {self.linger_ms}")
+        return self
+
+
+@dataclass
+class IngestJob:
+    """One admitted insert, waiting for the single-writer loop."""
+
+    values: list[Fraction]
+    deadline: Deadline
+    future: asyncio.Future
+    enqueued_ns: int = field(default_factory=perf_counter_ns)
+
+
+class QuantileService:
+    """A :class:`ShardedQuantileEngine` behind an asyncio TCP socket."""
+
+    def __init__(
+        self,
+        engine_config: EngineConfig | None = None,
+        config: ServiceConfig | None = None,
+        *,
+        engine: ShardedQuantileEngine | None = None,
+        registry: MetricRegistry | None = None,
+    ) -> None:
+        self.config = (config if config is not None else ServiceConfig()).validate()
+        self.registry = registry if registry is not None else MetricRegistry()
+        if engine is not None:
+            self.engine = engine
+        else:
+            self.engine = ShardedQuantileEngine(
+                engine_config if engine_config is not None else EngineConfig(),
+                telemetry=Telemetry(registry=self.registry),
+            )
+        self.snapshots = SnapshotStore()
+        if self.engine.items_ingested:
+            # A restored engine starts serving its checkpointed data at once.
+            self.snapshots.publish(self.engine)
+        self._queue = BoundedQueue(self.config.max_queue_jobs)
+        self._server: asyncio.AbstractServer | None = None
+        self._ingest_task: asyncio.Task | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._draining = False
+        self._stopped = False
+
+        reg = self.registry
+        self._latency = {
+            op: reg.histogram(
+                SERVICE_NAMESPACE + "request_latency_ns",
+                help="wall time from request parse to response write",
+                op=op,
+            )
+            for op in protocol.OPS
+        }
+        self._flush_items = reg.histogram(
+            SERVICE_NAMESPACE + "ingest_flush_items",
+            help="values ingested per micro-batch flush",
+        )
+        self._queue_depth = reg.gauge(
+            SERVICE_NAMESPACE + "queue_depth", help="ingest jobs waiting"
+        )
+        self._open_connections = reg.gauge(
+            SERVICE_NAMESPACE + "open_connections", help="live client sockets"
+        )
+        self._snapshot_epoch = reg.gauge(
+            SERVICE_NAMESPACE + "snapshot_epoch",
+            help="epoch of the currently served snapshot",
+        )
+
+    # -- metric helpers ------------------------------------------------------------
+
+    def _count_request(self, op: str) -> None:
+        self.registry.counter(
+            SERVICE_NAMESPACE + "requests_total",
+            help="requests received, by operation",
+            op=op,
+        ).inc()
+
+    def _count_response(self, code: str) -> None:
+        self.registry.counter(
+            SERVICE_NAMESPACE + "responses_total",
+            help="responses sent, by outcome code ('ok' or an error code)",
+            code=code,
+        ).inc()
+
+    def _count_shed(self, reason: str) -> None:
+        self.registry.counter(
+            SERVICE_NAMESPACE + "shed_total",
+            help="requests refused by backpressure, by reason",
+            reason=reason,
+        ).inc()
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (only valid after :meth:`start`)."""
+        if self._server is None:
+            raise ServiceError("service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> None:
+        """Bind the socket and start the single-writer ingest loop."""
+        if self._server is not None:
+            raise ServiceError("service is already started")
+        self._ingest_task = asyncio.create_task(
+            self._ingest_loop(), name="service-ingest"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+
+    async def stop(self) -> None:
+        """Graceful drain: refuse new work, flush admitted work, then close.
+
+        Ordering (the contract ``docs/service.md`` documents):
+
+        1. stop accepting connections and mark the service draining
+           (new inserts answer ``shutting_down``);
+        2. close the ingest queue and wait for the ingest loop to flush
+           every admitted job — every pending future resolves;
+        3. checkpoint the engine if configured;
+        4. close remaining client sockets.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        self._queue.close()
+        if self._ingest_task is not None:
+            try:
+                await asyncio.wait_for(
+                    self._ingest_task, timeout=self.config.drain_timeout_s
+                )
+            except asyncio.TimeoutError:
+                self._ingest_task.cancel()
+        if self.config.checkpoint_path:
+            self.engine.checkpoint(Path(self.config.checkpoint_path))
+        for writer in list(self._connections):
+            writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+
+    async def serve_until(self, stop_event: asyncio.Event) -> None:
+        """Run until ``stop_event`` fires, then drain gracefully."""
+        if self._server is None:
+            await self.start()
+        await stop_event.wait()
+        await self.stop()
+
+    # -- the single-writer ingest loop ---------------------------------------------
+
+    async def _ingest_loop(self) -> None:
+        while True:
+            jobs = await self._queue.get_batch(
+                self.config.max_batch_jobs, linger_s=self.config.linger_ms / 1000.0
+            )
+            if jobs is None:
+                return
+            self._queue_depth.set(self._queue.depth)
+            self._flush(jobs)
+
+    def _flush(self, jobs: list[IngestJob]) -> None:
+        """Ingest one micro-batch and resolve its futures (in the loop thread)."""
+        live: list[IngestJob] = []
+        for job in jobs:
+            if job.deadline.expired():
+                self._count_shed("deadline")
+                if not job.future.done():
+                    job.future.set_exception(
+                        _Shed(protocol.ERR_DEADLINE, "deadline expired in queue")
+                    )
+            else:
+                live.append(job)
+        if not live:
+            return
+        values: list[Fraction] = []
+        for job in live:
+            values.extend(job.values)
+        with obs_spans.span(
+            "service.ingest_flush", jobs=len(live), items=len(values)
+        ):
+            try:
+                self.engine.ingest(values, batch_size=max(len(values), 1))
+                snapshot = self.snapshots.publish(self.engine)
+            except ReproError as error:
+                for job in live:
+                    if not job.future.done():
+                        job.future.set_exception(
+                            _Shed(protocol.ERR_INTERNAL, str(error))
+                        )
+                return
+        self._flush_items.observe(len(values))
+        self._snapshot_epoch.set(snapshot.epoch)
+        for job in live:
+            if not job.future.done():
+                job.future.set_result(
+                    {"items": len(job.values), "n": snapshot.items, "epoch": snapshot.epoch}
+                )
+
+    # -- connection handling -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        self._open_connections.set(len(self._connections))
+        try:
+            first = await self._read_line(reader, writer)
+            if first is None:
+                return
+            if first.split(b" ", 1)[0] in (b"GET", b"HEAD"):
+                await self._serve_http(first, reader, writer)
+                return
+            line = first
+            while line is not None:
+                if line.strip():
+                    await self._handle_line(line, writer)
+                line = await self._read_line(reader, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            self._open_connections.set(len(self._connections))
+            writer.close()
+
+    async def _read_line(self, reader, writer) -> bytes | None:
+        """One wire line, or ``None`` at EOF / after an oversize line."""
+        try:
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            await self._send(
+                writer,
+                protocol.error_response(
+                    None,
+                    protocol.ERR_BAD_REQUEST,
+                    f"line exceeds {protocol.MAX_LINE_BYTES} bytes",
+                ),
+            )
+            return None
+        return line if line else None
+
+    async def _send(self, writer: asyncio.StreamWriter, record: dict) -> None:
+        writer.write(protocol.encode_line(record))
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def _handle_line(self, line: bytes, writer) -> None:
+        started = perf_counter_ns()
+        try:
+            request = protocol.parse_request(protocol.decode_line(line))
+        except ServiceError as error:
+            self._count_response(protocol.ERR_BAD_REQUEST)
+            await self._send(
+                writer,
+                protocol.error_response(
+                    None, protocol.ERR_BAD_REQUEST, str(error)
+                ),
+            )
+            return
+        self._count_request(request.op)
+        deadline = Deadline(
+            request.deadline_ms
+            if request.deadline_ms is not None
+            else self.config.default_deadline_ms
+        )
+        with obs_spans.span("service.request", op=request.op, id=request.id):
+            try:
+                response = await self._dispatch(request, deadline)
+            except _Shed as shed:
+                response = protocol.error_response(request.id, shed.code, shed.message)
+            except EmptySummaryError as error:
+                response = protocol.error_response(
+                    request.id, protocol.ERR_EMPTY, str(error)
+                )
+            except EngineError as error:
+                response = protocol.error_response(
+                    request.id, protocol.ERR_BAD_VALUE, str(error)
+                )
+            except ReproError as error:
+                response = protocol.error_response(
+                    request.id, protocol.ERR_INTERNAL, str(error)
+                )
+        code = "ok" if response.get("ok") else response["error"]["code"]
+        self._count_response(code)
+        self._latency[request.op].observe(perf_counter_ns() - started)
+        await self._send(writer, response)
+
+    async def _dispatch(self, request: protocol.Request, deadline: Deadline) -> dict:
+        if deadline.expired():
+            self._count_shed("deadline")
+            raise _Shed(protocol.ERR_DEADLINE, "deadline expired before dispatch")
+        op = request.op
+        if op == "ping":
+            snapshot = self.snapshots.current()
+            return protocol.ok_response(
+                request.id,
+                epoch=snapshot.epoch,
+                n=snapshot.items,
+                draining=self._draining,
+            )
+        if op == "insert":
+            return await self._op_insert(request, deadline)
+        if op == "query":
+            return self._op_query(request)
+        if op == "rank":
+            return self._op_rank(request)
+        if op == "stats":
+            return self._op_stats(request)
+        raise _Shed(protocol.ERR_BAD_REQUEST, f"unhandled op {op!r}")
+
+    async def _op_insert(self, request: protocol.Request, deadline: Deadline) -> dict:
+        if self._draining:
+            self._count_shed("shutdown")
+            raise _Shed(
+                protocol.ERR_SHUTTING_DOWN, "service is draining; retry elsewhere"
+            )
+        if len(request.values) > self.config.max_values_per_insert:
+            raise _Shed(
+                protocol.ERR_BAD_REQUEST,
+                f"insert carries {len(request.values)} values; the cap is "
+                f"{self.config.max_values_per_insert} per request",
+            )
+        values = [as_fraction(value) for value in request.values]  # EngineError -> bad_value
+        job = IngestJob(
+            values=values,
+            deadline=deadline,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        if not self._queue.try_put(job):
+            self._count_shed("queue_full")
+            raise _Shed(
+                protocol.ERR_OVERLOADED,
+                f"ingest queue is full ({self.config.max_queue_jobs} jobs); "
+                "retry with backoff",
+            )
+        self._queue_depth.set(self._queue.depth)
+        result = await job.future  # the ingest loop always resolves this
+        self.registry.counter(
+            SERVICE_NAMESPACE + "items_inserted_total",
+            help="values accepted into the engine",
+        ).inc(result["items"])
+        return protocol.ok_response(request.id, **result)
+
+    def _op_query(self, request: protocol.Request) -> dict:
+        snapshot = self.snapshots.current()
+        results = []
+        for phi in request.phis:
+            value = snapshot.query(float(phi))
+            results.append(
+                {"phi": float(phi), "value": str(value), "approx": float(value)}
+            )
+        return protocol.ok_response(
+            request.id, epoch=snapshot.epoch, n=snapshot.items, results=results
+        )
+
+    def _op_rank(self, request: protocol.Request) -> dict:
+        snapshot = self.snapshots.current()
+        results = []
+        for raw in request.values:
+            value = as_fraction(raw)
+            results.append({"value": str(value), "rank": snapshot.rank(value)})
+        return protocol.ok_response(
+            request.id, epoch=snapshot.epoch, n=snapshot.items, results=results
+        )
+
+    def _op_stats(self, request: protocol.Request) -> dict:
+        snapshot = self.snapshots.current()
+        return protocol.ok_response(
+            request.id,
+            service={
+                "epoch": snapshot.epoch,
+                "queue_depth": self._queue.depth,
+                "connections": len(self._connections),
+                "draining": self._draining,
+            },
+            engine=self.engine.stats(),
+        )
+
+    # -- the HTTP-ish /metrics endpoint --------------------------------------------
+
+    def _combined_registry(self) -> MetricRegistry:
+        """Service + engine metrics on one page (merged, never mutated)."""
+        combined = MetricRegistry()
+        combined.merge(self.registry)
+        if self.engine.telemetry.registry is not self.registry:
+            combined.merge(self.engine.telemetry.registry)
+        return combined
+
+    async def _serve_http(self, first_line: bytes, reader, writer) -> None:
+        """Answer one ``GET /metrics`` (or 404) and close, HTTP/1.0-style."""
+        try:
+            target = first_line.split(b" ")[1].decode("latin-1")
+        except (IndexError, UnicodeDecodeError):
+            target = ""
+        # Swallow request headers until the blank line; ignore their content.
+        while True:
+            header = await reader.readline()
+            if not header or header in (b"\r\n", b"\n"):
+                break
+        if target.split("?")[0] == "/metrics":
+            body = to_prometheus(self._combined_registry()).encode()
+            status = b"200 OK"
+            content_type = b"text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = f"no such path {target!r}; try /metrics\n".encode()
+            status = b"404 Not Found"
+            content_type = b"text/plain; charset=utf-8"
+        writer.write(
+            b"HTTP/1.0 " + status + b"\r\n"
+            b"Content-Type: " + content_type + b"\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"Connection: close\r\n\r\n" + body
+        )
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+class _Shed(ServiceError):
+    """Internal: carries a wire error code from a handler to the responder."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message

@@ -1,0 +1,143 @@
+"""Checkpoint → restore → continued ingest, plus input-validation hardening.
+
+The centrepiece is the round-robin resumption guarantee: an engine restored
+from a checkpoint must route every subsequent item to the *same* shard the
+uninterrupted engine would have chosen, because routing continues from the
+persisted lifetime item count.  The final shard states must be bit-identical
+(compared via their persistence payloads) to a run that never stopped.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.engine import EngineConfig, ShardedQuantileEngine
+from repro.engine.engine import as_fraction
+from repro.errors import EngineError
+from repro.persistence import dump as dump_summary
+
+
+def make_engine(routing: str = "round-robin", shards: int = 3) -> ShardedQuantileEngine:
+    return ShardedQuantileEngine(
+        EngineConfig(summary="gk", epsilon=0.05, shards=shards, routing=routing)
+    )
+
+
+def shard_payloads(engine: ShardedQuantileEngine) -> list[str]:
+    """Canonical JSON per shard — the bit-identity yardstick."""
+    return [
+        json.dumps(dump_summary(summary), sort_keys=True)
+        for summary in engine.shard_summaries
+    ]
+
+
+class TestRestoreContinuesRoundRobin:
+    @pytest.mark.parametrize("split", [1, 250, 499, 500])
+    def test_interrupted_run_matches_uninterrupted(self, tmp_path, split):
+        values = list(range(1, 501))
+
+        straight = make_engine()
+        straight.ingest(values)
+
+        interrupted = make_engine()
+        interrupted.ingest(values[:split])
+        path = tmp_path / "mid.jsonl"
+        interrupted.checkpoint(path)
+
+        restored = ShardedQuantileEngine.restore(path)
+        assert restored.items_ingested == split
+        restored.ingest(values[split:])
+
+        assert restored.items_ingested == straight.items_ingested == 500
+        assert shard_payloads(restored) == shard_payloads(straight)
+
+    def test_restore_resumes_shard_assignment_from_lifetime_count(self, tmp_path):
+        # 7 items over 3 shards: item 8 (index 7) must land on shard 1,
+        # exactly as if ingest had never paused.
+        engine = make_engine()
+        engine.ingest(range(7))
+        path = tmp_path / "seven.jsonl"
+        engine.checkpoint(path)
+
+        restored = ShardedQuantileEngine.restore(path)
+        before = [summary.n for summary in restored.shard_summaries]
+        restored.ingest([999])
+        after = [summary.n for summary in restored.shard_summaries]
+        grew = [i for i, (a, b) in enumerate(zip(before, after)) if b > a]
+        assert grew == [7 % 3]
+
+    def test_restored_engine_answers_identically(self, tmp_path):
+        straight = make_engine()
+        straight.ingest(range(1, 1001))
+
+        interrupted = make_engine()
+        interrupted.ingest(range(1, 401))
+        path = tmp_path / "answers.jsonl"
+        interrupted.checkpoint(path)
+        restored = ShardedQuantileEngine.restore(path)
+        restored.ingest(range(401, 1001))
+
+        for phi in (0.01, 0.25, 0.5, 0.75, 0.99):
+            assert restored.query(phi) == straight.query(phi)
+        assert restored.rank(500) == straight.rank(500)
+
+    def test_hash_routing_also_survives_restore(self, tmp_path):
+        values = [v * 7 % 1009 for v in range(600)]
+        straight = make_engine(routing="hash")
+        straight.ingest(values)
+
+        interrupted = make_engine(routing="hash")
+        interrupted.ingest(values[:200])
+        path = tmp_path / "hash.jsonl"
+        interrupted.checkpoint(path)
+        restored = ShardedQuantileEngine.restore(path)
+        restored.ingest(values[200:])
+
+        assert shard_payloads(restored) == shard_payloads(straight)
+
+
+class TestAsFractionErrors:
+    @pytest.mark.parametrize("bad", ["abc", "1/0", "", "1.2.3", None, object()])
+    def test_malformed_input_raises_engine_error_naming_the_value(self, bad):
+        with pytest.raises(EngineError, match="cannot interpret"):
+            as_fraction(bad)
+
+    def test_nan_and_infinity_raise_engine_error(self):
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(EngineError, match="cannot interpret"):
+                as_fraction(bad)
+
+    def test_error_message_names_the_offending_value(self):
+        with pytest.raises(EngineError, match="'1/0'"):
+            as_fraction("1/0")
+
+    def test_well_formed_inputs_still_convert(self):
+        from fractions import Fraction
+
+        assert as_fraction("7/2") == Fraction(7, 2)
+        assert as_fraction(3) == Fraction(3)
+        assert as_fraction(0.5) == Fraction(1, 2)
+
+    def test_bad_value_mid_batch_does_not_corrupt_the_engine(self):
+        engine = make_engine()
+        engine.ingest(range(10))
+        with pytest.raises(EngineError):
+            engine.ingest([10, "bogus", 12])
+        # The failed batch is rejected atomically up-front or the engine
+        # keeps serving; either way it must still answer queries.
+        assert engine.query(0.5) is not None
+
+
+class TestThroughputStats:
+    def test_stats_expose_items_per_second(self):
+        engine = make_engine()
+        engine.ingest(range(1000))
+        stats = engine.stats()
+        throughput = stats["throughput"]
+        assert throughput["ingest_seconds"] > 0
+        assert throughput["items_per_second"] > 0
+
+    def test_empty_engine_reports_no_throughput(self):
+        stats = make_engine().stats()
+        assert stats["throughput"]["items_per_second"] is None

@@ -1,0 +1,151 @@
+"""Client behaviour: backoff schedule, retries, connection reuse."""
+
+import asyncio
+
+import pytest
+
+from repro.engine import EngineConfig
+from repro.errors import RequestFailed, ServiceUnavailable
+from repro.service import (
+    QuantileClient,
+    QuantileService,
+    ServiceConfig,
+    backoff_schedule,
+    protocol,
+)
+
+
+def make_service() -> QuantileService:
+    return QuantileService(
+        engine_config=EngineConfig(summary="gk", epsilon=0.05, shards=2),
+        config=ServiceConfig(port=0),
+    )
+
+
+class TestBackoffSchedule:
+    def test_deterministic_for_a_seed(self):
+        assert backoff_schedule(5, seed=42) == backoff_schedule(5, seed=42)
+        assert backoff_schedule(5, seed=42) != backoff_schedule(5, seed=43)
+
+    def test_exponential_base_with_bounded_jitter(self):
+        base, cap = 0.05, 2.0
+        delays = backoff_schedule(8, base_s=base, cap_s=cap, seed=0)
+        for attempt, delay in enumerate(delays):
+            floor = min(cap, base * (2 ** attempt))
+            assert floor <= delay <= 2 * floor
+
+    def test_cap_limits_growth(self):
+        delays = backoff_schedule(12, base_s=0.1, cap_s=0.4, seed=1)
+        assert max(delays) <= 0.8  # cap + full jitter
+
+
+class TestRetries:
+    def test_connection_refused_exhausts_into_service_unavailable(self):
+        async def scenario():
+            # A port nothing listens on: bind-and-release an ephemeral one.
+            server = await asyncio.start_server(
+                lambda r, w: None, host="127.0.0.1", port=0
+            )
+            port = server.sockets[0].getsockname()[1]
+            server.close()
+            await server.wait_closed()
+            client = QuantileClient(
+                "127.0.0.1",
+                port,
+                max_retries=2,
+                backoff_base_s=0.001,
+                backoff_cap_s=0.002,
+            )
+            with pytest.raises(ServiceUnavailable, match="3 attempt"):
+                await client.ping()
+            return client.requests_sent, client.retries_used
+
+        sent, retried = asyncio.run(scenario())
+        assert sent == 3
+        assert retried == 2
+
+    def test_recovers_when_the_server_comes_back(self):
+        async def scenario():
+            service = make_service()
+            await service.start()
+            port = service.port
+            client = QuantileClient(
+                "127.0.0.1", port, max_retries=3, backoff_base_s=0.01
+            )
+            await client.insert([1, 2, 3])
+            # Kill the connection under the client; the next call must
+            # reconnect transparently and succeed.
+            client._writer.close()
+            pong = await client.ping()
+            await client.aclose()
+            await service.stop()
+            return pong
+
+        pong = asyncio.run(scenario())
+        assert pong["n"] == 3
+
+    def test_explicit_server_errors_are_not_retried_by_default(self):
+        async def scenario():
+            service = make_service()
+            await service.start()
+            client = QuantileClient("127.0.0.1", service.port, max_retries=3)
+            with pytest.raises(RequestFailed) as excinfo:
+                await client.query([0.5])  # empty -> explicit error
+            sent = client.requests_sent
+            await client.aclose()
+            await service.stop()
+            return excinfo.value.code, sent
+
+        code, sent = asyncio.run(scenario())
+        assert code == protocol.ERR_EMPTY
+        assert sent == 1  # no blind retries of an explicit answer
+
+    def test_retry_shed_retries_deadline_errors(self):
+        async def scenario():
+            service = make_service()
+            await service.start()
+            client = QuantileClient(
+                "127.0.0.1",
+                service.port,
+                max_retries=2,
+                backoff_base_s=0.001,
+                retry_shed=True,
+                deadline_ms=0,  # every attempt is born expired
+            )
+            await client.connect()
+            with pytest.raises(ServiceUnavailable):
+                await client.insert([1])
+            sent = client.requests_sent
+            await client.aclose()
+            await service.stop()
+            return sent
+
+        assert asyncio.run(scenario()) == 3
+
+
+class TestConnectionReuse:
+    def test_many_requests_share_one_connection(self):
+        async def scenario():
+            service = make_service()
+            await service.start()
+            async with QuantileClient("127.0.0.1", service.port) as client:
+                for batch in range(5):
+                    await client.insert([batch])
+                    await client.ping()
+            gauge = service.registry.get("service_open_connections")
+            # Wait for the server to observe the client's EOF.
+            for _ in range(100):
+                if gauge.value == 0:
+                    break
+                await asyncio.sleep(0.01)
+            connections = gauge.value
+            # One client connection served all ten requests.
+            requests = service.registry.get(
+                "service_requests_total", op="insert"
+            ).value
+            await service.stop()
+            return connections, requests
+
+        connections, requests = asyncio.run(scenario())
+        assert requests == 5
+        assert connections == 0

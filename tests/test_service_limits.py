@@ -1,0 +1,147 @@
+"""Backpressure primitives: deadlines and the bounded micro-batch queue."""
+
+import asyncio
+
+import pytest
+
+from repro.service.limits import BoundedQueue, Deadline
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        deadline = Deadline.unbounded()
+        assert not deadline.expired()
+        assert deadline.remaining_s() == float("inf")
+
+    def test_expires_on_the_monotonic_clock(self):
+        clock = FakeClock()
+        deadline = Deadline(250, clock=clock)
+        assert not deadline.expired()
+        clock.now += 0.249
+        assert not deadline.expired()
+        clock.now += 0.002
+        assert deadline.expired()
+        assert deadline.remaining_s() < 0
+
+    def test_zero_deadline_is_born_expired(self):
+        assert Deadline(0, clock=FakeClock()).expired()
+
+
+class TestBoundedQueue:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0)
+
+    def test_try_put_sheds_at_capacity(self):
+        async def scenario():
+            queue = BoundedQueue(2)
+            assert queue.try_put("a")
+            assert queue.try_put("b")
+            assert not queue.try_put("c")  # full -> explicit shed
+            assert queue.depth == 2
+            return await queue.get_batch(max_items=10)
+
+        assert asyncio.run(scenario()) == ["a", "b"]
+
+    def test_get_batch_coalesces_up_to_max_items(self):
+        async def scenario():
+            queue = BoundedQueue(10)
+            for index in range(5):
+                queue.try_put(index)
+            first = await queue.get_batch(max_items=3)
+            second = await queue.get_batch(max_items=3)
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first == [0, 1, 2]
+        assert second == [3, 4]
+
+    def test_get_batch_waits_for_work(self):
+        async def scenario():
+            queue = BoundedQueue(4)
+
+            async def producer():
+                await asyncio.sleep(0.01)
+                queue.try_put("late")
+
+            task = asyncio.create_task(producer())
+            batch = await queue.get_batch(max_items=4)
+            await task
+            return batch
+
+        assert asyncio.run(scenario()) == ["late"]
+
+    def test_close_refuses_new_work_and_drains_to_none(self):
+        async def scenario():
+            queue = BoundedQueue(4)
+            queue.try_put("pending")
+            queue.close()
+            assert not queue.try_put("rejected")
+            final_batch = await queue.get_batch(max_items=4)
+            after_drain = await queue.get_batch(max_items=4)
+            again = await queue.get_batch(max_items=4)
+            return final_batch, after_drain, again
+
+        final_batch, after_drain, again = asyncio.run(scenario())
+        assert final_batch == ["pending"]
+        assert after_drain is None
+        assert again is None
+
+    def test_close_wakes_a_blocked_consumer(self):
+        async def scenario():
+            queue = BoundedQueue(4)
+
+            async def closer():
+                await asyncio.sleep(0.01)
+                queue.close()
+
+            task = asyncio.create_task(closer())
+            batch = await queue.get_batch(max_items=4)
+            await task
+            return batch
+
+        assert asyncio.run(scenario()) is None
+
+    def test_close_is_idempotent(self):
+        async def scenario():
+            queue = BoundedQueue(1)
+            queue.close()
+            queue.close()
+            return await queue.get_batch(max_items=1)
+
+        assert asyncio.run(scenario()) is None
+
+    def test_close_has_room_even_when_full(self):
+        # The +1 sentinel slot: closing a full queue must not raise.
+        async def scenario():
+            queue = BoundedQueue(1)
+            assert queue.try_put("a")
+            queue.close()
+            assert await queue.get_batch(max_items=5) == ["a"]
+            return await queue.get_batch(max_items=5)
+
+        assert asyncio.run(scenario()) is None
+
+    def test_linger_grows_the_batch(self):
+        async def scenario():
+            queue = BoundedQueue(8)
+            queue.try_put("first")
+
+            async def trickle():
+                await asyncio.sleep(0.005)
+                queue.try_put("second")
+
+            task = asyncio.create_task(trickle())
+            batch = await queue.get_batch(max_items=8, linger_s=0.05)
+            await task
+            return batch
+
+        assert asyncio.run(scenario()) == ["first", "second"]

@@ -1,0 +1,123 @@
+"""The NDJSON wire protocol: encoding, validation, error envelopes."""
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service import protocol
+
+
+class TestEncodingRoundTrip:
+    def test_encode_line_is_one_json_line(self):
+        line = protocol.encode_line({"id": 1, "op": "ping"})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+        assert json.loads(line) == {"id": 1, "op": "ping"}
+
+    def test_decode_line_accepts_bytes_and_str(self):
+        assert protocol.decode_line(b'{"id": 1}') == {"id": 1}
+        assert protocol.decode_line('{"id": 1}') == {"id": 1}
+
+    def test_request_record_round_trips(self):
+        request = protocol.Request(
+            id=7, op="insert", values=(1, "7/2"), deadline_ms=250.0
+        )
+        rebuilt = protocol.parse_request(
+            protocol.decode_line(protocol.encode_line(request.to_record()))
+        )
+        assert rebuilt == request
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            protocol.decode_line(b"hello\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.decode_line(b"[1, 2]\n")
+
+    def test_decode_rejects_oversize_line(self):
+        big = b'{"pad": "' + b"x" * protocol.MAX_LINE_BYTES + b'"}'
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.decode_line(big)
+
+
+class TestRequestValidation:
+    def test_requires_integer_id(self):
+        with pytest.raises(ProtocolError, match="integer 'id'"):
+            protocol.parse_request({"op": "ping"})
+        with pytest.raises(ProtocolError, match="integer 'id'"):
+            protocol.parse_request({"id": True, "op": "ping"})
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            protocol.parse_request({"id": 1, "op": "drop_tables"})
+
+    def test_insert_requires_values(self):
+        with pytest.raises(ProtocolError, match="values"):
+            protocol.parse_request({"id": 1, "op": "insert"})
+        with pytest.raises(ProtocolError, match="values"):
+            protocol.parse_request({"id": 1, "op": "insert", "values": []})
+
+    def test_insert_rejects_non_numeric_entries(self):
+        with pytest.raises(ProtocolError, match="numbers or numeric strings"):
+            protocol.parse_request(
+                {"id": 1, "op": "insert", "values": [1, [2]]}
+            )
+        with pytest.raises(ProtocolError, match="numbers or numeric strings"):
+            protocol.parse_request(
+                {"id": 1, "op": "insert", "values": [True]}
+            )
+
+    def test_query_validates_phis(self):
+        with pytest.raises(ProtocolError, match="phis"):
+            protocol.parse_request({"id": 1, "op": "query"})
+        with pytest.raises(ProtocolError, match=r"\[0, 1\]"):
+            protocol.parse_request({"id": 1, "op": "query", "phis": [1.5]})
+        with pytest.raises(ProtocolError, match=r"\[0, 1\]"):
+            protocol.parse_request({"id": 1, "op": "query", "phis": ["0.5"]})
+
+    def test_deadline_must_be_finite_non_negative(self):
+        for bad in (-1, float("inf"), float("nan"), "100", True):
+            with pytest.raises(ProtocolError, match="deadline_ms"):
+                protocol.parse_request(
+                    {"id": 1, "op": "ping", "deadline_ms": bad}
+                )
+
+    def test_zero_deadline_is_legal(self):
+        request = protocol.parse_request(
+            {"id": 1, "op": "ping", "deadline_ms": 0}
+        )
+        assert request.deadline_ms == 0
+
+    def test_string_values_pass_through_unparsed(self):
+        request = protocol.parse_request(
+            {"id": 1, "op": "rank", "values": ["7/2", "0.125"]}
+        )
+        assert request.values == ("7/2", "0.125")
+
+
+class TestResponses:
+    def test_ok_response_echoes_id_and_fields(self):
+        response = protocol.ok_response(9, n=42)
+        assert response == {"id": 9, "ok": True, "n": 42}
+        assert protocol.parse_response(response) is response
+
+    def test_error_response_carries_registered_code(self):
+        response = protocol.error_response(3, protocol.ERR_OVERLOADED, "full")
+        assert response["error"]["code"] == "overloaded"
+        assert protocol.parse_response(response) is response
+
+    def test_error_response_rejects_unknown_code(self):
+        with pytest.raises(ProtocolError, match="unknown error code"):
+            protocol.error_response(3, "whoops", "message")
+
+    def test_parse_response_rejects_malformed_envelopes(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_response({"ok": True})
+        with pytest.raises(ProtocolError):
+            protocol.parse_response({"id": 1, "ok": False})
+
+    def test_every_shed_code_is_registered(self):
+        for code in protocol.RETRYABLE_CODES:
+            assert code in protocol.ERROR_CODES

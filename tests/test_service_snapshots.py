@@ -1,0 +1,91 @@
+"""Epoch-swapped snapshots: immutability, isolation from live ingest."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.engine import EngineConfig, ShardedQuantileEngine
+from repro.errors import EmptySummaryError
+from repro.service.snapshots import EMPTY_SNAPSHOT, SnapshotStore
+
+
+def make_engine(shards: int = 2) -> ShardedQuantileEngine:
+    return ShardedQuantileEngine(
+        EngineConfig(summary="gk", epsilon=0.05, shards=shards)
+    )
+
+
+class TestEmptySnapshot:
+    def test_store_starts_at_the_empty_epoch(self):
+        store = SnapshotStore()
+        assert store.current() is EMPTY_SNAPSHOT
+        assert store.epoch == 0
+
+    def test_empty_snapshot_refuses_queries_explicitly(self):
+        with pytest.raises(EmptySummaryError, match="epoch 0"):
+            EMPTY_SNAPSHOT.query(0.5)
+        with pytest.raises(EmptySummaryError):
+            EMPTY_SNAPSHOT.rank(Fraction(1))
+
+    def test_publish_of_an_empty_engine_stays_empty(self):
+        store = SnapshotStore()
+        snapshot = store.publish(make_engine())
+        assert snapshot is EMPTY_SNAPSHOT
+        assert store.epoch == 0
+
+
+class TestPublishing:
+    def test_epochs_increase_per_publish(self):
+        store = SnapshotStore()
+        engine = make_engine()
+        engine.ingest(range(100))
+        first = store.publish(engine)
+        engine.ingest(range(100, 200))
+        second = store.publish(engine)
+        assert (first.epoch, second.epoch) == (1, 2)
+        assert (first.items, second.items) == (100, 200)
+
+    def test_publish_without_growth_reuses_the_snapshot(self):
+        store = SnapshotStore()
+        engine = make_engine()
+        engine.ingest(range(100))
+        first = store.publish(engine)
+        second = store.publish(engine)
+        assert second is first
+
+    def test_snapshot_answers_match_the_engine_at_publish_time(self):
+        store = SnapshotStore()
+        engine = make_engine()
+        engine.ingest(range(1, 1001))
+        snapshot = store.publish(engine)
+        assert snapshot.query(0.5) == engine.query(0.5)
+        assert snapshot.rank(Fraction(500)) == engine.rank(500)
+
+
+class TestIsolation:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_old_snapshot_is_frozen_while_ingest_continues(self, shards):
+        # The single-shard case is the trap: the merged summary aliases the
+        # live shard unless publish() copies it.
+        store = SnapshotStore()
+        engine = make_engine(shards=shards)
+        engine.ingest(range(1, 501))
+        frozen = store.publish(engine)
+        before = frozen.query(0.5)
+        before_rank = frozen.rank(Fraction(100))
+        engine.ingest(range(10_000, 20_000))
+        assert frozen.query(0.5) == before
+        assert frozen.rank(Fraction(100)) == before_rank
+        assert frozen.items == 500
+
+    def test_new_snapshot_sees_the_new_data(self):
+        store = SnapshotStore()
+        engine = make_engine()
+        engine.ingest(range(1, 501))
+        old = store.publish(engine)
+        engine.ingest(range(10_000, 20_000))
+        new = store.publish(engine)
+        assert new.epoch == old.epoch + 1
+        assert new.items == 10_500
+        assert new.rank(Fraction(25_000)) == 10_500
+        assert old.rank(Fraction(25_000)) == 500
