@@ -3,7 +3,24 @@
 These are conventional multi-round pytest-benchmark measurements: summary
 insertion throughput, query latency, the order-statistics container, and the
 adversarial construction itself at two depths.
+
+The file doubles as a standalone batch-vs-single ingest comparison:
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py            # full run
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke    # CI-sized
+
+which times per-item ``process`` against ``process_many`` for each summary
+type with a batch kernel, appends an entry to
+``benchmarks/results/BENCH_batch.json``, and exits nonzero if any batch
+kernel is slower than its per-item baseline.
 """
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import pytest
 
@@ -184,3 +201,143 @@ def test_adversary_validation_overhead(benchmark):
 
     result = benchmark.pedantic(build, rounds=1, iterations=1)
     assert result.length == 1024
+
+
+@pytest.mark.parametrize("name", ["gk", "kll", "mrl", "exact"])
+def test_batch_process_throughput(benchmark, stream_items, name):
+    """Insert 10k items through the batch kernel (compare with per-item above)."""
+    factories = {**SUMMARIES, "exact": _exact}
+
+    def build():
+        summary = factories[name]()
+        summary.process_many(stream_items)
+        return summary
+
+    summary = benchmark(build)
+    assert summary.n == STREAM_LENGTH
+
+
+def _exact():
+    from repro.summaries.exact import ExactSummary
+
+    return ExactSummary()
+
+
+# -- standalone batch-vs-single comparison ------------------------------------------
+
+BATCH_RESULTS_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_batch.json"
+
+#: Types compared in the standalone run: every registered type with a batch
+#: kernel that ingests plain integers at scale in reasonable time.
+BATCH_BENCH_TYPES = ("gk", "gk-greedy", "kll", "mrl", "req", "exact", "sampling")
+
+
+def _bench_summary(name: str, epsilon: float, n: int):
+    from repro.model.registry import create_summary
+
+    if name == "mrl":
+        return create_summary(name, epsilon, n_hint=n)
+    return create_summary(name, epsilon)
+
+
+def _compare_batch_vs_single(name: str, values, epsilon: float) -> dict:
+    import time as _time
+
+    from repro.universe import Universe
+
+    single = _bench_summary(name, epsilon, len(values))
+    items = Universe().items(values)
+    started = _time.perf_counter_ns()
+    for item in items:
+        single.process(item)
+    single_ns = _time.perf_counter_ns() - started
+
+    batched = _bench_summary(name, epsilon, len(values))
+    items = Universe().items(values)
+    started = _time.perf_counter_ns()
+    batched.process_many(items)
+    batch_ns = _time.perf_counter_ns() - started
+
+    assert batched.fingerprint() == single.fingerprint(), name
+    assert batched.max_item_count == single.max_item_count, name
+    return {
+        "summary": name,
+        "items": len(values),
+        "single_seconds": round(single_ns / 1e9, 4),
+        "batch_seconds": round(batch_ns / 1e9, 4),
+        "single_items_per_second": round(len(values) / (single_ns / 1e9)),
+        "batch_items_per_second": round(len(values) / (batch_ns / 1e9)),
+        "speedup": round(single_ns / batch_ns, 2),
+    }
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+    import random
+    import time as _time
+
+    parser = argparse.ArgumentParser(
+        description="batch-kernel vs per-item ingest comparison"
+    )
+    parser.add_argument("--n", type=int, default=1_000_000, help="items per run")
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (n = 50k)"
+    )
+    parser.add_argument(
+        "--summaries", nargs="+", default=list(BATCH_BENCH_TYPES), metavar="NAME"
+    )
+    parser.add_argument("--epsilon", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument(
+        "--output",
+        default=str(BATCH_RESULTS_PATH),
+        help="JSON history file to append to",
+    )
+    args = parser.parse_args(argv)
+
+    count = 50_000 if args.smoke else args.n
+    rng = random.Random(args.seed)
+    values = [rng.randint(0, 10**9) for _ in range(count)]
+
+    runs = []
+    slower = []
+    for name in args.summaries:
+        result = _compare_batch_vs_single(name, values, args.epsilon)
+        runs.append(result)
+        print(
+            f"{name:>9}: per-item {result['single_items_per_second']:>10,} items/s, "
+            f"batch {result['batch_items_per_second']:>10,} items/s "
+            f"(x{result['speedup']})"
+        )
+        if result["speedup"] < 1.0:
+            slower.append(name)
+
+    entry = {
+        "benchmark": "batch_vs_single_ingest",
+        "timestamp": _time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": sys.version.split()[0],
+        "items": count,
+        "smoke": args.smoke,
+        "epsilon": args.epsilon,
+        "runs": runs,
+    }
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    history = []
+    if output.exists():
+        try:
+            history = json.loads(output.read_text())
+        except json.JSONDecodeError:
+            history = []
+    history.append(entry)
+    output.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"appended entry #{len(history)} to {output}")
+    if slower:
+        print(f"FAIL: batch kernel slower than per-item for: {', '.join(slower)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

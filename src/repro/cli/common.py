@@ -1,0 +1,39 @@
+"""Helpers shared by the CLI subcommand modules."""
+
+from __future__ import annotations
+
+import json
+import random
+from fractions import Fraction
+from typing import Iterable, Iterator
+
+from repro.obs import MetricRegistry
+
+
+def parse_values(lines: Iterable[str]) -> list[Fraction]:
+    """Parse one number per line; blank lines and ``#`` comments are skipped."""
+    values = []
+    for line_number, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        try:
+            values.append(Fraction(text))
+        except ValueError:
+            raise SystemExit(
+                f"line {line_number}: {text!r} is not a number"
+            ) from None
+    return values
+
+
+def generated_values(count: int, seed: int) -> Iterator[int]:
+    """A seeded pseudorandom integer stream, identical across runs."""
+    rng = random.Random(seed)
+    return (rng.randint(0, 10**9) for _ in range(count))
+
+
+def write_metrics(path: str, registry: MetricRegistry) -> None:
+    """Dump ``registry`` as an exact JSON payload file."""
+    with open(path, "w") as handle:
+        json.dump(registry.to_payload(), handle)
+        handle.write("\n")

@@ -1,0 +1,135 @@
+"""``obs report | export`` subcommands: the observability layer's CLI."""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import TextIO
+
+from repro.engine.checkpoint import read_checkpoint
+from repro.errors import ObservabilityError
+from repro.obs import MetricRegistry, read_trace, render as render_registry
+from repro.obs.export import FORMATS as EXPORT_FORMATS
+
+
+def _combined_registry(args: argparse.Namespace) -> MetricRegistry:
+    """One registry merged from --metrics dumps and --checkpoint telemetry."""
+    registry = MetricRegistry()
+    for path in args.metrics or []:
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except OSError as error:
+            raise ObservabilityError(f"cannot read metrics file: {error}") from None
+        except json.JSONDecodeError as error:
+            raise ObservabilityError(
+                f"metrics file {path} is not valid JSON: {error}"
+            ) from None
+        registry.merge(MetricRegistry.from_payload(payload))
+    for path in args.checkpoint or []:
+        registry.merge(read_checkpoint(path)["telemetry"].registry)
+    return registry
+
+
+def cmd_obs_export(args: argparse.Namespace, out: TextIO) -> int:
+    if not (args.metrics or args.checkpoint):
+        raise SystemExit("give at least one --metrics or --checkpoint source")
+    registry = _combined_registry(args)
+    text = render_registry(registry, args.format)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"{args.format} metrics written to {args.output}", file=out)
+    else:
+        out.write(text)
+    return 0
+
+
+def cmd_obs_report(args: argparse.Namespace, out: TextIO) -> int:
+    if not (args.metrics or args.checkpoint or args.trace):
+        raise SystemExit(
+            "give at least one --metrics, --checkpoint, or --trace source"
+        )
+    registry = _combined_registry(args)
+    snapshot = registry.snapshot()
+    if snapshot["counters"]:
+        print("counters:", file=out)
+        for name, value in snapshot["counters"].items():
+            print(f"  {name} = {value}", file=out)
+    if snapshot["gauges"]:
+        print("gauges:", file=out)
+        for name, value in snapshot["gauges"].items():
+            print(f"  {name} = {value:g}", file=out)
+    if snapshot["histograms"]:
+        print("histograms (GK-summarised):", file=out)
+        for name, entry in snapshot["histograms"].items():
+            rendered = ", ".join(
+                f"{label} = {value:g}" for label, value in entry["quantiles"].items()
+            )
+            print(
+                f"  {name} ({entry['observations']} obs): {rendered}",
+                file=out,
+            )
+    if args.trace:
+        _report_trace(args.trace, out)
+    return 0
+
+
+def _report_trace(path: str, out: TextIO) -> None:
+    """Aggregate a JSONL span trace per span name."""
+    records = read_trace(path)
+    spans = [record for record in records if record.get("kind") == "span"]
+    events = sum(1 for record in records if record.get("kind") == "event")
+    print(f"trace {path}: {len(spans)} spans, {events} events", file=out)
+    by_name: dict[str, list[int]] = {}
+    for span in spans:
+        by_name.setdefault(span["name"], []).append(span["duration_ns"])
+    for name in sorted(by_name):
+        durations = by_name[name]
+        total_ms = sum(durations) / 1e6
+        print(
+            f"  {name}: {len(durations)} span(s), total {total_ms:.2f} ms, "
+            f"mean {total_ms / len(durations):.3f} ms",
+            file=out,
+        )
+
+
+def add_parsers(subparsers) -> None:
+    obs = subparsers.add_parser(
+        "obs", help="observability: report and export recorded metrics/traces"
+    )
+    commands = obs.add_subparsers(dest="obs_command", required=True)
+
+    def add_sources(parser, with_trace: bool) -> None:
+        parser.add_argument(
+            "--metrics",
+            action="append",
+            metavar="PATH",
+            help="metric-registry JSON dump (repeatable; from attack/quantiles --metrics)",
+        )
+        parser.add_argument(
+            "--checkpoint",
+            action="append",
+            metavar="PATH",
+            help="engine checkpoint whose telemetry to include (repeatable)",
+        )
+        if with_trace:
+            parser.add_argument(
+                "--trace", metavar="PATH", help="JSONL span trace to summarise"
+            )
+
+    report = commands.add_parser(
+        "report", help="human-readable view of metrics and span traces"
+    )
+    add_sources(report, with_trace=True)
+
+    export = commands.add_parser(
+        "export", help="emit metrics in Prometheus or JSON format"
+    )
+    add_sources(export, with_trace=False)
+    export.add_argument(
+        "--format", default="prometheus", choices=EXPORT_FORMATS
+    )
+    export.add_argument(
+        "--output", metavar="PATH", help="write to PATH instead of stdout"
+    )

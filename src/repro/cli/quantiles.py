@@ -1,0 +1,95 @@
+"""``summaries`` and ``quantiles`` subcommands."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import TextIO
+
+from repro.analysis.applications import equi_depth_histogram
+from repro.cli.common import parse_values, write_metrics
+from repro.model.registry import available_summaries, create_summary
+from repro.obs import MetricRegistry, ObservedSummary
+from repro.universe.counter import ComparisonCounter
+from repro.universe.item import key_of
+from repro.universe.universe import Universe
+
+
+def cmd_summaries(args: argparse.Namespace, out: TextIO) -> int:
+    print("registered quantile summaries:", file=out)
+    for name in available_summaries():
+        print(f"  {name}", file=out)
+    return 0
+
+
+def cmd_quantiles(args: argparse.Namespace, out: TextIO) -> int:
+    if args.input is not None:
+        with open(args.input) as handle:
+            values = parse_values(handle)
+    else:
+        values = parse_values(sys.stdin)
+    if not values:
+        raise SystemExit("no input values")
+
+    registry = MetricRegistry()
+    counter = ComparisonCounter() if args.metrics else None
+    universe = Universe(counter=counter)
+    kwargs = {}
+    if args.summary == "mrl":
+        kwargs["n_hint"] = len(values)
+    summary = create_summary(args.summary, args.epsilon, **kwargs)
+    if args.metrics:
+        # Per-item metering is what --metrics is for: route every item
+        # through the observed process() so latency histograms stay
+        # per-item instead of per-batch.
+        summary = ObservedSummary(summary, registry=registry, counter=counter)
+        summary.process_all(universe.items(values))
+    else:
+        summary.process_many(universe.items(values))
+
+    print(
+        f"n = {summary.n}, summary = {args.summary}, eps = {args.epsilon}, "
+        f"stored = {len(summary.item_array())} items (peak {summary.max_item_count})",
+        file=out,
+    )
+    for phi in args.phi:
+        answer = summary.query(phi)
+        print(f"phi = {phi:g}: {key_of(answer)}", file=out)
+    if args.histogram:
+        print(f"\nequi-depth histogram, {args.histogram} buckets:", file=out)
+        for bucket in equi_depth_histogram(summary, args.histogram):
+            print(
+                f"  bucket {bucket.index}: up to {key_of(bucket.upper)} "
+                f"(~{bucket.estimated_count} items)",
+                file=out,
+            )
+    if args.metrics:
+        write_metrics(args.metrics, registry)
+        print(f"metrics written to {args.metrics}", file=out)
+    return 0
+
+
+def add_parsers(subparsers) -> None:
+    subparsers.add_parser("summaries", help="list registered algorithms")
+
+    quantiles = subparsers.add_parser(
+        "quantiles", help="summarise numbers and answer quantile queries"
+    )
+    quantiles.add_argument("--summary", default="gk", choices=available_summaries())
+    quantiles.add_argument("--epsilon", type=float, default=0.01)
+    quantiles.add_argument(
+        "--phi",
+        type=float,
+        nargs="+",
+        default=[0.25, 0.5, 0.75, 0.99],
+        help="quantiles to report",
+    )
+    quantiles.add_argument("--input", help="file of numbers (default: stdin)")
+    quantiles.add_argument(
+        "--histogram", type=int, default=0, help="also print an equi-depth histogram"
+    )
+    quantiles.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="record insert/query latency and comparison cost; dump to PATH",
+    )

@@ -59,6 +59,28 @@ class SortedItemList:
         if len(chunk) > 2 * self._load:
             self._split(pos)
 
+    def update(self, values: Iterable[Any]) -> None:
+        """Insert every value of an iterable (bulk :meth:`add`).
+
+        Small batches fall back to repeated inserts; once the batch is a
+        meaningful fraction of the stored size it is cheaper to flatten,
+        sort once, and rebuild the chunks.
+        """
+        batch = list(values)
+        if not batch:
+            return
+        if len(batch) < max(4, self._size // 8):
+            for value in batch:
+                self.add(value)
+            return
+        merged = list(self)
+        merged.extend(batch)
+        merged.sort()
+        load = self._load
+        self._chunks = [merged[start : start + load] for start in range(0, len(merged), load)]
+        self._maxes = [chunk[-1] for chunk in self._chunks]
+        self._size = len(merged)
+
     def _split(self, pos: int) -> None:
         chunk = self._chunks[pos]
         half = len(chunk) // 2

@@ -88,7 +88,7 @@ def _summarise_subbatch(task: tuple) -> dict:
     summary_name, epsilon, kwargs, values = task
     universe = Universe()
     summary = create_summary(summary_name, epsilon, **kwargs)
-    summary.process_all(universe.items(values))
+    summary.process_many(universe.items(values))
     return dump_summary(summary)
 
 
@@ -214,7 +214,9 @@ class ShardedQuantileEngine:
         )
 
     def _feed_shard(self, index: int, values: list[Fraction]) -> None:
-        self._shards[index].process_all(self._universes[index].items(values))
+        # process_many dispatches to the shard type's batch kernel when one
+        # is registered and falls back to per-item processing otherwise.
+        self._shards[index].process_many(self._universes[index].items(values))
 
     def _ingest_via_processes(self, busy, buckets, pool) -> None:
         """Mergeable-summary ingestion: workers summarise, coordinator merges.
@@ -332,7 +334,7 @@ class ShardedQuantileEngine:
                 {
                     "index": index,
                     "items": summary.n,
-                    "stored": len(summary.item_array()),
+                    "stored": summary._item_count(),
                     "peak_stored": summary.max_item_count,
                 }
                 for index, summary in enumerate(self._shards)

@@ -61,6 +61,17 @@ class AdversaryError(ReproError):
     """The adversarial construction was invoked with invalid parameters."""
 
 
+class RankEstimationUnsupportedError(ReproError, NotImplementedError):
+    """The summary type does not track the rank bounds needed for ranks.
+
+    Raised by :meth:`repro.model.summary.QuantileSummary.estimate_rank` for
+    summary types that answer quantile queries but do not maintain per-item
+    rank intervals.  Derives from ``NotImplementedError`` so callers that
+    treated rank estimation as optional keep working; the service and CLI
+    map it to the stable ``rank_unsupported`` wire code.
+    """
+
+
 class UnsupportedMergeError(ReproError, TypeError):
     """Two summaries cannot be merged.
 

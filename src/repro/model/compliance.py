@@ -21,6 +21,7 @@ from __future__ import annotations
 from fractions import Fraction
 
 from repro.errors import ModelViolation
+from repro.model.registry import descriptor_for_class
 from repro.model.summary import QuantileSummary
 from repro.universe.item import Item, key_of
 
@@ -36,8 +37,14 @@ class ComplianceMonitor(QuantileSummary):
         super().__init__(inner.epsilon)
         self.inner = inner
         self.name = f"monitored[{inner.name}]"
-        self.is_comparison_based = inner.is_comparison_based
-        self.is_deterministic = inner.is_deterministic
+        descriptor = descriptor_for_class(type(inner))
+        if descriptor is not None:
+            self.is_comparison_based = descriptor.is_comparison_based
+            self.is_deterministic = descriptor.is_deterministic
+        else:
+            # Unregistered (e.g. ad-hoc test) summaries: trust the class flags.
+            self.is_comparison_based = inner.is_comparison_based
+            self.is_deterministic = inner.is_deterministic
         self.violations: list[str] = []
         # Keys seen in the stream, with arrival position (1-based), most
         # recent occurrence last.

@@ -6,7 +6,11 @@ from abc import ABC, abstractmethod
 from fractions import Fraction
 from typing import Any
 
-from repro.errors import EmptySummaryError, InvalidQuantileError
+from repro.errors import (
+    EmptySummaryError,
+    InvalidQuantileError,
+    RankEstimationUnsupportedError,
+)
 from repro.universe.item import Item
 
 
@@ -82,14 +86,37 @@ class QuantileSummary(ABC):
         if size > self._max_item_count:
             self._max_item_count = size
 
+    def process_many(self, items: Any) -> None:
+        """Insert a batch of stream items, in order.
+
+        Semantically identical to calling :meth:`process` on each item —
+        same final state, same ``n``, same ``max_item_count`` — but summary
+        types with a batch kernel (:meth:`_process_batch` override) amortise
+        per-item overhead across the batch.
+        """
+        batch = items if isinstance(items, list) else list(items)
+        if not batch:
+            return
+        self._process_batch(batch)
+
     def process_all(self, items: Any) -> None:
-        """Insert every item of an iterable, in order."""
-        for item in items:
-            self.process(item)
+        """Insert every item of an iterable, in order (alias of batch ingest)."""
+        self.process_many(items)
 
     @abstractmethod
     def _insert(self, item: Item) -> None:
         """Algorithm-specific insertion of a single item."""
+
+    def _process_batch(self, batch: list[Item]) -> None:
+        """Algorithm-specific batch insertion; ``batch`` is non-empty.
+
+        The default is the correct-by-default sequential fallback.  Overrides
+        must leave the summary in *exactly* the state the fallback would —
+        including ``_n``, ``_max_item_count``, and any RNG draw counts — so
+        the batch-equivalence property (tests/test_batch_ingest.py) holds.
+        """
+        for item in batch:
+            self.process(item)
 
     # -- queries ---------------------------------------------------------------
 
@@ -110,7 +137,9 @@ class QuantileSummary(ABC):
 
         Optional: only summaries that track rank bounds implement it.
         """
-        raise NotImplementedError(f"{self.name} does not support rank estimation")
+        raise RankEstimationUnsupportedError(
+            f"{self.name} does not support rank estimation"
+        )
 
     # -- the model's memory ----------------------------------------------------
 

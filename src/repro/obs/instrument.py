@@ -221,6 +221,25 @@ class ObservedSummary:
             self._processed.inc()
             self._sync_counter(before)
 
+    def process_many(self, items) -> None:
+        """Batch ingest through the inner summary's batch kernel, metered.
+
+        The latency histogram receives one observation for the whole batch
+        (batch kernels have no per-item boundaries to time); the processed
+        counter still advances by the exact item count.
+        """
+        batch = items if isinstance(items, list) else list(items)
+        if not batch:
+            return
+        before = self._counter_state()
+        started = time.perf_counter_ns()
+        try:
+            self.inner.process_many(batch)
+        finally:
+            self._process_latency.observe(time.perf_counter_ns() - started)
+            self._processed.inc(len(batch))
+            self._sync_counter(before)
+
     def process_all(self, items) -> None:
         for item in items:
             self.process(item)

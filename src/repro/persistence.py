@@ -11,14 +11,16 @@ strings so round-trips are lossless.  Restored items are fresh
 :class:`~repro.universe.Item` objects (optionally attached to a counter via
 the ``universe`` argument); object identity is not preserved, values are.
 
-Every summary type registered in :mod:`repro.model.registry` round-trips:
-the GK family, KLL, REQ, MRL, CappedSummary, BiasedQuantileSummary,
-ExactSummary, ReservoirSampling, SampledGK, OfflineOptimal,
-SlidingWindowQuantiles, and the non-comparison sketches QDigest and
-TurnstileQuantiles (which store counters, not items).  Randomized summaries
-restore their *structure*; the RNG is re-seeded from the stored seed and
-then fast-forwarded by replaying the recorded number of draws, so a restored
-summary continues exactly like the original.
+Dispatch goes through the capability registry
+(:mod:`repro.model.registry`): every :class:`SummaryDescriptor` carries its
+type's ``encode``/``decode`` codec, defined next to the algorithm in its own
+summary module.  There is no per-type table here any more — :func:`dump`
+looks the descriptor up by concrete class, :func:`load` by the payload's
+``type`` field (the class name, kept stable so old checkpoints keep
+loading).  Randomized summaries restore their *structure*; the RNG is
+re-seeded from the stored seed and then fast-forwarded by replaying the
+recorded number of draws, so a restored summary continues exactly like the
+original.
 """
 
 from __future__ import annotations
@@ -27,20 +29,11 @@ from fractions import Fraction
 from typing import Any
 
 from repro.errors import ReproError
-from repro.sketches.countmin import CountMinSketch
-from repro.summaries.biased import BiasedQuantileSummary
-from repro.summaries.capped import CappedSummary
-from repro.summaries.exact import ExactSummary
-from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy
-from repro.summaries.kll import KLL
-from repro.summaries.mrl import MRL
-from repro.summaries.offline import OfflineOptimal
-from repro.summaries.qdigest import QDigest
-from repro.summaries.req import RelativeErrorSketch
-from repro.summaries.sampled import SampledGK
-from repro.summaries.sampling import ReservoirSampling
-from repro.summaries.sliding import SlidingWindowQuantiles
-from repro.summaries.turnstile import TurnstileQuantiles
+from repro.model.registry import (
+    descriptor_for_class,
+    descriptor_for_payload,
+    descriptors,
+)
 from repro.universe.item import Item, key_of
 from repro.universe.universe import Universe
 
@@ -51,7 +44,8 @@ class PersistenceError(ReproError):
     """The payload is malformed or for an unsupported summary type."""
 
 
-def _encode_key(item: Item) -> str:
+def encode_key(item: Item) -> str:
+    """Encode an item's rational key as a lossless ``"num/den"`` string."""
     key = key_of(item)
     if not isinstance(key, Fraction):
         raise PersistenceError(
@@ -61,25 +55,45 @@ def _encode_key(item: Item) -> str:
     return f"{key.numerator}/{key.denominator}"
 
 
-def _decode_key(text: str) -> Fraction:
+def decode_key(text: str) -> Fraction:
+    """Decode a :func:`encode_key` string back into an exact rational."""
     try:
         numerator, denominator = text.split("/")
         return Fraction(int(numerator), int(denominator))
-    except (ValueError, ZeroDivisionError) as error:
+    except (ValueError, ZeroDivisionError):
         raise PersistenceError(f"bad item key {text!r}") from None
+
+
+def epsilon_of(payload: dict) -> Fraction:
+    """The exact epsilon a payload was dumped with."""
+    return Fraction(payload["epsilon"])
+
+
+def _ensure_registered() -> None:
+    # Codecs live next to their algorithms and register at import time; a
+    # caller that only imported repro.persistence still needs them loaded.
+    # Deferred to call time so the summaries package (whose modules import
+    # the key helpers above) never sees a half-initialised cycle.
+    import repro.summaries  # noqa: F401
 
 
 def dump(summary: Any) -> dict:
     """Encode a supported summary as a JSON-compatible dict."""
-    encoder = _ENCODERS.get(type(summary))
-    if encoder is None:
+    _ensure_registered()
+    descriptor = descriptor_for_class(type(summary))
+    if descriptor is None or descriptor.encode is None:
+        supported = sorted(
+            d.payload_type
+            for d in descriptors()
+            if d.encode is not None and d.payload_type is not None
+        )
         raise PersistenceError(
             f"cannot serialise {type(summary).__name__}; supported: "
-            + ", ".join(sorted(cls.__name__ for cls in _ENCODERS))
+            + ", ".join(supported)
         )
-    payload = encoder(summary)
+    payload = descriptor.encode(summary)
     payload["format"] = FORMAT_VERSION
-    payload["type"] = type(summary).__name__
+    payload["type"] = descriptor.payload_type
     payload["epsilon"] = str(Fraction(summary.epsilon).limit_denominator(10**9))
     payload["n"] = summary.n
     payload["max_item_count"] = summary.max_item_count
@@ -88,382 +102,15 @@ def dump(summary: Any) -> dict:
 
 def load(payload: dict, universe: Universe | None = None) -> Any:
     """Reconstruct a summary from a :func:`dump` payload."""
+    _ensure_registered()
     if payload.get("format") != FORMAT_VERSION:
         raise PersistenceError(f"unsupported format {payload.get('format')!r}")
     type_name = payload.get("type")
-    decoder = _DECODERS.get(type_name)
-    if decoder is None:
+    descriptor = descriptor_for_payload(type_name) if type_name else None
+    if descriptor is None:
         raise PersistenceError(f"unknown summary type {type_name!r}")
     universe = universe if universe is not None else Universe()
-    summary = decoder(payload, universe)
+    summary = descriptor.decode(payload, universe)
     summary._n = int(payload["n"])
     summary._max_item_count = int(payload["max_item_count"])
     return summary
-
-
-def _epsilon_of(payload: dict) -> Fraction:
-    return Fraction(payload["epsilon"])
-
-
-# -- GK family ------------------------------------------------------------------
-
-
-def _encode_gk(summary) -> dict:
-    return {
-        "tuples": [
-            [_encode_key(entry.value), entry.g, entry.delta]
-            for entry in summary._tuples
-        ],
-        "since_compress": summary._since_compress,
-        "compress_period": summary._compress_period,
-    }
-
-
-def _decode_gk_into(summary, payload: dict, universe: Universe) -> None:
-    from repro.summaries.gk import _Tuple
-
-    summary._tuples = [
-        _Tuple(universe.item(_decode_key(key)), int(g), int(delta))
-        for key, g, delta in payload["tuples"]
-    ]
-    summary._since_compress = int(payload["since_compress"])
-    summary._compress_period = int(payload["compress_period"])
-
-
-def _decode_gk(payload: dict, universe: Universe):
-    summary = GreenwaldKhanna(_epsilon_of(payload))
-    _decode_gk_into(summary, payload, universe)
-    return summary
-
-
-def _decode_gk_greedy(payload: dict, universe: Universe):
-    summary = GreenwaldKhannaGreedy(_epsilon_of(payload))
-    _decode_gk_into(summary, payload, universe)
-    return summary
-
-
-def _decode_biased(payload: dict, universe: Universe):
-    summary = BiasedQuantileSummary(_epsilon_of(payload))
-    from repro.summaries.biased import _Tuple
-
-    summary._tuples = [
-        _Tuple(universe.item(_decode_key(key)), int(g), int(delta))
-        for key, g, delta in payload["tuples"]
-    ]
-    summary._since_compress = int(payload["since_compress"])
-    summary._compress_period = int(payload["compress_period"])
-    return summary
-
-
-# -- KLL ---------------------------------------------------------------------------
-
-
-def _encode_kll(summary: KLL) -> dict:
-    return {
-        "k": summary.k,
-        "seed": summary.seed,
-        "rng_state": _rng_draws(summary),
-        "compactors": [
-            [_encode_key(item) for item in compactor]
-            for compactor in summary._compactors
-        ],
-    }
-
-
-def _rng_draws(summary: KLL) -> int:
-    return getattr(summary, "_rng_draws", 0)
-
-
-def _decode_kll(payload: dict, universe: Universe) -> KLL:
-    summary = KLL(_epsilon_of(payload), k=int(payload["k"]), seed=payload["seed"])
-    summary._compactors = [
-        [universe.item(_decode_key(key)) for key in compactor]
-        for compactor in payload["compactors"]
-    ]
-    for _ in range(int(payload["rng_state"])):
-        summary._rng.randrange(2)
-    summary._rng_draws = int(payload["rng_state"])
-    return summary
-
-
-def _encode_req(summary: RelativeErrorSketch) -> dict:
-    return {
-        "k": summary.k,
-        "seed": summary.seed,
-        "rng_state": summary._rng_draws,
-        "levels": [
-            [_encode_key(item) for item in buffer] for buffer in summary._levels
-        ],
-    }
-
-
-def _decode_req(payload: dict, universe: Universe) -> RelativeErrorSketch:
-    summary = RelativeErrorSketch(
-        _epsilon_of(payload), k=int(payload["k"]), seed=payload["seed"]
-    )
-    summary._levels = [
-        [universe.item(_decode_key(key)) for key in buffer]
-        for buffer in payload["levels"]
-    ]
-    for _ in range(int(payload["rng_state"])):
-        summary._rng.randrange(2)
-    summary._rng_draws = int(payload["rng_state"])
-    return summary
-
-
-# -- MRL --------------------------------------------------------------------------
-
-
-def _encode_mrl(summary: MRL) -> dict:
-    return {
-        "n_hint": summary.n_hint,
-        "m": summary._m,
-        "offsets": list(summary._offsets),
-        "buffers": [
-            [_encode_key(item) for item in buffer] for buffer in summary._buffers
-        ],
-    }
-
-
-def _decode_mrl(payload: dict, universe: Universe) -> MRL:
-    summary = MRL(_epsilon_of(payload), n_hint=int(payload["n_hint"]))
-    summary._m = int(payload["m"])
-    summary._offsets = [int(offset) for offset in payload["offsets"]]
-    summary._buffers = [
-        [universe.item(_decode_key(key)) for key in buffer]
-        for buffer in payload["buffers"]
-    ]
-    return summary
-
-
-# -- capped / exact ------------------------------------------------------------------
-
-
-def _encode_capped(summary: CappedSummary) -> dict:
-    return {
-        "budget": summary.budget,
-        "entries": [
-            [_encode_key(entry.value), entry.g] for entry in summary._entries
-        ],
-    }
-
-
-def _decode_capped(payload: dict, universe: Universe) -> CappedSummary:
-    from repro.summaries.capped import _Entry
-
-    summary = CappedSummary(_epsilon_of(payload), budget=int(payload["budget"]))
-    summary._entries = [
-        _Entry(universe.item(_decode_key(key)), int(g))
-        for key, g in payload["entries"]
-    ]
-    return summary
-
-
-def _encode_exact(summary: ExactSummary) -> dict:
-    return {"items": [_encode_key(item) for item in summary.item_array()]}
-
-
-def _decode_exact(payload: dict, universe: Universe) -> ExactSummary:
-    summary = ExactSummary()
-    for key in payload["items"]:
-        summary._items.add(universe.item(_decode_key(key)))
-    return summary
-
-
-# -- sampling-based ----------------------------------------------------------------
-
-
-def _encode_sampling(summary: ReservoirSampling) -> dict:
-    # The reservoir's *list order* matters (replacement indexes into it), so
-    # items are stored in slot order, not sorted.
-    return {
-        "m": summary.m,
-        "seed": summary.seed,
-        "reservoir": [_encode_key(item) for item in summary._reservoir],
-    }
-
-
-def _decode_sampling(payload: dict, universe: Universe) -> ReservoirSampling:
-    summary = ReservoirSampling(
-        _epsilon_of(payload), m=int(payload["m"]), seed=payload["seed"]
-    )
-    summary._reservoir = [
-        universe.item(_decode_key(key)) for key in payload["reservoir"]
-    ]
-    # One randrange(j + 1) was drawn per insert after the reservoir filled
-    # (at j = m, m+1, ..., n-1); replaying the same bounds reproduces the
-    # RNG state exactly, so the restored summary continues like the original.
-    for j in range(summary.m, int(payload["n"])):
-        summary._rng.randrange(j + 1)
-    return summary
-
-
-def _encode_sampled_gk(summary: SampledGK) -> dict:
-    return {
-        "n_hint": summary.n_hint,
-        "seed": summary.seed,
-        "rate": str(Fraction(summary._rate).limit_denominator(10**12)),
-        "sampled": summary._sampled,
-        "inner": dump(summary._inner),
-    }
-
-
-def _decode_sampled_gk(payload: dict, universe: Universe) -> SampledGK:
-    summary = SampledGK(
-        _epsilon_of(payload), n_hint=int(payload["n_hint"]), seed=payload["seed"]
-    )
-    summary._rate = float(Fraction(payload["rate"]))
-    summary._sampled = int(payload["sampled"])
-    summary._inner = load(payload["inner"], universe)
-    if summary._rate < 1.0:
-        # One rng.random() per processed item (the sampling coin).
-        for _ in range(int(payload["n"])):
-            summary._rng.random()
-    return summary
-
-
-# -- offline ---------------------------------------------------------------------
-
-
-def _encode_offline(summary: OfflineOptimal) -> dict:
-    return {
-        "finalized": summary.is_finalized,
-        "buffer": (
-            None
-            if summary._buffer is None
-            else [_encode_key(item) for item in summary._buffer]
-        ),
-        "selected": [_encode_key(item) for item in summary._selected],
-        "selected_ranks": list(summary._selected_ranks),
-    }
-
-
-def _decode_offline(payload: dict, universe: Universe) -> OfflineOptimal:
-    summary = OfflineOptimal(_epsilon_of(payload))
-    if payload["finalized"]:
-        summary._buffer = None
-    else:
-        summary._buffer = [
-            universe.item(_decode_key(key)) for key in payload["buffer"]
-        ]
-    summary._selected = [
-        universe.item(_decode_key(key)) for key in payload["selected"]
-    ]
-    summary._selected_ranks = [int(rank) for rank in payload["selected_ranks"]]
-    return summary
-
-
-# -- sliding window ---------------------------------------------------------------
-
-
-def _encode_sliding(summary: SlidingWindowQuantiles) -> dict:
-    return {
-        "window": summary.window,
-        "blocks": summary.blocks,
-        "live": [[start, dump(block)] for start, block in summary._live],
-    }
-
-
-def _decode_sliding(payload: dict, universe: Universe) -> SlidingWindowQuantiles:
-    summary = SlidingWindowQuantiles(
-        _epsilon_of(payload),
-        window=int(payload["window"]),
-        blocks=int(payload["blocks"]),
-    )
-    summary._live = [
-        (int(start), load(block, universe)) for start, block in payload["live"]
-    ]
-    return summary
-
-
-# -- non-comparison sketches (counters, not items) ----------------------------------
-
-
-def _encode_qdigest(summary: QDigest) -> dict:
-    return {
-        "universe_bits": summary.universe_bits,
-        "counts": sorted([node, count] for node, count in summary._counts.items()),
-        "since_compress": summary._since_compress,
-    }
-
-
-def _decode_qdigest(payload: dict, universe: Universe) -> QDigest:
-    summary = QDigest(
-        _epsilon_of(payload),
-        universe_bits=int(payload["universe_bits"]),
-        universe=universe,
-    )
-    summary._counts = {int(node): int(count) for node, count in payload["counts"]}
-    summary._since_compress = int(payload["since_compress"])
-    return summary
-
-
-def _encode_turnstile(summary: TurnstileQuantiles) -> dict:
-    return {
-        "universe_bits": summary.universe_bits,
-        "levels": [
-            {
-                "width": sketch.width,
-                "depth": sketch.depth,
-                "seed": sketch.seed,
-                "total": sketch.total,
-                "rows": [list(row) for row in sketch._rows],
-            }
-            for sketch in summary._levels
-        ],
-    }
-
-
-def _decode_turnstile(payload: dict, universe: Universe) -> TurnstileQuantiles:
-    summary = TurnstileQuantiles(
-        _epsilon_of(payload),
-        universe_bits=int(payload["universe_bits"]),
-        universe=universe,
-    )
-    levels = []
-    for encoded in payload["levels"]:
-        sketch = CountMinSketch(
-            width=int(encoded["width"]),
-            depth=int(encoded["depth"]),
-            seed=encoded["seed"],
-        )
-        sketch._rows = [[int(count) for count in row] for row in encoded["rows"]]
-        sketch._total = int(encoded["total"])
-        levels.append(sketch)
-    summary._levels = levels
-    return summary
-
-
-_ENCODERS = {
-    GreenwaldKhanna: _encode_gk,
-    GreenwaldKhannaGreedy: _encode_gk,
-    BiasedQuantileSummary: _encode_gk,
-    KLL: _encode_kll,
-    RelativeErrorSketch: _encode_req,
-    MRL: _encode_mrl,
-    CappedSummary: _encode_capped,
-    ExactSummary: _encode_exact,
-    ReservoirSampling: _encode_sampling,
-    SampledGK: _encode_sampled_gk,
-    OfflineOptimal: _encode_offline,
-    SlidingWindowQuantiles: _encode_sliding,
-    QDigest: _encode_qdigest,
-    TurnstileQuantiles: _encode_turnstile,
-}
-
-_DECODERS = {
-    "GreenwaldKhanna": _decode_gk,
-    "GreenwaldKhannaGreedy": _decode_gk_greedy,
-    "BiasedQuantileSummary": _decode_biased,
-    "KLL": _decode_kll,
-    "RelativeErrorSketch": _decode_req,
-    "MRL": _decode_mrl,
-    "CappedSummary": _decode_capped,
-    "ExactSummary": _decode_exact,
-    "ReservoirSampling": _decode_sampling,
-    "SampledGK": _decode_sampled_gk,
-    "OfflineOptimal": _decode_offline,
-    "SlidingWindowQuantiles": _decode_sliding,
-    "QDigest": _decode_qdigest,
-    "TurnstileQuantiles": _decode_turnstile,
-}

@@ -47,6 +47,7 @@ ERR_DEADLINE = "deadline_exceeded"
 ERR_OVERLOADED = "overloaded"
 ERR_SHUTTING_DOWN = "shutting_down"
 ERR_EMPTY = "empty"
+ERR_RANK_UNSUPPORTED = "rank_unsupported"
 ERR_INTERNAL = "internal"
 
 ERROR_CODES = (
@@ -56,6 +57,7 @@ ERROR_CODES = (
     ERR_OVERLOADED,
     ERR_SHUTTING_DOWN,
     ERR_EMPTY,
+    ERR_RANK_UNSUPPORTED,
     ERR_INTERNAL,
 )
 

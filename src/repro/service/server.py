@@ -41,7 +41,13 @@ from time import perf_counter_ns
 
 from repro.engine import EngineConfig, ShardedQuantileEngine, Telemetry
 from repro.engine.engine import as_fraction
-from repro.errors import EmptySummaryError, EngineError, ReproError, ServiceError
+from repro.errors import (
+    EmptySummaryError,
+    EngineError,
+    RankEstimationUnsupportedError,
+    ReproError,
+    ServiceError,
+)
 from repro.obs import spans as obs_spans
 from repro.obs.export import to_prometheus
 from repro.obs.registry import MetricRegistry
@@ -372,6 +378,10 @@ class QuantileService:
             except EmptySummaryError as error:
                 response = protocol.error_response(
                     request.id, protocol.ERR_EMPTY, str(error)
+                )
+            except RankEstimationUnsupportedError as error:
+                response = protocol.error_response(
+                    request.id, protocol.ERR_RANK_UNSUPPORTED, str(error)
                 )
             except EngineError as error:
                 response = protocol.error_response(

@@ -45,9 +45,22 @@ class Stream:
         self._sorted.add(item)
 
     def extend(self, items: Iterable[Item]) -> None:
-        """Append every item of ``items``, in order."""
-        for item in items:
-            self.append(item)
+        """Append every item of ``items``, in order.
+
+        The sorted index is rebuilt once for the whole batch rather than
+        per item; distinctness is still checked item by item so in-batch
+        duplicates are caught at the offending item.
+        """
+        batch = list(items)
+        if not batch:
+            return
+        if self._seen is not None:
+            for item in batch:
+                if item in self._seen:
+                    raise ValueError(f"duplicate item appended to stream: {item!r}")
+                self._seen.add(item)
+        self._log.extend(batch)
+        self._sorted.update(batch)
 
     # -- basic accessors -----------------------------------------------------------
 

@@ -25,9 +25,12 @@ from __future__ import annotations
 from bisect import bisect_right
 
 from repro.errors import EmptySummaryError
-from repro.model.registry import register_summary
+from repro.model.registry import register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
+from repro.persistence import epsilon_of
+from repro.summaries.gk import decode_gk_state_into, encode_gk_state
 from repro.universe.item import Item
+from repro.universe.universe import Universe
 
 
 class _Tuple:
@@ -143,4 +146,19 @@ class BiasedQuantileSummary(QuantileSummary):
         return (self.name, self._n, self._since_compress, state)
 
 
-register_summary("biased", BiasedQuantileSummary)
+def _decode_biased(payload: dict, universe: Universe) -> BiasedQuantileSummary:
+    summary = BiasedQuantileSummary(epsilon_of(payload))
+    decode_gk_state_into(summary, payload, universe, tuple_cls=_Tuple)
+    return summary
+
+
+# Each inserted tuple's Delta inherits from its *current* successor, which
+# may itself be a just-inserted batch item, so insertion order cannot be
+# replayed after a bulk sort: biased keeps the sequential fallback.  The
+# tuple state is GK-shaped, so the GK encoder is reused.
+register_descriptor(
+    "biased",
+    BiasedQuantileSummary,
+    encode=encode_gk_state,
+    decode=_decode_biased,
+)

@@ -20,11 +20,14 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_right
+from operator import attrgetter
 
 from repro.errors import EmptySummaryError
-from repro.model.registry import register_summary
+from repro.model.registry import register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
+from repro.persistence import decode_key, encode_key, epsilon_of
 from repro.universe.item import Item
+from repro.universe.universe import Universe
 
 
 class _Entry:
@@ -54,6 +57,38 @@ class CappedSummary(QuantileSummary):
         self._entries.insert(position, _Entry(item, 1))
         if len(self._entries) > self.budget:
             self._evict()
+
+    def _process_batch(self, batch: list[Item]) -> None:
+        """Bulk-splice while under budget, then fall back item-by-item.
+
+        Below the budget every insert is a plain weighted insert (g = 1, no
+        eviction), so that prefix of the batch can be sorted once and spliced
+        in a single sweep.  Once the budget is reached each further insert
+        triggers an eviction whose choice depends on the state it left
+        behind, so exact equivalence requires the sequential path.
+        """
+        by_value = attrgetter("value")
+        cut = min(max(self.budget - len(self._entries), 0), len(batch))
+        if cut:
+            fresh = [_Entry(item, 1) for item in batch[:cut]]
+            fresh.sort(key=by_value)
+            entries = self._entries
+            merged: list[_Entry] = []
+            previous = 0
+            for entry in fresh:
+                position = bisect_right(
+                    entries, entry.value, lo=previous, key=by_value
+                )
+                merged.extend(entries[previous:position])
+                merged.append(entry)
+                previous = position
+            merged.extend(entries[previous:])
+            self._entries = merged
+            self._n += cut
+            if len(merged) > self._max_item_count:
+                self._max_item_count = len(merged)
+        for item in batch[cut:]:
+            self.process(item)
 
     def _evict(self) -> None:
         """Merge the adjacent pair with the smallest combined weight.
@@ -107,4 +142,24 @@ class CappedSummary(QuantileSummary):
         return (self.name, self._n, self.budget, tuple(entry.g for entry in self._entries))
 
 
-register_summary("capped", CappedSummary)
+def _encode_capped(summary: CappedSummary) -> dict:
+    return {
+        "budget": summary.budget,
+        "entries": [
+            [encode_key(entry.value), entry.g] for entry in summary._entries
+        ],
+    }
+
+
+def _decode_capped(payload: dict, universe: Universe) -> CappedSummary:
+    summary = CappedSummary(epsilon_of(payload), budget=int(payload["budget"]))
+    summary._entries = [
+        _Entry(universe.item(decode_key(key)), int(g))
+        for key, g in payload["entries"]
+    ]
+    return summary
+
+
+register_descriptor(
+    "capped", CappedSummary, encode=_encode_capped, decode=_decode_capped
+)

@@ -12,9 +12,11 @@ import math
 
 from repro.containers.sortedlist import SortedItemList
 from repro.errors import EmptySummaryError
-from repro.model.registry import register_summary
+from repro.model.registry import merge_by_absorbing, register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
+from repro.persistence import decode_key, encode_key
 from repro.universe.item import Item
+from repro.universe.universe import Universe
 
 
 class ExactSummary(QuantileSummary):
@@ -30,6 +32,15 @@ class ExactSummary(QuantileSummary):
 
     def _insert(self, item: Item) -> None:
         self._items.add(item)
+
+    def _process_batch(self, batch: list[Item]) -> None:
+        # Bulk sorted insert; the item count only grows, so the final size
+        # is the max the sequential path would have observed.
+        self._items.update(batch)
+        self._n += len(batch)
+        size = len(self._items)
+        if size > self._max_item_count:
+            self._max_item_count = size
 
     def merge(self, other: "ExactSummary") -> None:
         """Absorb another exact summary (trivially mergeable)."""
@@ -59,4 +70,21 @@ class ExactSummary(QuantileSummary):
         return (self.name, self._n)
 
 
-register_summary("exact", ExactSummary)
+def _encode_exact(summary: ExactSummary) -> dict:
+    return {"items": [encode_key(item) for item in summary.item_array()]}
+
+
+def _decode_exact(payload: dict, universe: Universe) -> ExactSummary:
+    summary = ExactSummary()
+    for key in payload["items"]:
+        summary._items.add(universe.item(decode_key(key)))
+    return summary
+
+
+register_descriptor(
+    "exact",
+    ExactSummary,
+    merge=merge_by_absorbing,
+    encode=_encode_exact,
+    decode=_decode_exact,
+)

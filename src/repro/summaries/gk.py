@@ -28,17 +28,25 @@ applies to them; experiment T1 runs it against both.
 
 All threshold arithmetic uses exact rationals so the epsilon guarantee holds
 with no floating-point slack.
+
+This module also holds :func:`merge_gk` (the one-way bound-merge of two GK
+summaries, re-exported by :mod:`repro.summaries.merging`) and the GK
+persistence codec, all bundled into the capability descriptors registered at
+the bottom of the file.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
 from fractions import Fraction
+from operator import attrgetter
 
 from repro.errors import EmptySummaryError
-from repro.model.registry import register_summary
+from repro.model.registry import register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
+from repro.persistence import decode_key, encode_key, epsilon_of
 from repro.universe.item import Item
+from repro.universe.universe import Universe
 
 
 class _Tuple:
@@ -64,23 +72,32 @@ def _band(delta: int, p: int) -> int:
     survived longer and therefore count wider ranges of the stream.
 
     Deltas above ``p`` cannot arise in pure streaming, but merged summaries
-    (:func:`~repro.summaries.merging.merge_gk`) may carry a delta one or two
-    above the floor-rounded threshold at tiny n; such tuples land in band 0
-    (never merged away), which is the conservative, sound choice.
+    (:func:`merge_gk`) may carry a delta one or two above the floor-rounded
+    threshold at tiny n; such tuples land in band 0 (never merged away),
+    which is the conservative, sound choice.
     """
     if delta >= p:
         return 0
-    alpha = 1
-    while True:
+    # The band interval of alpha spans widths d = p - delta in
+    # [2^(alpha-1) + p mod 2^(alpha-1), 2^alpha + p mod 2^alpha); both
+    # endpoints are within a factor of two of 2^alpha, so alpha is within
+    # one of d.bit_length() and the right value is found by direct check
+    # instead of scanning alpha upward (which costs O(log p) per call).
+    d = p - delta
+    bit_length = d.bit_length()
+    for alpha in (bit_length - 1, bit_length, bit_length + 1):
+        if alpha < 1:
+            continue
         lower = p - (1 << alpha) - (p % (1 << alpha))
         upper = p - (1 << (alpha - 1)) - (p % (1 << (alpha - 1)))
         if lower < delta <= upper:
             return alpha
+    # Below every band boundary: the largest band, defined as the first
+    # alpha whose width 2^alpha exceeds the whole delta range.
+    alpha = 1
+    while (1 << alpha) <= 2 * p + 2:
         alpha += 1
-        if (1 << alpha) > 2 * p + 2:
-            # delta < p - 2^alpha is impossible now; everything below the
-            # smallest band boundary belongs to the largest band.
-            return alpha
+    return alpha
 
 
 class _GKBase(QuantileSummary):
@@ -122,6 +139,121 @@ class _GKBase(QuantileSummary):
         if self._since_compress >= self._compress_period:
             self._compress()
             self._since_compress = 0
+
+    def _process_batch(self, batch: list[Item]) -> None:
+        """Gap-bucketed batch kernel; state-identical to sequential inserts.
+
+        Items are consumed in chunks that never cross a compress boundary,
+        so the compress schedule (and hence every tuple's g/Delta and the
+        ``max_item_count`` trajectory) matches item-at-a-time processing
+        exactly.  Each chunk item is located with a single bisect over the
+        *pre-chunk* tuple list — the same comparisons sequential insertion
+        performs — and bucketed into its inter-tuple gap; its Delta follows
+        from the gap alone (strictly interior items can never be the running
+        min/max, boundary items are checked against the running fresh
+        extremes), and the tuple list is rebuilt in one splice sweep.  That
+        replaces the per-insert O(s) list shift and per-item Fraction
+        threshold arithmetic with integer math, while adding item
+        comparisons only for the rare same-gap orderings.
+        """
+        by_value = attrgetter("value")
+        period = self._compress_period
+        # floor(2 eps n) as integer arithmetic, hoisted out of the item loop.
+        two_eps = 2 * self._eps
+        p, q = two_eps.numerator, two_eps.denominator
+        start, total = 0, len(batch)
+        while start < total:
+            take = min(period - self._since_compress, total - start)
+            chunk = batch[start : start + take]
+            start += take
+            tuples = self._tuples
+            len_old = len(tuples)
+            values = [entry.value for entry in tuples]
+            n = self._n
+            # gap i collects fresh tuples that land between old tuples i-1
+            # and i, each gap kept in bisect_right order (equal values keep
+            # arrival order, later after earlier — as sequential inserts).
+            gaps: dict[int, list[_Tuple]] = {}
+            low_fresh: Item | None = None
+            high_fresh: Item | None = None
+            for item in chunk:
+                position = bisect_right(values, item)
+                if 0 < position < len_old:
+                    # Strictly inside the old tuples: never a new extreme,
+                    # whatever the other fresh items of the chunk are.
+                    delta = (p * n) // q - 1
+                    if delta < 0:
+                        delta = 0
+                elif len_old == 0:
+                    # Empty summary (first chunk only): the running fresh
+                    # extremes decide, exactly as sequential inserts would.
+                    if low_fresh is None:
+                        delta = 0
+                        low_fresh = high_fresh = item
+                    elif item < low_fresh:
+                        delta = 0
+                        low_fresh = item
+                    elif not (item < high_fresh):
+                        delta = 0
+                        high_fresh = item
+                    else:
+                        delta = (p * n) // q - 1
+                        if delta < 0:
+                            delta = 0
+                elif position == 0:
+                    # Below every old tuple: a new minimum unless an earlier
+                    # fresh item already went lower.
+                    if low_fresh is None or item < low_fresh:
+                        delta = 0
+                        low_fresh = item
+                    else:
+                        delta = (p * n) // q - 1
+                        if delta < 0:
+                            delta = 0
+                else:
+                    # position == len_old: at or above every old tuple; a new
+                    # maximum unless a fresh item is already at least as big.
+                    if high_fresh is None or not (item < high_fresh):
+                        delta = 0
+                        high_fresh = item
+                    else:
+                        delta = (p * n) // q - 1
+                        if delta < 0:
+                            delta = 0
+                entry = _Tuple(item, 1, delta)
+                bucket = gaps.get(position)
+                if bucket is None:
+                    gaps[position] = [entry]
+                else:
+                    index = bisect_right(bucket, item, key=by_value)
+                    bucket.insert(index, entry)
+                n += 1
+            merged: list[_Tuple] = []
+            previous = 0
+            for position in sorted(gaps):
+                merged.extend(tuples[previous:position])
+                merged.extend(gaps[position])
+                previous = position
+            merged.extend(tuples[previous:])
+            self._tuples = merged
+            self._since_compress += take
+            will_compress = self._since_compress >= period
+            # The chunk's last pre-compress size; sequential processing
+            # observes the trigger item's count only after compressing.
+            peak = len(merged) - 1 if will_compress else len(merged)
+            if peak > self._max_item_count:
+                self._max_item_count = peak
+            if will_compress:
+                # Compress runs before the trigger item's n increment.
+                self._n += take - 1
+                self._compress()
+                self._since_compress = 0
+                self._n += 1
+                size = len(self._tuples)
+                if size > self._max_item_count:
+                    self._max_item_count = size
+            else:
+                self._n += take
 
     def _compress(self) -> None:
         raise NotImplementedError
@@ -189,23 +321,35 @@ class GreenwaldKhanna(_GKBase):
         threshold = self._threshold()
         if threshold < 1 or len(self._tuples) < 3:
             return
-        bands = [_band(entry.delta, threshold) for entry in self._tuples]
+        tuples = self._tuples
+        # Deltas cluster on a handful of distinct values (0 and the
+        # thresholds at recent compress points), so memoise the band per
+        # delta instead of re-deriving it for every tuple.
+        band_of: dict[int, int] = {}
+        bands = []
+        for entry in tuples:
+            delta = entry.delta
+            band = band_of.get(delta)
+            if band is None:
+                band = band_of[delta] = _band(delta, threshold)
+            bands.append(band)
         # Scan right to left; tuple 0 (the minimum) and the last tuple (the
         # maximum) are never deleted.
-        i = len(self._tuples) - 2
+        i = len(tuples) - 2
         while i >= 1:
-            if bands[i] <= bands[i + 1]:
+            band = bands[i]
+            if band <= bands[i + 1]:
                 # Gather t_i's descendants: the maximal run of tuples
                 # immediately left of i with strictly smaller bands.
                 start = i
-                g_total = self._tuples[i].g
-                while start - 1 >= 1 and bands[start - 1] < bands[i]:
+                g_total = tuples[i].g
+                while start - 1 >= 1 and bands[start - 1] < band:
                     start -= 1
-                    g_total += self._tuples[start].g
-                successor = self._tuples[i + 1]
+                    g_total += tuples[start].g
+                successor = tuples[i + 1]
                 if g_total + successor.g + successor.delta < threshold:
                     successor.g += g_total
-                    del self._tuples[start : i + 1]
+                    del tuples[start : i + 1]
                     del bands[start : i + 1]
                     i = start - 1
                     continue
@@ -238,5 +382,140 @@ class GreenwaldKhannaGreedy(_GKBase):
             i -= 1
 
 
-register_summary("gk", GreenwaldKhanna)
-register_summary("gk-greedy", GreenwaldKhannaGreedy)
+# -- merging (the "mergeable summaries" of [2]) -------------------------------------
+
+
+def _rank_bounds(summary: _GKBase) -> list[tuple[Item, int, int]]:
+    """(value, rmin, rmax) per stored tuple."""
+    bounds = []
+    rmin = 0
+    for entry in summary._tuples:
+        rmin += entry.g
+        bounds.append((entry.value, rmin, rmin + entry.delta))
+    return bounds
+
+
+def _merged_bounds(
+    own: list[tuple[Item, int, int]],
+    other: list[tuple[Item, int, int]],
+    other_total: int,
+) -> list[tuple[Item, int, int]]:
+    """Rank bounds of ``own`` entries w.r.t. the union of both streams.
+
+    For an entry with value v: its merged rmin adds the rmin of the largest
+    ``other`` entry <= v (0 if none); its merged rmax adds the rmax of the
+    smallest ``other`` entry >= v minus one (or the full other stream length
+    when v exceeds everything there).
+    """
+    merged = []
+    j = 0  # index of the first other-entry with value >= current value
+    for value, rmin, rmax in own:
+        while j < len(other) and other[j][0] < value:
+            j += 1
+        rmin_other = other[j - 1][1] if j > 0 else 0
+        if j < len(other):
+            rmax_other = other[j][2] - 1
+        else:
+            rmax_other = other_total
+        merged.append((value, rmin + rmin_other, rmax + rmax_other))
+    return merged
+
+
+def merge_gk(first: _GKBase, second: _GKBase) -> _GKBase:
+    """Merge two GK summaries into a new one over the concatenated stream.
+
+    The result answers quantile queries over the union of the two input
+    streams with rank error at most ``max(eps_1, eps_2) * (n_1 + n_2)``:
+    merged rank bounds are exact sums of the inputs' bounds, so absolute
+    uncertainties add and the *relative* guarantee is the larger input's.
+    Both inputs are left intact.  The returned summary is of the same
+    variant as ``first`` (band-based or greedy) and can keep processing new
+    stream items at that epsilon — though the O((1/eps) log(eps N)) *space*
+    analysis does not survive merging (one-way mergeability, [2]).
+    """
+    if not isinstance(second, _GKBase):
+        raise TypeError(f"cannot merge GK with {type(second).__name__}")
+    combined_eps = max(Fraction(first._eps), Fraction(second._eps))
+    merged = type(first)(combined_eps)
+
+    bounds_first = _rank_bounds(first)
+    bounds_second = _rank_bounds(second)
+    entries = _merged_bounds(bounds_first, bounds_second, second.n)
+    entries += _merged_bounds(bounds_second, bounds_first, first.n)
+    entries.sort(key=lambda entry: (entry[0], entry[1]))
+
+    tuples: list[_Tuple] = []
+    previous_rmin = 0
+    for value, rmin, rmax in entries:
+        g = rmin - previous_rmin
+        if g <= 0:
+            # Two entries resolved to the same lower rank (duplicate values
+            # across inputs); keep the one already present, fold this one in.
+            if tuples:
+                tuples[-1].delta = max(tuples[-1].delta, rmax - previous_rmin)
+                continue
+            g = 1
+        tuples.append(_Tuple(value, g, max(0, rmax - rmin)))
+        previous_rmin = rmin
+    merged._tuples = tuples
+    merged._n = first.n + second.n
+    merged._max_item_count = max(
+        len(tuples), first.max_item_count, second.max_item_count
+    )
+    merged._compress()
+    return merged
+
+
+# -- persistence codec ---------------------------------------------------------------
+
+
+def encode_gk_state(summary) -> dict:
+    """Encode GK-shaped tuple state (also used by the biased summary)."""
+    return {
+        "tuples": [
+            [encode_key(entry.value), entry.g, entry.delta]
+            for entry in summary._tuples
+        ],
+        "since_compress": summary._since_compress,
+        "compress_period": summary._compress_period,
+    }
+
+
+def decode_gk_state_into(
+    summary, payload: dict, universe: Universe, tuple_cls=_Tuple
+) -> None:
+    """Restore GK-shaped tuple state dumped by :func:`encode_gk_state`."""
+    summary._tuples = [
+        tuple_cls(universe.item(decode_key(key)), int(g), int(delta))
+        for key, g, delta in payload["tuples"]
+    ]
+    summary._since_compress = int(payload["since_compress"])
+    summary._compress_period = int(payload["compress_period"])
+
+
+def _decode_gk(payload: dict, universe: Universe) -> GreenwaldKhanna:
+    summary = GreenwaldKhanna(epsilon_of(payload))
+    decode_gk_state_into(summary, payload, universe)
+    return summary
+
+
+def _decode_gk_greedy(payload: dict, universe: Universe) -> GreenwaldKhannaGreedy:
+    summary = GreenwaldKhannaGreedy(epsilon_of(payload))
+    decode_gk_state_into(summary, payload, universe)
+    return summary
+
+
+register_descriptor(
+    "gk",
+    GreenwaldKhanna,
+    merge=merge_gk,
+    encode=encode_gk_state,
+    decode=_decode_gk,
+)
+register_descriptor(
+    "gk-greedy",
+    GreenwaldKhannaGreedy,
+    merge=merge_gk,
+    encode=encode_gk_state,
+    decode=_decode_gk_greedy,
+)

@@ -24,9 +24,11 @@ import math
 import random
 
 from repro.errors import EmptySummaryError
-from repro.model.registry import register_summary
+from repro.model.registry import merge_by_absorbing, register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
+from repro.persistence import decode_key, encode_key, epsilon_of
 from repro.universe.item import Item
+from repro.universe.universe import Universe
 
 _CAPACITY_DECAY = 2.0 / 3.0
 _MINIMUM_CAPACITY = 2
@@ -95,6 +97,57 @@ class KLL(QuantileSummary):
             level += 1
             if level == len(self._compactors):
                 break
+
+    def _process_batch(self, batch: list[Item]) -> None:
+        """Fill level 0 from slices; state-identical to sequential inserts.
+
+        Each slice tops level 0 up to exactly its capacity, so the
+        compaction cascade (and with it every coin flip and the
+        ``max_item_count`` trajectory) fires at the same points as
+        item-at-a-time processing, while the appends amortise to one
+        ``extend`` per cascade.
+        """
+        start, total = 0, len(batch)
+        # Level-0 capacity and the stored-item count change only when a
+        # cascade runs, so carry them across slices instead of re-deriving
+        # them per slice: at depth the level-0 capacity bottoms out at 2 and
+        # slices shrink to a couple of items, where a per-slice
+        # ``_item_count`` (a sum over all levels) plus two float-pow
+        # capacity calls used to cost more than the insertion itself.
+        level0 = self._compactors[0]
+        capacity0 = self._capacity(0)
+        count = self._item_count()
+        while start < total:
+            free = capacity0 - len(level0)
+            if free <= 0:
+                self.process(batch[start])
+                start += 1
+                level0 = self._compactors[0]
+                capacity0 = self._capacity(0)
+                count = self._item_count()
+                continue
+            take = min(free, total - start)
+            level0.extend(batch[start : start + take])
+            self._n += take
+            count += take
+            start += take
+            if len(level0) >= capacity0:
+                # Sequentially, the trigger item's size is observed only
+                # after the cascade; the pre-cascade peak belongs to the
+                # item before it.
+                peak = count - 1
+                if peak > self._max_item_count:
+                    self._max_item_count = peak
+                level = 0
+                while len(self._compactors[level]) >= self._capacity(level):
+                    self._compact(level)
+                    level += 1
+                    if level == len(self._compactors):
+                        break
+                capacity0 = self._capacity(0)
+                count = self._item_count()
+            if count > self._max_item_count:
+                self._max_item_count = count
 
     def _compact(self, level: int) -> None:
         compactor = self._compactors[level]
@@ -186,4 +239,30 @@ class KLL(QuantileSummary):
         return (self.name, self._n, self.k, self.seed, sizes)
 
 
-register_summary("kll", KLL)
+def _encode_kll(summary: KLL) -> dict:
+    return {
+        "k": summary.k,
+        "seed": summary.seed,
+        "rng_state": summary._rng_draws,
+        "compactors": [
+            [encode_key(item) for item in compactor]
+            for compactor in summary._compactors
+        ],
+    }
+
+
+def _decode_kll(payload: dict, universe: Universe) -> KLL:
+    summary = KLL(epsilon_of(payload), k=int(payload["k"]), seed=payload["seed"])
+    summary._compactors = [
+        [universe.item(decode_key(key)) for key in compactor]
+        for compactor in payload["compactors"]
+    ]
+    for _ in range(int(payload["rng_state"])):
+        summary._rng.randrange(2)
+    summary._rng_draws = int(payload["rng_state"])
+    return summary
+
+
+register_descriptor(
+    "kll", KLL, merge=merge_by_absorbing, encode=_encode_kll, decode=_decode_kll
+)

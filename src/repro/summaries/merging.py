@@ -3,152 +3,44 @@
 The paper's introduction motivates quantile summaries with distributed and
 parallel workloads ("balancing parallel computations" [19]), and its related
 work leans on Agarwal et al., *Mergeable summaries* (TODS 2013) — reference
-[2] — for the randomized lineage.  This module implements merging for the
-library's summaries:
-
-* :func:`merge_gk` — one-way merge of two GK-style tuple summaries.  The
-  merged rank bounds add exactly across the inputs, so the merged tuple
-  uncertainty is at most ``2 eps_1 n_1 + 2 eps_2 n_2 <= 2 max(eps) (n_1+n_2)``
-  — the merged summary answers queries at ``max(eps_1, eps_2)``.  What GK is
-  *not* known to preserve under merging is the space bound ("one-way
-  mergeability" in [2]): the result may store more than a single-stream GK
-  would, and repeated merge-then-stream cycles void the band analysis.
-* :meth:`KLL.merge <repro.summaries.kll.KLL.merge>` and
-  :meth:`MRL.merge <repro.summaries.mrl.MRL.merge>` — level-wise compactor /
-  buffer merging, the textbook fully-mergeable constructions (implemented in
-  their own modules; re-exported here).
-
-Every merge is also *registered* with :mod:`repro.model.registry` under its
-summary's short name, so callers holding summaries of unknown concrete type
-can combine them uniformly::
+[2] — for the randomized lineage.  Merging is uniform across summary types::
 
     from repro.summaries.merging import merge_summaries
     merged = merge_summaries(shard_a, shard_b)   # dispatches by type
 
-Registered here: ``gk`` / ``gk-greedy`` (pairwise bound-merge via
-:func:`merge_gk`), ``kll`` / ``mrl`` / ``req`` (native level-wise merges),
-and ``exact`` (concatenation).  Summary types without a principled merge
-(offline-optimal, capped, the non-comparison sketches) are deliberately left
-out; :func:`merge_summaries` raises
+Dispatch goes through the capability registry
+(:mod:`repro.model.registry`): each summary module attaches its merge
+function to its :class:`~repro.model.registry.SummaryDescriptor` at import
+time, so there is no merge table here any more.  Mergeable today:
+
+* ``gk`` / ``gk-greedy`` — :func:`merge_gk` (defined next to the GK
+  algorithms, re-exported here): merged rank bounds add exactly across the
+  inputs, so the merged tuple uncertainty is at most
+  ``2 eps_1 n_1 + 2 eps_2 n_2 <= 2 max(eps) (n_1+n_2)`` — the merged summary
+  answers queries at ``max(eps_1, eps_2)``.  What GK is *not* known to
+  preserve under merging is the space bound ("one-way mergeability" in [2]).
+* ``kll`` / ``mrl`` / ``req`` — native level-wise compactor / buffer merges
+  (the textbook fully-mergeable constructions, implemented in their own
+  modules), wrapped in the registry's deep-copying
+  :func:`~repro.model.registry.merge_by_absorbing` adapter so neither input
+  is mutated.
+* ``exact`` — concatenation, via the same adapter.
+
+Summary types without a principled merge (offline-optimal, capped, the
+non-comparison sketches) carry no merge in their descriptor;
+:func:`merge_summaries` raises
 :class:`~repro.errors.UnsupportedMergeError` for them.  Registered merges
-never mutate their inputs — the in-place native merges are wrapped in a
-deep-copying adapter — so a merge *tree* can fold the same shard summaries
-repeatedly (the sharded engine of :mod:`repro.engine` does exactly that).
+never mutate their inputs, so a merge *tree* can fold the same shard
+summaries repeatedly (the sharded engine of :mod:`repro.engine` does
+exactly that).
 
 All merges are comparison-based: they only compare stored items.
 """
 
 from __future__ import annotations
 
-import copy
-from fractions import Fraction
-
-from repro.model.registry import merge_summaries, register_merge
-from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy, _GKBase, _Tuple
-from repro.universe.item import Item
-
-
-def _rank_bounds(summary: _GKBase) -> list[tuple[Item, int, int]]:
-    """(value, rmin, rmax) per stored tuple."""
-    bounds = []
-    rmin = 0
-    for entry in summary._tuples:
-        rmin += entry.g
-        bounds.append((entry.value, rmin, rmin + entry.delta))
-    return bounds
-
-
-def _merged_bounds(
-    own: list[tuple[Item, int, int]],
-    other: list[tuple[Item, int, int]],
-    other_total: int,
-) -> list[tuple[Item, int, int]]:
-    """Rank bounds of ``own`` entries w.r.t. the union of both streams.
-
-    For an entry with value v: its merged rmin adds the rmin of the largest
-    ``other`` entry <= v (0 if none); its merged rmax adds the rmax of the
-    smallest ``other`` entry >= v minus one (or the full other stream length
-    when v exceeds everything there).
-    """
-    merged = []
-    j = 0  # index of the first other-entry with value >= current value
-    for value, rmin, rmax in own:
-        while j < len(other) and other[j][0] < value:
-            j += 1
-        rmin_other = other[j - 1][1] if j > 0 else 0
-        if j < len(other):
-            rmax_other = other[j][2] - 1
-        else:
-            rmax_other = other_total
-        merged.append((value, rmin + rmin_other, rmax + rmax_other))
-    return merged
-
-
-def merge_gk(first: _GKBase, second: _GKBase) -> _GKBase:
-    """Merge two GK summaries into a new one over the concatenated stream.
-
-    The result answers quantile queries over the union of the two input
-    streams with rank error at most ``max(eps_1, eps_2) * (n_1 + n_2)``:
-    merged rank bounds are exact sums of the inputs' bounds, so absolute
-    uncertainties add and the *relative* guarantee is the larger input's.
-    Both inputs are left intact.  The returned summary is of the same
-    variant as ``first`` (band-based or greedy) and can keep processing new
-    stream items at that epsilon — though the O((1/eps) log(eps N)) *space*
-    analysis does not survive merging (one-way mergeability, [2]).
-    """
-    if not isinstance(second, _GKBase):
-        raise TypeError(f"cannot merge GK with {type(second).__name__}")
-    combined_eps = max(Fraction(first._eps), Fraction(second._eps))
-    merged = type(first)(combined_eps)
-
-    bounds_first = _rank_bounds(first)
-    bounds_second = _rank_bounds(second)
-    entries = _merged_bounds(bounds_first, bounds_second, second.n)
-    entries += _merged_bounds(bounds_second, bounds_first, first.n)
-    entries.sort(key=lambda entry: (entry[0], entry[1]))
-
-    tuples: list[_Tuple] = []
-    previous_rmin = 0
-    for value, rmin, rmax in entries:
-        g = rmin - previous_rmin
-        if g <= 0:
-            # Two entries resolved to the same lower rank (duplicate values
-            # across inputs); keep the one already present, fold this one in.
-            if tuples:
-                tuples[-1].delta = max(tuples[-1].delta, rmax - previous_rmin)
-                continue
-            g = 1
-        tuples.append(_Tuple(value, g, max(0, rmax - rmin)))
-        previous_rmin = rmin
-    merged._tuples = tuples
-    merged._n = first.n + second.n
-    merged._max_item_count = max(
-        len(tuples), first.max_item_count, second.max_item_count
-    )
-    merged._compress()
-    return merged
-
-
-def _merge_by_absorbing(first, second):
-    """Non-mutating adapter over an in-place ``first.merge(second)``.
-
-    The native KLL/MRL/REQ/exact merges absorb ``second`` into ``first``;
-    the registry contract requires both inputs intact, so the absorption runs
-    on a deep copy.  Deep-copying a summary copies only its stored items
-    (O(summary size), not O(stream length)) plus its RNG state, so repeated
-    folds stay cheap.
-    """
-    merged = copy.deepcopy(first)
-    merged.merge(second)
-    return merged
-
-
-register_merge("gk", merge_gk)
-register_merge("gk-greedy", merge_gk)
-register_merge("kll", _merge_by_absorbing)
-register_merge("mrl", _merge_by_absorbing)
-register_merge("req", _merge_by_absorbing)
-register_merge("exact", _merge_by_absorbing)
+from repro.model.registry import merge_summaries
+from repro.summaries.gk import GreenwaldKhanna, GreenwaldKhannaGreedy, merge_gk
 
 __all__ = [
     "merge_gk",

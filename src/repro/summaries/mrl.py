@@ -27,9 +27,11 @@ import math
 from bisect import insort
 
 from repro.errors import EmptySummaryError
-from repro.model.registry import register_summary
+from repro.model.registry import merge_by_absorbing, register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
+from repro.persistence import decode_key, encode_key, epsilon_of
 from repro.universe.item import Item
+from repro.universe.universe import Universe
 
 
 def mrl_buffer_size(epsilon: float, n_hint: int) -> int:
@@ -67,6 +69,40 @@ class MRL(QuantileSummary):
         while len(self._buffers[level]) >= 2 * self._m:
             self._collapse(level)
             level += 1
+
+    def _process_batch(self, batch: list[Item]) -> None:
+        """Fill the base buffer from slices; state-identical to sequential.
+
+        Each slice tops the base buffer up to exactly ``2m``, so collapses
+        fire at the same points as item-at-a-time processing.  One stable
+        sort per slice replaces per-item ``insort`` (equal values keep
+        insertion order, matching ``insort``'s bisect-right placement).
+        """
+        start, total = 0, len(batch)
+        while start < total:
+            base = self._buffers[0]
+            free = 2 * self._m - len(base)
+            if free <= 0:
+                self.process(batch[start])
+                start += 1
+                continue
+            take = min(free, total - start)
+            self._buffers[0] = sorted(base + batch[start : start + take])
+            self._n += take
+            start += take
+            if len(self._buffers[0]) >= 2 * self._m:
+                # Sequentially, the trigger item's size is observed only
+                # after the collapse cascade.
+                peak = self._item_count() - 1
+                if peak > self._max_item_count:
+                    self._max_item_count = peak
+                level = 0
+                while len(self._buffers[level]) >= 2 * self._m:
+                    self._collapse(level)
+                    level += 1
+            size = self._item_count()
+            if size > self._max_item_count:
+                self._max_item_count = size
 
     def _collapse(self, level: int) -> None:
         """Promote every other item of ``level`` to ``level + 1``."""
@@ -152,4 +188,28 @@ class MRL(QuantileSummary):
         return (self.name, self._n, self._m, sizes, tuple(self._offsets))
 
 
-register_summary("mrl", MRL)
+def _encode_mrl(summary: MRL) -> dict:
+    return {
+        "n_hint": summary.n_hint,
+        "m": summary._m,
+        "offsets": list(summary._offsets),
+        "buffers": [
+            [encode_key(item) for item in buffer] for buffer in summary._buffers
+        ],
+    }
+
+
+def _decode_mrl(payload: dict, universe: Universe) -> MRL:
+    summary = MRL(epsilon_of(payload), n_hint=int(payload["n_hint"]))
+    summary._m = int(payload["m"])
+    summary._offsets = [int(offset) for offset in payload["offsets"]]
+    summary._buffers = [
+        [universe.item(decode_key(key)) for key in buffer]
+        for buffer in payload["buffers"]
+    ]
+    return summary
+
+
+register_descriptor(
+    "mrl", MRL, merge=merge_by_absorbing, encode=_encode_mrl, decode=_decode_mrl
+)

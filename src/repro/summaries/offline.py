@@ -18,9 +18,11 @@ from __future__ import annotations
 import math
 
 from repro.errors import EmptySummaryError
-from repro.model.registry import register_summary
+from repro.model.registry import register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
+from repro.persistence import decode_key, encode_key, epsilon_of
 from repro.universe.item import Item
+from repro.universe.universe import Universe
 
 
 class OfflineOptimal(QuantileSummary):
@@ -40,6 +42,17 @@ class OfflineOptimal(QuantileSummary):
         if self._buffer is None:
             raise RuntimeError("OfflineOptimal cannot process items after finalize()")
         self._buffer.append(item)
+
+    def _process_batch(self, batch: list[Item]) -> None:
+        # The pre-finalize phase just buffers; the buffer only grows, so the
+        # final size is the max the sequential path would have observed.
+        if self._buffer is None:
+            raise RuntimeError("OfflineOptimal cannot process items after finalize()")
+        self._buffer.extend(batch)
+        self._n += len(batch)
+        size = len(self._buffer)
+        if size > self._max_item_count:
+            self._max_item_count = size
 
     def finalize(self) -> None:
         """Select the stored quantiles and drop the buffer."""
@@ -114,4 +127,34 @@ class OfflineOptimal(QuantileSummary):
         return (self.name, self._n, self.is_finalized, tuple(self._selected_ranks))
 
 
-register_summary("offline", OfflineOptimal)
+def _encode_offline(summary: OfflineOptimal) -> dict:
+    return {
+        "finalized": summary.is_finalized,
+        "buffer": (
+            None
+            if summary._buffer is None
+            else [encode_key(item) for item in summary._buffer]
+        ),
+        "selected": [encode_key(item) for item in summary._selected],
+        "selected_ranks": list(summary._selected_ranks),
+    }
+
+
+def _decode_offline(payload: dict, universe: Universe) -> OfflineOptimal:
+    summary = OfflineOptimal(epsilon_of(payload))
+    if payload["finalized"]:
+        summary._buffer = None
+    else:
+        summary._buffer = [
+            universe.item(decode_key(key)) for key in payload["buffer"]
+        ]
+    summary._selected = [
+        universe.item(decode_key(key)) for key in payload["selected"]
+    ]
+    summary._selected_ranks = [int(rank) for rank in payload["selected_ranks"]]
+    return summary
+
+
+register_descriptor(
+    "offline", OfflineOptimal, encode=_encode_offline, decode=_decode_offline
+)

@@ -24,11 +24,13 @@ violation.
 from __future__ import annotations
 
 import math
+from collections import Counter
 from fractions import Fraction
 
 from repro.errors import EmptySummaryError
-from repro.model.registry import register_summary
+from repro.model.registry import register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
+from repro.persistence import epsilon_of
 from repro.universe.item import Item, key_of
 from repro.universe.universe import Universe
 
@@ -94,6 +96,39 @@ class QDigest(QuantileSummary):
         if self._since_compress >= max(1, int(self._sigma)):
             self.compress()
             self._since_compress = 0
+
+    def _process_batch(self, batch: list[Item]) -> None:
+        """Bulk-count leaves between compress boundaries.
+
+        The whole batch is validated before any count changes (sequential
+        processing would leave a prefix ingested on a bad item; the batch
+        path is atomic instead).  Chunks never cross a compress boundary,
+        and compress runs against the pre-trigger-item ``n``, exactly as in
+        sequential processing.  The item array stays empty, so
+        ``max_item_count`` is untouched.
+        """
+        leaves = []
+        for item in batch:
+            key = key_of(item)
+            if not isinstance(key, Fraction) or key.denominator != 1:
+                raise ValueError("q-digest requires integer-valued items")
+            leaves.append(self._leaf(int(key)))
+        period = max(1, int(self._sigma))
+        counts = self._counts
+        start, total = 0, len(leaves)
+        while start < total:
+            take = min(period - self._since_compress, total - start)
+            for leaf, occurrences in Counter(leaves[start : start + take]).items():
+                counts[leaf] = counts.get(leaf, 0) + occurrences
+            start += take
+            self._since_compress += take
+            if self._since_compress >= period:
+                self._n += take - 1
+                self.compress()
+                self._since_compress = 0
+                self._n += 1
+            else:
+                self._n += take
 
     def delete(self, item: Item) -> None:
         """Remove one occurrence of ``item`` (turnstile model).
@@ -196,4 +231,25 @@ class QDigest(QuantileSummary):
         return (self.name, self._n, tuple(sorted(self._counts.items())))
 
 
-register_summary("qdigest", QDigest)
+def _encode_qdigest(summary: QDigest) -> dict:
+    return {
+        "universe_bits": summary.universe_bits,
+        "counts": sorted([node, count] for node, count in summary._counts.items()),
+        "since_compress": summary._since_compress,
+    }
+
+
+def _decode_qdigest(payload: dict, universe: Universe) -> QDigest:
+    summary = QDigest(
+        epsilon_of(payload),
+        universe_bits=int(payload["universe_bits"]),
+        universe=universe,
+    )
+    summary._counts = {int(node): int(count) for node, count in payload["counts"]}
+    summary._since_compress = int(payload["since_compress"])
+    return summary
+
+
+register_descriptor(
+    "qdigest", QDigest, encode=_encode_qdigest, decode=_decode_qdigest
+)

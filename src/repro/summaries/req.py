@@ -34,9 +34,11 @@ import math
 import random
 
 from repro.errors import EmptySummaryError
-from repro.model.registry import register_summary
+from repro.model.registry import merge_by_absorbing, register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
+from repro.persistence import decode_key, encode_key, epsilon_of
 from repro.universe.item import Item
+from repro.universe.universe import Universe
 
 
 class RelativeErrorSketch(QuantileSummary):
@@ -90,6 +92,40 @@ class RelativeErrorSketch(QuantileSummary):
         while level < len(self._levels) and len(self._levels[level]) >= self.k:
             self._compact(level)
             level += 1
+
+    def _process_batch(self, batch: list[Item]) -> None:
+        """Fill level 0 from slices; state-identical to sequential inserts.
+
+        Each slice tops level 0 up to exactly ``k`` (the base buffer is
+        unsorted, so a plain ``extend`` preserves sequential append order),
+        and the compaction cascade fires at the same points as
+        item-at-a-time processing.
+        """
+        start, total = 0, len(batch)
+        while start < total:
+            level0 = self._levels[0]
+            free = self.k - len(level0)
+            if free <= 0:
+                self.process(batch[start])
+                start += 1
+                continue
+            take = min(free, total - start)
+            level0.extend(batch[start : start + take])
+            self._n += take
+            start += take
+            if len(level0) >= self.k:
+                # Sequentially, the trigger item's size is observed only
+                # after the cascade.
+                peak = self._item_count() - 1
+                if peak > self._max_item_count:
+                    self._max_item_count = peak
+                level = 0
+                while level < len(self._levels) and len(self._levels[level]) >= self.k:
+                    self._compact(level)
+                    level += 1
+            size = self._item_count()
+            if size > self._max_item_count:
+                self._max_item_count = size
 
     def _compact(self, level: int) -> None:
         buffer = self._levels[level]
@@ -174,4 +210,35 @@ class RelativeErrorSketch(QuantileSummary):
         return (self.name, self._n, self.k, self.seed, sizes)
 
 
-register_summary("req", RelativeErrorSketch)
+def _encode_req(summary: RelativeErrorSketch) -> dict:
+    return {
+        "k": summary.k,
+        "seed": summary.seed,
+        "rng_state": summary._rng_draws,
+        "levels": [
+            [encode_key(item) for item in buffer] for buffer in summary._levels
+        ],
+    }
+
+
+def _decode_req(payload: dict, universe: Universe) -> RelativeErrorSketch:
+    summary = RelativeErrorSketch(
+        epsilon_of(payload), k=int(payload["k"]), seed=payload["seed"]
+    )
+    summary._levels = [
+        [universe.item(decode_key(key)) for key in buffer]
+        for buffer in payload["levels"]
+    ]
+    for _ in range(int(payload["rng_state"])):
+        summary._rng.randrange(2)
+    summary._rng_draws = int(payload["rng_state"])
+    return summary
+
+
+register_descriptor(
+    "req",
+    RelativeErrorSketch,
+    merge=merge_by_absorbing,
+    encode=_encode_req,
+    decode=_decode_req,
+)

@@ -24,10 +24,14 @@ from __future__ import annotations
 import math
 import random
 
-from repro.model.registry import register_summary
+from fractions import Fraction
+
+from repro.model.registry import register_descriptor
 from repro.model.summary import QuantileSummary
+from repro.persistence import dump, epsilon_of, load
 from repro.summaries.gk import GreenwaldKhanna
 from repro.universe.item import Item
+from repro.universe.universe import Universe
 
 
 def required_sample_size(epsilon: float, delta: float = 0.01) -> int:
@@ -81,6 +85,30 @@ class SampledGK(QuantileSummary):
             self._sampled += 1
             self._inner.process(item)
 
+    def _process_batch(self, batch: list[Item]) -> None:
+        """Flip all coins up front, then batch-feed the sample to inner GK.
+
+        One ``rng.random()`` per item in arrival order (none at rate 1.0)
+        reproduces the sequential RNG stream; the inner summary's own batch
+        kernel then handles the surviving sample.  The outer item count
+        mirrors the inner one, so the inner max is the outer max.
+        """
+        if self._rate >= 1.0:
+            taken = batch
+        else:
+            rate = self._rate
+            rng = self._rng
+            flips = [rng.random() < rate for _ in batch]
+            if self._n == 0:
+                flips[0] = True
+            taken = [item for item, take in zip(batch, flips) if take]
+        self._sampled += len(taken)
+        if taken:
+            self._inner.process_many(taken)
+        self._n += len(batch)
+        if self._inner.max_item_count > self._max_item_count:
+            self._max_item_count = self._inner.max_item_count
+
     def _query(self, phi: float) -> Item:
         # The sample's phi-quantile estimates the stream's.
         return self._inner.query(phi)
@@ -111,4 +139,33 @@ class SampledGK(QuantileSummary):
         )
 
 
-register_summary("sampled-gk", SampledGK)
+def _encode_sampled_gk(summary: SampledGK) -> dict:
+    return {
+        "n_hint": summary.n_hint,
+        "seed": summary.seed,
+        "rate": str(Fraction(summary._rate).limit_denominator(10**12)),
+        "sampled": summary._sampled,
+        "inner": dump(summary._inner),
+    }
+
+
+def _decode_sampled_gk(payload: dict, universe: Universe) -> SampledGK:
+    summary = SampledGK(
+        epsilon_of(payload), n_hint=int(payload["n_hint"]), seed=payload["seed"]
+    )
+    summary._rate = float(Fraction(payload["rate"]))
+    summary._sampled = int(payload["sampled"])
+    summary._inner = load(payload["inner"], universe)
+    if summary._rate < 1.0:
+        # One rng.random() per processed item (the sampling coin).
+        for _ in range(int(payload["n"])):
+            summary._rng.random()
+    return summary
+
+
+register_descriptor(
+    "sampled-gk",
+    SampledGK,
+    encode=_encode_sampled_gk,
+    decode=_decode_sampled_gk,
+)

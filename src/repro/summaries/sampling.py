@@ -15,9 +15,11 @@ import math
 import random
 
 from repro.errors import EmptySummaryError
-from repro.model.registry import register_summary
+from repro.model.registry import register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
+from repro.persistence import decode_key, encode_key, epsilon_of
 from repro.universe.item import Item
+from repro.universe.universe import Universe
 
 
 def reservoir_size_for(epsilon: float, delta: float = 0.01) -> int:
@@ -54,6 +56,31 @@ class ReservoirSampling(QuantileSummary):
         if slot < self.m:
             self._reservoir[slot] = item
 
+    def _process_batch(self, batch: list[Item]) -> None:
+        """Bulk fill, then the per-item replacement loop without dispatch.
+
+        The fill phase draws nothing; afterwards exactly one
+        ``randrange(n + 1)`` per item reproduces the sequential RNG stream.
+        The reservoir never shrinks, so its final size is the max observed.
+        """
+        fill = min(self.m - len(self._reservoir), len(batch))
+        if fill > 0:
+            self._reservoir.extend(batch[:fill])
+            self._n += fill
+        reservoir = self._reservoir
+        m = self.m
+        rng = self._rng
+        n = self._n
+        for item in batch[max(fill, 0) :]:
+            slot = rng.randrange(n + 1)
+            if slot < m:
+                reservoir[slot] = item
+            n += 1
+        self._n = n
+        size = len(reservoir)
+        if size > self._max_item_count:
+            self._max_item_count = size
+
     def _query(self, phi: float) -> Item:
         if not self._reservoir:
             raise EmptySummaryError("no items stored")
@@ -79,4 +106,34 @@ class ReservoirSampling(QuantileSummary):
         return (self.name, self._n, self.m, self.seed, len(self._reservoir))
 
 
-register_summary("sampling", ReservoirSampling)
+def _encode_sampling(summary: ReservoirSampling) -> dict:
+    # The reservoir's *list order* matters (replacement indexes into it), so
+    # items are stored in slot order, not sorted.
+    return {
+        "m": summary.m,
+        "seed": summary.seed,
+        "reservoir": [encode_key(item) for item in summary._reservoir],
+    }
+
+
+def _decode_sampling(payload: dict, universe: Universe) -> ReservoirSampling:
+    summary = ReservoirSampling(
+        epsilon_of(payload), m=int(payload["m"]), seed=payload["seed"]
+    )
+    summary._reservoir = [
+        universe.item(decode_key(key)) for key in payload["reservoir"]
+    ]
+    # One randrange(j + 1) was drawn per insert after the reservoir filled
+    # (at j = m, m+1, ..., n-1); replaying the same bounds reproduces the
+    # RNG state exactly, so the restored summary continues like the original.
+    for j in range(summary.m, int(payload["n"])):
+        summary._rng.randrange(j + 1)
+    return summary
+
+
+register_descriptor(
+    "sampling",
+    ReservoirSampling,
+    encode=_encode_sampling,
+    decode=_decode_sampling,
+)

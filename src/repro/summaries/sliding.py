@@ -29,11 +29,13 @@ from __future__ import annotations
 
 
 from repro.errors import EmptySummaryError
-from repro.model.registry import register_summary
+from repro.model.registry import register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
+from repro.persistence import dump, epsilon_of, load
 from repro.summaries.gk import GreenwaldKhanna
 from repro.summaries.merging import merge_gk
 from repro.universe.item import Item
+from repro.universe.universe import Universe
 
 
 class SlidingWindowQuantiles(QuantileSummary):
@@ -121,7 +123,7 @@ class SlidingWindowQuantiles(QuantileSummary):
         return items
 
     def _item_count(self) -> int:
-        return sum(len(block.item_array()) for _, block in self._live)
+        return sum(block._item_count() for _, block in self._live)
 
     def fingerprint(self) -> tuple:
         return (
@@ -133,4 +135,32 @@ class SlidingWindowQuantiles(QuantileSummary):
         )
 
 
-register_summary("sliding-gk", SlidingWindowQuantiles)
+def _encode_sliding(summary: SlidingWindowQuantiles) -> dict:
+    return {
+        "window": summary.window,
+        "blocks": summary.blocks,
+        "live": [[start, dump(block)] for start, block in summary._live],
+    }
+
+
+def _decode_sliding(payload: dict, universe: Universe) -> SlidingWindowQuantiles:
+    summary = SlidingWindowQuantiles(
+        epsilon_of(payload),
+        window=int(payload["window"]),
+        blocks=int(payload["blocks"]),
+    )
+    summary._live = [
+        (int(start), load(block, universe)) for start, block in payload["live"]
+    ]
+    return summary
+
+
+# Per-item block rotation and window eviction make every insert depend on the
+# exact arrival position, so sliding windows keep the sequential fallback
+# (no batch kernel).
+register_descriptor(
+    "sliding-gk",
+    SlidingWindowQuantiles,
+    encode=_encode_sliding,
+    decode=_decode_sliding,
+)

@@ -21,11 +21,13 @@ Properties worth contrasting with the paper's model:
 from __future__ import annotations
 
 import math
+from collections import Counter
 from fractions import Fraction
 
 from repro.errors import EmptySummaryError
-from repro.model.registry import register_summary
+from repro.model.registry import register_descriptor
 from repro.model.summary import QuantileSummary
+from repro.persistence import epsilon_of
 from repro.sketches.countmin import CountMinSketch
 from repro.universe.item import Item, key_of
 from repro.universe.universe import Universe
@@ -80,6 +82,21 @@ class TurnstileQuantiles(QuantileSummary):
 
     def _insert(self, item: Item) -> None:
         self._update(self._value_of(item), +1)
+
+    def _process_batch(self, batch: list[Item]) -> None:
+        """Aggregate duplicate values, then one sketch update per distinct.
+
+        Count-Min updates are additive, so ``update(v, c)`` equals ``c``
+        unit updates exactly.  The whole batch is validated before any
+        counter changes.  The item array stays empty, so
+        ``max_item_count`` is untouched.
+        """
+        values = [self._value_of(item) for item in batch]
+        counts = Counter(values)
+        for level, sketch in enumerate(self._levels):
+            for value, occurrences in counts.items():
+                sketch.update(value >> level, occurrences)
+        self._n += len(batch)
 
     def delete(self, item: Item) -> None:
         """Remove one occurrence of ``item`` (exact turnstile bookkeeping)."""
@@ -150,4 +167,45 @@ class TurnstileQuantiles(QuantileSummary):
         )
 
 
-register_summary("turnstile", TurnstileQuantiles)
+def _encode_turnstile(summary: TurnstileQuantiles) -> dict:
+    return {
+        "universe_bits": summary.universe_bits,
+        "levels": [
+            {
+                "width": sketch.width,
+                "depth": sketch.depth,
+                "seed": sketch.seed,
+                "total": sketch.total,
+                "rows": [list(row) for row in sketch._rows],
+            }
+            for sketch in summary._levels
+        ],
+    }
+
+
+def _decode_turnstile(payload: dict, universe: Universe) -> TurnstileQuantiles:
+    summary = TurnstileQuantiles(
+        epsilon_of(payload),
+        universe_bits=int(payload["universe_bits"]),
+        universe=universe,
+    )
+    levels = []
+    for encoded in payload["levels"]:
+        sketch = CountMinSketch(
+            width=int(encoded["width"]),
+            depth=int(encoded["depth"]),
+            seed=encoded["seed"],
+        )
+        sketch._rows = [[int(count) for count in row] for row in encoded["rows"]]
+        sketch._total = int(encoded["total"])
+        levels.append(sketch)
+    summary._levels = levels
+    return summary
+
+
+register_descriptor(
+    "turnstile",
+    TurnstileQuantiles,
+    encode=_encode_turnstile,
+    decode=_decode_turnstile,
+)

@@ -123,34 +123,66 @@ class Item:
         elif isinstance(other, Item) and other._counter is not None:
             other._counter.record_comparison()
 
+    # The ordering methods inline _record_comparison and compare Fraction
+    # keys through their normalised numerator/denominator pairs directly.
+    # Item comparisons are the single hottest operation in every summary
+    # (a GK insert is almost nothing but them), and Fraction's operator
+    # methods spend most of their time in numbers.Rational ABC dispatch
+    # that can never apply here: both keys are exact Fractions with
+    # positive denominators, so cross-multiplication decides the order.
+
     def __lt__(self, other: object) -> bool:
         if isinstance(other, Item):
-            self._record_comparison(other)
-            return self._key < other._key
+            if self._counter is not None:
+                self._counter.record_comparison()
+            elif other._counter is not None:
+                other._counter.record_comparison()
+            a, b = self._key, other._key
+            if type(a) is Fraction and type(b) is Fraction:
+                return a._numerator * b._denominator < b._numerator * a._denominator
+            return a < b
         if isinstance(other, _Infinity):
             return other.is_positive
         return NotImplemented
 
     def __le__(self, other: object) -> bool:
         if isinstance(other, Item):
-            self._record_comparison(other)
-            return self._key <= other._key
+            if self._counter is not None:
+                self._counter.record_comparison()
+            elif other._counter is not None:
+                other._counter.record_comparison()
+            a, b = self._key, other._key
+            if type(a) is Fraction and type(b) is Fraction:
+                return a._numerator * b._denominator <= b._numerator * a._denominator
+            return a <= b
         if isinstance(other, _Infinity):
             return other.is_positive
         return NotImplemented
 
     def __gt__(self, other: object) -> bool:
         if isinstance(other, Item):
-            self._record_comparison(other)
-            return self._key > other._key
+            if self._counter is not None:
+                self._counter.record_comparison()
+            elif other._counter is not None:
+                other._counter.record_comparison()
+            a, b = self._key, other._key
+            if type(a) is Fraction and type(b) is Fraction:
+                return a._numerator * b._denominator > b._numerator * a._denominator
+            return a > b
         if isinstance(other, _Infinity):
             return not other.is_positive
         return NotImplemented
 
     def __ge__(self, other: object) -> bool:
         if isinstance(other, Item):
-            self._record_comparison(other)
-            return self._key >= other._key
+            if self._counter is not None:
+                self._counter.record_comparison()
+            elif other._counter is not None:
+                other._counter.record_comparison()
+            a, b = self._key, other._key
+            if type(a) is Fraction and type(b) is Fraction:
+                return a._numerator * b._denominator >= b._numerator * a._denominator
+            return a >= b
         if isinstance(other, _Infinity):
             return not other.is_positive
         return NotImplemented
@@ -161,7 +193,15 @@ class Item:
                 self._counter.record_equality_test()
             elif other._counter is not None:
                 other._counter.record_equality_test()
-            return self._key == other._key
+            a, b = self._key, other._key
+            if type(a) is Fraction and type(b) is Fraction:
+                # Fractions are stored normalised, so equality is
+                # component-wise.
+                return (
+                    a._numerator == b._numerator
+                    and a._denominator == b._denominator
+                )
+            return a == b
         if isinstance(other, _Infinity):
             return False
         return NotImplemented
