@@ -1,0 +1,157 @@
+"""Per-call vs compiled-index read-path comparison.
+
+A standalone benchmark (same shape as ``bench_kernels.py``'s batch run)
+that times answering a phi list two ways against the same GK summary:
+
+* **per-call** — ``summary.query(phi)`` in a loop, each call re-deriving
+  rank targets and scanning the tuple list;
+* **indexed** — compile a frozen :class:`repro.model.rankindex.RankIndex`
+  once (timed separately as ``compile_seconds``) and answer the whole
+  list with ``index.quantile_many``.
+
+The answers are asserted identical before any timing is trusted.
+
+    PYTHONPATH=src python benchmarks/bench_queries.py            # full run
+    PYTHONPATH=src python benchmarks/bench_queries.py --smoke    # CI-sized
+
+Each run appends an entry to ``benchmarks/results/BENCH_queries.json`` and
+exits nonzero if any indexed *batched* read (batch size >= 100) is slower
+than the per-call loop it replaces.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+QUERY_RESULTS_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_queries.json"
+
+EPSILONS = (0.01, 0.001)
+BATCH_SIZES = (1, 100, 10_000)
+
+
+def _build_summary(epsilon: float, values):
+    from repro.model.registry import create_summary
+    from repro.universe import Universe
+
+    summary = create_summary("gk", epsilon)
+    summary.process_many(Universe().items(values))
+    return summary
+
+
+def _phi_grid(rng, size: int):
+    # Distinct pseudorandom phis: repeats would let the index's phi memo
+    # answer from cache and flatter the comparison.
+    phis = {rng.random() for _ in range(size * 2)}
+    while len(phis) < size:
+        phis.add(rng.random())
+    return sorted(phis)[:size]
+
+
+def _compare_read_paths(summary, phis) -> dict:
+    import time as _time
+
+    from repro.model.rankindex import compile_rank_index
+    from repro.universe import key_of
+
+    started = _time.perf_counter_ns()
+    per_call = [summary.query(phi) for phi in phis]
+    per_call_ns = _time.perf_counter_ns() - started
+
+    started = _time.perf_counter_ns()
+    index = compile_rank_index(summary)
+    compile_ns = _time.perf_counter_ns() - started
+
+    started = _time.perf_counter_ns()
+    indexed = index.quantile_many(phis)
+    indexed_ns = _time.perf_counter_ns() - started
+
+    assert [key_of(a) for a in indexed] == [key_of(a) for a in per_call]
+    return {
+        "batch": len(phis),
+        "stored_keys": index.size,
+        "per_call_seconds": round(per_call_ns / 1e9, 6),
+        "indexed_seconds": round(indexed_ns / 1e9, 6),
+        "compile_seconds": round(compile_ns / 1e9, 6),
+        "speedup": round(per_call_ns / max(indexed_ns, 1), 2),
+        "speedup_with_compile": round(
+            per_call_ns / max(indexed_ns + compile_ns, 1), 2
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+    import random
+    import time as _time
+
+    parser = argparse.ArgumentParser(
+        description="per-call vs compiled-index quantile read comparison"
+    )
+    parser.add_argument("--n", type=int, default=200_000, help="items ingested")
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (n = 30k)"
+    )
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument(
+        "--output",
+        default=str(QUERY_RESULTS_PATH),
+        help="JSON history file to append to",
+    )
+    args = parser.parse_args(argv)
+
+    count = 30_000 if args.smoke else args.n
+    rng = random.Random(args.seed)
+    values = [rng.randint(0, 10**9) for _ in range(count)]
+
+    runs = []
+    slower = []
+    for epsilon in EPSILONS:
+        summary = _build_summary(epsilon, values)
+        for batch in BATCH_SIZES:
+            phis = _phi_grid(random.Random(args.seed + batch), batch)
+            result = _compare_read_paths(summary, phis)
+            result["epsilon"] = epsilon
+            runs.append(result)
+            print(
+                f"eps={epsilon:g} batch={batch:>6}: per-call "
+                f"{result['per_call_seconds']:.4f}s, indexed "
+                f"{result['indexed_seconds']:.4f}s "
+                f"(x{result['speedup']}, x{result['speedup_with_compile']} "
+                f"incl. compile of {result['stored_keys']} keys)"
+            )
+            if batch >= 100 and result["speedup"] < 1.0:
+                slower.append(f"eps={epsilon:g}/batch={batch}")
+
+    entry = {
+        "benchmark": "per_call_vs_indexed_reads",
+        "timestamp": _time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": sys.version.split()[0],
+        "items": count,
+        "smoke": args.smoke,
+        "summary": "gk",
+        "runs": runs,
+    }
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    history = []
+    if output.exists():
+        try:
+            history = json.loads(output.read_text())
+        except json.JSONDecodeError:
+            history = []
+    history.append(entry)
+    output.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"appended entry #{len(history)} to {output}")
+    if slower:
+        print(f"FAIL: indexed batched reads slower than per-call for: "
+              f"{', '.join(slower)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,8 @@ Subcommands
 ``quantiles``
     Stream numbers (stdin or a file, one per line) through a summary and
     print requested quantiles, optionally with an equi-depth histogram.
+    ``quantiles query --phis 0.1,0.5,0.9`` answers a batched phi list in
+    one pass through the compiled rank index.
 ``attack``
     Run the paper's adversarial construction against a summary and report
     the outcome: space paid, final gap vs the Lemma 3.4 ceiling, and the
@@ -81,7 +83,11 @@ def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
         "serve": _serve.cmd_serve,
         "client": _serve.cmd_client,
     }
-    if args.command == "engine":
+    if args.command == "quantiles" and getattr(args, "quantiles_command", None):
+        handler = {
+            "query": _quantiles.cmd_quantiles_query,
+        }[args.quantiles_command]
+    elif args.command == "engine":
         handler = {
             "ingest": _engine.cmd_engine_ingest,
             "query": _engine.cmd_engine_query,

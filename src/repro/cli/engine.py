@@ -77,10 +77,14 @@ def cmd_engine_query(args: argparse.Namespace, out: TextIO) -> int:
         f"merge = {engine.config.merge_strategy}",
         file=out,
     )
-    for phi in args.phi:
-        print(f"phi = {phi:g}: {engine.query(phi)}", file=out)
-    for value in args.rank or []:
-        print(f"rank({value:g}) ~= {engine.rank(value)}", file=out)
+    # Batched reads: one compiled-index pass per list instead of a
+    # merge-fold staleness check and telemetry span per phi/value.
+    for phi, answer in zip(args.phi, engine.quantiles(args.phi)):
+        print(f"phi = {phi:g}: {answer}", file=out)
+    ranks = args.rank or []
+    if ranks:
+        for value, estimate in zip(ranks, engine.rank_many(ranks)):
+            print(f"rank({value:g}) ~= {estimate}", file=out)
     return 0
 
 

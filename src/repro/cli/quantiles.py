@@ -8,6 +8,7 @@ from typing import TextIO
 
 from repro.analysis.applications import equi_depth_histogram
 from repro.cli.common import parse_values, write_metrics
+from repro.model.rankindex import compile_rank_index
 from repro.model.registry import available_summaries, create_summary
 from repro.obs import MetricRegistry, ObservedSummary
 from repro.universe.counter import ComparisonCounter
@@ -69,6 +70,58 @@ def cmd_quantiles(args: argparse.Namespace, out: TextIO) -> int:
     return 0
 
 
+def parse_phis(raw: str) -> list[float]:
+    """Parse a ``0.1,0.5,0.9`` style comma-separated phi list."""
+    phis: list[float] = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            phis.append(float(token))
+        except ValueError:
+            raise SystemExit(f"--phis entries must be numbers, got {token!r}")
+    if not phis:
+        raise SystemExit("--phis needs at least one value")
+    return phis
+
+
+def cmd_quantiles_query(args: argparse.Namespace, out: TextIO) -> int:
+    """Batched quantile queries through the compiled rank index."""
+    if args.input is not None:
+        with open(args.input) as handle:
+            values = parse_values(handle)
+    else:
+        values = parse_values(sys.stdin)
+    if not values:
+        raise SystemExit("no input values")
+    phis = parse_phis(args.phis)
+
+    universe = Universe()
+    kwargs = {}
+    if args.summary == "mrl":
+        kwargs["n_hint"] = len(values)
+    summary = create_summary(args.summary, args.epsilon, **kwargs)
+    summary.process_many(universe.items(values))
+
+    index = compile_rank_index(summary)
+    if index is not None:
+        answers = [key_of(item) for item in index.quantile_many(phis)]
+        read_path = f"compiled index ({index.size} keys)"
+    else:
+        answers = [key_of(summary.query(phi)) for phi in phis]
+        read_path = "per-call (no compile_index registered)"
+    print(
+        f"n = {summary.n}, summary = {args.summary}, eps = {args.epsilon}, "
+        f"read path = {read_path}",
+        file=out,
+    )
+    # Answers come back in input order.
+    for phi, answer in zip(phis, answers):
+        print(f"phi = {phi:g}: {answer}", file=out)
+    return 0
+
+
 def add_parsers(subparsers) -> None:
     subparsers.add_parser("summaries", help="list registered algorithms")
 
@@ -93,3 +146,20 @@ def add_parsers(subparsers) -> None:
         metavar="PATH",
         help="record insert/query latency and comparison cost; dump to PATH",
     )
+
+    # Optional subcommand: `quantiles query` takes the batched read path
+    # (compile once, answer the whole phi list from the index).  Plain
+    # `quantiles` invocations keep the flat per-phi behaviour above.
+    quantiles_commands = quantiles.add_subparsers(dest="quantiles_command")
+    query = quantiles_commands.add_parser(
+        "query",
+        help="batched quantile queries through the compiled rank index",
+    )
+    query.add_argument("--summary", default="gk", choices=available_summaries())
+    query.add_argument("--epsilon", type=float, default=0.01)
+    query.add_argument(
+        "--phis",
+        default="0.25,0.5,0.75,0.99",
+        help="comma-separated quantiles, answered in the given order",
+    )
+    query.add_argument("--input", help="file of numbers (default: stdin)")

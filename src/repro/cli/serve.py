@@ -12,6 +12,7 @@ from typing import TextIO
 
 from repro.cli.common import generated_values
 from repro.cli.engine import engine_config
+from repro.cli.quantiles import parse_phis
 from repro.engine import ShardedQuantileEngine
 from repro.model.registry import mergeable_summaries
 from repro.obs import trace_to
@@ -125,7 +126,8 @@ def cmd_client(args: argparse.Namespace, out: TextIO) -> int:
             if command == "insert":
                 return await client.insert(insert_values)
             if command == "query":
-                return await client.query(args.phi)
+                phis = parse_phis(args.phis) if args.phis else args.phi
+                return await client.query(phis)
             if command == "rank":
                 return await client.rank(args.value)
             if command == "stats":
@@ -272,6 +274,12 @@ def add_parsers(subparsers) -> None:
     query = commands.add_parser("query", help="quantile answers from the snapshot")
     query.add_argument(
         "--phi", type=float, nargs="+", default=[0.25, 0.5, 0.75, 0.99]
+    )
+    query.add_argument(
+        "--phis",
+        metavar="LIST",
+        help="comma-separated quantiles (e.g. 0.1,0.5,0.9); overrides --phi "
+        "and is answered in one batched request, in the given order",
     )
 
     rank = commands.add_parser("rank", help="rank estimates from the snapshot")

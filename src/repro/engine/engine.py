@@ -33,12 +33,22 @@ from repro.engine.merge_tree import fold_shards
 from repro.engine.routing import route_batch
 from repro.engine.telemetry import Telemetry
 from repro.errors import EngineError
+from repro.model.rankindex import RankIndex, compile_rank_index
 from repro.model.registry import create_summary
 from repro.obs import spans as obs_spans
 from repro.model.summary import QuantileSummary, exact_fraction
 from repro.persistence import dump as dump_summary, load as load_summary
 from repro.universe.item import key_of
 from repro.universe.universe import Universe
+
+# Probe items for rank estimates on the uncompiled fallback path carry no
+# state worth isolating, so one module-level universe serves every engine
+# instead of constructing a Universe per call.
+_PROBE_UNIVERSE = Universe()
+
+# Cached marker for "the merged summary's type has no compile_index": keeps
+# unsupported types from re-attempting compilation on every read.
+_NO_INDEX = object()
 
 
 def as_fraction(value) -> Fraction:
@@ -121,6 +131,11 @@ class ShardedQuantileEngine:
         self._items_ingested = 0
         self._batches = 0
         self._merged: QuantileSummary | None = None
+        # Compiled read index over the merged summary, keyed on the ingest
+        # generation: any ingest invalidates it along with the merge fold.
+        self._read_index = None
+        self._read_index_generation = -1
+        self._read_generation = 0
 
     def _make_shard_summary(self, index: int) -> QuantileSummary:
         return create_summary(
@@ -206,6 +221,7 @@ class ShardedQuantileEngine:
         self._items_ingested += len(values)
         self._batches += 1
         self._merged = None
+        self._read_generation += 1
         self.telemetry.count("items_ingested", len(values))
         self.telemetry.count("batches_ingested")
         self.telemetry.record_batch_size(len(values))
@@ -267,24 +283,97 @@ class ShardedQuantileEngine:
             )
         return self._merged
 
+    def read_index(self) -> RankIndex | None:
+        """The compiled index over the merged summary, or None if unsupported.
+
+        Cached per ingest generation: the first read after an ingest folds
+        the shards and compiles the fold, every later read reuses the frozen
+        index until the next ingest invalidates it.  Summary types without a
+        registered ``compile_index`` cache that fact too, so the uncompiled
+        fallback pays no repeated compilation attempts.
+        """
+        if self._read_index_generation == self._read_generation:
+            self.telemetry.count("read_index_hits")
+            index = self._read_index
+            return None if index is _NO_INDEX else index
+        self.telemetry.count("read_index_misses")
+        merged = self.merged_summary()
+        compile_started = perf_counter_ns()
+        with obs_spans.span(
+            "engine.read_index.compile",
+            summary=self.config.summary,
+            generation=self._read_generation,
+        ) as compile_span:
+            index = compile_rank_index(merged)
+            compile_span.set(
+                supported=index is not None,
+                size=index.size if index is not None else 0,
+            )
+        if index is not None:
+            self.telemetry.count("read_index_compiles")
+            self.telemetry.record_latency(
+                "read_index_compile", perf_counter_ns() - compile_started
+            )
+        self._read_index = index if index is not None else _NO_INDEX
+        self._read_index_generation = self._read_generation
+        return index
+
     def query(self, phi: float) -> Fraction:
         """The global phi-quantile's value (key of the answering item)."""
         with self.telemetry.timed("query"), obs_spans.span("engine.query", phi=phi):
-            answer = self.merged_summary().query(phi)
+            index = self.read_index()
+            if index is not None:
+                answer = index.quantile(phi)
+            else:
+                answer = self.merged_summary().query(phi)
         self.telemetry.count("queries_answered")
         return key_of(answer)
 
     def quantiles(self, phis: Iterable[float]) -> list[Fraction]:
-        """Batch form of :meth:`query`."""
-        return [self.query(phi) for phi in phis]
+        """Batch form of :meth:`query`: one span, one count, one index pass."""
+        phis = list(phis)
+        with self.telemetry.timed("query"), obs_spans.span(
+            "engine.query", phis=len(phis)
+        ):
+            index = self.read_index()
+            if index is not None:
+                answers = index.quantile_many(phis)
+            else:
+                merged = self.merged_summary()
+                answers = [merged.query(phi) for phi in phis]
+        self.telemetry.count("queries_answered")
+        return [key_of(answer) for answer in answers]
 
     def rank(self, value) -> int:
         """Estimated number of ingested items ``<=`` ``value``."""
-        probe = Universe().item(as_fraction(value))
+        key = as_fraction(value)
         with self.telemetry.timed("query"):
-            estimate = self.merged_summary().estimate_rank(probe)
+            index = self.read_index()
+            if index is not None:
+                estimate = index.rank(key)
+            else:
+                estimate = self.merged_summary().estimate_rank(
+                    _PROBE_UNIVERSE.item(key)
+                )
         self.telemetry.count("queries_answered")
         return estimate
+
+    def rank_many(self, values: Iterable) -> list[int]:
+        """Batch form of :meth:`rank`: one span, one count, one index pass."""
+        keys = [as_fraction(value) for value in values]
+        with self.telemetry.timed("query"), obs_spans.span(
+            "engine.rank", values=len(keys)
+        ):
+            index = self.read_index()
+            if index is not None:
+                estimates = index.rank_many(keys)
+            else:
+                merged = self.merged_summary()
+                estimates = [
+                    merged.estimate_rank(_PROBE_UNIVERSE.item(key)) for key in keys
+                ]
+        self.telemetry.count("queries_answered")
+        return estimates
 
     # -- checkpointing -------------------------------------------------------------
 

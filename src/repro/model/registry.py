@@ -18,6 +18,10 @@ to know about the type:
 * ``has_batch_kernel`` — whether the type overrides
   :meth:`~repro.model.summary.QuantileSummary._process_batch` with an
   amortised batch-ingest kernel;
+* ``compile_index`` — freeze the summary into a
+  :class:`~repro.model.rankindex.RankIndex` whose quantile/rank answers are
+  bit-identical to the uncompiled read path (the engine, snapshots, and the
+  CLI compile through it);
 * ``is_comparison_based`` / ``is_deterministic`` — the model flags of
   Definition 2.1, mirrored from the class.
 
@@ -48,6 +52,11 @@ MergeFunction = Callable[[QuantileSummary, QuantileSummary], QuantileSummary]
 EncodeFunction = Callable[[Any], dict]
 DecodeFunction = Callable[[dict, Any], QuantileSummary]
 
+# A read-index compiler: freeze a summary's stored items + rank bounds into a
+# RankIndex (see repro.model.rankindex) whose quantile/rank answers are
+# bit-identical to the uncompiled query/estimate_rank path.
+CompileIndexFunction = Callable[[QuantileSummary], Any]
+
 
 @dataclass(frozen=True)
 class SummaryDescriptor:
@@ -65,6 +74,10 @@ class SummaryDescriptor:
     has_batch_kernel: bool = False
     is_comparison_based: bool = True
     is_deterministic: bool = True
+    #: Compile a frozen read index answering quantile/rank queries
+    #: bit-identically to the summary's own query/estimate_rank (``None``
+    #: when the type has no compiled read path).
+    compile_index: CompileIndexFunction | None = None
 
 
 _DESCRIPTORS: dict[str, SummaryDescriptor] = {}
@@ -80,6 +93,7 @@ def register_descriptor(
     decode: DecodeFunction | None = None,
     payload_type: str | None = None,
     has_batch_kernel: bool | None = None,
+    compile_index: CompileIndexFunction | None = None,
 ) -> SummaryDescriptor:
     """Register the full capability descriptor for one summary type.
 
@@ -111,6 +125,11 @@ def register_descriptor(
         factory=factory,
         cls=cls,
         merge=merge if merge is not None else (existing.merge if existing else None),
+        compile_index=(
+            compile_index
+            if compile_index is not None
+            else (existing.compile_index if existing else None)
+        ),
         encode=encode,
         decode=decode,
         payload_type=payload_type,

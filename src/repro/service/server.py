@@ -452,24 +452,45 @@ class QuantileService:
         ).inc(result["items"])
         return protocol.ok_response(request.id, **result)
 
+    def _count_read_index(self, snapshot) -> None:
+        """Count whether this read found the snapshot's index already compiled.
+
+        Same-epoch reads coalesce onto one compiled index: the first read of
+        an epoch compiles (a miss), every later read reuses it (a hit).
+        """
+        name = "read_index_hits_total" if snapshot.index_ready else (
+            "read_index_misses_total"
+        )
+        self.registry.counter(
+            SERVICE_NAMESPACE + name,
+            help="snapshot read-index cache hits/misses",
+        ).inc()
+
     def _op_query(self, request: protocol.Request) -> dict:
         snapshot = self.snapshots.current()
-        results = []
-        for phi in request.phis:
-            value = snapshot.query(float(phi))
-            results.append(
-                {"phi": float(phi), "value": str(value), "approx": float(value)}
-            )
+        phis = [float(phi) for phi in request.phis]
+        if not snapshot.empty:
+            self._count_read_index(snapshot)
+        # One index pass answers the whole list, in input order.
+        values = snapshot.query_many(phis)
+        results = [
+            {"phi": phi, "value": str(value), "approx": float(value)}
+            for phi, value in zip(phis, values)
+        ]
         return protocol.ok_response(
             request.id, epoch=snapshot.epoch, n=snapshot.items, results=results
         )
 
     def _op_rank(self, request: protocol.Request) -> dict:
         snapshot = self.snapshots.current()
-        results = []
-        for raw in request.values:
-            value = as_fraction(raw)
-            results.append({"value": str(value), "rank": snapshot.rank(value)})
+        values = [as_fraction(raw) for raw in request.values]
+        if not snapshot.empty:
+            self._count_read_index(snapshot)
+        ranks = snapshot.rank_many(values)
+        results = [
+            {"value": str(value), "rank": rank}
+            for value, rank in zip(values, ranks)
+        ]
         return protocol.ok_response(
             request.id, epoch=snapshot.epoch, n=snapshot.items, results=results
         )

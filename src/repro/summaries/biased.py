@@ -25,6 +25,7 @@ from __future__ import annotations
 from bisect import bisect_right
 
 from repro.errors import EmptySummaryError
+from repro.model.rankindex import RankIndex, build_index
 from repro.model.registry import register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
 from repro.persistence import epsilon_of
@@ -146,6 +147,34 @@ class BiasedQuantileSummary(QuantileSummary):
         return (self.name, self._n, self._since_compress, state)
 
 
+def _compile_biased_index(summary: BiasedQuantileSummary) -> RankIndex:
+    """Freeze the GK-shaped tuples with the rank-adaptive allowance.
+
+    Identical to the GK compilation except that ``allowed`` is evaluated per
+    target as ``max(1, eps * target)`` — the relative-error guarantee.
+    """
+    items: list[Item] = []
+    rmin: list[int] = []
+    rmax: list[int] = []
+    cumulative = 0
+    for entry in summary._tuples:
+        cumulative += entry.g
+        items.append(entry.value)
+        rmin.append(cumulative)
+        rmax.append(cumulative + entry.delta)
+    return build_index(
+        items=items,
+        rmin=rmin,
+        rmax=rmax,
+        n=summary.n,
+        q_round="floor",
+        q_select="bounded",
+        rank_rule="mid",
+        eps=summary._eps,
+        allowed_per_target=True,
+    )
+
+
 def _decode_biased(payload: dict, universe: Universe) -> BiasedQuantileSummary:
     summary = BiasedQuantileSummary(epsilon_of(payload))
     decode_gk_state_into(summary, payload, universe, tuple_cls=_Tuple)
@@ -161,4 +190,5 @@ register_descriptor(
     BiasedQuantileSummary,
     encode=encode_gk_state,
     decode=_decode_biased,
+    compile_index=_compile_biased_index,
 )

@@ -12,6 +12,7 @@ import math
 
 from repro.containers.sortedlist import SortedItemList
 from repro.errors import EmptySummaryError
+from repro.model.rankindex import RankIndex, build_index
 from repro.model.registry import merge_by_absorbing, register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
 from repro.persistence import decode_key, encode_key
@@ -70,6 +71,23 @@ class ExactSummary(QuantileSummary):
         return (self.name, self._n)
 
 
+def _compile_exact_index(summary: ExactSummary) -> RankIndex:
+    """Freeze the full sorted stream: unit weights, exact answers.
+
+    ``rank_empty_zero`` mirrors ``estimate_rank``'s bisect on an empty list,
+    the one rank path in the registry that answers 0 instead of raising.
+    """
+    items = summary.item_array()
+    return build_index(
+        items=items,
+        rmin=list(range(1, len(items) + 1)),
+        n=summary.n,
+        q_round="ceil",
+        rank_rule="weight",
+        rank_empty_zero=True,
+    )
+
+
 def _encode_exact(summary: ExactSummary) -> dict:
     return {"items": [encode_key(item) for item in summary.item_array()]}
 
@@ -87,4 +105,5 @@ register_descriptor(
     merge=merge_by_absorbing,
     encode=_encode_exact,
     decode=_decode_exact,
+    compile_index=_compile_exact_index,
 )

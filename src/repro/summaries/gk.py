@@ -42,6 +42,7 @@ from fractions import Fraction
 from operator import attrgetter
 
 from repro.errors import EmptySummaryError
+from repro.model.rankindex import RankIndex, build_index
 from repro.model.registry import register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
 from repro.persistence import decode_key, encode_key, epsilon_of
@@ -466,6 +467,38 @@ def merge_gk(first: _GKBase, second: _GKBase) -> _GKBase:
     return merged
 
 
+# -- compiled read path --------------------------------------------------------------
+
+
+def compile_gk_index(summary: _GKBase) -> RankIndex:
+    """Freeze GK tuple state into a :class:`RankIndex`.
+
+    The tuples already carry g/Delta, so the prefix sums *are* the rmin/rmax
+    arrays; the bounded selector with ``allowed = eps * n`` reproduces the
+    sequential ``_query`` scan and the ``"mid"`` rank rule reproduces
+    ``estimate_rank`` bit for bit.
+    """
+    items: list[Item] = []
+    rmin: list[int] = []
+    rmax: list[int] = []
+    cumulative = 0
+    for entry in summary._tuples:
+        cumulative += entry.g
+        items.append(entry.value)
+        rmin.append(cumulative)
+        rmax.append(cumulative + entry.delta)
+    return build_index(
+        items=items,
+        rmin=rmin,
+        rmax=rmax,
+        n=summary.n,
+        q_round="floor",
+        q_select="bounded",
+        rank_rule="mid",
+        eps=summary._eps,
+    )
+
+
 # -- persistence codec ---------------------------------------------------------------
 
 
@@ -511,6 +544,7 @@ register_descriptor(
     merge=merge_gk,
     encode=encode_gk_state,
     decode=_decode_gk,
+    compile_index=compile_gk_index,
 )
 register_descriptor(
     "gk-greedy",
@@ -518,4 +552,5 @@ register_descriptor(
     merge=merge_gk,
     encode=encode_gk_state,
     decode=_decode_gk_greedy,
+    compile_index=compile_gk_index,
 )

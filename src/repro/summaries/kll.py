@@ -24,6 +24,7 @@ import math
 import random
 
 from repro.errors import EmptySummaryError
+from repro.model.rankindex import RankIndex, index_from_weighted_items
 from repro.model.registry import merge_by_absorbing, register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
 from repro.persistence import decode_key, encode_key, epsilon_of
@@ -239,6 +240,22 @@ class KLL(QuantileSummary):
         return (self.name, self._n, self.k, self.seed, sizes)
 
 
+def _compile_kll_index(summary: KLL) -> RankIndex:
+    """Freeze the weighted compactor items into a :class:`RankIndex`.
+
+    Quantile targets scale into the stored-weight domain (weights need not
+    sum to n mid-cascade) and rank estimates rescale stored weight back to
+    the stream length, exactly as the sequential paths do.
+    """
+    return index_from_weighted_items(
+        summary,
+        summary._weighted_items(),
+        q_domain="weight",
+        q_round="ceil",
+        rank_rule="scaled",
+    )
+
+
 def _encode_kll(summary: KLL) -> dict:
     return {
         "k": summary.k,
@@ -264,5 +281,10 @@ def _decode_kll(payload: dict, universe: Universe) -> KLL:
 
 
 register_descriptor(
-    "kll", KLL, merge=merge_by_absorbing, encode=_encode_kll, decode=_decode_kll
+    "kll",
+    KLL,
+    merge=merge_by_absorbing,
+    encode=_encode_kll,
+    decode=_decode_kll,
+    compile_index=_compile_kll_index,
 )

@@ -27,6 +27,7 @@ import math
 from bisect import insort
 
 from repro.errors import EmptySummaryError
+from repro.model.rankindex import RankIndex, index_from_weighted_items
 from repro.model.registry import merge_by_absorbing, register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
 from repro.persistence import decode_key, encode_key, epsilon_of
@@ -188,6 +189,17 @@ class MRL(QuantileSummary):
         return (self.name, self._n, self._m, sizes, tuple(self._offsets))
 
 
+def _compile_mrl_index(summary: MRL) -> RankIndex:
+    """Freeze the weighted buffer items; targets stay in the n domain."""
+    return index_from_weighted_items(
+        summary,
+        summary._weighted_items(),
+        q_domain="n",
+        q_round="floor",
+        rank_rule="weight",
+    )
+
+
 def _encode_mrl(summary: MRL) -> dict:
     return {
         "n_hint": summary.n_hint,
@@ -211,5 +223,10 @@ def _decode_mrl(payload: dict, universe: Universe) -> MRL:
 
 
 register_descriptor(
-    "mrl", MRL, merge=merge_by_absorbing, encode=_encode_mrl, decode=_decode_mrl
+    "mrl",
+    MRL,
+    merge=merge_by_absorbing,
+    encode=_encode_mrl,
+    decode=_decode_mrl,
+    compile_index=_compile_mrl_index,
 )

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 
 from repro.errors import EmptySummaryError
+from repro.model.rankindex import RankIndex, build_index
 from repro.model.registry import register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
 from repro.persistence import decode_key, encode_key, epsilon_of
@@ -127,6 +128,23 @@ class OfflineOptimal(QuantileSummary):
         return (self.name, self._n, self.is_finalized, tuple(self._selected_ranks))
 
 
+def _compile_offline_index(summary: OfflineOptimal) -> RankIndex:
+    """Freeze the selected quantiles (finalizing first, as a query would).
+
+    The strictly increasing selected ranks drive the nearest-rank quantile
+    selector and the interval-midpoint rank rule.
+    """
+    summary.finalize()
+    return build_index(
+        items=list(summary._selected),
+        rmin=list(summary._selected_ranks),
+        n=summary.n,
+        q_round="ceil",
+        q_select="nearest",
+        rank_rule="interval_mid",
+    )
+
+
 def _encode_offline(summary: OfflineOptimal) -> dict:
     return {
         "finalized": summary.is_finalized,
@@ -156,5 +174,9 @@ def _decode_offline(payload: dict, universe: Universe) -> OfflineOptimal:
 
 
 register_descriptor(
-    "offline", OfflineOptimal, encode=_encode_offline, decode=_decode_offline
+    "offline",
+    OfflineOptimal,
+    encode=_encode_offline,
+    decode=_decode_offline,
+    compile_index=_compile_offline_index,
 )

@@ -34,6 +34,7 @@ import math
 import random
 
 from repro.errors import EmptySummaryError
+from repro.model.rankindex import RankIndex, index_from_weighted_items
 from repro.model.registry import merge_by_absorbing, register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
 from repro.persistence import decode_key, encode_key, epsilon_of
@@ -210,6 +211,17 @@ class RelativeErrorSketch(QuantileSummary):
         return (self.name, self._n, self.k, self.seed, sizes)
 
 
+def _compile_req_index(summary: RelativeErrorSketch) -> RankIndex:
+    """Freeze the weighted level items; targets stay in the n domain."""
+    return index_from_weighted_items(
+        summary,
+        summary._weighted_items(),
+        q_domain="n",
+        q_round="ceil",
+        rank_rule="weight",
+    )
+
+
 def _encode_req(summary: RelativeErrorSketch) -> dict:
     return {
         "k": summary.k,
@@ -241,4 +253,5 @@ register_descriptor(
     merge=merge_by_absorbing,
     encode=_encode_req,
     decode=_decode_req,
+    compile_index=_compile_req_index,
 )

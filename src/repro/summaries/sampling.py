@@ -15,6 +15,7 @@ import math
 import random
 
 from repro.errors import EmptySummaryError
+from repro.model.rankindex import RankIndex, build_index
 from repro.model.registry import register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
 from repro.persistence import decode_key, encode_key, epsilon_of
@@ -106,6 +107,25 @@ class ReservoirSampling(QuantileSummary):
         return (self.name, self._n, self.m, self.seed, len(self._reservoir))
 
 
+def _compile_sampling_index(summary: ReservoirSampling) -> RankIndex:
+    """Freeze the sorted reservoir.
+
+    Quantile targets live in the reservoir-size domain (the sample stands in
+    for the stream) and ranks rescale the below-count to the stream length,
+    as the sequential paths do.
+    """
+    ordered = sorted(summary._reservoir)
+    return build_index(
+        items=ordered,
+        rmin=list(range(1, len(ordered) + 1)),
+        n=summary.n,
+        total_weight=len(ordered),
+        q_domain="weight",
+        q_round="ceil",
+        rank_rule="scaled",
+    )
+
+
 def _encode_sampling(summary: ReservoirSampling) -> dict:
     # The reservoir's *list order* matters (replacement indexes into it), so
     # items are stored in slot order, not sorted.
@@ -136,4 +156,5 @@ register_descriptor(
     ReservoirSampling,
     encode=_encode_sampling,
     decode=_decode_sampling,
+    compile_index=_compile_sampling_index,
 )
