@@ -19,6 +19,13 @@ Subcommands
     disk, answer global quantile/rank queries from a checkpoint, and view
     the engine's telemetry (latency quantiles served by the engine's own GK
     summaries).
+``ingest``
+    Durable connector-based ingestion (:mod:`repro.connectors`): drain
+    JSONL/CSV files, directories, or seeded synthetic streams into the
+    engine (offsets embedded in its checkpoint) or a running service
+    (offsets in a sidecar), with a dead-letter queue for poison records,
+    graceful SIGTERM stop + ``--resume``, and read-only ``--preflight`` /
+    ``--dry-run`` checks.
 ``obs report | export``
     The observability layer (:mod:`repro.obs`): combine metric-registry
     dumps (``attack --metrics``, ``quantiles --metrics``) and engine
@@ -52,10 +59,15 @@ from typing import TextIO
 
 from repro.cli import attack as _attack
 from repro.cli import engine as _engine
+from repro.cli import ingest as _ingest
 from repro.cli import obs as _obs
 from repro.cli import quantiles as _quantiles
 from repro.cli import serve as _serve
-from repro.errors import RankEstimationUnsupportedError, ReproError
+from repro.errors import (
+    MalformedRecordError,
+    RankEstimationUnsupportedError,
+    ReproError,
+)
 
 __all__ = ["build_parser", "main"]
 
@@ -69,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     _quantiles.add_parsers(subparsers)
     _attack.add_parsers(subparsers)
     _engine.add_parsers(subparsers)
+    _ingest.add_parsers(subparsers)
     _obs.add_parsers(subparsers)
     _serve.add_parsers(subparsers)
     return parser
@@ -80,6 +93,7 @@ def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
         "summaries": _quantiles.cmd_summaries,
         "quantiles": _quantiles.cmd_quantiles,
         "attack": _attack.cmd_attack,
+        "ingest": _ingest.cmd_ingest,
         "serve": _serve.cmd_serve,
         "client": _serve.cmd_client,
     }
@@ -104,5 +118,9 @@ def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
         return handler(args, out)
     except RankEstimationUnsupportedError as error:
         raise SystemExit(f"error [rank_unsupported]: {error}") from None
+    except MalformedRecordError as error:
+        # Same stable code the service answers on the wire and the
+        # connector dead-letter queue records.
+        raise SystemExit(f"error [{error.code}]: {error}") from None
     except ReproError as error:
         raise SystemExit(f"error: {error}") from None

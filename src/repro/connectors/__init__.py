@@ -1,0 +1,84 @@
+"""Durable connector-based ingestion: sources, offsets, DLQ, runner, preflight.
+
+The public surface of the connector framework (see ``docs/connectors.md``):
+
+* sources — :class:`SourceConnector` and the concrete connectors for JSONL
+  / CSV / plain-line files, directories of them, and seeded synthetic
+  streams, plus the :func:`open_source` factory;
+* offsets — :class:`OffsetStore`, resumable per-source positions that
+  persist inside engine checkpoints or a standalone sidecar;
+* DLQ — :class:`DeadLetterQueue`, the JSONL sink for records the pipeline
+  refuses, with stable machine-readable codes;
+* runner — :class:`IngestRunner` draining sources into an
+  :class:`EngineSink` or :class:`ServiceSink`;
+* preflight — :func:`run_preflight`, the read-only "will this run work?"
+  report behind ``repro ingest --preflight`` / ``--dry-run``.
+"""
+
+from repro.connectors.base import (
+    DLQ_CODES,
+    ERR_BAD_JSON,
+    ERR_BAD_ROW,
+    ERR_BAD_TYPE,
+    ERR_MALFORMED_RECORD,
+    ERR_MISSING_FIELD,
+    SourceConnector,
+    SourceDescription,
+    SourceRecord,
+)
+from repro.connectors.dlq import DLQ_KIND, DeadLetterQueue, read_dlq
+from repro.connectors.offsets import OFFSETS_FORMAT, OFFSETS_KIND, OffsetStore
+from repro.connectors.preflight import PreflightReport, SourceCheck, run_preflight
+from repro.connectors.runner import (
+    EngineSink,
+    IngestRunner,
+    RunnerConfig,
+    RunReport,
+    ServiceSink,
+    SourceReport,
+)
+from repro.connectors.sources import (
+    FILE_FORMATS,
+    CsvSource,
+    DirectorySource,
+    JsonlSource,
+    LinesSource,
+    SyntheticSource,
+    detect_format,
+    open_source,
+)
+
+__all__ = [
+    "DLQ_CODES",
+    "DLQ_KIND",
+    "ERR_BAD_JSON",
+    "ERR_BAD_ROW",
+    "ERR_BAD_TYPE",
+    "ERR_MALFORMED_RECORD",
+    "ERR_MISSING_FIELD",
+    "FILE_FORMATS",
+    "OFFSETS_FORMAT",
+    "OFFSETS_KIND",
+    "CsvSource",
+    "DeadLetterQueue",
+    "DirectorySource",
+    "EngineSink",
+    "IngestRunner",
+    "JsonlSource",
+    "LinesSource",
+    "OffsetStore",
+    "PreflightReport",
+    "RunReport",
+    "RunnerConfig",
+    "ServiceSink",
+    "SourceCheck",
+    "SourceConnector",
+    "SourceDescription",
+    "SourceRecord",
+    "SourceReport",
+    "SyntheticSource",
+    "detect_format",
+    "open_source",
+    "read_dlq",
+    "run_preflight",
+]

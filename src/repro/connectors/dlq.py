@@ -1,0 +1,154 @@
+"""The dead-letter queue: poison records preserved, runs never aborted.
+
+Every record the ingest pipeline cannot turn into a number — invalid JSON,
+a missing field, a ragged CSV row, a value :func:`~repro.engine.engine.as_fraction`
+rejects — becomes one JSONL entry here instead of an exception:
+
+    {"kind": "dead-letter", "source": "events.jsonl", "index": 17,
+     "code": "malformed_record", "error": "cannot interpret 'NaN' ...",
+     "raw": "{\\"value\\": \\"NaN\\"}", "position": {"byte": 512, "records": 18}}
+
+``code`` is a stable machine-readable name (:data:`repro.connectors.base.DLQ_CODES`;
+``malformed_record`` is shared with the service wire protocol and the CLI),
+``position`` is the source offset *after* the poison record, so an operator
+can seek straight to it, fix it, and replay just that record.
+
+Writes are buffered (the ``ResultStore`` idiom: append, flush at a
+threshold, flush on close) and the sink is a context manager.  A
+:class:`DeadLetterQueue` built with ``path=None`` only counts — for callers
+that want poison tolerance without keeping the evidence.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO
+
+from repro.connectors.base import SourceRecord
+from repro.errors import ConnectorError
+from repro.obs.registry import MetricRegistry
+
+DLQ_KIND = "dead-letter"
+
+
+class DeadLetterQueue:
+    """Buffered JSONL sink for records the pipeline refused."""
+
+    def __init__(
+        self,
+        path: str | Path | None,
+        registry: MetricRegistry | None = None,
+        buffer_records: int = 64,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.registry = registry
+        if buffer_records < 1:
+            raise ConnectorError(
+                f"buffer_records must be positive, got {buffer_records}"
+            )
+        self._buffer_records = buffer_records
+        self._buffer: list[str] = []
+        self._handle: TextIO | None = None
+        self._entries = 0
+        self._by_code: dict[str, int] = {}
+
+    # -- recording -----------------------------------------------------------------
+
+    def put(self, record: SourceRecord, code: str, error: str) -> None:
+        """Append one dead-letter entry for ``record``."""
+        self._entries += 1
+        self._by_code[code] = self._by_code.get(code, 0) + 1
+        if self.registry is not None:
+            self.registry.counter(
+                "connector_dlq_total",
+                help="records routed to the dead-letter queue, by source and code",
+                source=record.source,
+                code=code,
+            ).inc()
+        if self.path is None:
+            return
+        self._buffer.append(
+            json.dumps(
+                {
+                    "kind": DLQ_KIND,
+                    "source": record.source,
+                    "index": record.index,
+                    "code": code,
+                    "error": error,
+                    "raw": record.raw,
+                    "position": record.position,
+                },
+                sort_keys=True,
+            )
+        )
+        if len(self._buffer) >= self._buffer_records:
+            self.flush()
+
+    @property
+    def entries(self) -> int:
+        """Total dead-letter entries recorded (written or counted)."""
+        return self._entries
+
+    @property
+    def by_code(self) -> dict[str, int]:
+        """Entry counts per dead-letter code."""
+        return dict(self._by_code)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write buffered entries to disk (appending) and fsync nothing.
+
+        Opening lazily means an error-free run with a configured DLQ path
+        leaves no file behind — absence of the file *is* the good news.
+        """
+        if self.path is None or not self._buffer:
+            return
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                self._handle = open(self.path, "a")
+            except OSError as error:
+                raise ConnectorError(
+                    f"cannot open dead-letter queue {self.path}: {error}"
+                ) from None
+        self._handle.write("\n".join(self._buffer) + "\n")
+        self._handle.flush()
+        self._buffer.clear()
+
+    def close(self) -> None:
+        self.flush()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "DeadLetterQueue":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_dlq(path: str | Path) -> list[dict]:
+    """Parse a dead-letter file back into its entries (for tests and tools)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ConnectorError(
+                f"dead-letter file {path} line {number} is not valid JSON: {error}"
+            ) from None
+        if entry.get("kind") != DLQ_KIND:
+            raise ConnectorError(
+                f"dead-letter file {path} line {number} has kind "
+                f"{entry.get('kind')!r}, expected {DLQ_KIND!r}"
+            )
+        entries.append(entry)
+    return entries

@@ -1,0 +1,129 @@
+"""Resumable per-source offsets, persisted inside engine checkpoints.
+
+An :class:`OffsetStore` maps source names to the opaque position payloads
+their connectors produce (:attr:`~repro.connectors.base.SourceRecord.position`).
+It serialises to one JSON record — ``{"kind": "connector-offsets",
+"format": 1, "offsets": {...}}`` — which travels two ways:
+
+* **embedded** in an engine checkpoint as an *extra record*
+  (:func:`repro.engine.checkpoint.write_checkpoint`), so engine state and
+  the offsets that produced it are written in one atomic ``os.replace`` —
+  a crash can never persist one without the other, which is what makes
+  engine-sink ingestion exactly-once under arbitrary kills;
+* **standalone** in a sidecar file (service-sink mode, where the server
+  owns the engine checkpoint), same record shape, same atomic write.
+
+Old readers skip the embedded record (checkpoint readers tolerate unknown
+kinds); new readers treat a checkpoint without one as "start from the
+beginning".  The codec round-trips exactly — see the hypothesis property
+in ``tests/test_connectors_resume.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import ConnectorError
+
+OFFSETS_KIND = "connector-offsets"
+OFFSETS_FORMAT = 1
+
+
+class OffsetStore:
+    """Per-source resume positions with an exact JSON codec."""
+
+    def __init__(self, offsets: dict[str, dict] | None = None) -> None:
+        self._offsets: dict[str, dict] = dict(offsets or {})
+
+    # -- access --------------------------------------------------------------------
+
+    def get(self, source: str) -> dict | None:
+        """The stored position for ``source``, or None (start from scratch)."""
+        return self._offsets.get(source)
+
+    def set(self, source: str, position: dict) -> None:
+        if not isinstance(position, dict):
+            raise ConnectorError(
+                f"offset for source {source!r} must be a dict payload, "
+                f"got {type(position).__name__}"
+            )
+        self._offsets[source] = position
+
+    def sources(self) -> list[str]:
+        return sorted(self._offsets)
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OffsetStore) and self._offsets == other._offsets
+
+    def __repr__(self) -> str:
+        return f"OffsetStore({len(self._offsets)} source(s))"
+
+    # -- the codec -----------------------------------------------------------------
+
+    def to_record(self) -> dict:
+        """The checkpoint record: sorted, JSON-compatible, byte-stable."""
+        return {
+            "kind": OFFSETS_KIND,
+            "format": OFFSETS_FORMAT,
+            "offsets": {name: self._offsets[name] for name in sorted(self._offsets)},
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "OffsetStore":
+        if record.get("kind") != OFFSETS_KIND:
+            raise ConnectorError(
+                f"record is not a connector-offsets payload "
+                f"(kind={record.get('kind')!r})"
+            )
+        if record.get("format") != OFFSETS_FORMAT:
+            raise ConnectorError(
+                f"unsupported connector-offsets format {record.get('format')!r}"
+            )
+        offsets = record.get("offsets", {})
+        if not isinstance(offsets, dict):
+            raise ConnectorError(f"malformed offsets payload: {offsets!r}")
+        return cls(offsets)
+
+    @classmethod
+    def from_extra_records(cls, extra_records: list[dict]) -> "OffsetStore":
+        """The offsets embedded in a checkpoint's extra records (last wins).
+
+        A checkpoint with no offsets record yields an empty store — every
+        source starts from the beginning, which is exactly what a
+        pre-connector checkpoint means.
+        """
+        store = cls()
+        for record in extra_records:
+            if record.get("kind") == OFFSETS_KIND:
+                store = cls.from_record(record)
+        return store
+
+    # -- standalone sidecar files ---------------------------------------------------
+
+    def save(self, path: str | Path) -> int:
+        """Write the store to ``path`` atomically; return bytes written."""
+        path = Path(path)
+        text = json.dumps(self.to_record()) + "\n"
+        temporary = path.with_name(path.name + ".tmp")
+        temporary.parent.mkdir(parents=True, exist_ok=True)
+        temporary.write_text(text)
+        os.replace(temporary, path)
+        return len(text.encode())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "OffsetStore":
+        path = Path(path)
+        if not path.exists():
+            raise ConnectorError(f"offsets file {path} does not exist")
+        try:
+            record = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise ConnectorError(
+                f"offsets file {path} is not valid JSON: {error}"
+            ) from None
+        return cls.from_record(record)

@@ -1,0 +1,181 @@
+"""Preflight: answer "will this ingest run work?" without running it.
+
+``repro ingest --preflight`` (and ``--dry-run``) call :func:`run_preflight`
+before any engine or service is touched.  Checks are deliberately cheap
+and read-only:
+
+* **existence / readability** — every file source exists, every directory
+  source matches at least one file (a warning, not a failure: a watch
+  directory may legitimately start empty);
+* **offset consistency** — each stored offset still fits its source
+  (file not truncated below the offset, byte offset on a record
+  boundary), via :meth:`~repro.connectors.base.SourceConnector.validate_position`;
+* **sample parse** — the first ``sample`` records of each source are
+  extracted and numerically validated exactly as the runner would,
+  reporting how many would ingest and how many would dead-letter, per
+  code.  ``--dry-run`` sets ``sample=None`` and walks every record.
+
+The report is JSON-compatible (one ``repro ingest --preflight --json``
+away from a dashboard) and carries a single ``ok`` verdict: failures are
+problems that would abort the run (missing file, inconsistent offset);
+poison records are *not* failures — surviving them is the pipeline's job —
+but they are counted so an operator sees them before committing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.connectors.base import ERR_MALFORMED_RECORD, SourceConnector
+from repro.connectors.offsets import OffsetStore
+from repro.engine.engine import as_fraction
+from repro.errors import ConnectorError, MalformedRecordError
+
+
+@dataclass
+class SourceCheck:
+    """Preflight outcome for one source."""
+
+    source: str
+    kind: str
+    description: dict = field(default_factory=dict)
+    problems: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    sampled: int = 0
+    would_ingest: int = 0
+    would_dead_letter: int = 0
+    dead_letter_codes: dict[str, int] = field(default_factory=dict)
+    resumes: bool = False
+    lag: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def to_payload(self) -> dict:
+        return {
+            "source": self.source,
+            "kind": self.kind,
+            "ok": self.ok,
+            "description": self.description,
+            "problems": list(self.problems),
+            "warnings": list(self.warnings),
+            "sampled": self.sampled,
+            "would_ingest": self.would_ingest,
+            "would_dead_letter": self.would_dead_letter,
+            "dead_letter_codes": dict(sorted(self.dead_letter_codes.items())),
+            "resumes": self.resumes,
+            "lag": self.lag,
+        }
+
+
+@dataclass
+class PreflightReport:
+    """The whole preflight: per-source checks plus one verdict."""
+
+    checks: list[SourceCheck] = field(default_factory=list)
+    #: None = sample mode looked at a prefix; an int = full dry-run walk.
+    exhaustive: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    @property
+    def would_ingest(self) -> int:
+        return sum(check.would_ingest for check in self.checks)
+
+    @property
+    def would_dead_letter(self) -> int:
+        return sum(check.would_dead_letter for check in self.checks)
+
+    def to_payload(self) -> dict:
+        return {
+            "ok": self.ok,
+            "exhaustive": self.exhaustive,
+            "would_ingest": self.would_ingest,
+            "would_dead_letter": self.would_dead_letter,
+            "sources": [check.to_payload() for check in self.checks],
+        }
+
+
+def run_preflight(
+    sources: Sequence[SourceConnector],
+    offsets: OffsetStore | None = None,
+    *,
+    sample: int | None = 64,
+) -> PreflightReport:
+    """Check every source; never touches an engine or a service.
+
+    ``sample`` bounds how many records per source are parse-checked
+    (``None`` = all of them — the ``--dry-run`` mode, a full poison census
+    at the cost of reading every byte).
+    """
+    if sample is not None and sample < 0:
+        raise ConnectorError(f"preflight sample must be >= 0, got {sample}")
+    offsets = offsets if offsets is not None else OffsetStore()
+    report = PreflightReport(exhaustive=sample is None)
+    names_seen: set[str] = set()
+    for source in sources:
+        check = SourceCheck(source=source.name, kind=source.kind)
+        report.checks.append(check)
+        if source.name in names_seen:
+            check.problems.append(
+                f"duplicate source name {source.name!r} (offsets are keyed "
+                "by name, so each source needs its own)"
+            )
+            continue
+        names_seen.add(source.name)
+        try:
+            check.description = source.describe().to_payload()
+        except ConnectorError as error:
+            check.problems.append(str(error))
+            continue
+        position = offsets.get(source.name)
+        check.resumes = position is not None
+        check.problems.extend(source.validate_position(position))
+        check.lag = source.lag(position)
+        if check.lag == 0 and check.resumes:
+            check.warnings.append("offset is already at the end of the source")
+        if check.problems:
+            continue
+        _sample_source(source, position, check, sample)
+    return report
+
+
+def _sample_source(
+    source: SourceConnector,
+    position: dict | None,
+    check: SourceCheck,
+    sample: int | None,
+) -> None:
+    """Parse-check a prefix (or all) of the source, counting outcomes."""
+    if sample == 0:
+        return
+    try:
+        for record in source.records(position):
+            check.sampled += 1
+            if record.error is not None:
+                check.would_dead_letter += 1
+                check.dead_letter_codes[record.error] = (
+                    check.dead_letter_codes.get(record.error, 0) + 1
+                )
+            else:
+                try:
+                    as_fraction(
+                        record.value, source=record.source, index=record.index
+                    )
+                except MalformedRecordError:
+                    check.would_dead_letter += 1
+                    check.dead_letter_codes[ERR_MALFORMED_RECORD] = (
+                        check.dead_letter_codes.get(ERR_MALFORMED_RECORD, 0) + 1
+                    )
+                else:
+                    check.would_ingest += 1
+            if sample is not None and check.sampled >= sample:
+                break
+    except ConnectorError as error:
+        check.problems.append(str(error))
+    if check.sampled == 0 and not check.resumes:
+        check.warnings.append("source yielded no records")

@@ -7,7 +7,15 @@ Format: one JSON object per line.
   "shards": K}``
 * next K lines — one per shard: ``{"kind": "shard", "index": i,
   "summary": <repro.persistence payload>}``
+* optionally, *extra records* — any JSON object with its own ``"kind"``
+  (e.g. the connector layer's ``{"kind": "connector-offsets", ...}``)
 * last line — ``{"kind": "telemetry", "telemetry": <Telemetry payload>}``
+
+Forward compatibility: a reader **ignores record kinds and header keys it
+does not understand** (they are surfaced as ``extra_records`` /
+preserved in the header dict, never an error).  A checkpoint written by a
+newer writer carrying connector offsets therefore loads on an older
+reader, and an old checkpoint loads on a new reader with no offsets.
 
 Summaries are encoded with :mod:`repro.persistence`, so a restored engine
 resumes with *exact* summary state — same stored items, same rank bounds,
@@ -30,9 +38,20 @@ from repro.persistence import PersistenceError, dump as dump_summary
 
 CHECKPOINT_FORMAT = 1
 
+#: Record kinds the engine itself writes; extra records must not reuse them.
+_ENGINE_KINDS = ("engine-checkpoint", "shard", "telemetry")
 
-def write_checkpoint(path: str | Path, engine: Any) -> int:
-    """Write ``engine``'s full state to ``path`` atomically; return bytes written."""
+
+def write_checkpoint(
+    path: str | Path, engine: Any, extra_records: tuple | list = ()
+) -> int:
+    """Write ``engine``'s full state to ``path`` atomically; return bytes written.
+
+    ``extra_records`` lets a layer above the engine (the connector runner's
+    resumable offsets, say) ride along in the same atomic file: each must be
+    a JSON-compatible dict carrying its own novel ``"kind"``.  Readers that
+    do not know a kind skip it (see :func:`read_checkpoint`).
+    """
     path = Path(path)
     lines = [
         json.dumps(
@@ -52,6 +71,14 @@ def write_checkpoint(path: str | Path, engine: Any) -> int:
                 {"kind": "shard", "index": index, "summary": dump_summary(summary)}
             )
         )
+    for record in extra_records:
+        kind = record.get("kind") if isinstance(record, dict) else None
+        if not isinstance(kind, str) or kind in _ENGINE_KINDS:
+            raise CheckpointError(
+                "extra checkpoint records must be dicts with a novel string "
+                f"'kind' (not one of {', '.join(_ENGINE_KINDS)}); got {record!r}"
+            )
+        lines.append(json.dumps(record))
     lines.append(
         json.dumps({"kind": "telemetry", "telemetry": engine.telemetry.to_payload()})
     )
@@ -67,7 +94,11 @@ def read_checkpoint(path: str | Path) -> dict:
     """Parse a checkpoint into its parts (no summaries instantiated yet).
 
     Returns ``{"config": EngineConfig, "items_ingested": int, "batches": int,
-    "shard_payloads": [dict, ...], "telemetry": Telemetry}``.
+    "shard_payloads": [dict, ...], "telemetry": Telemetry,
+    "extra_records": [dict, ...]}``.  ``extra_records`` holds every record
+    whose ``kind`` the engine does not own, in file order — unknown kinds
+    are *data for other layers*, never an error, so checkpoints written by
+    newer writers keep loading here.
     """
     path = Path(path)
     if not path.exists():
@@ -100,6 +131,7 @@ def read_checkpoint(path: str | Path) -> dict:
 
     shard_payloads: list[dict | None] = [None] * int(header["shards"])
     telemetry = None
+    extra_records: list[dict] = []
     for record in lines[1:]:
         kind = record.get("kind")
         if kind == "shard":
@@ -110,7 +142,10 @@ def read_checkpoint(path: str | Path) -> dict:
         elif kind == "telemetry":
             telemetry = Telemetry.from_payload(record["telemetry"])
         else:
-            raise CheckpointError(f"unknown checkpoint record kind {kind!r}")
+            # Forward compatibility: a kind this reader does not know
+            # belongs to another layer (or a newer writer) — surface it,
+            # don't refuse the whole checkpoint.
+            extra_records.append(record)
     missing = [i for i, payload in enumerate(shard_payloads) if payload is None]
     if missing:
         raise CheckpointError(
@@ -125,6 +160,7 @@ def read_checkpoint(path: str | Path) -> dict:
         "batches": int(header["batches"]),
         "shard_payloads": shard_payloads,
         "telemetry": telemetry,
+        "extra_records": extra_records,
     }
 
 

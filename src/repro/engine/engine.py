@@ -32,7 +32,7 @@ from repro.engine.config import EngineConfig
 from repro.engine.merge_tree import fold_shards
 from repro.engine.routing import route_batch
 from repro.engine.telemetry import Telemetry
-from repro.errors import EngineError
+from repro.errors import EngineError, MalformedRecordError
 from repro.model.rankindex import RankIndex, compile_rank_index
 from repro.model.registry import create_summary
 from repro.obs import spans as obs_spans
@@ -51,17 +51,23 @@ _PROBE_UNIVERSE = Universe()
 _NO_INDEX = object()
 
 
-def as_fraction(value) -> Fraction:
+def as_fraction(
+    value, *, source: str | None = None, index: int | None = None
+) -> Fraction:
     """Normalise a raw input value (int/float/str/Fraction) to a Fraction.
 
     Floats go through :func:`~repro.model.summary.exact_fraction` so humanly
     entered decimals become the simple rationals they were meant to be.
 
     Malformed input — ``"abc"``, a zero-denominator ``"1/0"``, ``nan`` —
-    raises :class:`~repro.errors.EngineError` naming the offending value,
-    never a bare ``ValueError``/``ZeroDivisionError``: ingest paths (the
-    serving layer above all) catch engine errors, and an uncatchable leak
-    from one bad wire value must not take down a batch.
+    raises :class:`~repro.errors.MalformedRecordError` (an
+    :class:`~repro.errors.EngineError`) naming the offending value, never a
+    bare ``ValueError``/``ZeroDivisionError``: ingest paths (the serving
+    layer and the connector runner above all) catch engine errors, and an
+    uncatchable leak from one bad wire value must not take down a batch.
+    Callers that know where the value came from pass ``source``/``index``
+    so the error — and any dead-letter entry built from it — names the
+    offending record, not just the value.
     """
     if isinstance(value, Fraction):
         return value
@@ -72,8 +78,8 @@ def as_fraction(value) -> Fraction:
             return exact_fraction(value)
         return Fraction(str(value))
     except (ValueError, ZeroDivisionError, OverflowError, TypeError) as error:
-        raise EngineError(
-            f"cannot interpret {value!r} as a number: {error}"
+        raise MalformedRecordError(
+            value, source=source, index=index, reason=str(error)
         ) from None
 
 
@@ -377,12 +383,20 @@ class ShardedQuantileEngine:
 
     # -- checkpointing -------------------------------------------------------------
 
-    def checkpoint(self, path: str | Path) -> int:
-        """Write the engine's full state to ``path``; return bytes written."""
+    def checkpoint(self, path: str | Path, extra_records: tuple | list = ()) -> int:
+        """Write the engine's full state to ``path``; return bytes written.
+
+        ``extra_records`` (each a dict with its own ``"kind"``) ride along
+        in the same atomic file — the connector runner stores its resumable
+        source offsets this way, so engine state and offsets can never be
+        torn apart by a crash.
+        """
         with self.telemetry.timed("checkpoint"), obs_spans.span(
             "engine.checkpoint"
         ) as checkpoint_span:
-            written = checkpoint_io.write_checkpoint(path, self)
+            written = checkpoint_io.write_checkpoint(
+                path, self, extra_records=extra_records
+            )
             checkpoint_span.set(bytes=written)
         self.telemetry.count("checkpoints_written")
         self.telemetry.count("checkpoint_bytes", written)

@@ -92,8 +92,54 @@ class EngineError(ReproError):
     """
 
 
+class MalformedRecordError(EngineError):
+    """A raw input record could not be interpreted as a number.
+
+    Raised by :func:`repro.engine.engine.as_fraction` with structured
+    context — the raw value, and when the caller provides them, the source
+    name and record index — so dead-letter-queue entries, service error
+    responses, and CLI messages all name the offending record.  The stable
+    machine-readable code is :data:`MalformedRecordError.code`, shared by
+    the service wire protocol and the CLI.
+    """
+
+    code = "malformed_record"
+
+    def __init__(
+        self,
+        raw: object,
+        *,
+        source: str | None = None,
+        index: int | None = None,
+        reason: str = "",
+    ) -> None:
+        where = ""
+        if source is not None:
+            where = f" (source {source!r}"
+            if index is not None:
+                where += f", record {index}"
+            where += ")"
+        message = f"cannot interpret {raw!r} as a number{where}"
+        if reason:
+            message += f": {reason}"
+        super().__init__(message)
+        self.raw = raw
+        self.source = source
+        self.index = index
+
+
 class CheckpointError(EngineError):
     """An engine checkpoint file is missing, truncated, or malformed."""
+
+
+class ConnectorError(ReproError):
+    """A source connector was misconfigured or hit an unreadable source.
+
+    Raised by :mod:`repro.connectors` for missing source files, unknown
+    formats, inconsistent resume offsets, and unwritable dead-letter-queue
+    sinks.  Per-record parse failures are *not* errors — they become
+    dead-letter entries so one poison record never aborts a run.
+    """
 
 
 class ServiceError(ReproError):

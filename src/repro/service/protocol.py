@@ -48,6 +48,10 @@ ERR_OVERLOADED = "overloaded"
 ERR_SHUTTING_DOWN = "shutting_down"
 ERR_EMPTY = "empty"
 ERR_RANK_UNSUPPORTED = "rank_unsupported"
+#: A value could not be interpreted as a number; carries the record context
+#: from :class:`repro.errors.MalformedRecordError` (the same stable code the
+#: CLI and the connector dead-letter queue use).
+ERR_MALFORMED_RECORD = "malformed_record"
 ERR_INTERNAL = "internal"
 
 ERROR_CODES = (
@@ -58,6 +62,7 @@ ERROR_CODES = (
     ERR_SHUTTING_DOWN,
     ERR_EMPTY,
     ERR_RANK_UNSUPPORTED,
+    ERR_MALFORMED_RECORD,
     ERR_INTERNAL,
 )
 

@@ -44,6 +44,7 @@ from repro.engine.engine import as_fraction
 from repro.errors import (
     EmptySummaryError,
     EngineError,
+    MalformedRecordError,
     RankEstimationUnsupportedError,
     ReproError,
     ServiceError,
@@ -382,6 +383,10 @@ class QuantileService:
             except RankEstimationUnsupportedError as error:
                 response = protocol.error_response(
                     request.id, protocol.ERR_RANK_UNSUPPORTED, str(error)
+                )
+            except MalformedRecordError as error:
+                response = protocol.error_response(
+                    request.id, protocol.ERR_MALFORMED_RECORD, str(error)
                 )
             except EngineError as error:
                 response = protocol.error_response(

@@ -1,0 +1,183 @@
+"""``repro ingest`` end to end: preflight, DLQ, resume, SIGTERM, JSON."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.connectors import read_dlq
+from repro.engine.checkpoint import read_checkpoint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_ingest_fixture_into_checkpoint_with_dlq(tmp_path) -> None:
+    checkpoint = tmp_path / "ckpt.jsonl"
+    dlq = tmp_path / "dlq.jsonl"
+    code, output = run_cli(
+        "ingest",
+        "--source", str(FIXTURES / "poison.jsonl"),
+        "--checkpoint", str(checkpoint),
+        "--dlq", str(dlq),
+        "--shards", "2",
+    )
+    assert code == 0
+    assert "6 ingested, 6 dead-lettered of 12" in output
+    entries = read_dlq(dlq)
+    assert len(entries) == 6
+    codes = sorted(entry["code"] for entry in entries)
+    assert codes == [
+        "bad_json", "bad_type", "bad_type",
+        "malformed_record", "malformed_record", "missing_field",
+    ]
+    assert all(entry["position"]["byte"] > 0 for entry in entries)
+
+
+def test_ingest_resume_skips_consumed_records(tmp_path) -> None:
+    source = tmp_path / "events.jsonl"
+    source.write_text('{"value": 1}\n{"value": 2}\n')
+    checkpoint = tmp_path / "ckpt.jsonl"
+    run_cli("ingest", "--source", str(source), "--checkpoint", str(checkpoint))
+    with open(source, "a") as handle:
+        handle.write('{"value": 3}\n')
+    code, output = run_cli(
+        "ingest", "--source", str(source), "--checkpoint", str(checkpoint),
+        "--resume",
+    )
+    assert code == 0
+    assert "1 ingested, 0 dead-lettered of 1 [resumed]" in output
+    assert read_checkpoint(checkpoint)["items_ingested"] == 3
+
+
+def test_ingest_synthetic_matches_engine_generate_stream(tmp_path) -> None:
+    via_connector = tmp_path / "connector.jsonl"
+    via_engine = tmp_path / "engine.jsonl"
+    run_cli(
+        "ingest", "--synthetic", "500", "--seed", "11",
+        "--checkpoint", str(via_connector), "--shards", "2",
+    )
+    run_cli(
+        "engine", "ingest", "--generate", "500", "--seed", "11",
+        "--checkpoint", str(via_engine), "--shards", "2",
+    )
+    connector_parts = read_checkpoint(via_connector)
+    engine_parts = read_checkpoint(via_engine)
+    assert connector_parts["shard_payloads"] == engine_parts["shard_payloads"]
+
+
+def test_preflight_json_reports_the_poison_census(tmp_path) -> None:
+    code, output = run_cli(
+        "ingest", "--source", str(FIXTURES / "poison.jsonl"),
+        "--preflight", "--dry-run", "--json",
+    )
+    assert code == 0
+    payload = json.loads(output)
+    assert payload["ok"] is True
+    assert payload["exhaustive"] is True
+    assert payload["would_ingest"] == 6
+    assert payload["would_dead_letter"] == 6
+
+
+def test_preflight_exit_code_signals_problems(tmp_path) -> None:
+    code, output = run_cli(
+        "ingest", "--source", str(tmp_path / "gone.jsonl"), "--preflight"
+    )
+    assert code == 1
+    assert "FAILED" in output
+
+
+def test_ingest_requires_exactly_one_sink(tmp_path) -> None:
+    with pytest.raises(SystemExit, match="exactly one"):
+        run_cli("ingest", "--source", str(FIXTURES / "poison.jsonl"))
+
+
+def test_ingest_requires_a_source() -> None:
+    with pytest.raises(SystemExit, match="at least one"):
+        run_cli("ingest", "--checkpoint", "x.jsonl")
+
+
+def test_ingest_json_report_and_metrics_dump(tmp_path) -> None:
+    metrics = tmp_path / "metrics.json"
+    code, output = run_cli(
+        "ingest",
+        "--source", str(FIXTURES / "poison.jsonl"),
+        "--checkpoint", str(tmp_path / "ckpt.jsonl"),
+        "--json", "--metrics", str(metrics),
+    )
+    assert code == 0
+    report = json.loads(output.splitlines()[0] + "".join(output.splitlines()[1:-1]))
+    assert report["ingested"] == 6
+    assert report["dead_lettered"] == 6
+    payload = json.loads(metrics.read_text())
+    names = {entry["name"] for entry in payload["counters"]}
+    assert "connector_records_total" in names
+    assert "connector_dlq_total" in names
+
+
+def test_ingest_trace_records_the_drain_span(tmp_path) -> None:
+    trace = tmp_path / "trace.jsonl"
+    run_cli(
+        "ingest",
+        "--source", str(FIXTURES / "poison.jsonl"),
+        "--checkpoint", str(tmp_path / "ckpt.jsonl"),
+        "--trace", str(trace),
+    )
+    names = [
+        json.loads(line).get("name")
+        for line in trace.read_text().splitlines()
+    ]
+    assert "ingest.connector.drain" in names
+
+
+def test_sigterm_mid_ingest_then_resume_is_bit_identical(tmp_path) -> None:
+    """Kill a real ingest process mid-file; resume must converge exactly."""
+    source = tmp_path / "big.jsonl"
+    with open(source, "w") as handle:
+        for i in range(120_000):
+            handle.write('{"value": %d}\n' % (i * 7 + 3))
+
+    oracle = tmp_path / "oracle.jsonl"
+    run_cli(
+        "ingest", "--source", str(source), "--checkpoint", str(oracle),
+        "--shards", "2",
+    )
+    expected = read_checkpoint(oracle)
+
+    checkpoint = tmp_path / "ckpt.jsonl"
+    env = {**os.environ, "PYTHONPATH": REPO_SRC}
+    argv = [
+        sys.executable, "-m", "repro", "ingest",
+        "--source", str(source), "--checkpoint", str(checkpoint),
+        "--shards", "2", "--batch-size", "512",
+    ]
+    process = subprocess.Popen(
+        argv, env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT
+    )
+    time.sleep(1.0)
+    process.send_signal(signal.SIGTERM)
+    output, _ = process.communicate(timeout=60)
+    assert process.returncode == 0, output.decode()
+
+    run_cli(
+        "ingest", "--source", str(source), "--checkpoint", str(checkpoint),
+        "--shards", "2", "--resume",
+    )
+    resumed = read_checkpoint(checkpoint)
+    assert resumed["items_ingested"] == 120_000
+    assert resumed["shard_payloads"] == expected["shard_payloads"]

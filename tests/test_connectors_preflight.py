@@ -1,0 +1,95 @@
+"""Preflight: read-only answers to "will this ingest run work?"."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.connectors import (
+    DirectorySource,
+    JsonlSource,
+    OffsetStore,
+    SyntheticSource,
+    run_preflight,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_preflight_counts_ingestable_and_poison_records(tmp_path) -> None:
+    report = run_preflight([JsonlSource(FIXTURES / "poison.jsonl")], sample=None)
+    assert report.ok
+    assert report.exhaustive
+    check = report.checks[0]
+    assert check.sampled == 12
+    assert check.would_ingest == 6
+    assert check.would_dead_letter == 6
+    assert check.dead_letter_codes == {
+        "bad_json": 1,
+        "missing_field": 1,
+        "bad_type": 2,
+        "malformed_record": 2,
+    }
+    payload = report.to_payload()
+    assert payload["ok"] is True
+    assert payload["sources"][0]["dead_letter_codes"]["bad_type"] == 2
+
+
+def test_preflight_sample_bounds_the_walk() -> None:
+    report = run_preflight([JsonlSource(FIXTURES / "poison.jsonl")], sample=3)
+    assert not report.exhaustive
+    assert report.checks[0].sampled == 3
+
+
+def test_preflight_fails_on_a_missing_file(tmp_path) -> None:
+    report = run_preflight([JsonlSource(tmp_path / "gone.jsonl")])
+    assert not report.ok
+    assert report.checks[0].sampled == 0
+    assert any("does not exist" in p for p in report.checks[0].problems)
+
+
+def test_preflight_fails_on_an_inconsistent_offset(tmp_path) -> None:
+    path = tmp_path / "a.jsonl"
+    path.write_text('{"value": 1}\n')
+    offsets = OffsetStore({path.name: {"byte": 10**6, "records": 4}})
+    report = run_preflight([JsonlSource(path)], offsets)
+    assert not report.ok
+    assert report.checks[0].resumes
+    assert any("beyond the end" in p for p in report.checks[0].problems)
+
+
+def test_preflight_flags_duplicate_source_names(tmp_path) -> None:
+    path = tmp_path / "a.jsonl"
+    path.write_text('{"value": 1}\n')
+    report = run_preflight([JsonlSource(path), JsonlSource(path)])
+    assert not report.ok
+    assert any("duplicate" in p for p in report.checks[1].problems)
+
+
+def test_preflight_warns_on_empty_sources(tmp_path) -> None:
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    report = run_preflight([JsonlSource(path)])
+    assert report.ok  # empty is a warning, not a failure
+    assert any("no records" in w for w in report.checks[0].warnings)
+
+
+def test_preflight_warns_when_offset_is_at_the_end(tmp_path) -> None:
+    path = tmp_path / "a.jsonl"
+    path.write_text('{"value": 1}\n')
+    records = list(JsonlSource(path).records())
+    offsets = OffsetStore({path.name: records[-1].position})
+    report = run_preflight([JsonlSource(path)], offsets)
+    assert report.ok
+    assert any("end of the source" in w for w in report.checks[0].warnings)
+
+
+def test_preflight_covers_directories_and_synthetic(tmp_path) -> None:
+    (tmp_path / "a.jsonl").write_text('{"value": 1}\nbroken\n')
+    report = run_preflight(
+        [DirectorySource(tmp_path, name="dir"), SyntheticSource(5, seed=1)]
+    )
+    assert report.ok
+    by_name = {check.source: check for check in report.checks}
+    assert by_name["dir"].would_dead_letter == 1
+    assert by_name["synthetic"].would_ingest == 5
+    assert by_name["synthetic"].lag == 5

@@ -1,0 +1,194 @@
+"""Crash-resume exactness: no drop, no double-count, bit-identical answers.
+
+The oracle is the checkpoint itself: two engines whose shard summaries
+serialise to identical payloads answer every quantile and rank query
+identically (persistence is exact).  So "interrupted + resumed ==
+uninterrupted" is checked by comparing ``shard_payloads`` byte-for-byte,
+not by sampling a few quantiles.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.connectors import (
+    DeadLetterQueue,
+    EngineSink,
+    IngestRunner,
+    JsonlSource,
+    OffsetStore,
+    RunnerConfig,
+)
+from repro.engine import EngineConfig, ShardedQuantileEngine
+from repro.engine.checkpoint import read_checkpoint, write_checkpoint
+from repro.errors import CheckpointError
+
+
+def poison_stream(count: int) -> str:
+    """A JSONL stream where every 5th line is poison."""
+    lines = []
+    for i in range(count):
+        if i % 5 == 4:
+            lines.append("broken %d" % i)
+        else:
+            lines.append(json.dumps({"value": i * 3 + 1}))
+    return "\n".join(lines) + "\n"
+
+
+def run_to_checkpoint(tmp_path, source_path, checkpoint, *, max_records=None):
+    if checkpoint.exists():
+        sink, offsets = EngineSink.restore(str(checkpoint))
+    else:
+        engine = ShardedQuantileEngine(EngineConfig(shards=3))
+        sink, offsets = EngineSink(engine, str(checkpoint)), OffsetStore()
+    runner = IngestRunner(
+        [JsonlSource(source_path, name="events")],
+        sink,
+        offsets=offsets,
+        dlq=DeadLetterQueue(None),
+        config=RunnerConfig(batch_size=7, max_records=max_records),
+    )
+    return runner.run()
+
+
+def shard_state(checkpoint) -> tuple:
+    parts = read_checkpoint(checkpoint)
+    return parts["items_ingested"], parts["shard_payloads"]
+
+
+@pytest.mark.parametrize("cut", [1, 7, 13, 29, 40])
+def test_interrupted_resume_is_bit_identical_to_uninterrupted(
+    tmp_path, cut
+) -> None:
+    source_path = tmp_path / "events.jsonl"
+    source_path.write_text(poison_stream(41))
+
+    oracle = tmp_path / "oracle.jsonl"
+    run_to_checkpoint(tmp_path, source_path, oracle)
+
+    interrupted = tmp_path / "interrupted.jsonl"
+    first = run_to_checkpoint(
+        tmp_path, source_path, interrupted, max_records=cut
+    )
+    assert first.records == cut
+    second = run_to_checkpoint(tmp_path, source_path, interrupted)
+    assert first.records + second.records == 41
+
+    assert shard_state(interrupted) == shard_state(oracle)
+
+
+def test_resume_after_every_possible_cut_never_drops_or_doubles(tmp_path) -> None:
+    total = 23
+    source_path = tmp_path / "events.jsonl"
+    source_path.write_text(poison_stream(total))
+    oracle = tmp_path / "oracle.jsonl"
+    run_to_checkpoint(tmp_path, source_path, oracle)
+    expected = shard_state(oracle)
+    for cut in range(1, total + 1):
+        checkpoint = tmp_path / f"cut{cut}.jsonl"
+        run_to_checkpoint(tmp_path, source_path, checkpoint, max_records=cut)
+        run_to_checkpoint(tmp_path, source_path, checkpoint)
+        assert shard_state(checkpoint) == expected, f"cut at record {cut}"
+
+
+# -- offset codec properties --------------------------------------------------------
+
+position_payloads = st.one_of(
+    st.fixed_dictionaries(
+        {"byte": st.integers(0, 2**40), "records": st.integers(0, 2**32)}
+    ),
+    st.fixed_dictionaries({"records": st.integers(0, 2**32)}),
+    st.fixed_dictionaries(
+        {
+            "files": st.dictionaries(
+                st.text(min_size=1, max_size=20),
+                st.fixed_dictionaries(
+                    {"byte": st.integers(0, 2**40), "records": st.integers(0, 2**32)}
+                ),
+                max_size=5,
+            ),
+            "records": st.integers(0, 2**32),
+        }
+    ),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.dictionaries(st.text(min_size=1, max_size=30), position_payloads, max_size=8))
+def test_offset_codec_round_trips_exactly(offsets) -> None:
+    store = OffsetStore(offsets)
+    assert OffsetStore.from_record(store.to_record()) == store
+    # And through JSON text, which is how it actually travels.
+    assert (
+        OffsetStore.from_record(json.loads(json.dumps(store.to_record()))) == store
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.dictionaries(st.text(min_size=1, max_size=30), position_payloads, max_size=8))
+def test_offset_sidecar_save_load_round_trips(tmp_path_factory, offsets) -> None:
+    path = tmp_path_factory.mktemp("offsets") / "offsets.json"
+    store = OffsetStore(offsets)
+    store.save(path)
+    assert OffsetStore.load(path) == store
+
+
+# -- checkpoint forward compatibility -----------------------------------------------
+
+
+def ingested_engine() -> ShardedQuantileEngine:
+    engine = ShardedQuantileEngine(EngineConfig(shards=2))
+    engine.ingest(range(50))
+    return engine
+
+
+def test_checkpoint_with_embedded_offsets_round_trips(tmp_path) -> None:
+    engine = ingested_engine()
+    store = OffsetStore({"events": {"byte": 123, "records": 9}})
+    path = tmp_path / "ckpt.jsonl"
+    engine.checkpoint(path, extra_records=[store.to_record()])
+
+    parts = read_checkpoint(path)
+    assert OffsetStore.from_extra_records(parts["extra_records"]) == store
+    restored = ShardedQuantileEngine.restore(path)
+    assert restored.items_ingested == engine.items_ingested
+    assert restored.quantiles([0.5]) == engine.quantiles([0.5])
+
+
+def test_reader_tolerates_unknown_record_kinds_and_header_keys(tmp_path) -> None:
+    engine = ingested_engine()
+    path = tmp_path / "ckpt.jsonl"
+    engine.checkpoint(path)
+
+    # A newer writer adds a header key and an unknown record kind.
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["invented_by_a_future_version"] = {"nested": True}
+    lines[0] = json.dumps(header)
+    lines.insert(2, json.dumps({"kind": "from-the-future", "payload": [1, 2]}))
+    path.write_text("\n".join(lines) + "\n")
+
+    parts = read_checkpoint(path)
+    assert {"kind": "from-the-future", "payload": [1, 2]} in parts["extra_records"]
+    restored = ShardedQuantileEngine.restore(path)
+    assert restored.items_ingested == 50
+
+
+def test_pre_connector_checkpoint_means_start_from_the_beginning(tmp_path) -> None:
+    path = tmp_path / "ckpt.jsonl"
+    ingested_engine().checkpoint(path)
+    sink, offsets = EngineSink.restore(str(path))
+    assert len(offsets) == 0
+    assert offsets.get("anything") is None
+
+
+def test_extra_records_must_not_reuse_engine_kinds(tmp_path) -> None:
+    engine = ingested_engine()
+    path = tmp_path / "ckpt.jsonl"
+    with pytest.raises(CheckpointError, match="novel"):
+        write_checkpoint(path, engine, extra_records=[{"kind": "shard"}])
+    with pytest.raises(CheckpointError, match="novel"):
+        write_checkpoint(path, engine, extra_records=["not a dict"])

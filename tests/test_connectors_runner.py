@@ -1,0 +1,230 @@
+"""The ingest runner: batching, DLQ routing, offsets, metrics, spans."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.connectors import (
+    DeadLetterQueue,
+    EngineSink,
+    IngestRunner,
+    JsonlSource,
+    OffsetStore,
+    RunnerConfig,
+    SyntheticSource,
+    read_dlq,
+)
+from repro.engine import EngineConfig, ShardedQuantileEngine
+from repro.errors import ConnectorError
+from repro.obs import MetricRegistry, read_trace, trace_to
+
+POISON_LINES = (
+    '{"value": 1}\n'
+    '{"value": 2}\n'
+    "broken json\n"
+    '{"value": "7/2"}\n'
+    '{"value": "NaN"}\n'
+    '{"other": 5}\n'
+    '{"value": true}\n'
+    '{"value": 3}\n'
+)
+
+
+@pytest.fixture
+def poison_file(tmp_path):
+    path = tmp_path / "events.jsonl"
+    path.write_text(POISON_LINES)
+    return path
+
+
+def engine_runner(tmp_path, source, **kwargs):
+    engine = ShardedQuantileEngine(EngineConfig(shards=2))
+    sink = EngineSink(engine, str(tmp_path / "ckpt.jsonl"))
+    return IngestRunner([source], sink, **kwargs)
+
+
+def test_runner_ingests_good_records_and_dead_letters_poison(
+    tmp_path, poison_file
+) -> None:
+    dlq = DeadLetterQueue(tmp_path / "dlq.jsonl")
+    runner = engine_runner(tmp_path, JsonlSource(poison_file), dlq=dlq)
+    report = runner.run()
+    assert report.records == 8
+    assert report.ingested == 4
+    assert report.dead_lettered == 4
+    assert runner.sink.engine.items_ingested == 4
+    assert dlq.by_code == {
+        "bad_json": 1,
+        "missing_field": 1,
+        "bad_type": 1,
+        "malformed_record": 1,
+    }
+    entries = read_dlq(tmp_path / "dlq.jsonl")
+    assert len(entries) == 4
+    for entry in entries:
+        assert entry["source"] == "events.jsonl"
+        assert entry["raw"]
+        assert entry["position"]["byte"] > 0
+    # The exact rational survived: 7/2 went in as a Fraction, not a float.
+    engine = runner.sink.engine
+    assert engine.quantiles([0.5])[0] in (Fraction(2), Fraction(3))
+
+
+def test_runner_advances_offsets_past_a_poison_tail(tmp_path) -> None:
+    path = tmp_path / "tail.jsonl"
+    path.write_text('{"value": 1}\nbroken\nalso broken\n')
+    runner = engine_runner(tmp_path, JsonlSource(path))
+    runner.run()
+    _, offsets = EngineSink.restore(str(tmp_path / "ckpt.jsonl"))
+    # A resumed run re-reads nothing: the offset sits after the last poison
+    # line, so the DLQ is not re-populated on resume.
+    resumed = engine_runner(
+        tmp_path, JsonlSource(path), offsets=offsets
+    )
+    report = resumed.run()
+    assert report.records == 0
+    assert resumed.dlq.entries == 0
+
+
+def test_runner_counts_metrics_per_source(tmp_path, poison_file) -> None:
+    registry = MetricRegistry()
+    runner = engine_runner(
+        tmp_path, JsonlSource(poison_file), registry=registry
+    )
+    runner.run()
+    consumed = registry.get("connector_records_total", source="events.jsonl")
+    ingested = registry.get("connector_ingested_total", source="events.jsonl")
+    lag = registry.get("connector_source_lag", source="events.jsonl")
+    assert consumed.value == 8
+    assert ingested.value == 4
+    assert lag.value == 0
+    dlq_codes = {
+        metric.labels: metric.value
+        for metric in registry
+        if metric.name == "connector_dlq_total"
+    }
+    assert sum(dlq_codes.values()) == 4
+
+
+def test_runner_emits_a_drain_span_per_source(tmp_path, poison_file) -> None:
+    trace_path = tmp_path / "trace.jsonl"
+    runner = engine_runner(tmp_path, JsonlSource(poison_file))
+    with trace_to(trace_path):
+        runner.run()
+    spans = [
+        record
+        for record in read_trace(trace_path)
+        if record.get("name") == "ingest.connector.drain"
+    ]
+    assert len(spans) == 1
+    attributes = spans[0]["attributes"]
+    assert attributes["source"] == "events.jsonl"
+    assert attributes["records"] == 8
+    assert attributes["ingested"] == 4
+    assert attributes["dead_lettered"] == 4
+
+
+def test_runner_respects_max_records_and_reports_batches(tmp_path) -> None:
+    runner = engine_runner(
+        tmp_path,
+        SyntheticSource(100, seed=3),
+        config=RunnerConfig(batch_size=10, max_records=35),
+    )
+    report = runner.run()
+    assert report.records == 35
+    assert report.ingested == 35
+    assert report.batches == 4  # 3 full batches + the final partial flush
+
+
+def test_request_stop_checkpoints_and_resumes_cleanly(tmp_path) -> None:
+    class StopAfter(SyntheticSource):
+        def __init__(self, runner_box, after, **kwargs):
+            super().__init__(**kwargs)
+            self._box = runner_box
+            self._after = after
+
+        def records(self, position=None):
+            for number, record in enumerate(super().records(position), start=1):
+                yield record
+                if number == self._after:
+                    self._box["runner"].request_stop()
+
+    box: dict = {}
+    source = StopAfter(box, after=17, count=50, seed=5)
+    runner = engine_runner(
+        tmp_path, source, config=RunnerConfig(batch_size=8)
+    )
+    box["runner"] = runner
+    report = runner.run()
+    assert report.stopped
+    assert 0 < report.records < 50
+    sink, offsets = EngineSink.restore(str(tmp_path / "ckpt.jsonl"))
+    resumed = IngestRunner(
+        [SyntheticSource(50, seed=5)], sink, offsets=offsets
+    )
+    resumed_report = resumed.run()
+    assert resumed_report.records == 50 - report.records
+    assert sink.engine.items_ingested == 50
+
+
+def test_follow_mode_drains_appended_data_until_polls_run_out(tmp_path) -> None:
+    path = tmp_path / "grow.jsonl"
+    path.write_text('{"value": 1}\n')
+
+    class Growing(JsonlSource):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            self._grown = False
+
+        def records(self, position=None):
+            yield from super().records(position)
+            if not self._grown:
+                self._grown = True
+                with open(self.path, "a") as handle:
+                    handle.write('{"value": 2}\n')
+
+    runner = engine_runner(
+        tmp_path,
+        Growing(path),
+        config=RunnerConfig(follow=True, poll_interval_s=0.0, max_polls=2),
+    )
+    report = runner.run()
+    assert report.ingested == 2
+    assert report.sweeps >= 2
+
+
+def test_duplicate_source_names_are_rejected(tmp_path, poison_file) -> None:
+    with pytest.raises(ConnectorError, match="unique"):
+        engine_runner_sources = [
+            JsonlSource(poison_file),
+            JsonlSource(poison_file),
+        ]
+        IngestRunner(
+            engine_runner_sources,
+            EngineSink(ShardedQuantileEngine(EngineConfig()), None),
+        )
+
+
+def test_runner_config_validation() -> None:
+    with pytest.raises(ConnectorError, match="batch_size"):
+        RunnerConfig(batch_size=0).validate()
+    with pytest.raises(ConnectorError, match="max_records"):
+        RunnerConfig(max_records=0).validate()
+    with pytest.raises(ConnectorError, match="checkpoint_every"):
+        RunnerConfig(checkpoint_every=-1).validate()
+
+
+def test_count_only_dlq_keeps_no_file(tmp_path, poison_file) -> None:
+    runner = engine_runner(tmp_path, JsonlSource(poison_file))
+    runner.run()
+    assert runner.dlq.entries == 4
+    assert list(tmp_path.glob("*.dlq")) == []
+    assert not (tmp_path / "dlq.jsonl").exists()
+
+
+def test_offset_store_guards_against_non_dict_positions() -> None:
+    store = OffsetStore()
+    with pytest.raises(ConnectorError, match="dict payload"):
+        store.set("s", 42)

@@ -1,0 +1,259 @@
+"""Source connectors: formats, poison tolerance, byte-exact resume."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.connectors import (
+    CsvSource,
+    DirectorySource,
+    JsonlSource,
+    LinesSource,
+    SyntheticSource,
+    detect_format,
+    open_source,
+)
+from repro.connectors.base import (
+    ERR_BAD_JSON,
+    ERR_BAD_ROW,
+    ERR_BAD_TYPE,
+    ERR_MISSING_FIELD,
+)
+from repro.errors import ConnectorError
+
+
+def drain(source, position=None):
+    return list(source.records(position))
+
+
+# -- format detection ---------------------------------------------------------------
+
+
+def test_detect_format_by_suffix() -> None:
+    assert detect_format("a.jsonl") == "jsonl"
+    assert detect_format("a.ndjson") == "jsonl"
+    assert detect_format("a.csv") == "csv"
+    assert detect_format("a.txt") == "lines"
+
+
+def test_detect_format_unknown_suffix_names_the_options() -> None:
+    with pytest.raises(ConnectorError, match="cannot infer a format"):
+        detect_format("a.parquet")
+
+
+def test_open_source_rejects_unknown_format(tmp_path) -> None:
+    path = tmp_path / "a.jsonl"
+    path.write_text("1\n")
+    with pytest.raises(ConnectorError, match="unknown file format"):
+        open_source(path, fmt="parquet")
+
+
+# -- JSONL --------------------------------------------------------------------------
+
+
+def test_jsonl_accepts_numbers_strings_and_objects(tmp_path) -> None:
+    path = tmp_path / "a.jsonl"
+    path.write_text('1\n2.5\n"7/2"\n{"value": 9}\n')
+    records = drain(JsonlSource(path))
+    assert [record.value for record in records] == [1, 2.5, "7/2", 9]
+    assert all(record.ok for record in records)
+    assert [record.index for record in records] == [0, 1, 2, 3]
+
+
+def test_jsonl_poison_lines_become_coded_records_not_exceptions(tmp_path) -> None:
+    path = tmp_path / "a.jsonl"
+    path.write_text(
+        'nonsense\n{"other": 1}\n{"value": true}\n{"value": [1]}\n{"value": 2}\n'
+    )
+    records = drain(JsonlSource(path))
+    assert [record.error for record in records] == [
+        ERR_BAD_JSON,
+        ERR_MISSING_FIELD,
+        ERR_BAD_TYPE,
+        ERR_BAD_TYPE,
+        None,
+    ]
+    poisoned = records[0]
+    assert poisoned.raw == "nonsense"
+    assert poisoned.detail
+
+
+def test_jsonl_custom_field(tmp_path) -> None:
+    path = tmp_path / "a.jsonl"
+    path.write_text('{"latency": 12}\n{"value": 99}\n')
+    records = drain(JsonlSource(path, field="latency"))
+    assert records[0].value == 12
+    assert records[1].error == ERR_MISSING_FIELD
+
+
+def test_jsonl_undecodable_bytes_dead_letter_as_bad_row(tmp_path) -> None:
+    path = tmp_path / "a.jsonl"
+    path.write_bytes(b"1\n\xff\xfe\n2\n")
+    records = drain(JsonlSource(path))
+    assert [record.error for record in records] == [None, ERR_BAD_ROW, None]
+
+
+def test_jsonl_missing_file_raises_connector_error(tmp_path) -> None:
+    source = JsonlSource(tmp_path / "gone.jsonl")
+    with pytest.raises(ConnectorError, match="does not exist"):
+        drain(source)
+
+
+# -- resume and tailing -------------------------------------------------------------
+
+
+def test_resume_from_any_record_yields_exactly_the_remainder(tmp_path) -> None:
+    path = tmp_path / "a.jsonl"
+    path.write_text("".join(f'{{"value": {i}}}\n' for i in range(10)))
+    source = JsonlSource(path)
+    full = drain(source)
+    for cut in range(len(full)):
+        rest = drain(source, full[cut].position)
+        assert [r.value for r in rest] == [r.value for r in full[cut + 1 :]]
+        assert [r.index for r in rest] == [r.index for r in full[cut + 1 :]]
+
+
+def test_tailing_a_grown_file_yields_only_the_appended_records(tmp_path) -> None:
+    path = tmp_path / "a.jsonl"
+    path.write_text('{"value": 1}\n')
+    source = JsonlSource(path)
+    first = drain(source)
+    with open(path, "a") as handle:
+        handle.write('{"value": 2}\n{"value": 3}\n')
+    appended = drain(source, first[-1].position)
+    assert [record.value for record in appended] == [2, 3]
+
+
+def test_validate_position_flags_truncation_and_misalignment(tmp_path) -> None:
+    path = tmp_path / "a.jsonl"
+    path.write_text('{"value": 1}\n{"value": 2}\n')
+    source = JsonlSource(path)
+    size = path.stat().st_size
+    assert source.validate_position(None) == []
+    assert source.validate_position({"byte": size, "records": 2}) == []
+    assert any(
+        "beyond the end" in problem
+        for problem in source.validate_position({"byte": size + 10, "records": 9})
+    )
+    assert any(
+        "line boundary" in problem
+        for problem in source.validate_position({"byte": 3, "records": 1})
+    )
+
+
+def test_lag_counts_unconsumed_bytes(tmp_path) -> None:
+    path = tmp_path / "a.jsonl"
+    path.write_text('{"value": 1}\n{"value": 2}\n')
+    source = JsonlSource(path)
+    records = drain(source)
+    assert source.lag(None) == path.stat().st_size
+    assert source.lag(records[-1].position) == 0
+
+
+# -- CSV ----------------------------------------------------------------------------
+
+
+def test_csv_indexed_column_reads_headerless_files(tmp_path) -> None:
+    path = tmp_path / "a.csv"
+    path.write_text("1,x\n2,y\n3,z\n")
+    records = drain(CsvSource(path, column=0))
+    assert [record.value for record in records] == ["1", "2", "3"]
+
+
+def test_csv_named_column_consumes_the_header(tmp_path) -> None:
+    path = tmp_path / "a.csv"
+    path.write_text("latency,label\n10,a\n20,b\n")
+    records = drain(CsvSource(path, column="latency"))
+    assert [record.value for record in records] == ["10", "20"]
+
+
+def test_csv_named_column_resume_does_not_skip_a_data_row(tmp_path) -> None:
+    path = tmp_path / "a.csv"
+    path.write_text("latency,label\n10,a\n20,b\n30,c\n")
+    records = drain(CsvSource(path, column="latency"))
+    resumed = drain(CsvSource(path, column="latency"), records[0].position)
+    assert [record.value for record in resumed] == ["20", "30"]
+
+
+def test_csv_ragged_row_dead_letters_and_the_stream_continues(tmp_path) -> None:
+    path = tmp_path / "a.csv"
+    path.write_text("1,a\n2\n3,c\n")
+    records = drain(CsvSource(path, column=1))
+    assert [record.error for record in records] == [None, ERR_BAD_ROW, None]
+    assert records[2].value == "c"
+
+
+def test_csv_unknown_named_column_raises(tmp_path) -> None:
+    path = tmp_path / "a.csv"
+    path.write_text("a,b\n1,2\n")
+    with pytest.raises(ConnectorError, match="not in the header"):
+        drain(CsvSource(path, column="missing"))
+
+
+# -- lines --------------------------------------------------------------------------
+
+
+def test_lines_skips_blanks_and_comments(tmp_path) -> None:
+    path = tmp_path / "a.txt"
+    path.write_text("1\n\n# comment\n7/2\n")
+    records = drain(LinesSource(path))
+    assert [record.value for record in records] == ["1", "7/2"]
+
+
+# -- directories --------------------------------------------------------------------
+
+
+def test_directory_sweeps_files_in_sorted_order(tmp_path) -> None:
+    (tmp_path / "b.jsonl").write_text('{"value": 3}\n')
+    (tmp_path / "a.jsonl").write_text('{"value": 1}\n{"value": 2}\n')
+    records = drain(DirectorySource(tmp_path))
+    assert [record.value for record in records] == [1, 2, 3]
+    assert [record.index for record in records] == [0, 1, 2]
+
+
+def test_directory_resume_skips_consumed_and_picks_up_new_files(tmp_path) -> None:
+    (tmp_path / "a.jsonl").write_text('{"value": 1}\n')
+    source = DirectorySource(tmp_path)
+    first = drain(source)
+    with open(tmp_path / "a.jsonl", "a") as handle:
+        handle.write('{"value": 2}\n')
+    (tmp_path / "b.jsonl").write_text('{"value": 3}\n')
+    appended = drain(source, first[-1].position)
+    assert [record.value for record in appended] == [2, 3]
+    assert [record.index for record in appended] == [1, 2]
+
+
+def test_directory_lag_sums_per_file_remainders(tmp_path) -> None:
+    (tmp_path / "a.jsonl").write_text('{"value": 1}\n')
+    (tmp_path / "b.jsonl").write_text('{"value": 2}\n')
+    source = DirectorySource(tmp_path)
+    total = sum(path.stat().st_size for path in tmp_path.glob("*.jsonl"))
+    assert source.lag(None) == total
+    records = drain(source)
+    assert source.lag(records[-1].position) == 0
+
+
+def test_directory_missing_root_raises(tmp_path) -> None:
+    with pytest.raises(ConnectorError, match="not a directory"):
+        drain(DirectorySource(tmp_path / "gone"))
+
+
+# -- synthetic ----------------------------------------------------------------------
+
+
+def test_synthetic_is_deterministic_and_resumable() -> None:
+    source = SyntheticSource(20, seed=7)
+    full = [record.value for record in drain(source)]
+    assert full == [record.value for record in drain(SyntheticSource(20, seed=7))]
+    resumed = drain(source, {"records": 12})
+    assert [record.value for record in resumed] == full[12:]
+
+
+def test_synthetic_validate_position_rejects_overrun() -> None:
+    source = SyntheticSource(5, seed=0)
+    assert source.validate_position({"records": 5}) == []
+    assert any(
+        "exceeds" in problem
+        for problem in source.validate_position({"records": 6})
+    )
+    assert source.lag({"records": 3}) == 2

@@ -125,7 +125,7 @@ class TestBasicOperations:
 
         assert run(scenario()) == protocol.ERR_EMPTY
 
-    def test_malformed_values_are_bad_value_not_a_dropped_connection(self):
+    def test_malformed_values_answer_malformed_record_not_a_dropped_connection(self):
         async def scenario():
             service = make_service()
             port = await started(service)
@@ -141,7 +141,10 @@ class TestBasicOperations:
             return codes, acked
 
         codes, acked = run(scenario())
-        assert codes == [protocol.ERR_BAD_VALUE, protocol.ERR_BAD_VALUE]
+        assert codes == [
+            protocol.ERR_MALFORMED_RECORD,
+            protocol.ERR_MALFORMED_RECORD,
+        ]
         assert acked["items"] == 3
 
     def test_malformed_json_line_answers_bad_request(self):
