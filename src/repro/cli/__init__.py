@@ -42,6 +42,12 @@ Subcommands
     Talk to a running service: one-shot operations, or the deterministic
     mixed-workload load generator (``load``), which can verify served
     quantiles against its own ground truth (``--check-epsilon``).
+``canary list | run | compare | gate``
+    Scenario-driven canary observability (:mod:`repro.scenarios`): run a
+    named workload (adversarial replay, heavy-tail, flash-crowd, connector
+    replay, ...) against a self-hosted or live service, write the
+    deterministic ``CANARY_<scenario>.json`` report, diff reports across
+    runs, and gate CI on rank-error / latency / shed-rate budgets.
 
 The package is one module per command family: :mod:`repro.cli.quantiles`,
 :mod:`repro.cli.attack`, :mod:`repro.cli.engine`, :mod:`repro.cli.serve`,
@@ -58,6 +64,7 @@ import sys
 from typing import TextIO
 
 from repro.cli import attack as _attack
+from repro.cli import canary as _canary
 from repro.cli import engine as _engine
 from repro.cli import ingest as _ingest
 from repro.cli import obs as _obs
@@ -84,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
     _ingest.add_parsers(subparsers)
     _obs.add_parsers(subparsers)
     _serve.add_parsers(subparsers)
+    _canary.add_parsers(subparsers)
     return parser
 
 
@@ -112,6 +120,13 @@ def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
             "report": _obs.cmd_obs_report,
             "export": _obs.cmd_obs_export,
         }[args.obs_command]
+    elif args.command == "canary":
+        handler = {
+            "list": _canary.cmd_canary_list,
+            "run": _canary.cmd_canary_run,
+            "compare": _canary.cmd_canary_compare,
+            "gate": _canary.cmd_canary_gate,
+        }[args.canary_command]
     else:
         handler = handlers[args.command]
     try:

@@ -1,0 +1,237 @@
+"""``canary`` subcommands: run scenarios, diff reports, gate regressions.
+
+* ``canary list`` — the scenario catalog with budgets;
+* ``canary run`` — drive one scenario (self-hosted loopback by default,
+  ``--host/--port`` for a live service) and write
+  ``benchmarks/results/CANARY_<scenario>.json``;
+* ``canary compare`` — diff two reports; exits 1 when the gateable core
+  differs (timing deltas are reported but never fail the diff);
+* ``canary gate`` — check reports against their embedded budgets (or CLI
+  overrides); exits 1 on any violation.  This is the CI tripwire.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import TextIO
+
+from repro.scenarios import (
+    GateThresholds,
+    SCENARIOS,
+    compare_reports,
+    gate_report,
+    get_scenario,
+    load_report,
+    run_scenario_sync,
+    scenario_names,
+)
+
+DEFAULT_RESULTS_DIR = "benchmarks/results"
+
+
+def cmd_canary_list(args: argparse.Namespace, out: TextIO) -> int:
+    if args.json:
+        payload = {
+            name: {
+                "description": scenario.description,
+                "pattern": scenario.pattern,
+                "budgets": {
+                    "max_rank_error": scenario.rank_error_budget,
+                    "p99_us": scenario.p99_budget_us,
+                    "shed_rate": scenario.shed_budget,
+                },
+            }
+            for name, scenario in sorted(SCENARIOS.items())
+        }
+        json.dump(payload, out, indent=2)
+        print(file=out)
+        return 0
+    for name in scenario_names():
+        scenario = SCENARIOS[name]
+        print(
+            f"{name:18s} pattern={scenario.pattern:12s} "
+            f"eps-budget={scenario.rank_error_budget:g}  "
+            f"{scenario.description}",
+            file=out,
+        )
+    return 0
+
+
+def _overrides(args: argparse.Namespace) -> dict:
+    overrides = {}
+    for field in ("inserts", "values_per_insert", "readers", "reads_per_reader",
+                  "rank_probes", "synthetic_records", "shards"):
+        value = getattr(args, field, None)
+        if value is not None:
+            overrides[field] = value
+    if getattr(args, "engine_epsilon", None) is not None:
+        overrides["engine_epsilon"] = args.engine_epsilon
+    if getattr(args, "source", None) is not None:
+        overrides["source"] = args.source
+    return overrides
+
+
+def cmd_canary_run(args: argparse.Namespace, out: TextIO) -> int:
+    scenario = get_scenario(args.scenario, **_overrides(args))
+    report = run_scenario_sync(
+        scenario, args.seed, host=args.host, port=args.port
+    )
+    path = None
+    if not args.no_write:
+        path = report.write(args.out)
+    if args.json:
+        out.write(report.dump())
+    else:
+        accuracy = report.accuracy
+        print(
+            f"scenario={report.scenario} seed={report.seed} "
+            f"n={accuracy.get('n')} "
+            f"max_rank_error={accuracy.get('max_rank_error')} "
+            f"shed_rate={report.shed_rate} "
+            f"ops={report.ops.get('total')}",
+            file=out,
+        )
+        if path is not None:
+            print(f"report: {path}", file=out)
+    if args.gate:
+        violations = gate_report(report)
+        for violation in violations:
+            print(f"GATE: {violation}", file=out)
+        if violations:
+            return 1
+    return 0
+
+
+def cmd_canary_compare(args: argparse.Namespace, out: TextIO) -> int:
+    old = load_report(args.old)
+    new = load_report(args.new)
+    diff = compare_reports(old, new)
+    if args.json:
+        json.dump(diff, out, indent=2)
+        print(file=out)
+    else:
+        if diff["identical"]:
+            print(
+                f"{diff['scenario']}: gateable cores identical "
+                f"({len(diff['timing'])} timing delta(s))",
+                file=out,
+            )
+        else:
+            print(
+                f"{diff['scenario']}: {len(diff['changes'])} gateable "
+                "change(s):",
+                file=out,
+            )
+            for change in diff["changes"]:
+                print(
+                    f"  {change['field']}: {change['old']!r} -> "
+                    f"{change['new']!r}",
+                    file=out,
+                )
+        for delta in diff["timing"]:
+            print(
+                f"  (timing) {delta['field']}: {delta['old']} -> "
+                f"{delta['new']} (x{delta['ratio']})",
+                file=out,
+            )
+    return 0 if diff["identical"] else 1
+
+
+def cmd_canary_gate(args: argparse.Namespace, out: TextIO) -> int:
+    thresholds = GateThresholds(
+        max_rank_error=args.max_rank_error,
+        p99_budget_us=args.p99_budget_us,
+        shed_budget=args.shed_budget,
+    )
+    failed = 0
+    for path in args.reports:
+        report = load_report(path)
+        violations = gate_report(report, thresholds)
+        if violations:
+            failed += 1
+            print(f"FAIL {report.scenario} ({path}):", file=out)
+            for violation in violations:
+                print(f"  {violation}", file=out)
+        else:
+            print(f"ok   {report.scenario} ({path})", file=out)
+    return 1 if failed else 0
+
+
+def add_parsers(subparsers) -> None:
+    canary = subparsers.add_parser(
+        "canary",
+        help="scenario-driven canary runs: adversarial/heavy-tail/connector "
+        "workloads, deterministic reports, CI regression gate",
+    )
+    commands = canary.add_subparsers(dest="canary_command", required=True)
+
+    listing = commands.add_parser("list", help="the scenario catalog")
+    listing.add_argument("--json", action="store_true")
+
+    run = commands.add_parser(
+        "run", help="run one scenario and write CANARY_<scenario>.json"
+    )
+    run.add_argument(
+        "--scenario", required=True, help="catalog name (see `canary list`)"
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--host", help="target a live service instead of self-hosting"
+    )
+    run.add_argument("--port", type=int, help="port of the live service")
+    run.add_argument(
+        "--out",
+        default=DEFAULT_RESULTS_DIR,
+        help=f"report directory (default: {DEFAULT_RESULTS_DIR})",
+    )
+    run.add_argument(
+        "--no-write", action="store_true", help="do not write the report file"
+    )
+    run.add_argument("--json", action="store_true", help="print the full report")
+    run.add_argument(
+        "--gate",
+        action="store_true",
+        help="also gate the fresh report against its budgets (exit 1 on "
+        "violation)",
+    )
+    # Scenario field overrides for smoke-sized runs.
+    for field in ("inserts", "values-per-insert", "readers",
+                  "reads-per-reader", "rank-probes", "synthetic-records",
+                  "shards"):
+        run.add_argument(f"--{field}", type=int, default=None)
+    run.add_argument("--engine-epsilon", type=float, default=None)
+    run.add_argument(
+        "--source",
+        help="connector scenarios: replay this JSONL/CSV file instead of the "
+        "synthetic source",
+    )
+
+    compare = commands.add_parser(
+        "compare",
+        help="diff two canary reports; exit 1 when gateable fields differ",
+    )
+    compare.add_argument("old")
+    compare.add_argument("new")
+    compare.add_argument("--json", action="store_true")
+
+    gate = commands.add_parser(
+        "gate",
+        help="check reports against budgets; exit 1 on any violation",
+    )
+    gate.add_argument("reports", nargs="+", metavar="REPORT")
+    gate.add_argument(
+        "--max-rank-error",
+        type=float,
+        help="override the reports' embedded epsilon budget",
+    )
+    gate.add_argument(
+        "--p99-budget-us",
+        type=float,
+        help="override the reports' embedded p99 latency budget",
+    )
+    gate.add_argument(
+        "--shed-budget",
+        type=float,
+        help="override the reports' embedded shed-rate budget",
+    )

@@ -35,6 +35,9 @@ def cmd_serve(args: argparse.Namespace, out: TextIO) -> int:
         linger_ms=args.linger_ms,
         drain_timeout_s=args.drain_timeout,
         checkpoint_path=args.checkpoint,
+        audit_fraction=args.audit_fraction,
+        audit_reservoir=args.audit_reservoir,
+        audit_seed=args.audit_seed,
     )
     engine = None
     if args.checkpoint and args.resume:
@@ -226,6 +229,25 @@ def add_parsers(subparsers) -> None:
         help="wait this long after the first queued job to grow the micro-batch",
     )
     serve.add_argument("--drain-timeout", type=float, default=30.0)
+    serve.add_argument(
+        "--audit-fraction",
+        type=float,
+        default=0.1,
+        help="fraction of query responses the online accuracy auditor "
+        "checks against its shadow sample (0 disables auditing)",
+    )
+    serve.add_argument(
+        "--audit-reservoir",
+        type=int,
+        default=2048,
+        help="shadow reservoir size for the accuracy auditor",
+    )
+    serve.add_argument(
+        "--audit-seed",
+        type=int,
+        default=0,
+        help="seed for the auditor's reservoir and admission RNGs",
+    )
     serve.add_argument(
         "--checkpoint",
         metavar="PATH",

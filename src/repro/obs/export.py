@@ -51,8 +51,17 @@ def _number(value) -> str:
     return repr(float(value))
 
 
-def to_prometheus(registry: MetricRegistry) -> str:
-    """Render the registry in Prometheus text exposition format 0.0.4."""
+def to_prometheus(
+    registry: MetricRegistry, quantiles: tuple = EXPORT_QUANTILES
+) -> str:
+    """Render the registry in Prometheus text exposition format 0.0.4.
+
+    ``quantiles`` selects which percentiles each GK-backed histogram exposes
+    as summary samples (``name{quantile="0.5"}`` ...) next to ``_sum`` and
+    ``_count`` — the service's ``/metrics`` endpoint passes
+    ``(0.5, 0.9, 0.95, 0.99)`` so p95/p99 latencies are scrapeable without
+    the JSON exporter.
+    """
     lines: list[str] = []
     seen_families: set[str] = set()
     for metric in registry:
@@ -68,7 +77,7 @@ def to_prometheus(registry: MetricRegistry) -> str:
                 f"{metric.name}{_labels_text(metric.labels)} {_number(metric.value)}"
             )
         else:
-            for phi in EXPORT_QUANTILES:
+            for phi in quantiles:
                 if not metric.observations:
                     break
                 value = metric.quantile(phi)
@@ -93,10 +102,12 @@ def to_json(registry: MetricRegistry, indent: int | None = 2) -> str:
     return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
 
 
-def render(registry: MetricRegistry, format: str) -> str:
+def render(
+    registry: MetricRegistry, format: str, quantiles: tuple = EXPORT_QUANTILES
+) -> str:
     """Dispatch to an exporter by format name (``prometheus`` or ``json``)."""
     if format == "prometheus":
-        return to_prometheus(registry)
+        return to_prometheus(registry, quantiles=quantiles)
     if format == "json":
         return to_json(registry)
     raise ObservabilityError(

@@ -1,0 +1,67 @@
+"""Scenario-driven canary observability: load scenarios, reports, gates.
+
+The paper's subject is a *guarantee* — any comparison-based summary that is
+ε-accurate on all streams needs Ω((1/ε)·log(1/ε)) space — and the running
+service asserts that guarantee under exactly one uniform smoke workload.
+This package turns the assertion into continuous observation:
+
+* :mod:`repro.scenarios.registry` — the declarative :class:`Scenario`
+  catalog: adversarial replay of the paper's ``AdvStrategy`` construction,
+  sorted / reversed / zoomin / heavy-tail / flash-crowd arrival patterns,
+  read-heavy mixes, and connector-sourced replay of real files;
+* :mod:`repro.scenarios.traffic` — deterministic insert-batch generation
+  per pattern (same scenario + seed ⇒ the same byte stream, always);
+* :mod:`repro.scenarios.runner` — drives a scenario against a live or
+  self-hosted loopback service and measures what was *served*: rank error
+  against exact ground truth, shed rate, error census, GK-dogfooded
+  latency percentiles;
+* :mod:`repro.scenarios.report` — the :class:`CanaryReport` JSON schema
+  written to ``benchmarks/results/CANARY_<scenario>.json``, plus
+  :func:`compare_reports` (diff across PRs) and :func:`gate_report`
+  (thresholded regression gate for CI).
+
+The CLI surface is ``repro canary run | compare | gate | list``
+(:mod:`repro.cli.canary`); ``docs/canary.md`` documents the catalog,
+schema, and gate thresholds.
+"""
+
+from repro.scenarios.registry import (
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    scenario_names,
+)
+from repro.scenarios.report import (
+    CANARY_FORMAT,
+    CANARY_KIND,
+    TIMING_FIELDS,
+    CanaryReport,
+    GateThresholds,
+    compare_reports,
+    gate_report,
+    load_report,
+    normalized_payload,
+    report_path,
+)
+from repro.scenarios.runner import run_scenario, run_scenario_sync
+from repro.scenarios.traffic import insert_batches
+
+__all__ = [
+    "CANARY_FORMAT",
+    "CANARY_KIND",
+    "CanaryReport",
+    "GateThresholds",
+    "SCENARIOS",
+    "Scenario",
+    "TIMING_FIELDS",
+    "compare_reports",
+    "gate_report",
+    "get_scenario",
+    "insert_batches",
+    "load_report",
+    "normalized_payload",
+    "report_path",
+    "run_scenario",
+    "run_scenario_sync",
+    "scenario_names",
+]

@@ -1,0 +1,291 @@
+"""CanaryReport: the structured, diffable record of one scenario run.
+
+One report is one JSON document written to
+``benchmarks/results/CANARY_<scenario>.json``.  Its fields split into two
+classes, and the split is the whole design:
+
+* **gateable fields** — deterministic given ``(scenario, seed)``: operation
+  counts, error-code census (including ``dlq:<code>`` entries from a
+  connector replay), shed rate, and the accuracy section (exact rank error
+  of served answers against the run's own ground truth).  Two runs of the
+  same scenario and seed produce byte-identical gateable fields, so CI can
+  diff reports across PRs and any delta is a real behaviour change.
+* **timing fields** (:data:`TIMING_FIELDS`) — latency percentiles,
+  throughput, the server-side audit census, timestamps.  Informative,
+  machine-dependent, excluded from determinism comparisons; the latency
+  *gate* still reads them, because a p99 budget is a budget even when the
+  measurement is noisy.
+
+:func:`compare_reports` diffs two reports field by field;
+:func:`gate_report` checks one report against its embedded budgets (or CLI
+overrides) and returns the violation list ``repro canary gate`` turns into
+a nonzero exit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ReproError
+
+CANARY_KIND = "canary-report"
+CANARY_FORMAT = 1
+
+#: Report fields that legitimately differ between two identical-input runs.
+TIMING_FIELDS = ("latency_us", "throughput", "audit", "timestamp")
+
+#: Error codes counted as load shedding (server-refused, never applied).
+SHED_CODES = ("overloaded", "deadline_exceeded", "shutting_down")
+
+
+class CanaryError(ReproError):
+    """A malformed canary report or an impossible comparison."""
+
+
+@dataclass
+class GateThresholds:
+    """Budgets ``gate_report`` enforces; None = take the report's own."""
+
+    max_rank_error: float | None = None
+    p99_budget_us: float | None = None
+    shed_budget: float | None = None
+
+
+@dataclass
+class CanaryReport:
+    """Everything one scenario run measured, JSON-shaped."""
+
+    scenario: str
+    seed: int
+    config: dict
+    budgets: dict  # {"max_rank_error", "p99_us", "shed_rate"}
+    ops: dict  # {"total", "ok", "inserts", "reads", "rank_probes"}
+    errors: dict  # code -> count (codes sorted on dump; "dlq:<code>" too)
+    shed_rate: float
+    accuracy: dict  # {"n", "per_phi", "max_rank_error", ...}
+    latency_us: dict  # op -> {"p50", "p95", "p99"}   (timing)
+    throughput: dict  # {"seconds", "ops_per_second"}  (timing)
+    audit: dict  # server-side auditor census          (timing)
+    timestamp: str  # ISO-8601                          (timing)
+
+    # -- serialisation ---------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": CANARY_KIND,
+            "format": CANARY_FORMAT,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "config": self.config,
+            "budgets": self.budgets,
+            "ops": self.ops,
+            "errors": dict(sorted(self.errors.items())),
+            "shed_rate": self.shed_rate,
+            "accuracy": self.accuracy,
+            "latency_us": self.latency_us,
+            "throughput": self.throughput,
+            "audit": self.audit,
+            "timestamp": self.timestamp,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CanaryReport":
+        if payload.get("kind") != CANARY_KIND:
+            raise CanaryError(
+                f"not a canary report (kind={payload.get('kind')!r})"
+            )
+        if payload.get("format") != CANARY_FORMAT:
+            raise CanaryError(
+                f"unsupported canary-report format {payload.get('format')!r}"
+            )
+        missing = [
+            key
+            for key in (
+                "scenario", "seed", "config", "budgets", "ops", "errors",
+                "shed_rate", "accuracy", "latency_us", "throughput", "audit",
+                "timestamp",
+            )
+            if key not in payload
+        ]
+        if missing:
+            raise CanaryError(
+                f"canary report is missing fields: {', '.join(missing)}"
+            )
+        return cls(**{key: payload[key] for key in (
+            "scenario", "seed", "config", "budgets", "ops", "errors",
+            "shed_rate", "accuracy", "latency_us", "throughput", "audit",
+            "timestamp",
+        )})
+
+    def dump(self) -> str:
+        return json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
+
+    def write(self, directory: str | Path) -> Path:
+        """Write ``CANARY_<scenario>.json`` under ``directory``; return the path."""
+        path = report_path(directory, self.scenario)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.dump())
+        return path
+
+
+def report_path(directory: str | Path, scenario: str) -> Path:
+    """The canonical report location for ``scenario`` under ``directory``."""
+    return Path(directory) / f"CANARY_{scenario}.json"
+
+
+def load_report(path: str | Path) -> CanaryReport:
+    """Read and validate one canary report file."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except OSError as error:
+        raise CanaryError(f"cannot read canary report {path}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise CanaryError(f"canary report {path} is not JSON: {error}") from None
+    return CanaryReport.from_payload(payload)
+
+
+def normalized_payload(report: CanaryReport) -> dict:
+    """The report's payload minus :data:`TIMING_FIELDS` — the diffable core."""
+    payload = report.to_payload()
+    for field in TIMING_FIELDS:
+        payload.pop(field, None)
+    return payload
+
+
+# -- comparison ---------------------------------------------------------------------
+
+
+def _flatten(prefix: str, value, into: dict) -> None:
+    if isinstance(value, dict):
+        for key in sorted(value):
+            _flatten(f"{prefix}.{key}" if prefix else str(key), value[key], into)
+    else:
+        into[prefix] = value
+
+
+def compare_reports(old: CanaryReport, new: CanaryReport) -> dict:
+    """Field-by-field diff of two reports for the same scenario.
+
+    Returns ``{"scenario", "identical", "changes": [...], "timing": [...]}``
+    where ``changes`` lists gateable-field differences (each ``{"field",
+    "old", "new"}``) and ``timing`` lists informational deltas on latency
+    and throughput.  ``identical`` is True exactly when the gateable cores
+    match — the determinism contract ``repro canary run`` promises.
+    """
+    if old.scenario != new.scenario:
+        raise CanaryError(
+            f"cannot compare different scenarios ({old.scenario!r} vs "
+            f"{new.scenario!r})"
+        )
+    flat_old: dict = {}
+    flat_new: dict = {}
+    _flatten("", normalized_payload(old), flat_old)
+    _flatten("", normalized_payload(new), flat_new)
+    changes = []
+    for key in sorted(set(flat_old) | set(flat_new)):
+        before, after = flat_old.get(key), flat_new.get(key)
+        if before != after:
+            changes.append({"field": key, "old": before, "new": after})
+    timing = []
+    for op in sorted(set(old.latency_us) | set(new.latency_us)):
+        for percentile in ("p50", "p95", "p99"):
+            before = (old.latency_us.get(op) or {}).get(percentile)
+            after = (new.latency_us.get(op) or {}).get(percentile)
+            if before and after:
+                timing.append(
+                    {
+                        "field": f"latency_us.{op}.{percentile}",
+                        "old": before,
+                        "new": after,
+                        "ratio": round(after / before, 3),
+                    }
+                )
+    before = old.throughput.get("ops_per_second")
+    after = new.throughput.get("ops_per_second")
+    if before and after:
+        timing.append(
+            {
+                "field": "throughput.ops_per_second",
+                "old": before,
+                "new": after,
+                "ratio": round(after / before, 3),
+            }
+        )
+    return {
+        "scenario": old.scenario,
+        "identical": not changes,
+        "changes": changes,
+        "timing": timing,
+    }
+
+
+# -- the gate -----------------------------------------------------------------------
+
+
+def gate_report(
+    report: CanaryReport, thresholds: GateThresholds | None = None
+) -> list[str]:
+    """Budget violations in ``report`` (empty = the gate passes).
+
+    Checks, in order: served rank error (final-state accuracy *and* rank
+    probes) against the epsilon budget, shed rate against the shed budget,
+    and per-op p99 latency against the latency budget.  Threshold fields
+    left ``None`` fall back to the budgets embedded in the report — the
+    scenario's own definition of healthy.
+    """
+    thresholds = thresholds if thresholds is not None else GateThresholds()
+    budgets = report.budgets
+    violations: list[str] = []
+
+    epsilon = (
+        thresholds.max_rank_error
+        if thresholds.max_rank_error is not None
+        else budgets.get("max_rank_error")
+    )
+    if epsilon is not None:
+        worst = report.accuracy.get("max_rank_error")
+        if worst is not None and worst > epsilon:
+            violations.append(
+                f"rank error {worst} exceeds the epsilon budget {epsilon}"
+            )
+        probe_worst = report.accuracy.get("rank_probe_max_error")
+        if probe_worst is not None and probe_worst > epsilon:
+            violations.append(
+                f"rank-probe error {probe_worst} exceeds the epsilon budget "
+                f"{epsilon}"
+            )
+
+    shed_budget = (
+        thresholds.shed_budget
+        if thresholds.shed_budget is not None
+        else budgets.get("shed_rate")
+    )
+    if shed_budget is not None and report.shed_rate > shed_budget:
+        violations.append(
+            f"shed rate {report.shed_rate} exceeds the budget {shed_budget}"
+        )
+
+    p99_budget = (
+        thresholds.p99_budget_us
+        if thresholds.p99_budget_us is not None
+        else budgets.get("p99_us")
+    )
+    if p99_budget is not None:
+        for op in sorted(report.latency_us):
+            p99 = (report.latency_us.get(op) or {}).get("p99")
+            if p99 is not None and p99 > p99_budget:
+                violations.append(
+                    f"{op} p99 {round(p99, 1)}us exceeds the budget "
+                    f"{p99_budget}us"
+                )
+    return violations
+
+
+def shed_rate_of(errors: dict, total_ops: int) -> float:
+    """Fraction of operations answered with a shed code."""
+    if total_ops <= 0:
+        return 0.0
+    shed = sum(errors.get(code, 0) for code in SHED_CODES)
+    return shed / total_ops

@@ -1,0 +1,167 @@
+"""Deterministic insert-batch generation for every scenario pattern.
+
+:func:`insert_batches` is a pure function of ``(scenario, seed)``: it
+returns the full list of insert batches (lists of values, ints or exact
+:class:`~fractions.Fraction`) the scenario's single writer will send, in
+order.  Determinism here is what makes canary reports diffable across PRs
+— the CI gate compares *served accuracy on the identical stream*, so any
+report delta is a behaviour change in the service, not noise in the load.
+
+Patterns:
+
+* ``uniform`` — seeded uniform integers (the classic load-generator draw);
+* ``sorted`` / ``reversed`` — monotone arrival;
+* ``zoomin`` — alternating extremes converging inwards
+  (:func:`repro.streams.generators.zoomin_stream`'s order);
+* ``heavy-tail`` — Pareto(alpha) draws scaled to integers, a dense head
+  with a huge tail;
+* ``flash-crowd`` — uniform values, but every ``burst_every``-th insert
+  carries ``burst_factor`` times the values, modelling arrival spikes;
+* ``adversarial`` — the arrival order of stream pi from the paper's
+  ``AdvStrategy`` construction run against a live summary of the
+  scenario's ``adversary_summary`` type (exact rational values).
+
+The ``connector`` pattern has no batches here — its values travel through
+:mod:`repro.connectors` — but :func:`connector_values` reproduces the
+ground-truth value sequence a connector replay will ingest.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.engine.engine import as_fraction
+from repro.errors import MalformedRecordError
+from repro.scenarios.registry import Scenario, ScenarioError
+from repro.universe.item import key_of
+
+
+def _uniform_values(scenario: Scenario, rng: random.Random, count: int) -> list[int]:
+    lo, hi = scenario.value_range
+    return [rng.randint(lo, hi) for _ in range(count)]
+
+
+def _heavy_tail_values(
+    scenario: Scenario, rng: random.Random, count: int
+) -> list[int]:
+    lo, hi = scenario.value_range
+    span = hi - lo
+    values = []
+    for _ in range(count):
+        draw = rng.paretovariate(scenario.heavy_tail_alpha) - 1.0
+        # Scale so the bulk lands low in the range and the tail is clipped
+        # to the universe instead of escaping it.
+        values.append(lo + min(span, int(draw * span / 100.0)))
+    return values
+
+
+def _monotone_values(scenario: Scenario, reverse: bool) -> list[int]:
+    total = scenario.inserts * scenario.values_per_insert
+    values = list(range(1, total + 1))
+    return values[::-1] if reverse else values
+
+
+def _zoomin_values(scenario: Scenario) -> list[int]:
+    total = scenario.inserts * scenario.values_per_insert
+    values = []
+    lo, hi = 1, total
+    while lo <= hi:
+        values.append(lo)
+        lo += 1
+        if lo <= hi:
+            values.append(hi)
+            hi -= 1
+    return values
+
+
+def adversarial_values(scenario: Scenario) -> list[Fraction]:
+    """Stream pi's arrival order from AdvStrategy(k) against a live summary.
+
+    The construction is deterministic, so the same scenario always yields
+    the same exact rational sequence.  Length is fixed by
+    ``(adversary_epsilon, adversary_k)``, not by ``scenario.inserts``.
+    """
+    from repro.model.registry import summary_factory
+    from repro.streams.generators import adversarial_order_stream
+
+    items = adversarial_order_stream(
+        summary_factory(scenario.adversary_summary),
+        epsilon=scenario.adversary_epsilon,
+        k=scenario.adversary_k,
+    )
+    return [key_of(item) for item in items]
+
+
+def _chunk(values: list, size: int) -> list[list]:
+    return [values[start:start + size] for start in range(0, len(values), size)]
+
+
+def insert_batches(scenario: Scenario, seed: int) -> list[list]:
+    """The scenario's full insert schedule: one list of values per insert op."""
+    rng = random.Random(seed * 8191 + 7)
+    per = scenario.values_per_insert
+    if scenario.pattern == "uniform":
+        return [
+            _uniform_values(scenario, rng, per) for _ in range(scenario.inserts)
+        ]
+    if scenario.pattern == "heavy-tail":
+        return [
+            _heavy_tail_values(scenario, rng, per)
+            for _ in range(scenario.inserts)
+        ]
+    if scenario.pattern == "sorted":
+        return _chunk(_monotone_values(scenario, reverse=False), per)
+    if scenario.pattern == "reversed":
+        return _chunk(_monotone_values(scenario, reverse=True), per)
+    if scenario.pattern == "zoomin":
+        return _chunk(_zoomin_values(scenario), per)
+    if scenario.pattern == "flash-crowd":
+        batches = []
+        for index in range(scenario.inserts):
+            size = per
+            if scenario.burst_every and (index + 1) % scenario.burst_every == 0:
+                size = per * scenario.burst_factor
+            batches.append(_uniform_values(scenario, rng, size))
+        return batches
+    if scenario.pattern == "adversarial":
+        return _chunk(adversarial_values(scenario), per)
+    if scenario.pattern == "connector":
+        return []
+    raise ScenarioError(
+        f"scenario {scenario.name!r} has unknown pattern {scenario.pattern!r}"
+    )
+
+
+def connector_values(scenario: Scenario, seed: int) -> list[Fraction]:
+    """Ground truth for a connector replay: the values the sink will accept.
+
+    Walks the scenario's source exactly as the
+    :class:`~repro.connectors.runner.IngestRunner` will — poison records
+    (extraction errors, values :func:`as_fraction` rejects) are skipped
+    here and dead-lettered there — so the returned sequence equals the
+    multiset (and order) of values the service acks.
+    """
+    values: list[Fraction] = []
+    for record in connector_source(scenario, seed).records(None):
+        if record.error is not None:
+            continue
+        try:
+            values.append(
+                as_fraction(record.value, source=record.source, index=record.index)
+            )
+        except MalformedRecordError:
+            continue
+    return values
+
+
+def connector_source(scenario: Scenario, seed: int):
+    """The scenario's source connector (shared by runner and ground truth)."""
+    from repro.connectors import SyntheticSource, open_source
+
+    if scenario.source is None:
+        lo, hi = scenario.value_range
+        return SyntheticSource(
+            scenario.synthetic_records, seed=seed, low=lo, high=hi
+        )
+    return open_source(scenario.source, fmt=scenario.source_format)

@@ -5,11 +5,14 @@ server with single-writer micro-batched ingest, snapshot reads, explicit
 backpressure and a ``GET /metrics`` Prometheus endpoint), configured by
 :class:`~repro.service.server.ServiceConfig`;
 :class:`~repro.service.client.QuantileClient` (connection reuse, timeouts,
-seeded exponential backoff); and the deterministic load generator in
-:mod:`repro.service.loadgen`.  The wire protocol is specified in
-:mod:`repro.service.protocol` and documented in ``docs/service.md``.
+seeded exponential backoff); the deterministic load generator in
+:mod:`repro.service.loadgen`; and the online accuracy auditor in
+:mod:`repro.service.audit` (seeded shadow reservoir, ``service_rank_error``
+metrics).  The wire protocol is specified in :mod:`repro.service.protocol`
+and documented in ``docs/service.md``.
 """
 
+from repro.service.audit import AccuracyAuditor, AuditConfig
 from repro.service.client import QuantileClient, backoff_schedule
 from repro.service.limits import BoundedQueue, Deadline
 from repro.service.loadgen import LoadConfig, LoadReport, run_load, run_load_sync
@@ -31,6 +34,8 @@ from repro.service.server import IngestJob, QuantileService, ServiceConfig
 from repro.service.snapshots import EMPTY_SNAPSHOT, Snapshot, SnapshotStore
 
 __all__ = [
+    "AccuracyAuditor",
+    "AuditConfig",
     "BoundedQueue",
     "Deadline",
     "EMPTY_SNAPSHOT",

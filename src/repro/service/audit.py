@@ -1,0 +1,260 @@
+"""Online accuracy auditing: a shadow sample that watches served quantiles.
+
+The paper proves what a comparison-based summary *can* promise
+(Ω((1/ε)·log(1/ε)) space for ε-accuracy); randomized summaries (KLL, REQ)
+only promise it with high probability.  Either way a deployed service
+should *observe* its accuracy, not just assert it in a smoke test — this
+module is that observer.
+
+:class:`AccuracyAuditor` keeps a seeded reservoir sample of everything the
+ingest loop has applied — the *shadow* ground truth, O(s) space for a
+reservoir of size ``s``.  Sampling uses skip-ahead reservoir sampling
+(Li's Algorithm L): instead of one RNG draw per ingested value, the
+auditor draws the gap until the *next* reservoir replacement, so a full
+reservoir costs O(s·log(n/s)) RNG work over the whole stream and the
+ingest hot path pays a counter bump per skipped value — that is what
+keeps the audit overhead within the service's latency budget.  On a configurable fraction of query
+responses it computes, per served ``(phi, value)`` pair, the observed rank
+error ``|rank_sample(value)/s - phi|`` and publishes:
+
+* ``service_rank_error`` — a GK-dogfooded histogram of observed errors
+  (exact rationals in ``[0, 1]``);
+* ``service_rank_error_violations_total`` — audited answers whose error
+  exceeded ``epsilon`` plus the reservoir's own sampling slack;
+* ``service_audits_total`` / ``service_audit_shadow_items`` — audit volume
+  and shadow-sample size, so dashboards can judge the evidence base.
+
+The reservoir estimates the true rank fraction of a served value to within
+roughly ``1/sqrt(s)`` with high probability, so the violation threshold is
+``epsilon + slack`` with ``slack = 2/sqrt(s)`` — a flagged violation means
+the served answer is wrong beyond what sampling noise explains.  Both RNGs
+(reservoir replacement, audit admission) are seeded, so a deterministic
+ingest order reproduces the identical shadow sample.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from bisect import bisect_right
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import ServiceError
+from repro.obs import spans as obs_spans
+from repro.obs.registry import MetricRegistry
+
+#: GK accuracy of the ``service_rank_error`` histogram.
+RANK_ERROR_EPSILON = 0.005
+
+
+@dataclass
+class AuditConfig:
+    """Knobs of the online accuracy auditor."""
+
+    #: Fraction of query responses audited (0 disables the auditor).
+    fraction: float = 0.1
+    #: Reservoir capacity; rank estimates are good to ~1/sqrt(capacity).
+    reservoir: int = 2048
+    seed: int = 0
+
+    def validate(self) -> "AuditConfig":
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ServiceError(
+                f"audit fraction must be in [0, 1], got {self.fraction}"
+            )
+        if self.reservoir < 1:
+            raise ServiceError(
+                f"audit reservoir must be positive, got {self.reservoir}"
+            )
+        return self
+
+
+class AccuracyAuditor:
+    """Seeded reservoir shadow-sample + rank-error metrics for one service."""
+
+    def __init__(
+        self,
+        registry: MetricRegistry,
+        epsilon: float,
+        config: AuditConfig | None = None,
+    ) -> None:
+        self.config = (config if config is not None else AuditConfig()).validate()
+        self.epsilon = float(epsilon)
+        self.registry = registry
+        seed = self.config.seed
+        self._sample_rng = random.Random(seed * 7919 + 1)
+        self._admit_rng = random.Random(seed * 104729 + 2)
+        self._sample: list[Fraction] = []
+        self._floats: list[float] = []
+        self._sorted: list[float] = []
+        self._dirty = False
+        self._seen = 0
+        # Algorithm L state: values to skip before the next replacement,
+        # and the running weight W; initialised when the reservoir fills.
+        self._skip = -1
+        self._w = 1.0
+        self._rank_error = registry.histogram(
+            "service_rank_error",
+            help="observed |rank error| of audited query answers (0..1)",
+            epsilon=RANK_ERROR_EPSILON,
+        )
+        self._violations = registry.counter(
+            "service_rank_error_violations_total",
+            help="audited answers whose rank error exceeded epsilon + "
+            "sampling slack",
+        )
+        self._audits = registry.counter(
+            "service_audits_total", help="query responses audited"
+        )
+        self._shadow_items = registry.gauge(
+            "service_audit_shadow_items",
+            help="values currently held by the audit reservoir",
+        )
+
+    # -- the shadow sample ----------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.fraction > 0.0
+
+    @property
+    def seen(self) -> int:
+        """Total values observed (reservoir candidates), not reservoir size."""
+        return self._seen
+
+    @property
+    def sample(self) -> list[Fraction]:
+        """A copy of the current reservoir (tests and reports)."""
+        return list(self._sample)
+
+    @property
+    def slack(self) -> float:
+        """Sampling slack of the current reservoir: ``2 / sqrt(size)``."""
+        size = len(self._sample)
+        return 2.0 / math.sqrt(size) if size else 1.0
+
+    def _draw_skip(self) -> None:
+        """Advance Algorithm L: weight update + gap to the next replacement.
+
+        ``1 - random()`` keeps the draws in ``(0, 1]`` so the logs are
+        finite; if W underflows toward 1 the gap degrades to 0 (audit every
+        value), which is slow but never wrong.
+        """
+        rng = self._sample_rng
+        capacity = self.config.reservoir
+        self._w *= math.exp(math.log(1.0 - rng.random()) / capacity)
+        denominator = math.log1p(-self._w)
+        if denominator == 0.0:
+            self._skip = 0
+            return
+        self._skip = int(math.log(1.0 - rng.random()) / denominator)
+
+    def observe_batch(self, values) -> None:
+        """Feed one applied ingest batch into the reservoir (Algorithm L)."""
+        if not self.enabled:
+            return
+        if not isinstance(values, list):
+            values = list(values)
+        if not values:
+            return
+        capacity = self.config.reservoir
+        sample = self._sample
+        floats = self._floats
+        rng = self._sample_rng
+        index = 0
+        total = len(values)
+        if len(sample) < capacity:
+            take = min(capacity - len(sample), total)
+            sample.extend(values[:take])
+            floats.extend(float(value) for value in values[:take])
+            self._seen += take
+            self._dirty = True
+            index = take
+            if len(sample) == capacity and self._skip < 0:
+                self._w = 1.0
+                self._draw_skip()
+        while index < total:
+            if self._skip > 0:
+                # Consume the whole gap in one jump — the hot path costs
+                # O(replacements) per batch, not O(values).
+                jump = min(self._skip, total - index)
+                self._skip -= jump
+                self._seen += jump
+                index += jump
+                continue
+            self._seen += 1
+            slot = rng.randrange(capacity)
+            sample[slot] = values[index]
+            floats[slot] = float(values[index])
+            self._dirty = True
+            index += 1
+            self._draw_skip()
+        self._shadow_items.set(len(sample))
+
+    def _sorted_sample(self) -> list[float]:
+        """The reservoir as a sorted float list — the audit's bisect key.
+
+        Ranks are counted against float keys: sorting and bisecting
+        Fractions is ~20x slower, and any float-rounding misordering moves
+        a rank estimate by at most a few positions out of ``s`` — far
+        inside the ``2/sqrt(s)`` sampling slack the threshold already
+        grants.
+        """
+        if self._dirty:
+            self._sorted = sorted(self._floats)
+            self._dirty = False
+        return self._sorted
+
+    # -- auditing -------------------------------------------------------------------
+
+    def estimated_rank_fraction(self, value) -> Fraction | None:
+        """The shadow estimate of ``value``'s rank fraction, or None if empty."""
+        ordered = self._sorted_sample()
+        if not ordered:
+            return None
+        return Fraction(bisect_right(ordered, float(value)), len(ordered))
+
+    def maybe_audit(self, results) -> bool:
+        """Audit one query response (a list of ``(phi, value)``) or skip it.
+
+        The admission RNG draws once per call, so the audited fraction
+        converges to ``config.fraction`` regardless of response contents.
+        Returns whether the response was audited.
+        """
+        if not self.enabled or not self._sample:
+            return False
+        if self._admit_rng.random() >= self.config.fraction:
+            return False
+        ordered = self._sorted_sample()
+        size = len(ordered)
+        threshold = self.epsilon + self.slack
+        worst = Fraction(0)
+        violations = 0
+        for phi, value in results:
+            observed = Fraction(bisect_right(ordered, float(value)), size)
+            error = abs(observed - Fraction(phi))
+            self._rank_error.observe(error)
+            if error > worst:
+                worst = error
+            if float(error) > threshold:
+                violations += 1
+        self._audits.inc()
+        if violations:
+            self._violations.inc(violations)
+        with obs_spans.span(
+            "service.audit",
+            answers=len(results),
+            shadow=size,
+            worst=float(worst),
+            violations=violations,
+        ):
+            pass
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"AccuracyAuditor(fraction={self.config.fraction}, "
+            f"reservoir={len(self._sample)}/{self.config.reservoir}, "
+            f"seen={self._seen})"
+        )

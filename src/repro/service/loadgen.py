@@ -9,8 +9,16 @@ ground truth: :meth:`LoadReport.exact_rank` computes the true rank of any
 value over everything the run inserted, which is how the end-to-end test
 and the CI smoke job assert the served answers stay within epsilon.
 
+Per-operation latency is tracked in GK-backed
+:class:`~repro.obs.registry.Histogram` instances — O((1/eps) log(eps N))
+space no matter how long the run is, so multi-hour canary soaks don't
+accumulate unbounded Python lists.  Set ``LoadConfig.raw_latencies`` to
+additionally keep every raw nanosecond sample (the exact-percentile mode
+the unit tests and short benchmark runs use).
+
 Used by ``benchmarks/bench_service.py`` (throughput/latency history),
-``repro client load`` (operator smoke-testing a live server), and the
+``repro client load`` (operator smoke-testing a live server), the
+scenario-driven canary harness (:mod:`repro.scenarios`), and the
 loopback e2e test.
 """
 
@@ -24,7 +32,14 @@ from fractions import Fraction
 from time import perf_counter_ns
 
 from repro.errors import RequestFailed, ServiceError
+from repro.obs.registry import Histogram
 from repro.service.client import QuantileClient
+
+#: GK accuracy of the per-op latency histograms; 0.005 keeps p99 honest.
+LATENCY_EPSILON = 0.005
+
+#: The latency percentiles reports expose by default.
+LATENCY_PHIS = (0.5, 0.95, 0.99)
 
 
 @dataclass
@@ -39,6 +54,9 @@ class LoadConfig:
     phis: tuple = (0.1, 0.5, 0.9, 0.99)
     deadline_ms: float = 5000.0
     seed: int = 0
+    #: Keep every raw latency sample next to the GK histograms (opt-in:
+    #: exact percentiles for tests, unbounded memory for long runs).
+    raw_latencies: bool = False
 
     def validate(self) -> "LoadConfig":
         if self.clients < 1:
@@ -65,25 +83,43 @@ class LoadReport:
     ops: int = 0
     ok: int = 0
     errors: dict = field(default_factory=dict)  # code -> count
-    latencies_ns: dict = field(default_factory=dict)  # op -> [ns, ...]
     inserted: list = field(default_factory=list)  # every acked inserted value
     seconds: float = 0.0
+    raw_latencies: bool = False
+    latencies_ns: dict = field(default_factory=dict)  # raw mode: op -> [ns, ...]
+    histograms: dict = field(default_factory=dict)  # op -> obs Histogram
+
+    def _histogram(self, op: str) -> Histogram:
+        histogram = self.histograms.get(op)
+        if histogram is None:
+            histogram = Histogram(
+                "loadgen_latency_ns", (("op", op),), epsilon=LATENCY_EPSILON
+            )
+            self.histograms[op] = histogram
+        return histogram
+
+    def _record_latency(self, op: str, elapsed_ns: int) -> None:
+        self._histogram(op).observe(int(elapsed_ns))
+        if self.raw_latencies:
+            self.latencies_ns.setdefault(op, []).append(elapsed_ns)
 
     def record_ok(self, op: str, elapsed_ns: int) -> None:
         self.ops += 1
         self.ok += 1
-        self.latencies_ns.setdefault(op, []).append(elapsed_ns)
+        self._record_latency(op, elapsed_ns)
 
     def record_error(self, op: str, code: str, elapsed_ns: int) -> None:
         self.ops += 1
         self.errors[code] = self.errors.get(code, 0) + 1
-        self.latencies_ns.setdefault(op, []).append(elapsed_ns)
+        self._record_latency(op, elapsed_ns)
 
     def merge(self, other: "LoadReport") -> None:
         self.ops += other.ops
         self.ok += other.ok
         for code, count in other.errors.items():
             self.errors[code] = self.errors.get(code, 0) + count
+        for op, histogram in other.histograms.items():
+            self._histogram(op).merge_from(histogram)
         for op, latencies in other.latencies_ns.items():
             self.latencies_ns.setdefault(op, []).extend(latencies)
         self.inserted.extend(other.inserted)
@@ -110,17 +146,12 @@ class LoadReport:
 
     # -- reporting ------------------------------------------------------------------
 
-    def latency_quantiles_us(self, op: str, phis=(0.5, 0.9, 0.99)) -> dict:
-        latencies = sorted(self.latencies_ns.get(op, ()))
-        if not latencies:
+    def latency_quantiles_us(self, op: str, phis=LATENCY_PHIS) -> dict:
+        """Latency percentiles (microseconds) for ``op`` from its GK histogram."""
+        histogram = self.histograms.get(op)
+        if histogram is None or not histogram.observations:
             return {}
-        return {
-            f"p{round(phi * 100):g}": latencies[
-                min(len(latencies) - 1, int(phi * len(latencies)))
-            ]
-            / 1000.0
-            for phi in phis
-        }
+        return histogram.quantiles(phis, scale=1000.0)
 
     def summary(self) -> dict:
         """JSON-compatible run summary for benchmarks and the CLI."""
@@ -135,7 +166,7 @@ class LoadReport:
             else None,
             "latency_us": {
                 op: self.latency_quantiles_us(op)
-                for op in sorted(self.latencies_ns)
+                for op in sorted(self.histograms)
             },
         }
 
@@ -144,7 +175,7 @@ async def _worker(
     index: int, host: str, port: int, config: LoadConfig
 ) -> LoadReport:
     rng = random.Random(config.seed * 8191 + index)
-    report = LoadReport()
+    report = LoadReport(raw_latencies=config.raw_latencies)
     lo, hi = config.value_range
     client = QuantileClient(
         host,
@@ -187,7 +218,7 @@ async def run_load(host: str, port: int, config: LoadConfig) -> LoadReport:
     reports = await asyncio.gather(
         *(_worker(index, host, port, config) for index in range(config.clients))
     )
-    combined = LoadReport()
+    combined = LoadReport(raw_latencies=config.raw_latencies)
     for report in reports:
         combined.merge(report)
     combined.seconds = (perf_counter_ns() - started) / 1e9

@@ -53,10 +53,15 @@ from repro.obs import spans as obs_spans
 from repro.obs.export import to_prometheus
 from repro.obs.registry import MetricRegistry
 from repro.service import protocol
+from repro.service.audit import AccuracyAuditor, AuditConfig
 from repro.service.limits import BoundedQueue, Deadline
 from repro.service.snapshots import SnapshotStore
 
 SERVICE_NAMESPACE = "service_"
+
+#: Percentiles exposed for GK histograms on ``GET /metrics`` — p95/p99 are
+#: scrapeable without the JSON exporter.
+METRICS_QUANTILES = (0.5, 0.9, 0.95, 0.99)
 
 
 @dataclass
@@ -73,6 +78,11 @@ class ServiceConfig:
     linger_ms: float = 0.0
     drain_timeout_s: float = 30.0
     checkpoint_path: str | None = None
+    #: Fraction of query responses the online accuracy auditor samples
+    #: (:mod:`repro.service.audit`); 0 disables auditing entirely.
+    audit_fraction: float = 0.1
+    audit_reservoir: int = 2048
+    audit_seed: int = 0
 
     def validate(self) -> "ServiceConfig":
         if self.max_queue_jobs < 1:
@@ -95,6 +105,11 @@ class ServiceConfig:
             )
         if self.linger_ms < 0:
             raise ServiceError(f"linger_ms must be >= 0, got {self.linger_ms}")
+        AuditConfig(
+            fraction=self.audit_fraction,
+            reservoir=self.audit_reservoir,
+            seed=self.audit_seed,
+        ).validate()
         return self
 
 
@@ -161,6 +176,15 @@ class QuantileService:
         self._snapshot_epoch = reg.gauge(
             SERVICE_NAMESPACE + "snapshot_epoch",
             help="epoch of the currently served snapshot",
+        )
+        self.auditor = AccuracyAuditor(
+            reg,
+            epsilon=self.engine.config.epsilon,
+            config=AuditConfig(
+                fraction=self.config.audit_fraction,
+                reservoir=self.config.audit_reservoir,
+                seed=self.config.audit_seed,
+            ),
         )
 
     # -- metric helpers ------------------------------------------------------------
@@ -297,6 +321,7 @@ class QuantileService:
                 return
         self._flush_items.observe(len(values))
         self._snapshot_epoch.set(snapshot.epoch)
+        self.auditor.observe_batch(values)
         for job in live:
             if not job.future.done():
                 job.future.set_result(
@@ -478,6 +503,7 @@ class QuantileService:
             self._count_read_index(snapshot)
         # One index pass answers the whole list, in input order.
         values = snapshot.query_many(phis)
+        self.auditor.maybe_audit(list(zip(phis, values)))
         results = [
             {"phi": phi, "value": str(value), "approx": float(value)}
             for phi, value in zip(phis, values)
@@ -535,7 +561,9 @@ class QuantileService:
             if not header or header in (b"\r\n", b"\n"):
                 break
         if target.split("?")[0] == "/metrics":
-            body = to_prometheus(self._combined_registry()).encode()
+            body = to_prometheus(
+                self._combined_registry(), quantiles=METRICS_QUANTILES
+            ).encode()
             status = b"200 OK"
             content_type = b"text/plain; version=0.0.4; charset=utf-8"
         else:

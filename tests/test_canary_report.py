@@ -1,0 +1,232 @@
+"""CanaryReport: serialisation round-trips, comparison, and the gate."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import (
+    CANARY_FORMAT,
+    CANARY_KIND,
+    CanaryReport,
+    GateThresholds,
+    TIMING_FIELDS,
+    compare_reports,
+    gate_report,
+    load_report,
+    normalized_payload,
+    report_path,
+)
+from repro.scenarios.report import CanaryError, shed_rate_of
+
+
+def make_report(**overrides) -> CanaryReport:
+    fields = dict(
+        scenario="sorted",
+        seed=0,
+        config={"pattern": "sorted", "inserts": 4},
+        budgets={"max_rank_error": 0.02, "p99_us": 500000.0, "shed_rate": 0.01},
+        ops={"total": 20, "ok": 20, "inserts": 4, "reads": 16},
+        errors={},
+        shed_rate=0.0,
+        accuracy={
+            "n": 400,
+            "per_phi": {"0.5": 0.005},
+            "max_rank_error": 0.005,
+            "rank_probe_max_error": 0.0025,
+        },
+        latency_us={"insert": {"p50": 900.0, "p95": 1500.0, "p99": 2000.0}},
+        throughput={"seconds": 0.5, "ops_per_second": 40.0},
+        audit={"audits": 3, "violations": 0},
+        timestamp="2026-08-08T00:00:00+00:00",
+    )
+    fields.update(overrides)
+    return CanaryReport(**fields)
+
+
+class TestRoundTrip:
+    def test_payload_round_trip(self):
+        report = make_report()
+        payload = report.to_payload()
+        assert payload["kind"] == CANARY_KIND
+        assert payload["format"] == CANARY_FORMAT
+        assert CanaryReport.from_payload(payload) == report
+
+    def test_file_round_trip(self, tmp_path):
+        report = make_report()
+        path = report.write(tmp_path)
+        assert path == report_path(tmp_path, "sorted")
+        assert path.name == "CANARY_sorted.json"
+        assert load_report(path) == report
+
+    def test_dump_is_stable_json(self):
+        report = make_report(errors={"b": 2, "a": 1})
+        first, second = report.dump(), report.dump()
+        assert first == second
+        payload = json.loads(first)
+        assert list(payload["errors"]) == ["a", "b"]
+
+    def test_from_payload_rejects_wrong_kind(self):
+        with pytest.raises(CanaryError, match="not a canary report"):
+            CanaryReport.from_payload({"kind": "something-else"})
+
+    def test_from_payload_rejects_unknown_format(self):
+        payload = make_report().to_payload()
+        payload["format"] = 999
+        with pytest.raises(CanaryError, match="format"):
+            CanaryReport.from_payload(payload)
+
+    def test_from_payload_rejects_missing_fields(self):
+        payload = make_report().to_payload()
+        del payload["accuracy"]
+        with pytest.raises(CanaryError, match="accuracy"):
+            CanaryReport.from_payload(payload)
+
+    def test_load_report_bad_file(self, tmp_path):
+        with pytest.raises(CanaryError, match="cannot read"):
+            load_report(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(CanaryError, match="not JSON"):
+            load_report(bad)
+
+
+json_scalars = st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+    st.booleans(),
+    st.none(),
+)
+json_dicts = st.dictionaries(
+    st.text(min_size=1, max_size=10), json_scalars, max_size=5
+)
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        config=json_dicts,
+        ops=st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.integers(min_value=0, max_value=10**6),
+            max_size=5,
+        ),
+        errors=st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.integers(min_value=1, max_value=1000),
+            max_size=4,
+        ),
+        shed=st.floats(min_value=0, max_value=1, allow_nan=False),
+        accuracy=json_dicts,
+    )
+    def test_arbitrary_payloads_survive_json(
+        self, seed, config, ops, errors, shed, accuracy
+    ):
+        report = make_report(
+            seed=seed, config=config, ops=ops, errors=errors,
+            shed_rate=shed, accuracy=accuracy,
+        )
+        recovered = CanaryReport.from_payload(
+            json.loads(json.dumps(report.to_payload()))
+        )
+        assert normalized_payload(recovered) == normalized_payload(report)
+        # Timing fields survive too; only equality may be perturbed by
+        # float round-tripping, which json.dumps/loads does not do.
+        assert recovered == report
+
+
+class TestCompare:
+    def test_identical_reports(self):
+        diff = compare_reports(make_report(), make_report())
+        assert diff["identical"] is True
+        assert diff["changes"] == []
+
+    def test_timing_only_difference_stays_identical(self):
+        slower = make_report(
+            latency_us={"insert": {"p50": 9000.0, "p95": 9500.0, "p99": 9900.0}},
+            throughput={"seconds": 5.0, "ops_per_second": 4.0},
+            audit={"audits": 99, "violations": 1},
+            timestamp="2027-01-01T00:00:00+00:00",
+        )
+        diff = compare_reports(make_report(), slower)
+        assert diff["identical"] is True
+        ratios = {entry["field"]: entry["ratio"] for entry in diff["timing"]}
+        assert ratios["latency_us.insert.p50"] == 10.0
+        assert ratios["throughput.ops_per_second"] == 0.1
+
+    def test_gateable_difference_detected(self):
+        worse = make_report(accuracy={**make_report().accuracy,
+                                      "max_rank_error": 0.5})
+        diff = compare_reports(make_report(), worse)
+        assert diff["identical"] is False
+        assert any(
+            change["field"] == "accuracy.max_rank_error"
+            for change in diff["changes"]
+        )
+
+    def test_cross_scenario_comparison_refused(self):
+        with pytest.raises(CanaryError, match="different scenarios"):
+            compare_reports(make_report(), make_report(scenario="zoomin"))
+
+    def test_normalized_payload_drops_every_timing_field(self):
+        payload = normalized_payload(make_report())
+        for field in TIMING_FIELDS:
+            assert field not in payload
+        assert "accuracy" in payload and "errors" in payload
+
+
+class TestGate:
+    def test_healthy_report_passes(self):
+        assert gate_report(make_report()) == []
+
+    def test_rank_error_violation(self):
+        report = make_report(
+            accuracy={"n": 100, "max_rank_error": 0.1,
+                      "rank_probe_max_error": 0.0}
+        )
+        violations = gate_report(report)
+        assert len(violations) == 1
+        assert "rank error 0.1" in violations[0]
+
+    def test_rank_probe_violation(self):
+        report = make_report(
+            accuracy={"n": 100, "max_rank_error": 0.0,
+                      "rank_probe_max_error": 0.09}
+        )
+        assert any("rank-probe" in v for v in gate_report(report))
+
+    def test_shed_violation(self):
+        report = make_report(shed_rate=0.5)
+        assert any("shed rate" in v for v in gate_report(report))
+
+    def test_latency_violation(self):
+        report = make_report(
+            latency_us={"query": {"p50": 1.0, "p95": 2.0, "p99": 10**9}}
+        )
+        assert any("p99" in v for v in gate_report(report))
+
+    def test_threshold_overrides_beat_embedded_budgets(self):
+        report = make_report()  # passes its own budgets
+        tight = GateThresholds(max_rank_error=0.0001)
+        assert gate_report(report, tight)
+        loose = GateThresholds(
+            max_rank_error=1.0, p99_budget_us=10**12, shed_budget=1.0
+        )
+        assert gate_report(make_report(shed_rate=0.5), loose) == []
+
+    def test_missing_accuracy_fields_do_not_crash(self):
+        report = make_report(accuracy={"n": 0})
+        assert gate_report(report) == []
+
+
+class TestShedRate:
+    def test_counts_only_shed_codes(self):
+        errors = {"overloaded": 2, "deadline_exceeded": 1,
+                  "shutting_down": 1, "malformed_record": 7}
+        assert shed_rate_of(errors, 100) == pytest.approx(0.04)
+
+    def test_zero_ops(self):
+        assert shed_rate_of({"overloaded": 3}, 0) == 0.0

@@ -1,0 +1,136 @@
+"""The scenario catalog and its deterministic traffic generation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.scenarios import SCENARIOS, get_scenario, insert_batches, scenario_names
+from repro.scenarios.registry import Scenario, ScenarioError
+from repro.scenarios.traffic import connector_source, connector_values
+
+
+class TestCatalog:
+    def test_catalog_names_sorted_and_nonempty(self):
+        names = scenario_names()
+        assert names == sorted(names)
+        assert {"adversarial", "heavy-tail", "flash-crowd",
+                "connector-replay", "read-storm"} <= set(names)
+
+    def test_every_catalog_entry_validates(self):
+        for scenario in SCENARIOS.values():
+            assert scenario.validate() is scenario
+
+    def test_get_scenario_unknown_name(self):
+        with pytest.raises(ScenarioError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_get_scenario_overrides(self):
+        scenario = get_scenario("sorted", inserts=3, readers=1)
+        assert scenario.inserts == 3 and scenario.readers == 1
+        # The catalog entry itself is untouched (frozen dataclass + replace).
+        assert SCENARIOS["sorted"].inserts != 3 or SCENARIOS["sorted"].readers != 1
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(ScenarioError, match="pattern"):
+            get_scenario("sorted", pattern="bogus")
+        with pytest.raises(ScenarioError, match="at least one insert"):
+            get_scenario("sorted", inserts=0)
+        with pytest.raises(ScenarioError, match="shed_budget"):
+            get_scenario("sorted", shed_budget=2.0)
+
+    def test_rank_error_budget_falls_back_to_engine_epsilon(self):
+        scenario = get_scenario("sorted")
+        assert scenario.rank_error_budget == scenario.engine_epsilon
+        tightened = get_scenario("sorted", epsilon_budget=0.001)
+        assert tightened.rank_error_budget == 0.001
+
+    def test_config_payload_carries_pattern_extras(self):
+        assert "adversary" in get_scenario("adversarial").config_payload()
+        assert "heavy_tail_alpha" in get_scenario("heavy-tail").config_payload()
+        assert "burst_every" in get_scenario("flash-crowd").config_payload()
+        assert "source" in get_scenario("connector-replay").config_payload()
+
+
+SMALL = dict(inserts=4, values_per_insert=25)
+
+
+class TestTraffic:
+    def test_same_seed_same_batches(self):
+        for name in ("sorted", "heavy-tail", "flash-crowd", "zoomin"):
+            scenario = get_scenario(name, **SMALL)
+            assert insert_batches(scenario, 3) == insert_batches(scenario, 3)
+
+    def test_different_seed_different_batches_for_random_patterns(self):
+        scenario = get_scenario("heavy-tail", **SMALL)
+        assert insert_batches(scenario, 0) != insert_batches(scenario, 1)
+
+    def test_sorted_and_reversed_are_monotone(self):
+        up = [v for batch in insert_batches(get_scenario("sorted", **SMALL), 0)
+              for v in batch]
+        down = [v for batch in
+                insert_batches(get_scenario("reversed", **SMALL), 0)
+                for v in batch]
+        assert up == sorted(up)
+        assert down == sorted(down, reverse=True)
+        assert up == down[::-1]
+
+    def test_flash_crowd_bursts(self):
+        scenario = get_scenario(
+            "flash-crowd", inserts=8, values_per_insert=10, burst_every=4,
+            burst_factor=5,
+        )
+        sizes = [len(batch) for batch in insert_batches(scenario, 0)]
+        assert sizes == [10, 10, 10, 50, 10, 10, 10, 50]
+
+    def test_adversarial_batches_are_exact_rationals(self):
+        scenario = get_scenario("adversarial", values_per_insert=64)
+        batches = insert_batches(scenario, 0)
+        values = [v for batch in batches for v in batch]
+        assert values, "adversarial stream must be non-empty"
+        assert all(isinstance(v, Fraction) for v in values)
+        # Fixed by (epsilon, k), independent of the seed.
+        assert insert_batches(scenario, 99) == batches
+
+    def test_values_respect_range(self):
+        for name in ("heavy-tail", "flash-crowd", "read-storm"):
+            scenario = get_scenario(name, **SMALL)
+            lo, hi = scenario.value_range
+            for batch in insert_batches(scenario, 5):
+                assert all(lo <= v <= hi for v in batch)
+
+    def test_unknown_pattern_raises(self):
+        scenario = Scenario(name="x", description="", pattern="uniform")
+        broken = Scenario(name="x", description="", pattern="uniform")
+        object.__setattr__(broken, "pattern", "martian")
+        with pytest.raises(ScenarioError, match="unknown pattern"):
+            insert_batches(broken, 0)
+        assert insert_batches(scenario, 0)
+
+
+class TestConnectorTraffic:
+    def test_connector_pattern_has_no_writer_batches(self):
+        scenario = get_scenario("connector-replay")
+        assert insert_batches(scenario, 0) == []
+
+    def test_synthetic_ground_truth_is_seeded(self):
+        scenario = get_scenario("connector-replay", synthetic_records=200)
+        assert connector_values(scenario, 1) == connector_values(scenario, 1)
+        assert connector_values(scenario, 1) != connector_values(scenario, 2)
+        lo, hi = scenario.value_range
+        assert all(lo <= v <= hi for v in connector_values(scenario, 1))
+
+    def test_file_source_skips_poison_records(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"value": 1}\n'
+            "not json at all\n"
+            '{"value": 2}\n'
+            '{"other": 3}\n'
+            '{"value": "NaN"}\n'
+            '{"value": 4}\n'
+        )
+        scenario = get_scenario("connector-replay", source=str(path))
+        assert connector_values(scenario, 0) == [
+            Fraction(1), Fraction(2), Fraction(4)
+        ]
+        assert connector_source(scenario, 0).kind == "jsonl"
