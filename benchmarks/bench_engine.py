@@ -1,14 +1,22 @@
-"""Sharded-engine throughput benchmark: 1 shard vs N shards.
+"""Sharded-engine throughput benchmark: shard counts x executors.
 
 A standalone argparse script (run it directly, not through pytest):
 
     PYTHONPATH=src python benchmarks/bench_engine.py            # full run
     PYTHONPATH=src python benchmarks/bench_engine.py --smoke    # CI-sized
 
+    # serial vs process-pool at several shard counts
+    PYTHONPATH=src python benchmarks/bench_engine.py \\
+        --executors serial processes --shards 1 2 4 8 --workers 0
+
 It ingests a seeded pseudorandom integer stream into
-:class:`repro.engine.ShardedQuantileEngine` at each requested shard count,
-records ingest throughput plus merged-query latency, and appends one entry
-to ``benchmarks/results/BENCH_engine.json`` so runs accumulate a history.
+:class:`repro.engine.ShardedQuantileEngine` for each (summary, shard
+count, executor) cell, records ingest throughput plus merged-query
+latency, and appends one entry to
+``benchmarks/results/BENCH_engine.json`` so runs accumulate a history.
+Each run row carries the executor kind, effective worker count and
+per-shard throughput; within a summary, ``speedup_vs_serial`` compares
+against the serial run at the same shard count when one exists.
 """
 
 from __future__ import annotations
@@ -23,43 +31,50 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.engine import EngineConfig, ShardedQuantileEngine  # noqa: E402
+from repro.engine import EXECUTORS, EngineConfig, ShardedQuantileEngine  # noqa: E402
 
 RESULTS_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_engine.json"
 
 
-def run_once(summary: str, shards: int, values: list[int], args) -> dict:
+def run_once(
+    summary: str, shards: int, executor: str, values: list[int], args
+) -> dict:
+    workers = shards if args.workers == 0 else args.workers
     config = EngineConfig(
         summary=summary,
         epsilon=args.epsilon,
         shards=shards,
-        workers=args.workers,
-        executor=args.executor,
+        workers=workers,
+        executor=executor,
         seed=args.seed,
         batch_size=args.batch_size,
     )
-    engine = ShardedQuantileEngine(config)
-    report = engine.ingest(values)
+    with ShardedQuantileEngine(config) as engine:
+        report = engine.ingest(values)
 
-    query_started = time.perf_counter_ns()
-    engine.quantiles([0.01, 0.25, 0.5, 0.75, 0.99])
-    query_ns = time.perf_counter_ns() - query_started
+        query_started = time.perf_counter_ns()
+        engine.quantiles([0.01, 0.25, 0.5, 0.75, 0.99])
+        query_ns = time.perf_counter_ns() - query_started
 
-    return {
-        "summary": summary,
-        "shards": shards,
-        "executor": args.executor,
-        "items": report.items,
-        "seconds": round(report.seconds, 4),
-        "items_per_second": round(report.items_per_second),
-        "query_5_quantiles_ms": round(query_ns / 1e6, 3),
-        "ingest_p50_us": engine.telemetry.latency_quantiles("ingest_batch").get(
-            "p50"
-        ),
-        "stored_items_total": sum(
-            len(shard.item_array()) for shard in engine.shard_summaries
-        ),
-    }
+        return {
+            "summary": summary,
+            "shards": shards,
+            "executor": executor,
+            "workers": workers if executor != "serial" else 1,
+            "items": report.items,
+            "seconds": round(report.seconds, 4),
+            "items_per_second": round(report.items_per_second),
+            "per_shard_items_per_second": round(
+                report.items_per_second / shards
+            ),
+            "query_5_quantiles_ms": round(query_ns / 1e6, 3),
+            "ingest_p50_us": engine.telemetry.latency_quantiles(
+                "ingest_batch"
+            ).get("p50"),
+            "stored_items_total": sum(
+                len(shard.item_array()) for shard in engine.shard_summaries
+            ),
+        }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -68,7 +83,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="tiny run for CI: 20k items, still exercises every shard count",
+        help="tiny run for CI: 20k items, still exercises every cell",
     )
     parser.add_argument(
         "--summaries", nargs="+", default=["gk", "kll"], metavar="NAME"
@@ -77,9 +92,20 @@ def main(argv: list[str] | None = None) -> int:
         "--shards", type=int, nargs="+", default=[1, 4], metavar="K"
     )
     parser.add_argument("--epsilon", type=float, default=0.01)
-    parser.add_argument("--workers", type=int, default=1)
     parser.add_argument(
-        "--executor", default="serial", choices=("serial", "thread", "process")
+        "--workers",
+        type=int,
+        default=0,
+        help="worker count for parallel executors (0 = match the shard count)",
+    )
+    parser.add_argument(
+        "--executor",
+        "--executors",
+        dest="executors",
+        nargs="+",
+        default=["serial"],
+        choices=EXECUTORS,
+        help="executor kinds to benchmark (repeat values for a matrix)",
     )
     parser.add_argument("--seed", type=int, default=13)
     parser.add_argument("--batch-size", type=int, default=8192)
@@ -94,21 +120,26 @@ def main(argv: list[str] | None = None) -> int:
 
     runs = []
     for summary in args.summaries:
-        baseline = None
+        serial_by_shards: dict[int, int] = {}
         for shards in args.shards:
-            result = run_once(summary, shards, values, args)
-            if baseline is None:
-                baseline = result["items_per_second"]
-            result["speedup_vs_1_shard"] = round(
-                result["items_per_second"] / baseline, 2
-            )
-            runs.append(result)
-            print(
-                f"{summary:>4} x{shards} shard(s): "
-                f"{result['items_per_second']:>9,} items/s  "
-                f"(x{result['speedup_vs_1_shard']} vs first), "
-                f"5-quantile query {result['query_5_quantiles_ms']} ms"
-            )
+            for executor in args.executors:
+                result = run_once(summary, shards, executor, values, args)
+                if executor == "serial":
+                    serial_by_shards[shards] = result["items_per_second"]
+                baseline = serial_by_shards.get(shards)
+                if baseline:
+                    result["speedup_vs_serial"] = round(
+                        result["items_per_second"] / baseline, 2
+                    )
+                runs.append(result)
+                speedup = result.get("speedup_vs_serial")
+                note = f"  (x{speedup} vs serial)" if speedup else ""
+                print(
+                    f"{summary:>4} x{shards} shard(s) {executor:>9}"
+                    f"[w={result['workers']}]: "
+                    f"{result['items_per_second']:>9,} items/s{note}, "
+                    f"5-quantile query {result['query_5_quantiles_ms']} ms"
+                )
 
     entry = {
         "benchmark": "engine_ingest_throughput",
@@ -116,6 +147,7 @@ def main(argv: list[str] | None = None) -> int:
         "python": sys.version.split()[0],
         "items": items,
         "smoke": args.smoke,
+        "executors": args.executors,
         "runs": runs,
     }
     output = Path(args.output)

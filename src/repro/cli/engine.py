@@ -9,7 +9,7 @@ import sys
 from typing import Iterable, TextIO
 
 from repro.cli.common import generated_values, parse_values
-from repro.engine import EngineConfig, ShardedQuantileEngine
+from repro.engine import EXECUTORS, EngineConfig, ShardedQuantileEngine
 from repro.model.registry import mergeable_summaries
 from repro.obs import trace_to
 
@@ -48,7 +48,7 @@ def cmd_engine_ingest(args: argparse.Namespace, out: TextIO) -> int:
     else:
         engine = ShardedQuantileEngine(engine_config(args))
     trace_context = trace_to(args.trace) if args.trace else contextlib.nullcontext()
-    with trace_context:
+    with trace_context, engine:
         report = engine.ingest(values)
         written = engine.checkpoint(args.checkpoint)
     print(
@@ -70,27 +70,27 @@ def cmd_engine_ingest(args: argparse.Namespace, out: TextIO) -> int:
 
 
 def cmd_engine_query(args: argparse.Namespace, out: TextIO) -> int:
-    engine = ShardedQuantileEngine.restore(args.checkpoint)
-    print(
-        f"n = {engine.items_ingested}, summary = {engine.config.summary}, "
-        f"shards = {engine.config.shards}, "
-        f"merge = {engine.config.merge_strategy}",
-        file=out,
-    )
-    # Batched reads: one compiled-index pass per list instead of a
-    # merge-fold staleness check and telemetry span per phi/value.
-    for phi, answer in zip(args.phi, engine.quantiles(args.phi)):
-        print(f"phi = {phi:g}: {answer}", file=out)
-    ranks = args.rank or []
-    if ranks:
-        for value, estimate in zip(ranks, engine.rank_many(ranks)):
-            print(f"rank({value:g}) ~= {estimate}", file=out)
+    with ShardedQuantileEngine.restore(args.checkpoint) as engine:
+        print(
+            f"n = {engine.items_ingested}, summary = {engine.config.summary}, "
+            f"shards = {engine.config.shards}, "
+            f"merge = {engine.config.merge_strategy}",
+            file=out,
+        )
+        # Batched reads: one compiled-index pass per list instead of a
+        # merge-fold staleness check and telemetry span per phi/value.
+        for phi, answer in zip(args.phi, engine.quantiles(args.phi)):
+            print(f"phi = {phi:g}: {answer}", file=out)
+        ranks = args.rank or []
+        if ranks:
+            for value, estimate in zip(ranks, engine.rank_many(ranks)):
+                print(f"rank({value:g}) ~= {estimate}", file=out)
     return 0
 
 
 def cmd_engine_stats(args: argparse.Namespace, out: TextIO) -> int:
-    engine = ShardedQuantileEngine.restore(args.checkpoint)
-    stats = engine.stats()
+    with ShardedQuantileEngine.restore(args.checkpoint) as engine:
+        stats = engine.stats()
     if args.json:
         json.dump(stats, out, indent=2)
         print(file=out)
@@ -166,9 +166,17 @@ def add_parsers(subparsers) -> None:
     )
     ingest.add_argument("--epsilon", type=float, default=0.01)
     ingest.add_argument("--shards", type=int, default=4)
-    ingest.add_argument("--workers", type=int, default=1)
     ingest.add_argument(
-        "--executor", default="serial", choices=("serial", "thread", "process")
+        "--workers",
+        type=int,
+        default=1,
+        help="worker count for the thread/process/processes executors",
+    )
+    ingest.add_argument(
+        "--executor",
+        default="serial",
+        choices=EXECUTORS,
+        help="processes = supervised worker processes own the shards",
     )
     ingest.add_argument("--routing", default="hash", choices=("hash", "round-robin"))
     ingest.add_argument(

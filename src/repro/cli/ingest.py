@@ -46,7 +46,7 @@ from repro.connectors import (
     open_source,
     run_preflight,
 )
-from repro.engine import ShardedQuantileEngine
+from repro.engine import EXECUTORS, ShardedQuantileEngine
 from repro.errors import ConnectorError
 from repro.obs import MetricRegistry, trace_to
 
@@ -366,9 +366,7 @@ def add_parsers(subparsers) -> None:
     engine_opts.add_argument("--epsilon", type=float, default=0.01)
     engine_opts.add_argument("--shards", type=int, default=4)
     engine_opts.add_argument("--workers", type=int, default=1)
-    engine_opts.add_argument(
-        "--executor", default="serial", choices=("serial", "thread", "process")
-    )
+    engine_opts.add_argument("--executor", default="serial", choices=EXECUTORS)
     engine_opts.add_argument(
         "--routing", default="hash", choices=("hash", "round-robin")
     )

@@ -13,7 +13,7 @@ from typing import TextIO
 from repro.cli.common import generated_values
 from repro.cli.engine import engine_config
 from repro.cli.quantiles import parse_phis
-from repro.engine import ShardedQuantileEngine
+from repro.engine import EXECUTORS, ShardedQuantileEngine
 from repro.model.registry import mergeable_summaries
 from repro.obs import trace_to
 from repro.service import (
@@ -194,9 +194,17 @@ def add_parsers(subparsers) -> None:
     )
     serve.add_argument("--epsilon", type=float, default=0.01)
     serve.add_argument("--shards", type=int, default=4)
-    serve.add_argument("--workers", type=int, default=1)
     serve.add_argument(
-        "--executor", default="serial", choices=("serial", "thread", "process")
+        "--workers",
+        type=int,
+        default=1,
+        help="worker count for the thread/process/processes executors",
+    )
+    serve.add_argument(
+        "--executor",
+        default="serial",
+        choices=EXECUTORS,
+        help="processes = supervised worker processes own the shards",
     )
     serve.add_argument("--routing", default="hash", choices=("hash", "round-robin"))
     serve.add_argument(

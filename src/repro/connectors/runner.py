@@ -175,7 +175,7 @@ class EngineSink:
         return True
 
     def close(self) -> None:
-        pass
+        self.engine.close()
 
     def describe(self) -> dict:
         return {

@@ -22,6 +22,14 @@ from repro.engine.engine import IngestReport, ShardedQuantileEngine, as_fraction
 from repro.engine.merge_tree import fold_balanced, fold_left, fold_shards
 from repro.engine.routing import route_batch, shard_of
 from repro.engine.telemetry import Telemetry
+from repro.engine.workers import (
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    Supervisor,
+    create_executor,
+    executor_kinds,
+)
 
 __all__ = [
     "CHECKPOINT_FORMAT",
@@ -29,10 +37,16 @@ __all__ = [
     "EngineConfig",
     "IngestReport",
     "MERGE_STRATEGIES",
+    "ProcessPoolExecutor",
     "ROUTINGS",
+    "SerialExecutor",
+    "ShardExecutor",
     "ShardedQuantileEngine",
+    "Supervisor",
     "Telemetry",
     "as_fraction",
+    "create_executor",
+    "executor_kinds",
     "fold_balanced",
     "fold_left",
     "fold_shards",

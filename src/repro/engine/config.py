@@ -25,7 +25,7 @@ from repro.model.registry import (
     summary_factory,
 )
 
-EXECUTORS = ("serial", "thread", "process")
+EXECUTORS = ("serial", "thread", "process", "processes")
 ROUTINGS = ("hash", "round-robin")
 MERGE_STRATEGIES = ("balanced", "left")
 
@@ -50,11 +50,16 @@ class EngineConfig:
         Number of independent per-shard summaries.
     workers:
         Worker-pool size for parallel shard ingestion.  Only meaningful for
-        the ``thread`` and ``process`` executors.
+        the ``thread``, ``process`` and ``processes`` executors (capped at
+        ``shards`` for ``processes``).
     executor:
         ``serial`` (in-loop), ``thread`` (a thread per busy shard, capped at
-        ``workers``), or ``process`` (sub-batches summarised in worker
-        processes and merged in; requires a mergeable summary, like queries).
+        ``workers``), ``process`` (sub-batches summarised in worker
+        processes and merged in; requires a mergeable summary, like
+        queries), or ``processes`` (long-lived supervised worker processes
+        *own* disjoint shard subsets and stream batches through codec IPC —
+        real parallelism, bit-identical to ``serial``; see
+        :mod:`repro.engine.workers`).
     routing:
         ``hash`` (value-hashed, same value always lands on the same shard) or
         ``round-robin`` (arrival-index modulo shards).  Both are

@@ -7,8 +7,12 @@ global quantile/rank queries by folding the shards through a merge tree
 (:mod:`repro.engine.merge_tree`).  Everything is deterministic by
 construction: routing is value- or index-based (:mod:`repro.engine.routing`),
 shard summaries are seeded per shard, and each shard is only ever touched by
-one worker at a time — so serial, threaded and re-run executions produce
-bit-identical shard states.
+one worker at a time — so serial, threaded, process-pool and re-run
+executions produce bit-identical shard states.  Batches are applied through
+a pluggable :class:`~repro.engine.workers.base.ShardExecutor`
+(:mod:`repro.engine.workers`): the default keeps shards in-process, the
+``processes`` executor moves shard ownership into supervised worker
+processes for real parallelism.
 
 The engine checkpoints to JSONL (:mod:`repro.engine.checkpoint`) built on
 :mod:`repro.persistence`, and tracks its own health with
@@ -19,7 +23,6 @@ matter) plus exact counters.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from fractions import Fraction
 from pathlib import Path
@@ -30,14 +33,13 @@ import repro.summaries  # noqa: F401  (registers summary types and merges)
 from repro.engine import checkpoint as checkpoint_io
 from repro.engine.config import EngineConfig
 from repro.engine.merge_tree import fold_shards
-from repro.engine.routing import route_batch
 from repro.engine.telemetry import Telemetry
 from repro.errors import EngineError, MalformedRecordError
 from repro.model.rankindex import RankIndex, compile_rank_index
 from repro.model.registry import create_summary
 from repro.obs import spans as obs_spans
 from repro.model.summary import QuantileSummary, exact_fraction
-from repro.persistence import dump as dump_summary, load as load_summary
+from repro.persistence import load as load_summary
 from repro.universe.item import key_of
 from repro.universe.universe import Universe
 
@@ -84,6 +86,12 @@ def as_fraction(
 
 
 def _chunks(values: Iterable, size: int) -> Iterator[list]:
+    if isinstance(values, list):
+        # Slicing a concrete list yields the same chunks as the per-item
+        # loop below at a fraction of the cost.
+        for start in range(0, len(values), size):
+            yield values[start : start + size]
+        return
     chunk: list = []
     for value in values:
         chunk.append(value)
@@ -92,20 +100,6 @@ def _chunks(values: Iterable, size: int) -> Iterator[list]:
             chunk = []
     if chunk:
         yield chunk
-
-
-def _summarise_subbatch(task: tuple) -> dict:
-    """Process-pool work unit: summarise one shard's sub-batch, ship it back.
-
-    Runs in a worker process; receives only picklable primitives and returns
-    a :mod:`repro.persistence` payload that the coordinator merges into the
-    shard (mergeable-summary style: workers never share state).
-    """
-    summary_name, epsilon, kwargs, values = task
-    universe = Universe()
-    summary = create_summary(summary_name, epsilon, **kwargs)
-    summary.process_many(universe.items(values))
-    return dump_summary(summary)
 
 
 @dataclass
@@ -142,6 +136,14 @@ class ShardedQuantileEngine:
         self._read_index = None
         self._read_index_generation = -1
         self._read_generation = 0
+        # For remote executors, the generation at which the local shard
+        # mirror was last collected from the workers (0 = both sides empty).
+        self._collect_generation = 0
+        self._closed = False
+        from repro.engine.workers import create_executor
+
+        self._executor = create_executor(self.config)
+        self._executor.bind(self)
 
     def _make_shard_summary(self, index: int) -> QuantileSummary:
         return create_summary(
@@ -151,8 +153,19 @@ class ShardedQuantileEngine:
     # -- introspection -------------------------------------------------------------
 
     @property
+    def executor(self):
+        """The bound :class:`~repro.engine.workers.base.ShardExecutor`."""
+        return self._executor
+
+    @property
     def shard_summaries(self) -> Sequence[QuantileSummary]:
-        """The live per-shard summaries (read-only view)."""
+        """The live per-shard summaries (read-only view).
+
+        With a remote executor this first collects the workers' shard states
+        into the engine's local mirror, so checkpoints and snapshot layers
+        see exactly what the workers hold.
+        """
+        self._refresh_shards()
         return tuple(self._shards)
 
     @property
@@ -173,24 +186,19 @@ class ShardedQuantileEngine:
         started = perf_counter_ns()
         items_before = self._items_ingested
         batches = 0
-        pool = None
         with obs_spans.span(
             "engine.ingest",
             shards=self.config.shards,
             summary=self.config.summary,
             executor=self.config.executor,
         ) as ingest_span:
-            try:
-                if self.config.executor == "thread":
-                    pool = ThreadPoolExecutor(max_workers=self.config.workers)
-                elif self.config.executor == "process":
-                    pool = ProcessPoolExecutor(max_workers=self.config.workers)
+            with self._executor.ingest_session():
                 for batch in _chunks(values, batch_size):
-                    self._ingest_batch([as_fraction(value) for value in batch], pool)
+                    self._ingest_batch(batch)
                     batches += 1
-            finally:
-                if pool is not None:
-                    pool.shutdown()
+                # Barrier: remote executors pipeline batches, so the report
+                # (and any immediate read) must wait for the last apply.
+                self._executor.sync()
             ingest_span.set(
                 items=self._items_ingested - items_before, batches=batches
             )
@@ -199,38 +207,23 @@ class ShardedQuantileEngine:
             items=self._items_ingested - items_before,
             batches=batches,
             seconds=seconds,
-            shard_counts=[summary.n for summary in self._shards],
+            shard_counts=self._executor.shard_counts(),
         )
 
-    def _ingest_batch(self, values: list[Fraction], pool) -> None:
+    def _ingest_batch(self, values: list) -> None:
         batch_started = perf_counter_ns()
-        buckets = route_batch(
-            values, self.config.shards, self.config.routing, self._items_ingested
-        )
-        busy = [index for index, bucket in enumerate(buckets) if bucket]
         with obs_spans.span(
-            "engine.ingest_batch", items=len(values), busy_shards=len(busy)
-        ):
-            if self.config.executor == "process":
-                self._ingest_via_processes(busy, buckets, pool)
-            elif self.config.executor == "thread" and len(busy) > 1:
-                # One task per busy shard; a shard is touched by exactly one
-                # worker, so no locks and no nondeterminism.
-                list(
-                    pool.map(
-                        lambda index: self._feed_shard(index, buckets[index]), busy
-                    )
-                )
-            else:
-                for index in busy:
-                    self._feed_shard(index, buckets[index])
-        self._items_ingested += len(values)
+            "engine.ingest_batch", items=len(values)
+        ) as batch_span:
+            items, busy = self._executor.apply_batch(values, self._items_ingested)
+            batch_span.set(busy_shards=busy)
+        self._items_ingested += items
         self._batches += 1
         self._merged = None
         self._read_generation += 1
-        self.telemetry.count("items_ingested", len(values))
+        self.telemetry.count("items_ingested", items)
         self.telemetry.count("batches_ingested")
-        self.telemetry.record_batch_size(len(values))
+        self.telemetry.record_batch_size(items)
         self.telemetry.record_latency(
             "ingest_batch", perf_counter_ns() - batch_started
         )
@@ -240,38 +233,35 @@ class ShardedQuantileEngine:
         # is registered and falls back to per-item processing otherwise.
         self._shards[index].process_many(self._universes[index].items(values))
 
-    def _ingest_via_processes(self, busy, buckets, pool) -> None:
-        """Mergeable-summary ingestion: workers summarise, coordinator merges.
-
-        Each busy shard's sub-batch becomes a fresh summary in a worker
-        process (seeded like its shard, so runs are reproducible); the
-        returned payload is merged into the shard here.  Shard state differs
-        from the streaming executors — it is merge-built — but the epsilon
-        guarantee and determinism hold.
-        """
-        tasks = [
-            (
-                self.config.summary,
-                self.config.epsilon,
-                self.config.shard_kwargs(index),
-                buckets[index],
-            )
-            for index in busy
-        ]
-        from repro.model.registry import merge_summaries
-
-        for index, payload in zip(busy, pool.map(_summarise_subbatch, tasks)):
-            partial = load_summary(payload, self._universes[index])
-            self._shards[index] = merge_summaries(self._shards[index], partial)
-            self.telemetry.count("merges_performed")
-
     # -- queries -------------------------------------------------------------------
+
+    def _refresh_shards(self) -> None:
+        """Sync the local shard mirror with a remote executor's state.
+
+        No-op for in-process executors.  For the process-pool executor, the
+        collected payloads are cached against the ingest generation, so
+        repeated reads without an intervening ingest collect exactly once.
+        """
+        if not self._executor.remote:
+            return
+        if self._collect_generation == self._read_generation:
+            return
+        payloads = self._executor.collect()
+        if payloads is not None:
+            self._universes = [Universe() for _ in payloads]
+            self._shards = [
+                load_summary(payload, universe)
+                for payload, universe in zip(payloads, self._universes)
+            ]
+            self._merged = None
+        self._collect_generation = self._read_generation
 
     def merged_summary(self) -> QuantileSummary:
         """The merge-tree fold of all shards (cached until the next ingest).
 
         Treat as read-only; with one shard this is the shard itself.
         """
+        self._refresh_shards()
         if self._merged is None:
             fold_started = perf_counter_ns()
             with obs_spans.span(
@@ -413,16 +403,42 @@ class ShardedQuantileEngine:
         ]
         engine._items_ingested = parts["items_ingested"]
         engine._batches = parts["batches"]
+        # Push the restored shard states into the executor (remote executors
+        # forward them to their workers); the mirror is in sync by build.
+        engine._executor.restore(parts["shard_payloads"])
+        engine._collect_generation = engine._read_generation
         engine.telemetry.count("restores")
         return engine
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release executor resources — worker processes, pools (idempotent).
+
+        Engines with in-process executors stay fully usable after close;
+        process-pool engines must not ingest or read afterwards.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.close()
+
+    def __enter__(self) -> "ShardedQuantileEngine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self.close()
+        return False
 
     # -- reporting -----------------------------------------------------------------
 
     def stats(self) -> dict:
         """JSON-compatible status: config, shard fill, telemetry snapshot."""
+        self._refresh_shards()
         ingest_seconds = self.telemetry.operation_seconds("ingest_batch")
         return {
             "config": self.config.to_payload(),
+            "executor": self._executor.describe(),
             "items_ingested": self._items_ingested,
             "batches_ingested": self._batches,
             "throughput": {

@@ -1,0 +1,92 @@
+"""In-process executors: shards stay in the engine, batches apply locally.
+
+:class:`SerialExecutor` is the default and reproduces the engine's
+historical serial ingest path exactly — same normalisation, same routing,
+same per-shard ``process_many`` calls in the same order — so its shard
+states are bit-identical to every pre-executor release.
+:class:`ThreadExecutor` keeps the shards in-process too but feeds busy
+shards from a per-ingest thread pool (one task per busy shard, so a shard
+is still only ever touched by one thread).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterator, Sequence
+
+from repro.engine.engine import as_fraction
+from repro.engine.routing import route_batch
+from repro.engine.workers.base import ShardExecutor
+
+
+class _InlineExecutor(ShardExecutor):
+    """Shared plumbing for executors whose shards live in the engine."""
+
+    def _route(self, values: Sequence, already_ingested: int):
+        """Normalise and route one raw batch; returns (fractions, buckets, busy)."""
+        engine = self.engine
+        fractions = [as_fraction(value) for value in values]
+        buckets = route_batch(
+            fractions, engine.config.shards, engine.config.routing, already_ingested
+        )
+        busy = [index for index, bucket in enumerate(buckets) if bucket]
+        return fractions, buckets, busy
+
+    def shard_counts(self) -> list[int]:
+        return [summary.n for summary in self.engine._shards]
+
+
+class SerialExecutor(_InlineExecutor):
+    """Apply every busy shard's bucket in the calling thread (the default)."""
+
+    kind = "serial"
+
+    def apply_batch(self, values: Sequence, already_ingested: int) -> tuple[int, int]:
+        engine = self.engine
+        fractions, buckets, busy = self._route(values, already_ingested)
+        for index in busy:
+            engine._feed_shard(index, buckets[index])
+        return len(fractions), len(busy)
+
+
+class ThreadExecutor(_InlineExecutor):
+    """One thread-pool task per busy shard, ``workers`` threads per ingest.
+
+    GIL-bound for pure-Python kernels; useful mainly for summary types whose
+    processing releases the GIL.  Deterministic regardless: each shard is
+    touched by exactly one task, so no locks and no interleaving within a
+    shard.
+    """
+
+    kind = "thread"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pool: ThreadPoolExecutor | None = None
+
+    @contextlib.contextmanager
+    def _session(self) -> Iterator[None]:
+        self._pool = ThreadPoolExecutor(max_workers=self.engine.config.workers)
+        try:
+            yield
+        finally:
+            self._pool.shutdown()
+            self._pool = None
+
+    def ingest_session(self):
+        return self._session()
+
+    def apply_batch(self, values: Sequence, already_ingested: int) -> tuple[int, int]:
+        engine = self.engine
+        fractions, buckets, busy = self._route(values, already_ingested)
+        if self._pool is not None and len(busy) > 1:
+            list(
+                self._pool.map(
+                    lambda index: engine._feed_shard(index, buckets[index]), busy
+                )
+            )
+        else:
+            for index in busy:
+                engine._feed_shard(index, buckets[index])
+        return len(fractions), len(busy)

@@ -1,0 +1,78 @@
+"""The legacy ``process`` executor: summarise sub-batches remotely, merge in.
+
+Mergeable-summary style parallelism: each busy shard's sub-batch becomes a
+fresh summary in a short-lived worker process (seeded like its shard, so
+runs are reproducible) and the returned payload is merged into the
+coordinator's shard.  Shard state is merge-built rather than stream-built —
+*not* bit-identical to the serial executor — but the epsilon guarantee and
+determinism hold.  The ``processes`` executor
+(:mod:`repro.engine.workers.pool`) supersedes this for throughput; this one
+stays for compatibility and for summary types where merge-building is the
+point.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from concurrent.futures import ProcessPoolExecutor as _FuturesProcessPool
+from typing import Iterator, Sequence
+
+from repro.engine.workers.inline import _InlineExecutor
+from repro.model.registry import create_summary, merge_summaries
+from repro.persistence import dump as dump_summary, load as load_summary
+from repro.universe.universe import Universe
+
+
+def summarise_subbatch(task: tuple) -> dict:
+    """Process-pool work unit: summarise one shard's sub-batch, ship it back.
+
+    Runs in a worker process; receives only picklable primitives and returns
+    a :mod:`repro.persistence` payload that the coordinator merges into the
+    shard (mergeable-summary style: workers never share state).
+    """
+    summary_name, epsilon, kwargs, values = task
+    universe = Universe()
+    summary = create_summary(summary_name, epsilon, **kwargs)
+    summary.process_many(universe.items(values))
+    return dump_summary(summary)
+
+
+class SubbatchExecutor(_InlineExecutor):
+    """Summarise sub-batches in a per-ingest process pool, merge results in."""
+
+    kind = "process"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pool: _FuturesProcessPool | None = None
+
+    @contextlib.contextmanager
+    def _session(self) -> Iterator[None]:
+        self._pool = _FuturesProcessPool(max_workers=self.engine.config.workers)
+        try:
+            yield
+        finally:
+            self._pool.shutdown()
+            self._pool = None
+
+    def ingest_session(self):
+        return self._session()
+
+    def apply_batch(self, values: Sequence, already_ingested: int) -> tuple[int, int]:
+        engine = self.engine
+        fractions, buckets, busy = self._route(values, already_ingested)
+        tasks = [
+            (
+                engine.config.summary,
+                engine.config.epsilon,
+                engine.config.shard_kwargs(index),
+                buckets[index],
+            )
+            for index in busy
+        ]
+        mapper = self._pool.map if self._pool is not None else map
+        for index, payload in zip(busy, mapper(summarise_subbatch, tasks)):
+            partial = load_summary(payload, engine._universes[index])
+            engine._shards[index] = merge_summaries(engine._shards[index], partial)
+            engine.telemetry.count("merges_performed")
+        return len(fractions), len(busy)

@@ -365,6 +365,38 @@ async def run_scenario(
             raise ValueError("a remote canary run needs both host and port")
         return await _drive(scenario, seed, host, port)
 
+    worker_counts = list(scenario.workers_matrix) or [scenario.workers]
+    report = await _run_self_hosted(scenario, seed, worker_counts[0])
+    if len(worker_counts) > 1:
+        # Executor-invariance canary: the same seeded traffic at every
+        # worker count must produce an identical gateable core — the
+        # process-pool executor's bit-identity contract, observed end to
+        # end through the service.
+        from repro.scenarios.report import CanaryError, compare_reports
+
+        for workers in worker_counts[1:]:
+            other = await _run_self_hosted(scenario, seed, workers)
+            diff = compare_reports(report, other)
+            if not diff["identical"]:
+                drifted = ", ".join(
+                    change["field"] for change in diff["changes"]
+                )
+                raise CanaryError(
+                    f"scenario {scenario.name!r} is not worker-count "
+                    f"invariant: {worker_counts[0]} vs {workers} workers "
+                    f"changed {drifted}"
+                )
+        report.ops["scaling"] = {
+            "worker_counts": worker_counts,
+            "identical": True,
+        }
+    return report
+
+
+async def _run_self_hosted(
+    scenario: Scenario, seed: int, workers: int
+) -> CanaryReport:
+    """One self-hosted loopback run at an explicit worker count."""
     from repro.engine import EngineConfig
     from repro.service.server import QuantileService, ServiceConfig
 
@@ -373,6 +405,8 @@ async def run_scenario(
             summary=scenario.summary,
             epsilon=scenario.engine_epsilon,
             shards=scenario.shards,
+            executor=scenario.executor,
+            workers=workers,
         ),
         config=ServiceConfig(
             port=0,

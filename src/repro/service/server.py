@@ -246,7 +246,8 @@ class QuantileService:
            (new inserts answer ``shutting_down``);
         2. close the ingest queue and wait for the ingest loop to flush
            every admitted job — every pending future resolves;
-        3. checkpoint the engine if configured;
+        3. checkpoint the engine if configured, then close it (releasing
+           any shard-worker processes);
         4. close remaining client sockets.
         """
         if self._stopped:
@@ -265,6 +266,7 @@ class QuantileService:
                 self._ingest_task.cancel()
         if self.config.checkpoint_path:
             self.engine.checkpoint(Path(self.config.checkpoint_path))
+        self.engine.close()
         for writer in list(self._connections):
             writer.close()
         if self._server is not None:

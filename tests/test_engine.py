@@ -184,16 +184,16 @@ class TestEngineIngestAndQuery:
     def test_executors_agree_exactly(self):
         values = _values(6000)
         answers = []
-        for executor, workers in (("serial", 1), ("thread", 4)):
-            engine = ShardedQuantileEngine(
+        for executor, workers in (("serial", 1), ("thread", 4), ("processes", 2)):
+            with ShardedQuantileEngine(
                 EngineConfig(
                     summary="kll", shards=4, workers=workers,
                     executor=executor, seed=5, batch_size=1000,
                 )
-            )
-            engine.ingest(values)
-            answers.append(engine.quantiles([0.1, 0.5, 0.9]))
-        assert answers[0] == answers[1]
+            ) as engine:
+                engine.ingest(values)
+                answers.append(engine.quantiles([0.1, 0.5, 0.9]))
+        assert answers[0] == answers[1] == answers[2]
 
     def test_reruns_are_bit_identical(self):
         values = _values(3000)
