@@ -1,0 +1,155 @@
+"""Standalone columnar-vs-items ingest lane comparison.
+
+Times single-shard batch ingest through both lanes on the same value
+stream — ``process_many`` over :class:`~repro.universe.item.Item`\\ s (the
+items lane) against ``process_numeric`` over raw ints (the columnar lane)
+— for every columnar-capable summary type, asserts the final states are
+fingerprint-identical, and appends an entry (with a ``lane`` field) to
+``benchmarks/results/BENCH_batch.json``:
+
+    PYTHONPATH=src python benchmarks/bench_batch.py                    # full run
+    PYTHONPATH=src python benchmarks/bench_batch.py --smoke --lane columnar
+
+With ``--lane columnar`` the run *gates*: it exits nonzero unless the GK
+columnar lane beats the items lane by at least ``GATE_SPEEDUP`` in the
+same run — the CI ``columnar-smoke`` contract, immune to machine-speed
+drift because both lanes are measured back to back on one host.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+RESULTS_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_batch.json"
+
+#: Same-run gate: GK columnar must beat GK items-lane by this factor.
+GATE_SPEEDUP = 2.0
+
+#: Types compared: every registered columnar-capable summary.
+LANE_BENCH_TYPES = ("gk", "gk-greedy", "kll")
+
+
+def _bench_summary(name: str, epsilon: float):
+    from repro.model.registry import create_summary
+
+    return create_summary(name, epsilon)
+
+
+def _compare_lanes(name: str, values, epsilon: float) -> dict:
+    import time as _time
+
+    from repro.universe import Universe
+
+    items_lane = _bench_summary(name, epsilon)
+    items = Universe().items(values)
+    started = _time.perf_counter_ns()
+    items_lane.process_many(items)
+    items_ns = _time.perf_counter_ns() - started
+
+    columnar = _bench_summary(name, epsilon)
+    started = _time.perf_counter_ns()
+    columnar.process_numeric(values)
+    columnar_ns = _time.perf_counter_ns() - started
+
+    assert columnar.fingerprint() == items_lane.fingerprint(), name
+    assert columnar.max_item_count == items_lane.max_item_count, name
+    return {
+        "summary": name,
+        "items": len(values),
+        "items_lane_seconds": round(items_ns / 1e9, 4),
+        "columnar_seconds": round(columnar_ns / 1e9, 4),
+        "items_lane_items_per_second": round(len(values) / (items_ns / 1e9)),
+        "columnar_items_per_second": round(len(values) / (columnar_ns / 1e9)),
+        "speedup": round(items_ns / columnar_ns, 2),
+    }
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+    import random
+    import time as _time
+
+    parser = argparse.ArgumentParser(
+        description="columnar-lane vs items-lane single-shard ingest comparison"
+    )
+    parser.add_argument("--n", type=int, default=1_000_000, help="items per run")
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (n = 100k)"
+    )
+    parser.add_argument(
+        "--lane",
+        default="both",
+        choices=("both", "columnar", "items"),
+        help="columnar = gate the run on the GK columnar speedup; "
+        "items/both = record only",
+    )
+    parser.add_argument(
+        "--summaries", nargs="+", default=list(LANE_BENCH_TYPES), metavar="NAME"
+    )
+    parser.add_argument("--epsilon", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument(
+        "--output",
+        default=str(RESULTS_PATH),
+        help="JSON history file to append to",
+    )
+    args = parser.parse_args(argv)
+
+    count = 100_000 if args.smoke else args.n
+    rng = random.Random(args.seed)
+    values = [rng.randint(0, 10**9) for _ in range(count)]
+
+    runs = []
+    for name in args.summaries:
+        result = _compare_lanes(name, values, args.epsilon)
+        runs.append(result)
+        print(
+            f"{name:>9}: items lane {result['items_lane_items_per_second']:>10,} "
+            f"items/s, columnar {result['columnar_items_per_second']:>10,} "
+            f"items/s (x{result['speedup']})"
+        )
+
+    entry = {
+        "benchmark": "columnar_vs_items_ingest",
+        "timestamp": _time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": sys.version.split()[0],
+        "items": count,
+        "smoke": args.smoke,
+        "epsilon": args.epsilon,
+        "lane": args.lane,
+        "runs": runs,
+    }
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    history = []
+    if output.exists():
+        try:
+            history = json.loads(output.read_text())
+        except json.JSONDecodeError:
+            history = []
+    history.append(entry)
+    output.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"appended entry #{len(history)} to {output}")
+
+    if args.lane == "columnar":
+        gk_runs = [run for run in runs if run["summary"] == "gk"]
+        if not gk_runs:
+            print("FAIL: --lane columnar gates on gk, which was not benchmarked")
+            return 1
+        speedup = gk_runs[0]["speedup"]
+        if speedup < GATE_SPEEDUP:
+            print(
+                f"FAIL: gk columnar lane is only x{speedup} over the items "
+                f"lane (gate: x{GATE_SPEEDUP})"
+            )
+            return 1
+        print(f"gate OK: gk columnar x{speedup} >= x{GATE_SPEEDUP}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

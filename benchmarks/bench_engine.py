@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 import time
@@ -34,6 +35,19 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.engine import EXECUTORS, EngineConfig, ShardedQuantileEngine  # noqa: E402
 
 RESULTS_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_engine.json"
+
+
+def effective_cpu_count() -> int:
+    """Cores this process may actually run on (affinity-aware).
+
+    ``os.cpu_count()`` reports the machine; cgroup/affinity limits (CI
+    runners, containers) are what bound a parallel executor's speedup, so
+    prefer the scheduling affinity when the platform exposes it.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def run_once(
@@ -117,6 +131,7 @@ def main(argv: list[str] | None = None) -> int:
     items = 20_000 if args.smoke else args.items
     rng = random.Random(args.seed)
     values = [rng.randint(0, 10**9) for _ in range(items)]
+    cpu_count = effective_cpu_count()
 
     runs = []
     for summary in args.summaries:
@@ -131,9 +146,17 @@ def main(argv: list[str] | None = None) -> int:
                     result["speedup_vs_serial"] = round(
                         result["items_per_second"] / baseline, 2
                     )
+                    # A speedup is only meaningful against the cores the
+                    # run could actually use — annotate it so a x1.0 on a
+                    # single-core CI runner reads as expected, not broken.
+                    result["cpu_count"] = cpu_count
                 runs.append(result)
                 speedup = result.get("speedup_vs_serial")
-                note = f"  (x{speedup} vs serial)" if speedup else ""
+                note = (
+                    f"  (x{speedup} vs serial on {cpu_count} core(s))"
+                    if speedup
+                    else ""
+                )
                 print(
                     f"{summary:>4} x{shards} shard(s) {executor:>9}"
                     f"[w={result['workers']}]: "
@@ -148,6 +171,7 @@ def main(argv: list[str] | None = None) -> int:
         "items": items,
         "smoke": args.smoke,
         "executors": args.executors,
+        "cpu_count": cpu_count,
         "runs": runs,
     }
     output = Path(args.output)

@@ -208,6 +208,13 @@ def add_parsers(subparsers) -> None:
     )
     serve.add_argument("--routing", default="hash", choices=("hash", "round-robin"))
     serve.add_argument(
+        "--lane",
+        default="items",
+        choices=("items", "columnar"),
+        help="columnar = array-backed numeric fast lane (docs/model.md); "
+        "items = the comparison-model path (the default)",
+    )
+    serve.add_argument(
         "--merge-strategy", default="balanced", choices=("balanced", "left")
     )
     serve.add_argument("--seed", type=int, default=0)

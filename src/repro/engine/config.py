@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from repro.errors import EngineError
 from repro.model.registry import (
     available_summaries,
+    columnar_summaries,
+    get_descriptor,
     has_merge,
     mergeable_summaries,
     summary_factory,
@@ -28,6 +30,7 @@ from repro.model.registry import (
 EXECUTORS = ("serial", "thread", "process", "processes")
 ROUTINGS = ("hash", "round-robin")
 MERGE_STRATEGIES = ("balanced", "left")
+LANES = ("items", "columnar")
 
 CONFIG_FORMAT = 1
 
@@ -73,6 +76,12 @@ class EngineConfig:
         seedable, so shards draw independent (but reproducible) randomness.
     batch_size:
         Default number of items routed per ingest round.
+    lane:
+        ``items`` (the comparison-model default: every key wrapped in an
+        Item) or ``columnar`` (raw numeric keys end to end for int-faithful
+        input, with native/array batch kernels; see docs/model.md "Lanes").
+        Requires a columnar-capable summary type.  Answers are identical in
+        both lanes; adversary/compliance runs should keep ``items``.
     summary_kwargs:
         Extra keyword arguments forwarded to the summary factory
         (e.g. ``{"n_hint": 100_000}`` for MRL).
@@ -87,6 +96,7 @@ class EngineConfig:
     merge_strategy: str = "balanced"
     seed: int = 0
     batch_size: int = 4096
+    lane: str = "items"
     summary_kwargs: dict = field(default_factory=dict)
 
     def validate(self) -> "EngineConfig":
@@ -134,6 +144,16 @@ class EngineConfig:
             raise EngineError(
                 f"batch_size must be a positive integer, got {self.batch_size!r}"
             )
+        if self.lane not in LANES:
+            raise EngineError(
+                f"unknown lane {self.lane!r}; choose from: " + ", ".join(LANES)
+            )
+        if self.lane == "columnar" and not get_descriptor(self.summary).columnar:
+            capable = ", ".join(columnar_summaries())
+            raise EngineError(
+                f"summary type {self.summary!r} has no columnar lane; "
+                f"columnar-capable types: {capable}"
+            )
         return self
 
     # -- per-shard factory kwargs -------------------------------------------------
@@ -167,6 +187,7 @@ class EngineConfig:
             "merge_strategy": self.merge_strategy,
             "seed": self.seed,
             "batch_size": self.batch_size,
+            "lane": self.lane,
             "summary_kwargs": dict(self.summary_kwargs),
         }
 
@@ -186,5 +207,7 @@ class EngineConfig:
             merge_strategy=payload["merge_strategy"],
             seed=int(payload["seed"]),
             batch_size=int(payload["batch_size"]),
+            # Checkpoints from before the columnar lane carry no lane field.
+            lane=payload.get("lane", "items"),
             summary_kwargs=dict(payload.get("summary_kwargs", {})),
         ).validate()

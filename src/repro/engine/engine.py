@@ -233,6 +233,11 @@ class ShardedQuantileEngine:
         # is registered and falls back to per-item processing otherwise.
         self._shards[index].process_many(self._universes[index].items(values))
 
+    def _feed_shard_numeric(self, index: int, values: list[int]) -> None:
+        # Columnar lane: raw numeric keys go straight to the shard, no
+        # Item/Fraction wrappers on the ingest path at all.
+        self._shards[index].process_numeric(values)
+
     # -- queries -------------------------------------------------------------------
 
     def _refresh_shards(self) -> None:
@@ -401,6 +406,13 @@ class ShardedQuantileEngine:
             load_summary(payload, universe)
             for payload, universe in zip(parts["shard_payloads"], engine._universes)
         ]
+        if engine.config.lane == "columnar":
+            # The codec always decodes into the items lane (one wire format
+            # for both); promote so restored engines keep the fast path.
+            from repro.model.lanes import promote_to_columnar
+
+            for shard in engine._shards:
+                promote_to_columnar(shard)
         engine._items_ingested = parts["items_ingested"]
         engine._batches = parts["batches"]
         # Push the restored shard states into the executor (remote executors
@@ -455,6 +467,7 @@ class ShardedQuantileEngine:
                     "items": summary.n,
                     "stored": summary._item_count(),
                     "peak_stored": summary.max_item_count,
+                    "lane": summary.lane,
                 }
                 for index, summary in enumerate(self._shards)
             ],

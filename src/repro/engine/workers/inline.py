@@ -18,6 +18,7 @@ from typing import Iterator, Sequence
 from repro.engine.engine import as_fraction
 from repro.engine.routing import route_batch
 from repro.engine.workers.base import ShardExecutor
+from repro.engine.workers.ipc import fast_int_buckets
 
 
 class _InlineExecutor(ShardExecutor):
@@ -33,6 +34,23 @@ class _InlineExecutor(ShardExecutor):
         busy = [index for index, bucket in enumerate(buckets) if bucket]
         return fractions, buckets, busy
 
+    def _numeric_buckets(self, values: Sequence, already_ingested: int):
+        """Columnar-lane routing: raw int buckets, or None to use `_route`.
+
+        Only batches faithful to their int64 image qualify (the
+        :func:`fast_int_buckets` contract); anything else — non-integral
+        floats, huge ints, malformed records — returns None so the
+        Fraction path keeps owning both the semantics and the errors.
+        """
+        if self.engine.config.lane != "columnar":
+            return None
+        return fast_int_buckets(
+            values,
+            self.engine.config.shards,
+            self.engine.config.routing,
+            already_ingested,
+        )
+
     def shard_counts(self) -> list[int]:
         return [summary.n for summary in self.engine._shards]
 
@@ -44,6 +62,12 @@ class SerialExecutor(_InlineExecutor):
 
     def apply_batch(self, values: Sequence, already_ingested: int) -> tuple[int, int]:
         engine = self.engine
+        numeric = self._numeric_buckets(values, already_ingested)
+        if numeric is not None:
+            busy = [index for index, bucket in enumerate(numeric) if bucket]
+            for index in busy:
+                engine._feed_shard_numeric(index, numeric[index])
+            return len(values), len(busy)
         fractions, buckets, busy = self._route(values, already_ingested)
         for index in busy:
             engine._feed_shard(index, buckets[index])
@@ -79,6 +103,20 @@ class ThreadExecutor(_InlineExecutor):
 
     def apply_batch(self, values: Sequence, already_ingested: int) -> tuple[int, int]:
         engine = self.engine
+        numeric = self._numeric_buckets(values, already_ingested)
+        if numeric is not None:
+            busy = [index for index, bucket in enumerate(numeric) if bucket]
+            if self._pool is not None and len(busy) > 1:
+                list(
+                    self._pool.map(
+                        lambda index: engine._feed_shard_numeric(index, numeric[index]),
+                        busy,
+                    )
+                )
+            else:
+                for index in busy:
+                    engine._feed_shard_numeric(index, numeric[index])
+            return len(values), len(busy)
         fractions, buckets, busy = self._route(values, already_ingested)
         if self._pool is not None and len(busy) > 1:
             list(

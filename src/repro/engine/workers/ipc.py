@@ -19,7 +19,7 @@ Worker -> coordinator::
     ("pong",    request_id, info_dict)
     ("error",   message, traceback_text)
 
-Values ride in one of two encodings chosen per sub-batch:
+Values ride in one of three encodings chosen per sub-batch:
 
 * ``"ints"`` — plain Python ints (the numerators of integral rationals).
   This is the hot path: a million ints pickle in ~17 ms, two orders of
@@ -28,6 +28,10 @@ Values ride in one of two encodings chosen per sub-batch:
 * ``"pairs"`` — ``(numerator, denominator)`` tuples for non-integral
   rationals; ``Fraction(n, d)`` rebuilds them exactly (inputs are already
   normalised, so the gcd pass is cheap).
+* ``"i64"`` — the columnar lane: a routed int bucket packed into one
+  contiguous ``array('q')`` buffer, applied shard-side via
+  ``process_numeric`` without ever materialising Fractions or Items.  A
+  bucket holding an int outside int64 range falls back to ``"ints"``.
 
 Routing fast path: when a whole raw batch is plain ints the coordinator
 routes *before* any Fraction is built, using :func:`route_int_batch` — an
@@ -41,6 +45,7 @@ diffable as checkpointed state.
 
 from __future__ import annotations
 
+from array import array
 from fractions import Fraction
 from typing import Sequence
 
@@ -57,6 +62,10 @@ _VECTOR_MIN_BATCH = 1024
 #: Encoding tags for value sub-batches.
 MODE_INTS = "ints"
 MODE_PAIRS = "pairs"
+#: Columnar lane: a contiguous little/big-endian-native int64 buffer
+#: (``array('q').tobytes()``).  Pickling one bytes object instead of a list
+#: of ints keeps the frame a single memcpy on both sides of the pipe.
+MODE_I64 = "i64"
 
 #: ``_splitmix64(denominator=1)`` pre-mixed is not possible (the second
 #: round XORs with the first's output), but the constant 1 is what every
@@ -170,10 +179,39 @@ def encode_fractions(values: Sequence[Fraction]) -> tuple[str, list]:
     ]
 
 
-def decode_values(mode: str, payload: list) -> list[Fraction]:
+def encode_int_bucket(values: Sequence[int]) -> tuple[str, object]:
+    """Encode an already-routed int bucket for the columnar lane.
+
+    The hot case packs the bucket into one contiguous int64 buffer
+    (``"i64"``); a value outside int64 range overflows the array and the
+    bucket falls back to the plain int-list encoding (``"ints"``), which
+    both lanes accept.
+    """
+    try:
+        return MODE_I64, array("q", values).tobytes()
+    except OverflowError:
+        return MODE_INTS, list(values)
+
+
+def decode_numeric(mode: str, payload) -> list[int]:
+    """Rebuild an int bucket shipped for the columnar lane as raw ints."""
+    if mode == MODE_I64:
+        buffer = array("q")
+        buffer.frombytes(payload)
+        return buffer.tolist()
+    if mode == MODE_INTS:
+        return list(payload)
+    raise ValueError(f"encoding {mode!r} does not carry a numeric bucket")
+
+
+def decode_values(mode: str, payload) -> list[Fraction]:
     """Rebuild exact rationals from an encoded sub-batch."""
     if mode == MODE_INTS:
         return [Fraction(value) for value in payload]
     if mode == MODE_PAIRS:
         return [Fraction(numerator, denominator) for numerator, denominator in payload]
+    if mode == MODE_I64:
+        # Defensive: an i64 frame reaching an items-lane consumer decodes
+        # to the identical rationals the ints encoding would have carried.
+        return [Fraction(value) for value in decode_numeric(mode, payload)]
     raise ValueError(f"unknown value encoding {mode!r}")

@@ -15,6 +15,10 @@ and cheap encoding:
   raise exactly like the serial path, before any worker mutates — and
   buckets ship as ``(numerator, denominator)`` pairs (or bare numerators
   when integral).
+* On the columnar lane (``EngineConfig.lane == "columnar"``) int-faithful
+  buckets additionally pack into contiguous int64 buffers (``"i64"``) and
+  the workers apply them through ``process_numeric`` — no Fraction or Item
+  is built on either side of the pipe.
 
 Batches pipeline: ``apply_batch`` returns once the sub-batches are on the
 pipes, the supervisor's ack window bounds the in-flight depth, and the
@@ -33,6 +37,7 @@ from repro.engine.workers.base import ShardExecutor
 from repro.engine.workers.ipc import (
     MODE_INTS,
     encode_fractions,
+    encode_int_bucket,
     fast_int_buckets,
 )
 from repro.engine.workers.supervisor import Supervisor
@@ -74,7 +79,12 @@ class ProcessPoolExecutor(ShardExecutor):
         )
         if buckets is not None:
             items = len(values)
-            encoded = [(MODE_INTS, bucket) for bucket in buckets]
+            if config.lane == "columnar":
+                # Columnar lane: pack each routed bucket into one contiguous
+                # int64 buffer; the worker applies it via process_numeric.
+                encoded = [encode_int_bucket(bucket) for bucket in buckets]
+            else:
+                encoded = [(MODE_INTS, bucket) for bucket in buckets]
         else:
             fractions = [as_fraction(value) for value in values]
             items = len(fractions)

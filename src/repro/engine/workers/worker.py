@@ -53,13 +53,15 @@ def worker_main(
 
     import repro.summaries  # noqa: F401  (registers summary types + codecs)
     from repro.engine.config import EngineConfig
-    from repro.engine.workers.ipc import decode_values
+    from repro.engine.workers.ipc import MODE_I64, MODE_INTS, decode_numeric, decode_values
+    from repro.model.lanes import promote_to_columnar
     from repro.model.registry import create_summary
     from repro.obs.registry import MetricRegistry
     from repro.persistence import dump as dump_summary, load as load_summary
     from repro.universe.universe import Universe
 
     config = EngineConfig.from_payload(config_payload)
+    columnar = config.lane == "columnar"
     universes = {index: Universe() for index in shard_indexes}
     shards = {
         index: create_summary(
@@ -106,10 +108,16 @@ def worker_main(
                 applied = 0
                 counts: dict[int, int] = {}
                 for shard_index, mode, payload in entries:
-                    values = decode_values(mode, payload)
-                    shards[shard_index].process_many(
-                        universes[shard_index].items(values)
-                    )
+                    if columnar and mode in (MODE_I64, MODE_INTS):
+                        # Columnar lane: apply raw ints straight to the
+                        # summary kernel — no Fraction/Item round-trip.
+                        values = decode_numeric(mode, payload)
+                        shards[shard_index].process_numeric(values)
+                    else:
+                        values = decode_values(mode, payload)
+                        shards[shard_index].process_many(
+                            universes[shard_index].items(values)
+                        )
                     applied += len(values)
                     counts[shard_index] = shards[shard_index].n
                 duration = perf_counter_ns() - started
@@ -157,6 +165,10 @@ def worker_main(
                         )
                     else:
                         shards[index] = load_summary(payload, universes[index])
+                        if columnar:
+                            # Checkpoints store Items; adopt raw keys again
+                            # so replayed i64 batches land on columnar state.
+                            promote_to_columnar(shards[index])
 
             elif kind == "ping":
                 _, request_id = message

@@ -17,8 +17,10 @@ anything that is not an item).  The lower bound counts only ``|I|``.
 from repro.model.memory import MemoryState, equivalent
 from repro.model.summary import QuantileSummary
 from repro.model.compliance import ComplianceMonitor
+from repro.model.lanes import promote_to_columnar
 from repro.model.registry import (
     available_summaries,
+    columnar_summaries,
     create_summary,
     has_merge,
     merge_summaries,
@@ -32,11 +34,13 @@ __all__ = [
     "MemoryState",
     "QuantileSummary",
     "available_summaries",
+    "columnar_summaries",
     "create_summary",
     "equivalent",
     "has_merge",
     "merge_summaries",
     "mergeable_summaries",
+    "promote_to_columnar",
     "register_merge",
     "register_summary",
 ]

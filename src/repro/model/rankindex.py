@@ -111,7 +111,13 @@ class RankIndex:
         rank_empty_zero: bool,
     ) -> None:
         self.items = items
-        self.keys = [key_of(item) for item in items]
+        # Columnar-lane summaries compile with raw numeric keys already in
+        # hand; only Item entries need unwrapping.  Raw int/float keys
+        # compare exactly against the Fraction probes ``rank`` receives, so
+        # the bisects below are lane-agnostic.
+        self.keys = [
+            key_of(item) if isinstance(item, Item) else item for item in items
+        ]
         self.rmin = rmin
         self.rmax = rmax if rmax is not None else rmin
         self.n = n

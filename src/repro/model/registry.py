@@ -74,6 +74,10 @@ class SummaryDescriptor:
     has_batch_kernel: bool = False
     is_comparison_based: bool = True
     is_deterministic: bool = True
+    #: Whether the type can hold columnar (raw numeric key) state — the
+    #: opt-in fast lane of docs/model.md; mirrored from
+    #: ``cls.supports_columnar``.
+    columnar: bool = False
     #: Compile a frozen read index answering quantile/rank queries
     #: bit-identically to the summary's own query/estimate_rank (``None``
     #: when the type has no compiled read path).
@@ -136,6 +140,7 @@ def register_descriptor(
         has_batch_kernel=bool(has_batch_kernel),
         is_comparison_based=bool(getattr(cls, "is_comparison_based", True)),
         is_deterministic=bool(getattr(cls, "is_deterministic", True)),
+        columnar=bool(getattr(cls, "supports_columnar", False)),
     )
     _DESCRIPTORS[name] = descriptor
     return descriptor
@@ -263,6 +268,15 @@ def mergeable_summaries() -> list[str]:
         name
         for name, descriptor in _DESCRIPTORS.items()
         if descriptor.merge is not None
+    )
+
+
+def columnar_summaries() -> list[str]:
+    """Sorted names of summary types that support the columnar lane."""
+    return sorted(
+        name
+        for name, descriptor in _DESCRIPTORS.items()
+        if descriptor.columnar
     )
 
 

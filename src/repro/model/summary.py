@@ -1,4 +1,23 @@
-"""Abstract interface for quantile summaries in the comparison-based model."""
+"""Abstract interface for quantile summaries in the comparison-based model.
+
+Summaries hold their state in one of two *lanes* (docs/model.md):
+
+* ``"items"`` — the comparison-based model of Definition 2.1: every stored
+  key is an :class:`~repro.universe.item.Item` and only comparisons touch
+  it.  This is the default, and the only lane the paper's lower bound (and
+  the adversary) applies to.
+* ``"columnar"`` — an opt-in representation for numeric universes where
+  stored keys are raw ints/floats.  The *algorithms* are unchanged (they
+  only ever compare keys), so state, fingerprints and checkpoints are
+  identical between lanes; what changes is the per-key object overhead and
+  the eligibility for array/native batch kernels.
+
+Only types with ``supports_columnar = True`` ever enter the columnar lane,
+and only through :meth:`QuantileSummary.process_numeric` on an empty summary
+(or an explicit :func:`repro.model.lanes.promote_to_columnar`).  Feeding
+Items to a columnar summary demotes it back — a representation-only rebuild
+— so the two representations never mix inside one structure.
+"""
 
 from __future__ import annotations
 
@@ -54,6 +73,8 @@ class QuantileSummary(ABC):
     name: str = "abstract"
     is_comparison_based: bool = True
     is_deterministic: bool = True
+    #: Whether this type can hold columnar (raw numeric key) state.
+    supports_columnar: bool = False
 
     def __init__(self, epsilon: float) -> None:
         if not 0 < epsilon < 1:
@@ -61,6 +82,7 @@ class QuantileSummary(ABC):
         self.epsilon = epsilon
         self._n = 0
         self._max_item_count = 0
+        self._lane = "items"
 
     # -- stream processing -----------------------------------------------------
 
@@ -78,8 +100,15 @@ class QuantileSummary(ABC):
         """
         return self._max_item_count
 
+    @property
+    def lane(self) -> str:
+        """Which representation the stored keys use: ``items`` or ``columnar``."""
+        return self._lane
+
     def process(self, item: Item) -> None:
         """Insert one stream item."""
+        if self._lane != "items" and isinstance(item, Item):
+            self._demote_items()
         self._insert(item)
         self._n += 1
         size = self._item_count()
@@ -97,7 +126,39 @@ class QuantileSummary(ABC):
         batch = items if isinstance(items, list) else list(items)
         if not batch:
             return
+        if self._lane != "items" and isinstance(batch[0], Item):
+            self._demote_items()
         self._process_batch(batch)
+
+    def process_numeric(self, values: Any) -> None:
+        """Insert a batch of raw numeric values (ints/floats; bools count).
+
+        The default wraps every value into an :class:`Item` with its exact
+        rational key and takes the comparison-model path, so any summary
+        accepts numeric batches.  Columnar-capable types
+        (``supports_columnar``) override this to keep raw keys end to end
+        when their state is empty or already columnar; the final state is
+        equivalent either way (same answers, fingerprints and checkpoints).
+        """
+        batch = values if isinstance(values, list) else list(values)
+        if not batch:
+            return
+        self.process_many(
+            [
+                Item(value if isinstance(value, Fraction) else Fraction(value))
+                for value in batch
+            ]
+        )
+
+    def _demote_items(self) -> None:
+        """Rebuild columnar state with Item keys (representation-only).
+
+        Only reachable on columnar-capable types, which override it; the
+        base class never leaves the items lane.
+        """
+        raise NotImplementedError(
+            f"{self.name} cannot hold columnar state"
+        )  # pragma: no cover - unreachable without supports_columnar
 
     def process_all(self, items: Any) -> None:
         """Insert every item of an iterable, in order (alias of batch ingest)."""
@@ -126,7 +187,12 @@ class QuantileSummary(ABC):
             raise InvalidQuantileError(f"phi must be in [0, 1], got {phi}")
         if self._n == 0:
             raise EmptySummaryError("cannot query an empty summary")
-        return self._query(phi)
+        answer = self._query(phi)
+        if isinstance(answer, Item):
+            return answer
+        # Columnar state answers with a raw key; wrap it so the public
+        # query API is Item-typed in both lanes (same key either way).
+        return Item(Fraction(answer))
 
     @abstractmethod
     def _query(self, phi: float) -> Item:

@@ -1,0 +1,202 @@
+"""On-demand-compiled native kernels for the columnar numeric lane.
+
+The columnar lane (docs/model.md, "Lanes") stores raw numeric keys instead
+of :class:`~repro.universe.item.Item` wrappers.  For GK that makes the whole
+insert/compress loop expressible over flat ``int64`` arrays, so this package
+compiles ``gk_kernel.c`` with the system C compiler the first time it is
+needed and drives it through :mod:`ctypes`.  Nothing here is required for
+correctness: every caller treats a ``None`` return as "take the pure-Python
+columnar path", and the kernel itself is an exact port of the sequential
+semantics (state-identical tuples, ``n``, ``since_compress`` and
+``max_item_count``), which the lane-equivalence tests pin down.
+
+Knobs:
+
+* ``REPRO_NO_NATIVE=1`` — kill switch; never compile or call native code.
+* ``REPRO_NATIVE_CACHE=DIR`` — where compiled objects are cached (default
+  ``$TMPDIR/repro-native``).  The cache key hashes the kernel source and
+  compiler, and the object lands under its final name via an atomic rename,
+  so concurrent workers never load a half-written library.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from array import array
+from pathlib import Path
+
+DISABLE_ENV = "REPRO_NO_NATIVE"
+CACHE_ENV = "REPRO_NATIVE_CACHE"
+
+_SOURCE = Path(__file__).with_name("gk_kernel.c")
+#: eps numerator/denominator cap: keeps the kernel's __int128 threshold
+#: product (eps_p * n) well inside range for any guarded n.
+_FRACTION_LIMIT = 1 << 62
+#: Cap on n + batch size: bounds thresholds (hence g/delta sums and band
+#: shifts) far below int64.
+_COUNT_LIMIT = 1 << 40
+
+_INT64_POINTER = ctypes.POINTER(ctypes.c_int64)
+
+_lib: ctypes.CDLL | None = None
+_load_failed = False
+
+
+def native_disabled() -> bool:
+    """True when the ``REPRO_NO_NATIVE`` kill switch is set."""
+    return bool(os.environ.get(DISABLE_ENV))
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get(CACHE_ENV)
+    if override:
+        return Path(override)
+    return Path(tempfile.gettempdir()) / "repro-native"
+
+
+def _compiler() -> str | None:
+    return os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
+
+
+def _compile() -> Path | None:
+    compiler = _compiler()
+    if compiler is None:
+        return None
+    source = _SOURCE.read_text()
+    digest = hashlib.sha256(f"{compiler}\n{source}".encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    target = cache / f"gk_kernel-{digest}.so"
+    if target.exists():
+        return target
+    cache.mkdir(parents=True, exist_ok=True)
+    fd, scratch = tempfile.mkstemp(suffix=".so", dir=cache)
+    os.close(fd)
+    try:
+        subprocess.run(
+            [compiler, "-O2", "-shared", "-fPIC", "-o", scratch, str(_SOURCE)],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        os.replace(scratch, target)
+    except (OSError, subprocess.SubprocessError):
+        try:
+            os.unlink(scratch)
+        except OSError:
+            pass
+        return None
+    return target
+
+
+def _load() -> ctypes.CDLL | None:
+    global _lib, _load_failed
+    if _lib is not None:
+        return _lib
+    if _load_failed:
+        return None
+    path = _compile()
+    if path is None:
+        _load_failed = True
+        return None
+    try:
+        lib = ctypes.CDLL(str(path))
+        lib.gk_batch.restype = ctypes.c_int64
+        lib.gk_batch.argtypes = [
+            _INT64_POINTER,  # vals
+            _INT64_POINTER,  # gs
+            _INT64_POINTER,  # deltas
+            ctypes.c_int64,  # size
+            _INT64_POINTER,  # batch
+            ctypes.c_int64,  # batch_len
+            _INT64_POINTER,  # state [n, since_compress, max_item_count]
+            ctypes.c_int64,  # period
+            ctypes.c_int64,  # eps_p
+            ctypes.c_int64,  # eps_q
+            ctypes.c_int32,  # greedy
+            _INT64_POINTER,  # bands scratch
+        ]
+    except (OSError, AttributeError):
+        _load_failed = True
+        return None
+    _lib = lib
+    return _lib
+
+
+def _as_pointer(buffer: array):
+    return ctypes.cast(
+        (ctypes.c_int64 * len(buffer)).from_buffer(buffer), _INT64_POINTER
+    )
+
+
+def gk_batch(
+    values: list,
+    gs: list,
+    deltas: list,
+    batch: list,
+    n: int,
+    since_compress: int,
+    max_item_count: int,
+    period: int,
+    eps_p: int,
+    eps_q: int,
+    greedy: bool,
+):
+    """Apply ``batch`` to GK tuple state with the native insert loop.
+
+    Returns ``(values, gs, deltas, n, since_compress, max_item_count)`` on
+    success, or ``None`` when the kernel is unavailable or the inputs are
+    outside its int64-safe envelope (huge ints, floats, enormous epsilon
+    fractions, streams past 2^40 items) — callers then run the pure-Python
+    columnar path, which is state-identical.
+    """
+    if native_disabled():
+        return None
+    lib = _load()
+    if lib is None:
+        return None
+    if eps_p >= _FRACTION_LIMIT or eps_q >= _FRACTION_LIMIT:
+        return None
+    if n + len(batch) >= _COUNT_LIMIT or period >= _COUNT_LIMIT:
+        return None
+    padding = bytes(8 * len(batch))
+    try:
+        vals_arr = array("q", values)
+        g_arr = array("q", gs)
+        d_arr = array("q", deltas)
+        batch_arr = array("q", batch)
+    except (OverflowError, TypeError):
+        return None
+    vals_arr.frombytes(padding)
+    g_arr.frombytes(padding)
+    d_arr.frombytes(padding)
+    bands = array("q", bytes(8 * len(vals_arr)))
+    state = array("q", [n, since_compress, max_item_count])
+    new_size = lib.gk_batch(
+        _as_pointer(vals_arr),
+        _as_pointer(g_arr),
+        _as_pointer(d_arr),
+        len(values),
+        _as_pointer(batch_arr),
+        len(batch),
+        _as_pointer(state),
+        period,
+        eps_p,
+        eps_q,
+        1 if greedy else 0,
+        _as_pointer(bands),
+    )
+    if new_size < 0 or new_size > len(vals_arr):  # pragma: no cover - guard
+        return None
+    return (
+        vals_arr[:new_size].tolist(),
+        g_arr[:new_size].tolist(),
+        d_arr[:new_size].tolist(),
+        state[0],
+        state[1],
+        state[2],
+    )

@@ -1,0 +1,174 @@
+/* Native GK insert loop: an exact port of the sequential semantics of
+ * repro.summaries.gk (_insert + _compress), operating on int64 keys.
+ *
+ * The Python batch kernel (_GKBase._process_batch) is documented
+ * state-identical to item-at-a-time processing, so this sequential port is
+ * state-identical to both: same tuples, same n / since_compress /
+ * max_item_count trajectory.
+ *
+ * All arithmetic that could overflow int64 is either guarded Python-side
+ * (n + batch_len < 2^40, eps_p/eps_q < 2^62, values fit int64) or widened
+ * to __int128 (the threshold product eps_p * n).
+ */
+
+#include <stdint.h>
+#include <string.h>
+
+/* floor(2 eps n) with two_eps = eps_p / eps_q; operands are non-negative so
+ * C truncation == floor == Python int(). */
+static inline int64_t threshold_of(int64_t eps_p, int64_t eps_q, int64_t n) {
+    return (int64_t)(((__int128)eps_p * n) / eps_q);
+}
+
+/* Band of delta against threshold p: exact port of gk._band. */
+static int64_t band_of(int64_t delta, int64_t p) {
+    if (delta >= p) {
+        return 0;
+    }
+    int64_t d = p - delta;
+    int bit_length = 64 - __builtin_clzll((uint64_t)d);
+    for (int alpha = bit_length - 1; alpha <= bit_length + 1; alpha++) {
+        if (alpha < 1) {
+            continue;
+        }
+        int64_t wide = (int64_t)1 << alpha;
+        int64_t narrow = (int64_t)1 << (alpha - 1);
+        int64_t lower = p - wide - (p % wide);
+        int64_t upper = p - narrow - (p % narrow);
+        if (lower < delta && delta <= upper) {
+            return alpha;
+        }
+    }
+    int64_t alpha = 1;
+    while (((int64_t)1 << alpha) <= 2 * p + 2) {
+        alpha += 1;
+    }
+    return alpha;
+}
+
+/* bisect_right over the sorted value array. */
+static inline int64_t upper_bound(const int64_t *vals, int64_t size, int64_t v) {
+    int64_t lo = 0, hi = size;
+    while (lo < hi) {
+        int64_t mid = (lo + hi) >> 1;
+        if (v < vals[mid]) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    return lo;
+}
+
+static inline void delete_range(int64_t *a, int64_t start, int64_t stop,
+                                int64_t size) {
+    memmove(a + start, a + stop, (size_t)(size - stop) * sizeof(int64_t));
+}
+
+/* Band-based compress (GreenwaldKhanna._compress). */
+static int64_t compress_band(int64_t *vals, int64_t *gs, int64_t *deltas,
+                             int64_t size, int64_t threshold, int64_t *bands) {
+    if (threshold < 1 || size < 3) {
+        return size;
+    }
+    for (int64_t j = 0; j < size; j++) {
+        bands[j] = band_of(deltas[j], threshold);
+    }
+    int64_t i = size - 2;
+    while (i >= 1) {
+        int64_t band = bands[i];
+        if (band <= bands[i + 1]) {
+            int64_t start = i;
+            int64_t g_total = gs[i];
+            while (start - 1 >= 1 && bands[start - 1] < band) {
+                start -= 1;
+                g_total += gs[start];
+            }
+            if (g_total + gs[i + 1] + deltas[i + 1] < threshold) {
+                gs[i + 1] += g_total;
+                delete_range(vals, start, i + 1, size);
+                delete_range(gs, start, i + 1, size);
+                delete_range(deltas, start, i + 1, size);
+                delete_range(bands, start, i + 1, size);
+                size -= i + 1 - start;
+                i = start - 1;
+                continue;
+            }
+        }
+        i -= 1;
+    }
+    return size;
+}
+
+/* Greedy compress (GreenwaldKhannaGreedy._compress). */
+static int64_t compress_greedy(int64_t *vals, int64_t *gs, int64_t *deltas,
+                               int64_t size, int64_t threshold) {
+    if (threshold < 1 || size < 3) {
+        return size;
+    }
+    int64_t i = size - 2;
+    while (i >= 1) {
+        if (gs[i] + gs[i + 1] + deltas[i + 1] < threshold) {
+            gs[i + 1] += gs[i];
+            delete_range(vals, i, i + 1, size);
+            delete_range(gs, i, i + 1, size);
+            delete_range(deltas, i, i + 1, size);
+            size -= 1;
+        }
+        i -= 1;
+    }
+    return size;
+}
+
+/* Apply a batch of int64 keys to GK tuple state.
+ *
+ * vals/gs/deltas hold `size` live tuples and have capacity for
+ * size + batch_len; bands is scratch of the same capacity.  state is
+ * [n, since_compress, max_item_count], updated in place.  Returns the new
+ * tuple count.
+ */
+int64_t gk_batch(int64_t *vals, int64_t *gs, int64_t *deltas, int64_t size,
+                 const int64_t *batch, int64_t batch_len, int64_t *state,
+                 int64_t period, int64_t eps_p, int64_t eps_q, int32_t greedy,
+                 int64_t *bands) {
+    int64_t n = state[0];
+    int64_t since = state[1];
+    int64_t max_count = state[2];
+    for (int64_t b = 0; b < batch_len; b++) {
+        int64_t v = batch[b];
+        int64_t pos = upper_bound(vals, size, v);
+        int64_t delta = 0;
+        if (pos != 0 && pos != size) {
+            delta = threshold_of(eps_p, eps_q, n) - 1;
+            if (delta < 0) {
+                delta = 0;
+            }
+        }
+        size_t tail = (size_t)(size - pos) * sizeof(int64_t);
+        memmove(vals + pos + 1, vals + pos, tail);
+        memmove(gs + pos + 1, gs + pos, tail);
+        memmove(deltas + pos + 1, deltas + pos, tail);
+        vals[pos] = v;
+        gs[pos] = 1;
+        deltas[pos] = delta;
+        size += 1;
+        since += 1;
+        if (since >= period) {
+            int64_t threshold = threshold_of(eps_p, eps_q, n);
+            if (greedy) {
+                size = compress_greedy(vals, gs, deltas, size, threshold);
+            } else {
+                size = compress_band(vals, gs, deltas, size, threshold, bands);
+            }
+            since = 0;
+        }
+        n += 1;
+        if (size > max_count) {
+            max_count = size;
+        }
+    }
+    state[0] = n;
+    state[1] = since;
+    state[2] = max_count;
+    return size;
+}

@@ -84,6 +84,12 @@ class Scenario:
     #: traffic once per worker count and asserts the gateable report cores
     #: are identical — the executor-invariance contract as a canary.
     workers_matrix: tuple = ()
+    #: Engine ingest lane for self-hosted runs (``items``/``columnar``).
+    lane: str = "items"
+    #: When non-empty, the self-hosted runner replays the same seeded
+    #: traffic once per lane and asserts the gateable report cores are
+    #: identical — the columnar lane's bit-equivalence contract as a canary.
+    lanes_matrix: tuple = ()
     # -- gate budgets -----------------------------------------------------------
     #: Max acceptable rank error (defaults to ``engine_epsilon`` when None).
     epsilon_budget: float | None = None
@@ -115,6 +121,12 @@ class Scenario:
         if self.workers < 1 or any(count < 1 for count in self.workers_matrix):
             raise ScenarioError(
                 f"scenario {self.name!r}: worker counts must be positive"
+            )
+        lanes = (self.lane, *self.lanes_matrix)
+        if any(lane not in ("items", "columnar") for lane in lanes):
+            raise ScenarioError(
+                f"scenario {self.name!r}: lanes must be 'items' or "
+                f"'columnar', got {lanes}"
             )
         return self
 
@@ -149,6 +161,12 @@ class Scenario:
             payload["workers_matrix"] = list(self.workers_matrix)
         else:
             payload["workers"] = self.workers
+        if self.lanes_matrix:
+            # Same rule as workers_matrix: the effective lane varies per
+            # matrix run, the constant matrix is what gates.
+            payload["lanes_matrix"] = list(self.lanes_matrix)
+        else:
+            payload["lane"] = self.lane
         if self.pattern == "adversarial":
             payload["adversary"] = {
                 "summary": self.adversary_summary,
@@ -232,6 +250,17 @@ def _catalog() -> dict[str, Scenario]:
             shards=4,
             executor="processes",
             workers_matrix=(1, 4),
+        ),
+        Scenario(
+            name="columnar-replay",
+            description="lane-invariance canary: replay the same seeded "
+            "heavy-tail traffic (integer values, a huge dynamic range) on "
+            "the items and columnar lanes and assert the gateable report "
+            "cores (answers, errors, accuracy; timing excluded) are "
+            "identical",
+            pattern="heavy-tail",
+            summary="gk",
+            lanes_matrix=("items", "columnar"),
         ),
         Scenario(
             name="connector-replay",

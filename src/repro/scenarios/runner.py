@@ -366,37 +366,42 @@ async def run_scenario(
         return await _drive(scenario, seed, host, port)
 
     worker_counts = list(scenario.workers_matrix) or [scenario.workers]
-    report = await _run_self_hosted(scenario, seed, worker_counts[0])
-    if len(worker_counts) > 1:
-        # Executor-invariance canary: the same seeded traffic at every
-        # worker count must produce an identical gateable core — the
-        # process-pool executor's bit-identity contract, observed end to
-        # end through the service.
+    lanes = list(scenario.lanes_matrix) or [scenario.lane]
+    variants = [(workers, lane) for workers in worker_counts for lane in lanes]
+    report = await _run_self_hosted(scenario, seed, *variants[0])
+    if len(variants) > 1:
+        # Invariance canary: the same seeded traffic at every variant —
+        # worker count (the process-pool executor's bit-identity contract)
+        # and/or ingest lane (the columnar lane's equivalence contract) —
+        # must produce an identical gateable core, observed end to end
+        # through the service.
         from repro.scenarios.report import CanaryError, compare_reports
 
-        for workers in worker_counts[1:]:
-            other = await _run_self_hosted(scenario, seed, workers)
+        for workers, lane in variants[1:]:
+            other = await _run_self_hosted(scenario, seed, workers, lane)
             diff = compare_reports(report, other)
             if not diff["identical"]:
                 drifted = ", ".join(
                     change["field"] for change in diff["changes"]
                 )
                 raise CanaryError(
-                    f"scenario {scenario.name!r} is not worker-count "
-                    f"invariant: {worker_counts[0]} vs {workers} workers "
+                    f"scenario {scenario.name!r} is not variant invariant: "
+                    f"{variants[0][0]} worker(s) on the {variants[0][1]} "
+                    f"lane vs {workers} worker(s) on the {lane} lane "
                     f"changed {drifted}"
                 )
         report.ops["scaling"] = {
             "worker_counts": worker_counts,
+            "lanes": lanes,
             "identical": True,
         }
     return report
 
 
 async def _run_self_hosted(
-    scenario: Scenario, seed: int, workers: int
+    scenario: Scenario, seed: int, workers: int, lane: str = "items"
 ) -> CanaryReport:
-    """One self-hosted loopback run at an explicit worker count."""
+    """One self-hosted loopback run at an explicit worker count and lane."""
     from repro.engine import EngineConfig
     from repro.service.server import QuantileService, ServiceConfig
 
@@ -407,6 +412,7 @@ async def _run_self_hosted(
             shards=scenario.shards,
             executor=scenario.executor,
             workers=workers,
+            lane=lane,
         ),
         config=ServiceConfig(
             port=0,

@@ -308,11 +308,21 @@ class QuantileService:
         values: list[Fraction] = []
         for job in live:
             values.extend(job.values)
+        feed: list = values
+        if self.engine.config.lane == "columnar":
+            # Collapse integral rationals to bare ints so the executor's
+            # columnar routing fast path fires; non-integral values ride
+            # through as Fractions (the executor falls back per batch).
+            # The auditor below still observes the exact rationals.
+            feed = [
+                value.numerator if value.denominator == 1 else value
+                for value in values
+            ]
         with obs_spans.span(
             "service.ingest_flush", jobs=len(live), items=len(values)
         ):
             try:
-                self.engine.ingest(values, batch_size=max(len(values), 1))
+                self.engine.ingest(feed, batch_size=max(len(values), 1))
                 snapshot = self.snapshots.publish(self.engine)
             except ReproError as error:
                 for job in live:

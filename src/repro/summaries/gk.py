@@ -45,6 +45,7 @@ from repro.errors import EmptySummaryError
 from repro.model.rankindex import RankIndex, build_index
 from repro.model.registry import register_descriptor
 from repro.model.summary import QuantileSummary, exact_fraction
+from repro.native import gk_batch as native_gk_batch
 from repro.persistence import decode_key, encode_key, epsilon_of
 from repro.universe.item import Item
 from repro.universe.universe import Universe
@@ -103,6 +104,11 @@ def _band(delta: int, p: int) -> int:
 
 class _GKBase(QuantileSummary):
     """Shared machinery of the two GK variants."""
+
+    supports_columnar = True
+    #: Native-kernel compress flavour; None disables the native path (e.g.
+    #: for subclasses with a custom ``_compress``).
+    _native_greedy: bool | None = None
 
     def __init__(
         self, epsilon: float | Fraction, compress_period: int | None = None
@@ -259,6 +265,81 @@ class _GKBase(QuantileSummary):
     def _compress(self) -> None:
         raise NotImplementedError
 
+    # -- the columnar lane -------------------------------------------------------
+
+    def process_numeric(self, values) -> None:
+        """Columnar ingest: keep raw numeric keys, no Item wrappers.
+
+        The insert/compress machinery only ever *compares* keys, so running
+        the existing batch kernel over raw numbers is state-identical to the
+        items lane; int64-safe batches additionally take the native kernel
+        (:mod:`repro.native`), which ports the same sequential semantics to
+        flat arrays.  A summary with live comparison-model state stays in
+        the items lane — only empty or already-columnar summaries switch.
+        """
+        batch = values if isinstance(values, list) else list(values)
+        if not batch:
+            return
+        if self._n and self._lane == "items":
+            super().process_numeric(batch)
+            return
+        self._lane = "columnar"
+        if self._native_batch(batch):
+            return
+        self._process_batch(batch)
+
+    def _native_batch(self, batch: list) -> bool:
+        if self._native_greedy is None:
+            return False
+        tuples = self._tuples
+        two_eps = 2 * self._eps
+        result = native_gk_batch(
+            [entry.value for entry in tuples],
+            [entry.g for entry in tuples],
+            [entry.delta for entry in tuples],
+            batch,
+            self._n,
+            self._since_compress,
+            self._max_item_count,
+            self._compress_period,
+            two_eps.numerator,
+            two_eps.denominator,
+            self._native_greedy,
+        )
+        if result is None:
+            return False
+        values, gs, deltas, self._n, self._since_compress, self._max_item_count = (
+            result
+        )
+        self._tuples = [
+            _Tuple(value, g, delta)
+            for value, g, delta in zip(values, gs, deltas)
+        ]
+        return True
+
+    def _demote_items(self) -> None:
+        """Rebuild raw columnar keys as Items (exact rationals).
+
+        Representation-only: g/delta/n/compress phase are untouched, so
+        fingerprints and checkpoints are identical across the switch.
+        """
+        if self._lane == "items":
+            return
+        for entry in self._tuples:
+            if not isinstance(entry.value, Item):
+                entry.value = Item(Fraction(entry.value))
+        self._lane = "items"
+
+    def _promote_columnar(self, to_raw) -> bool:
+        """Adopt raw keys via the converter :mod:`repro.model.lanes` passes in."""
+        raws = [to_raw(entry.value) for entry in self._tuples]
+        if any(raw is None for raw in raws):
+            return False
+        for entry, raw in zip(self._tuples, raws):
+            entry.value = raw
+        self._lane = "columnar"
+        return True
+
     # -- queries -----------------------------------------------------------------
 
     def _query(self, phi: float) -> Item:
@@ -286,6 +367,10 @@ class _GKBase(QuantileSummary):
         """Midpoint rank estimate for ``item``; error at most ``eps n``."""
         if self._n == 0:
             raise EmptySummaryError("cannot estimate rank on an empty summary")
+        if self._lane != "items":
+            # Rare uncompiled probe against columnar state (engine reads go
+            # through the RankIndex, which handles raw keys natively).
+            self._demote_items()
         rmin = 0
         # Walk tuples from the left; item lies between two adjacent tuples.
         for entry in self._tuples:
@@ -317,6 +402,7 @@ class GreenwaldKhanna(_GKBase):
     """GK with the band-based compress of [6] (the analysed variant)."""
 
     name = "gk"
+    _native_greedy = False
 
     def _compress(self) -> None:
         threshold = self._threshold()
@@ -368,6 +454,7 @@ class GreenwaldKhannaGreedy(_GKBase):
     """
 
     name = "gk-greedy"
+    _native_greedy = True
 
     def _compress(self) -> None:
         threshold = self._threshold()
@@ -436,8 +523,14 @@ def merge_gk(first: _GKBase, second: _GKBase) -> _GKBase:
     """
     if not isinstance(second, _GKBase):
         raise TypeError(f"cannot merge GK with {type(second).__name__}")
+    if first.lane != second.lane:
+        # Mixed lanes cannot share one sorted entry list; demote the
+        # columnar side (a representation-only rebuild, state unchanged).
+        first._demote_items()
+        second._demote_items()
     combined_eps = max(Fraction(first._eps), Fraction(second._eps))
     merged = type(first)(combined_eps)
+    merged._lane = first.lane
 
     bounds_first = _rank_bounds(first)
     bounds_second = _rank_bounds(second)

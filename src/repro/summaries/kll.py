@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 import random
+from fractions import Fraction
 
 from repro.errors import EmptySummaryError
 from repro.model.rankindex import RankIndex, index_from_weighted_items
@@ -64,6 +65,7 @@ class KLL(QuantileSummary):
 
     name = "kll"
     is_deterministic = False  # with a fixed seed it effectively is; see T7
+    supports_columnar = True
 
     def __init__(
         self,
@@ -150,6 +152,48 @@ class KLL(QuantileSummary):
             if count > self._max_item_count:
                 self._max_item_count = count
 
+    # -- the columnar lane ---------------------------------------------------------
+
+    def process_numeric(self, values) -> None:
+        """Columnar ingest: raw numeric keys ride the existing batch kernel.
+
+        Compaction only sorts and slices, so raw keys make the hottest step
+        (the level sort) a C-speed primitive sort instead of Item-dunder
+        dispatch, with the identical coin-flip schedule; the final state is
+        equivalent to the items lane.  A summary with live comparison-model
+        state stays in the items lane.
+        """
+        batch = values if isinstance(values, list) else list(values)
+        if not batch:
+            return
+        if self._n and self._lane == "items":
+            super().process_numeric(batch)
+            return
+        self._lane = "columnar"
+        self._process_batch(batch)
+
+    def _demote_items(self) -> None:
+        """Rebuild raw columnar keys as Items (representation-only)."""
+        if self._lane == "items":
+            return
+        for compactor in self._compactors:
+            for position, value in enumerate(compactor):
+                if not isinstance(value, Item):
+                    compactor[position] = Item(Fraction(value))
+        self._lane = "items"
+
+    def _promote_columnar(self, to_raw) -> bool:
+        """Adopt raw keys via the converter :mod:`repro.model.lanes` passes in."""
+        raw_levels = [
+            [to_raw(value) for value in compactor]
+            for compactor in self._compactors
+        ]
+        if any(raw is None for level in raw_levels for raw in level):
+            return False
+        self._compactors = raw_levels
+        self._lane = "columnar"
+        return True
+
     def _compact(self, level: int) -> None:
         compactor = self._compactors[level]
         compactor.sort()
@@ -179,6 +223,11 @@ class KLL(QuantileSummary):
         """
         if not isinstance(other, KLL):
             raise TypeError(f"cannot merge KLL with {type(other).__name__}")
+        if self.lane != other.lane:
+            # Mixed lanes cannot share a compactor; demote the columnar
+            # side (representation-only, state unchanged).
+            self._demote_items()
+            other._demote_items()
         while len(self._compactors) < len(other._compactors):
             self._compactors.append([])
         for level, compactor in enumerate(other._compactors):
@@ -220,6 +269,10 @@ class KLL(QuantileSummary):
     def estimate_rank(self, item: Item) -> int:
         if self._n == 0:
             raise EmptySummaryError("cannot estimate rank on an empty summary")
+        if self._lane != "items":
+            # Rare uncompiled probe against columnar state (engine reads go
+            # through the RankIndex, which handles raw keys natively).
+            self._demote_items()
         pairs = self._weighted_items()
         total_weight = sum(weight for _, weight in pairs)
         stored_rank = sum(weight for stored, weight in pairs if stored <= item)

@@ -271,12 +271,22 @@ class Item:
         raise self._forbidden("bool")
 
 
-def key_of(item: Item) -> "Fraction | str":
+def key_of(item: "Item | int | float") -> "Fraction | str":
     """Return the hidden rational key of ``item``.
 
     This is the single sanctioned escape hatch for infrastructure code (the
     adversary, rank oracles, table rendering).  Summaries must never call it;
     importing it inside a summary module is a model violation by convention,
     and the compliance tests grep for exactly that.
+
+    Columnar-lane state stores raw numeric keys instead of Items; those map
+    to their exact rational value here, so every read path that normalises
+    answers through ``key_of`` is lane-agnostic.
     """
-    return item._key
+    if isinstance(item, Item):
+        return item._key
+    if isinstance(item, (int, float, Fraction)):
+        # Idempotent on Fractions: read paths that already normalised an
+        # answer can re-normalise without caring which layer produced it.
+        return Fraction(item)
+    raise TypeError(f"key_of expects an Item or a raw numeric key, got {item!r}")
