@@ -10,6 +10,13 @@ port, drives it with the deterministic load generator at each requested
 client count, verifies every answered query against the exact ranks of the
 inserted values, and appends one entry to
 ``benchmarks/results/BENCH_service.json`` so runs accumulate a history.
+
+Every run is tagged with its wire dialect and reports ``items_per_second``
+(acked inserted values per wall second).  After the client matrix, a
+*same-run* frames-vs-NDJSON comparison drives an insert-only workload on
+the columnar lane over both wires and records the speedup; pass
+``--min-frames-speedup`` to turn that into a hard gate (CI uses 2x; the
+full run targets the 10x the wire redesign was sized for).
 """
 
 from __future__ import annotations
@@ -36,10 +43,25 @@ from repro.service import (  # noqa: E402
 RESULTS_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_service.json"
 
 
-async def run_once(clients: int, args) -> dict:
+async def run_once(
+    clients: int,
+    args,
+    *,
+    wire: str = "ndjson",
+    lane: str | None = None,
+    insert_ratio: float | None = None,
+    values_per_insert: int | None = None,
+    ops: int | None = None,
+) -> dict:
+    values_per_insert = (
+        values_per_insert if values_per_insert is not None else args.values_per_insert
+    )
     service = QuantileService(
         engine_config=EngineConfig(
-            summary=args.summary, epsilon=args.epsilon, shards=args.shards
+            summary=args.summary,
+            epsilon=args.epsilon,
+            shards=args.shards,
+            lane=lane if lane is not None else args.lane,
         ),
         config=ServiceConfig(
             port=0,
@@ -51,10 +73,14 @@ async def run_once(clients: int, args) -> dict:
     try:
         config = LoadConfig(
             clients=clients,
-            ops_per_client=args.ops,
-            insert_ratio=args.insert_ratio,
-            values_per_insert=args.values_per_insert,
+            ops_per_client=ops if ops is not None else args.ops,
+            insert_ratio=(
+                insert_ratio if insert_ratio is not None else args.insert_ratio
+            ),
+            values_per_insert=values_per_insert,
             seed=args.seed,
+            wire=wire,
+            window=args.window,
         )
         report = await run_load("127.0.0.1", service.port, config)
 
@@ -69,19 +95,21 @@ async def run_once(clients: int, args) -> dict:
         flushes = service.registry.get("service_ingest_flush_items")
         flush_count = flushes.observations if flushes is not None else 0
         acked_inserts = (
-            len(report.inserted) // args.values_per_insert
-            if args.values_per_insert
-            else 0
+            len(report.inserted) // values_per_insert if values_per_insert else 0
         )
         insert_latency = report.latency_quantiles_us("insert")
         query_latency = report.latency_quantiles_us("query")
         return {
             "clients": clients,
+            "wire": wire,
             "ops": report.ops,
             "ok": report.ok,
             "errors": dict(report.errors),
             "seconds": round(report.seconds, 4),
             "ops_per_second": round(report.ops / report.seconds)
+            if report.seconds > 0
+            else None,
+            "items_per_second": round(len(report.inserted) / report.seconds)
             if report.seconds > 0
             else None,
             "items_inserted": len(report.inserted),
@@ -119,6 +147,48 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--linger-ms", type=float, default=0.0)
     parser.add_argument("--seed", type=int, default=13)
     parser.add_argument(
+        "--lane",
+        default="items",
+        choices=("items", "columnar"),
+        help="engine lane for the client-matrix runs (the wire comparison "
+        "always runs columnar, where the frame lane pays off end to end)",
+    )
+    parser.add_argument(
+        "--wire",
+        default="ndjson",
+        choices=("ndjson", "frames"),
+        help="wire dialect for the client-matrix runs",
+    )
+    parser.add_argument(
+        "--window", type=int, default=32, help="frames-wire in-flight window"
+    )
+    parser.add_argument(
+        "--comparison-ops",
+        type=int,
+        default=60,
+        help="insert ops per client in the frames-vs-ndjson comparison",
+    )
+    parser.add_argument(
+        "--comparison-values",
+        type=int,
+        default=16000,
+        help="values per insert in the frames-vs-ndjson comparison (big "
+        "batches are the frame lane's design point; smoke shrinks this)",
+    )
+    parser.add_argument(
+        "--min-frames-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless frames deliver at least X times the same-run "
+        "NDJSON items/s in the comparison (CI gates at 2)",
+    )
+    parser.add_argument(
+        "--skip-comparison",
+        action="store_true",
+        help="run only the client matrix, no frames-vs-ndjson comparison",
+    )
+    parser.add_argument(
         "--output", default=str(RESULTS_PATH), help="JSON history file to append to"
     )
     args = parser.parse_args(argv)
@@ -126,10 +196,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.smoke:
         args.ops = 25
         args.clients = [1, 8]
+        args.comparison_ops = 30
+        args.comparison_values = 1000
 
     runs = []
     for clients in args.clients:
-        result = asyncio.run(run_once(clients, args))
+        result = asyncio.run(run_once(clients, args, wire=args.wire))
         runs.append(result)
         error_total = sum(result["errors"].values())
         rank_error = result["max_rank_error"]
@@ -149,6 +221,60 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 1
 
+    wire_comparison = None
+    if not args.skip_comparison:
+        comparison_clients = max(args.clients)
+        sides = {}
+        for wire in ("ndjson", "frames"):
+            result = asyncio.run(
+                run_once(
+                    comparison_clients,
+                    args,
+                    wire=wire,
+                    lane="columnar",
+                    insert_ratio=1.0,
+                    ops=args.comparison_ops,
+                    values_per_insert=args.comparison_values,
+                )
+            )
+            sides[wire] = result
+            print(
+                f"wire comparison [{wire:>6}]: "
+                f"{result['items_per_second']:>10,} items/s  "
+                f"({result['items_inserted']:,} values in "
+                f"{result['seconds']}s, {sum(result['errors'].values())} errors)"
+            )
+        speedup = (
+            round(
+                sides["frames"]["items_per_second"]
+                / sides["ndjson"]["items_per_second"],
+                2,
+            )
+            if sides["ndjson"]["items_per_second"]
+            else None
+        )
+        wire_comparison = {
+            "lane": "columnar",
+            "clients": comparison_clients,
+            "insert_ratio": 1.0,
+            "values_per_insert": args.comparison_values,
+            "window": args.window,
+            "ndjson": sides["ndjson"],
+            "frames": sides["frames"],
+            "frames_speedup": speedup,
+        }
+        print(f"frames vs ndjson same-run speedup: {speedup}x")
+        if (
+            args.min_frames_speedup is not None
+            and (speedup is None or speedup < args.min_frames_speedup)
+        ):
+            print(
+                f"WIRE REGRESSION: frames speedup {speedup}x is below the "
+                f"required {args.min_frames_speedup}x",
+                file=sys.stderr,
+            )
+            return 1
+
     entry = {
         "benchmark": "service_load_throughput",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -157,7 +283,10 @@ def main(argv: list[str] | None = None) -> int:
         "summary": args.summary,
         "epsilon": args.epsilon,
         "shards": args.shards,
+        "lane": args.lane,
+        "wire": args.wire,
         "runs": runs,
+        "wire_comparison": wire_comparison,
     }
     output = Path(args.output)
     output.parent.mkdir(parents=True, exist_ok=True)

@@ -38,6 +38,7 @@ def cmd_serve(args: argparse.Namespace, out: TextIO) -> int:
         audit_fraction=args.audit_fraction,
         audit_reservoir=args.audit_reservoir,
         audit_seed=args.audit_seed,
+        wire=args.wire,
     )
     engine = None
     if args.checkpoint and args.resume:
@@ -117,6 +118,8 @@ def cmd_client(args: argparse.Namespace, out: TextIO) -> int:
         timeout_s=args.timeout,
         max_retries=args.retries,
         deadline_ms=args.deadline_ms,
+        wire=args.wire,
+        window=args.window,
     )
     command = args.client_command
     # Validate local arguments before touching the network.
@@ -158,6 +161,8 @@ def _cmd_client_load(args: argparse.Namespace, out: TextIO) -> int:
         values_per_insert=args.values_per_insert,
         deadline_ms=args.deadline_ms or 5000.0,
         seed=args.seed,
+        wire=args.wire,
+        window=args.window,
     )
     report = run_load_sync(args.host, args.port, config)
     summary = report.summary()
@@ -280,6 +285,13 @@ def add_parsers(subparsers) -> None:
         help="drain and exit after SECONDS (for smoke tests)",
     )
     serve.add_argument(
+        "--wire",
+        default="both",
+        choices=("both", "ndjson"),
+        help="both = connections may hello-upgrade to the binary frame "
+        "lane; ndjson = refuse the upgrade (docs/service.md, Wire formats)",
+    )
+    serve.add_argument(
         "--trace", metavar="PATH", help="JSONL span trace of the serving run"
     )
 
@@ -294,6 +306,19 @@ def add_parsers(subparsers) -> None:
         "--deadline-ms",
         type=float,
         help="per-request deadline forwarded to the server",
+    )
+    client.add_argument(
+        "--wire",
+        default="ndjson",
+        choices=("ndjson", "frames"),
+        help="frames = negotiate the binary frame lane for inserts "
+        "(falls back to ndjson if the server refuses)",
+    )
+    client.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        help="in-flight insert window on the frames wire (load command)",
     )
     commands = client.add_subparsers(dest="client_command", required=True)
 

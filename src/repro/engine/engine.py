@@ -23,6 +23,7 @@ matter) plus exact counters.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from fractions import Fraction
 from pathlib import Path
@@ -86,9 +87,11 @@ def as_fraction(
 
 
 def _chunks(values: Iterable, size: int) -> Iterator[list]:
-    if isinstance(values, list):
-        # Slicing a concrete list yields the same chunks as the per-item
-        # loop below at a fraction of the cost.
+    if isinstance(values, (list, array)):
+        # Slicing a concrete sequence yields the same chunks as the
+        # per-item loop below at a fraction of the cost; an ``array``
+        # chunk stays an ``array``, keeping the columnar lane's routing
+        # fast path (and its zero-copy numpy view) alive downstream.
         for start in range(0, len(values), size):
             yield values[start : start + size]
         return

@@ -119,8 +119,13 @@ def fast_int_buckets(
     shard_count: int,
     routing: str,
     already_ingested: int,
-) -> list[list[int]] | None:
+) -> "list[list[int] | array] | None":
     """Int bucketing at C speed, or None when ``values`` doesn't qualify.
+
+    Vectorised buckets come back as int64 ``array('q')`` buffers (the
+    columnar consumers — batch kernels, the pool codec, the native GK
+    kernel — all take them without materialising Python ints); the
+    pure-Python fallback returns plain lists.
 
     The vectorised path accepts any batch whose every element is *exactly
     equal* to its int64 conversion.  Exact equality is the faithfulness
@@ -135,13 +140,22 @@ def fast_int_buckets(
     is two's complement, i.e. exactly ``numerator & _MASK64``.
     """
     if _np is not None and len(values) >= _VECTOR_MIN_BATCH:
-        try:
-            array = _np.asarray(values, dtype=_np.int64)
-        except (OverflowError, TypeError, ValueError):
-            array = None
-        if array is not None and array.tolist() == list(values):
+        if isinstance(values, array) and values.typecode == "q":
+            # Trusted lane: an ``array('q')`` is int64 by construction (the
+            # frame wire and the IPC codec both guarantee it), so the O(n)
+            # faithfulness check below is redundant and ``frombuffer`` maps
+            # the buffer without copying.
+            vector = _np.frombuffer(values, dtype=_np.int64)
+        else:
+            try:
+                vector = _np.asarray(values, dtype=_np.int64)
+            except (OverflowError, TypeError, ValueError):
+                vector = None
+            if vector is not None and vector.tolist() != list(values):
+                vector = None
+        if vector is not None:
             if routing == "hash":
-                unsigned = array.view(_np.uint64)
+                unsigned = vector.view(_np.uint64)
                 mixed = _splitmix64_vec(_splitmix64_vec(unsigned) ^ _np.uint64(_ONE))
                 indexes = mixed % _np.uint64(shard_count)
             else:  # round-robin; EngineConfig.validate rejects anything else
@@ -151,10 +165,18 @@ def fast_int_buckets(
                     dtype=_np.uint64,
                 )
                 indexes = offsets % _np.uint64(shard_count)
-            return [
-                array[indexes == _np.uint64(index)].tolist()
-                for index in range(shard_count)
-            ]
+            buckets = []
+            for index in range(shard_count):
+                # Buckets stay buffer-backed: the batch kernels only slice
+                # and read, and the native GK kernel memcpy-extends an
+                # ``array('q')``, so materialising Python ints here would
+                # be pure overhead on the columnar lane.
+                bucket = array("q")
+                bucket.frombytes(vector[indexes == _np.uint64(index)].tobytes())
+                buckets.append(bucket)
+            return buckets
+    if isinstance(values, array):
+        values = values.tolist()
     if all_plain_ints(values):
         return route_int_batch(values, shard_count, routing, already_ingested)
     return None

@@ -90,6 +90,12 @@ class Scenario:
     #: traffic once per lane and asserts the gateable report cores are
     #: identical — the columnar lane's bit-equivalence contract as a canary.
     lanes_matrix: tuple = ()
+    #: Writer wire dialect (``ndjson``/``frames``, see docs/service.md).
+    wire: str = "ndjson"
+    #: When non-empty, the self-hosted runner replays the same seeded
+    #: traffic once per wire dialect and asserts the gateable report cores
+    #: are identical — the frame lane's faithfulness contract as a canary.
+    wire_matrix: tuple = ()
     # -- gate budgets -----------------------------------------------------------
     #: Max acceptable rank error (defaults to ``engine_epsilon`` when None).
     epsilon_budget: float | None = None
@@ -127,6 +133,12 @@ class Scenario:
             raise ScenarioError(
                 f"scenario {self.name!r}: lanes must be 'items' or "
                 f"'columnar', got {lanes}"
+            )
+        wires = (self.wire, *self.wire_matrix)
+        if any(wire not in ("ndjson", "frames") for wire in wires):
+            raise ScenarioError(
+                f"scenario {self.name!r}: wires must be 'ndjson' or "
+                f"'frames', got {wires}"
             )
         return self
 
@@ -167,6 +179,10 @@ class Scenario:
             payload["lanes_matrix"] = list(self.lanes_matrix)
         else:
             payload["lane"] = self.lane
+        if self.wire_matrix:
+            payload["wire_matrix"] = list(self.wire_matrix)
+        else:
+            payload["wire"] = self.wire
         if self.pattern == "adversarial":
             payload["adversary"] = {
                 "summary": self.adversary_summary,
@@ -261,6 +277,18 @@ def _catalog() -> dict[str, Scenario]:
             pattern="heavy-tail",
             summary="gk",
             lanes_matrix=("items", "columnar"),
+        ),
+        Scenario(
+            name="wire-matrix",
+            description="wire-faithfulness canary: replay the same seeded "
+            "uniform integer traffic over the NDJSON line protocol and the "
+            "binary frame lane (columnar engine) and assert the gateable "
+            "report cores (answers, errors, accuracy; timing excluded) are "
+            "identical",
+            pattern="uniform",
+            summary="gk",
+            lane="columnar",
+            wire_matrix=("ndjson", "frames"),
         ),
         Scenario(
             name="connector-replay",

@@ -80,9 +80,12 @@ async def _writer(
     batches: list,
     recorder: LoadReport,
     first_insert: asyncio.Event,
+    wire: str = "ndjson",
 ) -> None:
+    # Each insert is awaited regardless of wire, so the frame lane keeps
+    # the single-writer total order the determinism contract needs.
     client = QuantileClient(
-        host, port, deadline_ms=DEADLINE_MS, jitter_seed=seed * 31 + 1
+        host, port, deadline_ms=DEADLINE_MS, jitter_seed=seed * 31 + 1, wire=wire
     )
     async with client:
         for batch in batches:
@@ -253,6 +256,7 @@ async def _drive(
     host: str,
     port: int,
     service=None,
+    wire: str = "ndjson",
 ) -> CanaryReport:
     recorder = LoadReport()
     first_insert = asyncio.Event()
@@ -294,7 +298,7 @@ async def _drive(
     else:
         batches = insert_batches(scenario, seed)
         inserts = len(batches)
-        await _writer(host, port, seed, batches, recorder, first_insert)
+        await _writer(host, port, seed, batches, recorder, first_insert, wire)
     await asyncio.gather(*tasks)
 
     accuracy = await _final_accuracy(host, port, scenario, recorder)
@@ -363,22 +367,29 @@ async def run_scenario(
     if host is not None:
         if port is None:
             raise ValueError("a remote canary run needs both host and port")
-        return await _drive(scenario, seed, host, port)
+        return await _drive(scenario, seed, host, port, wire=scenario.wire)
 
     worker_counts = list(scenario.workers_matrix) or [scenario.workers]
     lanes = list(scenario.lanes_matrix) or [scenario.lane]
-    variants = [(workers, lane) for workers in worker_counts for lane in lanes]
+    wires = list(scenario.wire_matrix) or [scenario.wire]
+    variants = [
+        (workers, lane, wire)
+        for workers in worker_counts
+        for lane in lanes
+        for wire in wires
+    ]
     report = await _run_self_hosted(scenario, seed, *variants[0])
     if len(variants) > 1:
         # Invariance canary: the same seeded traffic at every variant —
-        # worker count (the process-pool executor's bit-identity contract)
-        # and/or ingest lane (the columnar lane's equivalence contract) —
-        # must produce an identical gateable core, observed end to end
-        # through the service.
+        # worker count (the process-pool executor's bit-identity contract),
+        # ingest lane (the columnar lane's equivalence contract), and/or
+        # wire dialect (the frame lane's faithfulness contract) — must
+        # produce an identical gateable core, observed end to end through
+        # the service.
         from repro.scenarios.report import CanaryError, compare_reports
 
-        for workers, lane in variants[1:]:
-            other = await _run_self_hosted(scenario, seed, workers, lane)
+        for workers, lane, wire in variants[1:]:
+            other = await _run_self_hosted(scenario, seed, workers, lane, wire)
             diff = compare_reports(report, other)
             if not diff["identical"]:
                 drifted = ", ".join(
@@ -386,22 +397,27 @@ async def run_scenario(
                 )
                 raise CanaryError(
                     f"scenario {scenario.name!r} is not variant invariant: "
-                    f"{variants[0][0]} worker(s) on the {variants[0][1]} "
-                    f"lane vs {workers} worker(s) on the {lane} lane "
-                    f"changed {drifted}"
+                    f"{variants[0][0]} worker(s), {variants[0][1]} lane, "
+                    f"{variants[0][2]} wire vs {workers} worker(s), "
+                    f"{lane} lane, {wire} wire changed {drifted}"
                 )
         report.ops["scaling"] = {
             "worker_counts": worker_counts,
             "lanes": lanes,
+            "wires": wires,
             "identical": True,
         }
     return report
 
 
 async def _run_self_hosted(
-    scenario: Scenario, seed: int, workers: int, lane: str = "items"
+    scenario: Scenario,
+    seed: int,
+    workers: int,
+    lane: str = "items",
+    wire: str = "ndjson",
 ) -> CanaryReport:
-    """One self-hosted loopback run at an explicit worker count and lane."""
+    """One self-hosted loopback run at an explicit worker count, lane, wire."""
     from repro.engine import EngineConfig
     from repro.service.server import QuantileService, ServiceConfig
 
@@ -423,7 +439,7 @@ async def _run_self_hosted(
     await service.start()
     try:
         return await _drive(
-            scenario, seed, "127.0.0.1", service.port, service=service
+            scenario, seed, "127.0.0.1", service.port, service=service, wire=wire
         )
     finally:
         await service.stop()

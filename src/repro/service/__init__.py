@@ -8,10 +8,13 @@ backpressure and a ``GET /metrics`` Prometheus endpoint), configured by
 seeded exponential backoff); the deterministic load generator in
 :mod:`repro.service.loadgen`; and the online accuracy auditor in
 :mod:`repro.service.audit` (seeded shadow reservoir, ``service_rank_error``
-metrics).  The wire protocol is specified in :mod:`repro.service.protocol`
-and documented in ``docs/service.md``.
+metrics).  The NDJSON wire protocol is specified in
+:mod:`repro.service.protocol`, the negotiated binary frame lane in
+:mod:`repro.service.frames`; both are documented in ``docs/service.md``
+under "Wire formats".
 """
 
+from repro.service import frames
 from repro.service.audit import AccuracyAuditor, AuditConfig
 from repro.service.client import QuantileClient, backoff_schedule
 from repro.service.limits import BoundedQueue, Deadline
@@ -57,6 +60,7 @@ __all__ = [
     "decode_line",
     "encode_line",
     "error_response",
+    "frames",
     "ok_response",
     "parse_request",
     "parse_response",

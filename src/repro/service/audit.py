@@ -151,10 +151,18 @@ class AccuracyAuditor:
         self._skip = int(math.log(1.0 - rng.random()) / denominator)
 
     def observe_batch(self, values) -> None:
-        """Feed one applied ingest batch into the reservoir (Algorithm L)."""
+        """Feed one applied ingest batch into the reservoir (Algorithm L).
+
+        Lane-agnostic: ``values`` may be a list of exact rationals (the
+        NDJSON path) or a raw ``array('q')``/``array('d')`` buffer straight
+        off the frame wire — anything indexable with a length.  The
+        reservoir stores whatever arrives; rank estimates only ever compare
+        float keys, so both shapes audit identically and the frame path
+        never pays a per-value conversion here.
+        """
         if not self.enabled:
             return
-        if not isinstance(values, list):
+        if not hasattr(values, "__getitem__"):
             values = list(values)
         if not values:
             return

@@ -37,7 +37,11 @@ PROTOCOL_VERSION = 1
 #: Hard cap on one wire line; longer requests must be split into batches.
 MAX_LINE_BYTES = 1 << 20
 
-OPS = ("ping", "insert", "query", "rank", "stats")
+OPS = ("ping", "hello", "insert", "query", "rank", "stats")
+
+#: Wire dialects a ``hello`` may negotiate; the server grants ``frames``
+#: only when its config allows it (see :mod:`repro.service.frames`).
+WIRES = ("ndjson", "frames")
 
 # -- error codes --------------------------------------------------------------------
 
@@ -52,6 +56,12 @@ ERR_RANK_UNSUPPORTED = "rank_unsupported"
 #: from :class:`repro.errors.MalformedRecordError` (the same stable code the
 #: CLI and the connector dead-letter queue use).
 ERR_MALFORMED_RECORD = "malformed_record"
+#: A structurally invalid binary frame (bad magic/kind/mode/payload); the
+#: connection survives and the next well-formed request is served.
+ERR_BAD_FRAME = "bad_frame"
+#: One NDJSON line exceeded the server's stream limit; the offending line
+#: is discarded and the connection keeps serving subsequent requests.
+ERR_LINE_TOO_LONG = "line_too_long"
 ERR_INTERNAL = "internal"
 
 ERROR_CODES = (
@@ -63,6 +73,8 @@ ERROR_CODES = (
     ERR_EMPTY,
     ERR_RANK_UNSUPPORTED,
     ERR_MALFORMED_RECORD,
+    ERR_BAD_FRAME,
+    ERR_LINE_TOO_LONG,
     ERR_INTERNAL,
 )
 
@@ -77,12 +89,18 @@ def encode_line(record: dict) -> bytes:
     return (json.dumps(record, separators=(",", ":")) + "\n").encode()
 
 
-def decode_line(line: bytes | str) -> dict:
-    """Parse one wire line into a record; raise :class:`ProtocolError` if bad."""
+def decode_line(line: bytes | str, max_bytes: int = MAX_LINE_BYTES) -> dict:
+    """Parse one wire line into a record; raise :class:`ProtocolError` if bad.
+
+    ``max_bytes`` defaults to the protocol-level cap; the server passes its
+    configured stream limit instead, which
+    :meth:`~repro.service.server.ServiceConfig.effective_line_limit` sizes
+    so a maximal legal insert line always fits.
+    """
     if isinstance(line, bytes):
-        if len(line) > MAX_LINE_BYTES:
+        if len(line) > max_bytes:
             raise ProtocolError(
-                f"line of {len(line)} bytes exceeds the {MAX_LINE_BYTES}-byte limit"
+                f"line of {len(line)} bytes exceeds the {max_bytes}-byte limit"
             )
         try:
             line = line.decode()
@@ -110,6 +128,8 @@ class Request:
     values: tuple = field(default_factory=tuple)
     phis: tuple = field(default_factory=tuple)
     deadline_ms: float | None = None
+    #: ``hello`` only: the wire dialect the client asks to upgrade to.
+    wire: str | None = None
 
     def to_record(self) -> dict:
         record: dict = {"id": self.id, "op": self.op}
@@ -119,6 +139,8 @@ class Request:
             record["phis"] = list(self.phis)
         if self.deadline_ms is not None:
             record["deadline_ms"] = self.deadline_ms
+        if self.wire is not None:
+            record["wire"] = self.wire
         return record
 
 
@@ -169,6 +191,7 @@ def parse_request(record: dict) -> Request:
 
     values: tuple = ()
     phis: tuple = ()
+    wire: str | None = None
     if op == "insert":
         values = _require_number_list(record, "values", "insert")
     elif op == "rank":
@@ -180,9 +203,20 @@ def parse_request(record: dict) -> Request:
                 raise ProtocolError(
                     f"'phis' entries must be numbers in [0, 1], got {phi!r}"
                 )
+    elif op == "hello":
+        wire = record.get("wire", "frames")
+        if wire not in WIRES:
+            raise ProtocolError(
+                f"'wire' must be one of {WIRES}, got {wire!r}"
+            )
 
     return Request(
-        id=request_id, op=op, values=values, phis=phis, deadline_ms=deadline_ms
+        id=request_id,
+        op=op,
+        values=values,
+        phis=phis,
+        deadline_ms=deadline_ms,
+        wire=wire,
     )
 
 

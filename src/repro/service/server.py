@@ -25,6 +25,15 @@ Architecture (one event loop, one writer)::
   connections, closes the queue, waits for the ingest loop to flush every
   admitted job (resolving every future), optionally checkpoints the
   engine, and only then closes client sockets.
+* **Two wire dialects, one port.**  Every connection starts in NDJSON; a
+  ``hello`` request may upgrade it to the binary frame lane
+  (:mod:`repro.service.frames`), where insert batches arrive as contiguous
+  int64/float64 buffers and flow through :class:`IngestJob` into the
+  engine's columnar lane without a single per-value ``Fraction``.  Framed
+  connections are *pipelined*: a reader task admits requests while an
+  ordered responder answers them strictly FIFO, so one client can keep a
+  window of inserts in flight (mirroring the shard supervisor's ack
+  window) and reads still observe every previously acknowledged insert.
 * **Observability.**  Every stage records to a shared
   :class:`~repro.obs.registry.MetricRegistry` (the engine's telemetry
   included) and emits :mod:`repro.obs.spans` spans; ``GET /metrics`` on
@@ -34,6 +43,7 @@ Architecture (one event loop, one writer)::
 from __future__ import annotations
 
 import asyncio
+from array import array
 from dataclasses import dataclass, field
 from fractions import Fraction
 from pathlib import Path
@@ -52,7 +62,7 @@ from repro.errors import (
 from repro.obs import spans as obs_spans
 from repro.obs.export import to_prometheus
 from repro.obs.registry import MetricRegistry
-from repro.service import protocol
+from repro.service import frames, protocol
 from repro.service.audit import AccuracyAuditor, AuditConfig
 from repro.service.limits import BoundedQueue, Deadline
 from repro.service.snapshots import SnapshotStore
@@ -83,6 +93,34 @@ class ServiceConfig:
     audit_fraction: float = 0.1
     audit_reservoir: int = 2048
     audit_seed: int = 0
+    #: Wire dialects offered: ``"both"`` lets a ``hello`` upgrade the
+    #: connection to binary frames, ``"ndjson"`` refuses the upgrade.
+    wire: str = "both"
+    #: Values per insert frame; ``None`` = ``max_values_per_insert``.
+    max_frame_values: int | None = None
+    #: Pipelining depth of a framed connection: requests admitted but not
+    #: yet answered.  Backpressure past the window is the TCP socket.
+    max_inflight_per_connection: int = 32
+    #: Stream limit for one NDJSON line; ``None`` computes one that fits a
+    #: maximal legal insert (see :meth:`effective_line_limit`).
+    max_line_bytes: int | None = None
+
+    def effective_line_limit(self) -> int:
+        """The asyncio stream limit: every legal insert line must fit.
+
+        ``max_values_per_insert`` JSON int values cost at most ~22 bytes
+        each (``-9007199254740991,``); anything longer than the computed
+        bound is answered with ``line_too_long``, never a dead socket.
+        """
+        if self.max_line_bytes is not None:
+            return self.max_line_bytes
+        return max(protocol.MAX_LINE_BYTES, 24 * self.max_values_per_insert + 4096)
+
+    def frame_value_cap(self) -> int:
+        """Values allowed per insert frame."""
+        if self.max_frame_values is not None:
+            return self.max_frame_values
+        return self.max_values_per_insert
 
     def validate(self) -> "ServiceConfig":
         if self.max_queue_jobs < 1:
@@ -105,6 +143,24 @@ class ServiceConfig:
             )
         if self.linger_ms < 0:
             raise ServiceError(f"linger_ms must be >= 0, got {self.linger_ms}")
+        if self.wire not in ("both", "ndjson"):
+            raise ServiceError(
+                f"wire must be 'both' or 'ndjson', got {self.wire!r}"
+            )
+        if self.max_frame_values is not None and self.max_frame_values < 1:
+            raise ServiceError(
+                "max_frame_values must be positive, got "
+                f"{self.max_frame_values}"
+            )
+        if self.max_inflight_per_connection < 1:
+            raise ServiceError(
+                "max_inflight_per_connection must be positive, got "
+                f"{self.max_inflight_per_connection}"
+            )
+        if self.max_line_bytes is not None and self.max_line_bytes < 256:
+            raise ServiceError(
+                f"max_line_bytes must be >= 256, got {self.max_line_bytes}"
+            )
         AuditConfig(
             fraction=self.audit_fraction,
             reservoir=self.audit_reservoir,
@@ -115,12 +171,57 @@ class ServiceConfig:
 
 @dataclass
 class IngestJob:
-    """One admitted insert, waiting for the single-writer loop."""
+    """One admitted insert, waiting for the single-writer loop.
 
-    values: list[Fraction]
+    ``values`` is lane-agnostic: NDJSON inserts carry exact rationals
+    (``list[Fraction]``); insert frames carry the raw ``array('q')``/
+    ``array('d')`` buffer straight off the wire — no per-value Fraction is
+    ever built on the frame path, and :meth:`QuantileService._flush` feeds
+    either shape to the engine (whose columnar lane keeps raw numerics
+    raw end to end).
+    """
+
+    values: "list[Fraction] | array"
     deadline: Deadline
     future: asyncio.Future
     enqueued_ns: int = field(default_factory=perf_counter_ns)
+
+
+def _combine_payloads(payloads: list, lane: str):
+    """One engine-feedable batch from a micro-batch of job payloads.
+
+    All-buffer flushes of one typecode concatenate into a single
+    contiguous buffer (a C-level ``memcpy`` per job); anything mixed
+    flattens to a list the executor routes value by value.  On the
+    columnar lane integral rationals collapse to bare ints so the
+    executor's raw-int routing fast path fires; non-integral values ride
+    through as Fractions (the executor falls back per batch).
+    """
+    columnar = lane == "columnar"
+
+    def _as_feed(payload):
+        if isinstance(payload, array) or not columnar:
+            return payload
+        return [
+            value.numerator if value.denominator == 1 else value
+            for value in payload
+        ]
+
+    if len(payloads) == 1:
+        return _as_feed(payloads[0])
+    first = payloads[0]
+    if isinstance(first, array) and all(
+        isinstance(payload, array) and payload.typecode == first.typecode
+        for payload in payloads
+    ):
+        combined = array(first.typecode)
+        for payload in payloads:
+            combined.extend(payload)
+        return combined
+    merged: list = []
+    for payload in payloads:
+        merged.extend(_as_feed(payload))
+    return merged
 
 
 class QuantileService:
@@ -234,7 +335,7 @@ class QuantileService:
             self._handle_connection,
             host=self.config.host,
             port=self.config.port,
-            limit=protocol.MAX_LINE_BYTES,
+            limit=self.config.effective_line_limit(),
         )
 
     async def stop(self) -> None:
@@ -305,24 +406,14 @@ class QuantileService:
                 live.append(job)
         if not live:
             return
-        values: list[Fraction] = []
-        for job in live:
-            values.extend(job.values)
-        feed: list = values
-        if self.engine.config.lane == "columnar":
-            # Collapse integral rationals to bare ints so the executor's
-            # columnar routing fast path fires; non-integral values ride
-            # through as Fractions (the executor falls back per batch).
-            # The auditor below still observes the exact rationals.
-            feed = [
-                value.numerator if value.denominator == 1 else value
-                for value in values
-            ]
+        payloads = [job.values for job in live]
+        total = sum(len(payload) for payload in payloads)
+        feed = _combine_payloads(payloads, self.engine.config.lane)
         with obs_spans.span(
-            "service.ingest_flush", jobs=len(live), items=len(values)
+            "service.ingest_flush", jobs=len(live), items=total
         ):
             try:
-                self.engine.ingest(feed, batch_size=max(len(values), 1))
+                self.engine.ingest(feed, batch_size=max(total, 1))
                 snapshot = self.snapshots.publish(self.engine)
             except ReproError as error:
                 for job in live:
@@ -331,9 +422,12 @@ class QuantileService:
                             _Shed(protocol.ERR_INTERNAL, str(error))
                         )
                 return
-        self._flush_items.observe(len(values))
+        self._flush_items.observe(total)
         self._snapshot_epoch.set(snapshot.epoch)
-        self.auditor.observe_batch(values)
+        for payload in payloads:
+            # Lane-agnostic: the reservoir samples raw buffers and exact
+            # rationals alike (it only ever compares float keys).
+            self.auditor.observe_batch(payload)
         for job in live:
             if not job.future.done():
                 job.future.set_result(
@@ -357,7 +451,10 @@ class QuantileService:
             line = first
             while line is not None:
                 if line.strip():
-                    await self._handle_line(line, writer)
+                    granted = await self._handle_line(line, writer)
+                    if granted == "frames":
+                        await self._run_frames(reader, writer)
+                        return
                 line = await self._read_line(reader, writer)
         except (ConnectionResetError, BrokenPipeError):
             pass
@@ -367,20 +464,57 @@ class QuantileService:
             writer.close()
 
     async def _read_line(self, reader, writer) -> bytes | None:
-        """One wire line, or ``None`` at EOF / after an oversize line."""
+        """One wire line; ``b""`` after a discarded oversize line; ``None`` at EOF.
+
+        An overrun line answers ``line_too_long`` and the connection keeps
+        serving: the rest of the oversized line is drained off the stream
+        so the next request parses cleanly.  Without the drain the tail of
+        the long line would masquerade as new requests.
+        """
         try:
-            line = await reader.readline()
-        except (asyncio.LimitOverrunError, ValueError):
+            line = await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError as eof:
+            return eof.partial or None
+        except asyncio.LimitOverrunError:
+            self._count_response(protocol.ERR_LINE_TOO_LONG)
             await self._send(
                 writer,
                 protocol.error_response(
                     None,
-                    protocol.ERR_BAD_REQUEST,
-                    f"line exceeds {protocol.MAX_LINE_BYTES} bytes",
+                    protocol.ERR_LINE_TOO_LONG,
+                    f"line exceeds {self.config.effective_line_limit()} "
+                    "bytes; split the insert into smaller batches or use "
+                    "the frame wire",
                 ),
             )
-            return None
-        return line if line else None
+            if not await self._drain_line_tail(reader):
+                return None
+            return b""
+        return line
+
+    async def _drain_line_tail(self, reader) -> bool:
+        """Discard stream bytes up to the next newline; False at EOF.
+
+        Built on ``readuntil``, which — unlike ``readline`` — leaves the
+        buffer untouched when it overruns, so the drain consumes *exactly*
+        the oversized line and never a byte of the request behind it.
+        (``readline`` silently eats through the separator before raising
+        when the newline is already buffered, which would make a blind
+        "drain until newline" loop swallow the next legitimate request.)
+        """
+        while True:
+            try:
+                await reader.readuntil(b"\n")
+                return True
+            except asyncio.IncompleteReadError:
+                return False
+            except asyncio.LimitOverrunError as overrun:
+                try:
+                    discarded = await reader.readexactly(overrun.consumed + 1)
+                except asyncio.IncompleteReadError:
+                    return False
+                if discarded.endswith(b"\n"):
+                    return True
 
     async def _send(self, writer: asyncio.StreamWriter, record: dict) -> None:
         writer.write(protocol.encode_line(record))
@@ -389,10 +523,15 @@ class QuantileService:
         except (ConnectionResetError, BrokenPipeError):
             pass
 
-    async def _handle_line(self, line: bytes, writer) -> None:
+    async def _handle_line(self, line: bytes, writer) -> str | None:
+        """Answer one NDJSON line; returns the granted wire after a ``hello``."""
         started = perf_counter_ns()
         try:
-            request = protocol.parse_request(protocol.decode_line(line))
+            request = protocol.parse_request(
+                protocol.decode_line(
+                    line, max_bytes=self.config.effective_line_limit()
+                )
+            )
         except ServiceError as error:
             self._count_response(protocol.ERR_BAD_REQUEST)
             await self._send(
@@ -437,6 +576,9 @@ class QuantileService:
         self._count_response(code)
         self._latency[request.op].observe(perf_counter_ns() - started)
         await self._send(writer, response)
+        if request.op == "hello" and response.get("ok"):
+            return response.get("wire")
+        return None
 
     async def _dispatch(self, request: protocol.Request, deadline: Deadline) -> dict:
         if deadline.expired():
@@ -450,6 +592,18 @@ class QuantileService:
                 epoch=snapshot.epoch,
                 n=snapshot.items,
                 draining=self._draining,
+            )
+        if op == "hello":
+            granted = (
+                "frames"
+                if request.wire == "frames" and self.config.wire != "ndjson"
+                else "ndjson"
+            )
+            return protocol.ok_response(
+                request.id,
+                wire=granted,
+                max_frame_values=self.config.frame_value_cap(),
+                window=self.config.max_inflight_per_connection,
             )
         if op == "insert":
             return await self._op_insert(request, deadline)
@@ -550,6 +704,206 @@ class QuantileService:
             },
             engine=self.engine.stats(),
         )
+
+    # -- the framed (binary) connection mode ---------------------------------------
+
+    async def _run_frames(self, reader, writer) -> None:
+        """Serve an upgraded connection: pipelined frames + NDJSON lines.
+
+        A reader loop *admits* requests while an ordered responder task
+        answers them strictly FIFO through a bounded queue, so one client
+        keeps up to ``max_inflight_per_connection`` inserts in flight.
+        NDJSON lines interleave freely; because a line is answered only
+        after every insert admitted before it, read-your-writes holds on
+        the frame lane exactly as it does on the plain one.
+        """
+        queue: asyncio.Queue = asyncio.Queue(
+            maxsize=self.config.max_inflight_per_connection
+        )
+        responder = asyncio.create_task(
+            self._frame_responder(queue, writer), name="service-frame-responder"
+        )
+        try:
+            while await self._read_frame(reader, queue):
+                pass
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                await queue.put(None)
+                await responder
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            except asyncio.CancelledError:
+                # Torn down mid-drain (loop shutdown): never leak the task.
+                responder.cancel()
+                raise
+
+    async def _read_frame(self, reader, queue: asyncio.Queue) -> bool:
+        """Admit one frame or line into the response queue; False to close.
+
+        Recovery contract (what :data:`protocol.ERR_BAD_FRAME` promises):
+        a structurally bad frame whose payload bytes can still be consumed
+        — unknown kind or mode, misaligned or empty or over-cap payload —
+        answers an error frame and the connection keeps serving.  Only a
+        corrupt length prefix (bad magic, or a declared payload past
+        :data:`frames.MAX_DRAIN_BYTES`) ends the stream's framing, and
+        even then the error frame goes out before the socket closes.
+        """
+        try:
+            first = await reader.readexactly(1)
+        except asyncio.IncompleteReadError:
+            return False  # clean EOF between frames
+        if first != frames.MAGIC[:1]:
+            return await self._admit_frame_line(first, reader, queue)
+        try:
+            header = first + await reader.readexactly(frames.HEADER_SIZE - 1)
+        except asyncio.IncompleteReadError:
+            return False  # EOF mid-header: the peer vanished, nobody to answer
+        try:
+            kind, mode, request_id, length = frames.decode_header(header)
+        except frames.FrameError as error:
+            await self._admit_error_frame(queue, None, protocol.ERR_BAD_FRAME, str(error))
+            return await self._drain_line_tail(reader)  # resync heuristically
+        if length > frames.MAX_DRAIN_BYTES:
+            await self._admit_error_frame(
+                queue,
+                request_id,
+                protocol.ERR_BAD_FRAME,
+                f"frame declares a {length}-byte payload; the wire cap is "
+                f"{frames.MAX_DRAIN_BYTES} bytes",
+            )
+            return False  # too big to drain: answer, then close
+        try:
+            payload = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            return False  # truncated at EOF: nobody left to answer
+        started = perf_counter_ns()
+        try:
+            buffer = frames.decode_insert(
+                kind, mode, payload, max_values=self.config.frame_value_cap()
+            )
+        except frames.FrameError as error:
+            await self._admit_error_frame(
+                queue, request_id, protocol.ERR_BAD_FRAME, str(error)
+            )
+            return True
+        self._count_request("insert")
+        if not frames.all_finite(buffer):
+            await self._admit_error_frame(
+                queue,
+                request_id,
+                protocol.ERR_BAD_VALUE,
+                "f64 frame carries non-finite values (nan/inf)",
+            )
+            return True
+        if self._draining:
+            self._count_shed("shutdown")
+            await self._admit_error_frame(
+                queue,
+                request_id,
+                protocol.ERR_SHUTTING_DOWN,
+                "service is draining; retry elsewhere",
+            )
+            return True
+        job = IngestJob(
+            values=buffer,
+            deadline=Deadline(self.config.default_deadline_ms),
+            future=asyncio.get_running_loop().create_future(),
+        )
+        if not self._queue.try_put(job):
+            self._count_shed("queue_full")
+            await self._admit_error_frame(
+                queue,
+                request_id,
+                protocol.ERR_OVERLOADED,
+                f"ingest queue is full ({self.config.max_queue_jobs} jobs); "
+                "retry with backoff",
+            )
+            return True
+        self._queue_depth.set(self._queue.depth)
+        await queue.put(("job", request_id, job, started))
+        return True
+
+    async def _admit_frame_line(self, first: bytes, reader, queue) -> bool:
+        """An NDJSON line on a framed connection, answered in FIFO order."""
+        try:
+            line = first + await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError as eof:
+            line = first + eof.partial
+        except asyncio.LimitOverrunError:
+            await queue.put(
+                (
+                    "resp",
+                    protocol.error_response(
+                        None,
+                        protocol.ERR_LINE_TOO_LONG,
+                        f"line exceeds {self.config.effective_line_limit()} "
+                        "bytes; split the insert into smaller batches or "
+                        "use insert frames",
+                    ),
+                    protocol.ERR_LINE_TOO_LONG,
+                )
+            )
+            return await self._drain_line_tail(reader)
+        if line.strip():
+            await queue.put(("line", line))
+        return line.endswith(b"\n")  # a partial final line still gets answered
+
+    async def _admit_error_frame(
+        self, queue: asyncio.Queue, request_id: int | None, code: str, message: str
+    ) -> None:
+        await queue.put(
+            ("frame", frames.encode_error(request_id, code, message), code)
+        )
+
+    async def _frame_responder(self, queue: asyncio.Queue, writer) -> None:
+        """Answer admitted requests strictly in admission order."""
+        while True:
+            item = await queue.get()
+            if item is None:
+                return
+            tag = item[0]
+            if tag == "line":
+                await self._handle_line(item[1], writer)
+                continue
+            if tag == "resp":
+                self._count_response(item[2])
+                await self._send(writer, item[1])
+                continue
+            if tag == "frame":
+                self._count_response(item[2])
+                await self._write_frame(writer, item[1])
+                continue
+            _, request_id, job, started = item
+            try:
+                result = await job.future
+            except _Shed as shed:
+                self._count_response(shed.code)
+                frame = frames.encode_error(request_id, shed.code, shed.message)
+            except ReproError as error:
+                self._count_response(protocol.ERR_INTERNAL)
+                frame = frames.encode_error(
+                    request_id, protocol.ERR_INTERNAL, str(error)
+                )
+            else:
+                self.registry.counter(
+                    SERVICE_NAMESPACE + "items_inserted_total",
+                    help="values accepted into the engine",
+                ).inc(result["items"])
+                self._count_response("ok")
+                frame = frames.encode_ack(
+                    request_id, result["items"], result["n"], result["epoch"]
+                )
+            self._latency["insert"].observe(perf_counter_ns() - started)
+            await self._write_frame(writer, frame)
+
+    async def _write_frame(self, writer, frame: bytes) -> None:
+        writer.write(frame)
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
 
     # -- the HTTP-ish /metrics endpoint --------------------------------------------
 

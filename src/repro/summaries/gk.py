@@ -37,6 +37,7 @@ the bottom of the file.
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_right
 from fractions import Fraction
 from operator import attrgetter
@@ -276,8 +277,12 @@ class _GKBase(QuantileSummary):
         (:mod:`repro.native`), which ports the same sequential semantics to
         flat arrays.  A summary with live comparison-model state stays in
         the items lane — only empty or already-columnar summaries switch.
+
+        Buffer-backed batches (``array('q')`` from the routing fast path or
+        the frame wire) are consumed as-is: the kernels only slice and
+        read, and the native kernel memcpy-extends the buffer directly.
         """
-        batch = values if isinstance(values, list) else list(values)
+        batch = values if isinstance(values, (list, array)) else list(values)
         if not batch:
             return
         if self._n and self._lane == "items":

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 import random
+from array import array
 from fractions import Fraction
 
 from repro.errors import EmptySummaryError
@@ -161,9 +162,11 @@ class KLL(QuantileSummary):
         (the level sort) a C-speed primitive sort instead of Item-dunder
         dispatch, with the identical coin-flip schedule; the final state is
         equivalent to the items lane.  A summary with live comparison-model
-        state stays in the items lane.
+        state stays in the items lane.  Buffer-backed batches
+        (``array('q')``) are consumed as-is — the kernel only slices and
+        reads.
         """
-        batch = values if isinstance(values, list) else list(values)
+        batch = values if isinstance(values, (list, array)) else list(values)
         if not batch:
             return
         if self._n and self._lane == "items":
